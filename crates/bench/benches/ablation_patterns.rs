@@ -1,0 +1,43 @@
+//! Ablation (DESIGN.md §7): movement patterns compared — snake (the
+//! paper's Fig. 3b), raster, column-major, and uniform random, plus the
+//! health-aware oracle as the balancing upper bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgra::Fabric;
+use transrec::{System, SystemConfig};
+use uaware::{
+    AllocationPolicy, ColumnMajor, HealthAwarePolicy, RandomPolicy, Raster, RotationPolicy, Snake,
+};
+
+fn run_once(make: &dyn Fn() -> Box<dyn AllocationPolicy>) -> (f64, f64) {
+    let w = &mibench::suite(0xDAC2020)[1];
+    let mut sys = System::new(SystemConfig::new(Fabric::be()), make());
+    sys.run(w.program()).unwrap();
+    w.verify(sys.cpu()).unwrap();
+    let grid = sys.tracker().utilization();
+    (grid.max(), grid.cov())
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_patterns");
+    group.sample_size(10);
+    let entries: Vec<(&str, Box<dyn Fn() -> Box<dyn AllocationPolicy>>)> = vec![
+        ("snake", Box::new(|| Box::new(RotationPolicy::new(Snake)))),
+        ("raster", Box::new(|| Box::new(RotationPolicy::new(Raster)))),
+        ("column_major", Box::new(|| Box::new(RotationPolicy::new(ColumnMajor)))),
+        ("random", Box::new(|| Box::new(RandomPolicy::seeded(17)))),
+        ("health_aware", Box::new(|| Box::new(HealthAwarePolicy))),
+    ];
+    for (name, make) in &entries {
+        let (worst, cov) = run_once(make.as_ref());
+        eprintln!("[ablation_patterns] {name}: worst-FU {:.1}%, CoV {:.3}", 100.0 * worst, cov);
+        group.bench_with_input(BenchmarkId::from_parameter(*name), name, |b, _| {
+            b.iter(|| run_once(make.as_ref()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

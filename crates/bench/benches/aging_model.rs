@@ -1,0 +1,32 @@
+//! NBTI model evaluation cost: Eq. 1 point evaluations, lifetime solves and
+//! full delay-curve sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nbti::{CalibratedAging, NbtiModel};
+use uaware::UtilizationGrid;
+
+fn bench_aging(c: &mut Criterion) {
+    let raw = NbtiModel::default();
+    let cal = CalibratedAging::default();
+    c.bench_function("nbti_delta_vt", |b| {
+        b.iter(|| raw.delta_vt(black_box(3.0), black_box(0.42)))
+    });
+    c.bench_function("nbti_lifetime", |b| b.iter(|| cal.lifetime_years(black_box(0.42))));
+    c.bench_function("nbti_delay_curve_101", |b| {
+        b.iter(|| cal.delay_curve(black_box(0.42), 10.0, 101))
+    });
+    let values: Vec<f64> = (0..256).map(|i| (i % 100) as f64 / 100.0).collect();
+    let grid = UtilizationGrid::from_values(8, 32, values);
+    c.bench_function("grid_stats_256", |b| {
+        b.iter(|| {
+            let g = black_box(&grid);
+            (g.max(), g.mean(), g.cov(), g.gini())
+        })
+    });
+    c.bench_function("grid_histogram_256", |b| b.iter(|| black_box(&grid).histogram(20)));
+}
+
+criterion_group!(benches, bench_aging);
+criterion_main!(benches);

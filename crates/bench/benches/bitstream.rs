@@ -1,0 +1,40 @@
+//! Bitstream encode/decode/rotate costs — the software model of what the
+//! reconfiguration unit does per configuration load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cgra::{Bitstream, Fabric, Offset, ReconfigUnit};
+use dbt::translate::{translate_prefix, TranslatorParams};
+use rv32::isa::{AluOp, Instr, Reg};
+
+fn full_config(fabric: &Fabric) -> cgra::Configuration {
+    let instrs: Vec<Instr> = (0..(fabric.cols as usize))
+        .map(|i| Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: i as i32 })
+        .collect();
+    translate_prefix(fabric, &TranslatorParams { min_instrs: 1, max_instrs: 512 }, 0, &instrs)
+        .unwrap()
+        .config
+}
+
+fn bench_bitstream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitstream");
+    for (name, fabric) in [("BE", Fabric::be()), ("BU", Fabric::bu())] {
+        let config = full_config(&fabric);
+        let bs = Bitstream::encode(&fabric, &config);
+        group.bench_with_input(BenchmarkId::new("encode", name), &config, |b, cfg| {
+            b.iter(|| Bitstream::encode(&fabric, black_box(cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", name), &bs, |b, bs| {
+            b.iter(|| black_box(bs).decode_ops(&fabric).unwrap())
+        });
+        let unit = ReconfigUnit::with_movement();
+        group.bench_with_input(BenchmarkId::new("load_rotated", name), &bs, |b, bs| {
+            b.iter(|| unit.load(&fabric, black_box(bs), Offset::new(1, 7)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitstream);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! DBT translation throughput: how fast the greedy placer maps instruction
+//! traces onto fabrics of different sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cgra::Fabric;
+use dbt::translate::{translate_prefix, TranslatorParams};
+use rv32::isa::{AluOp, Instr, LoadWidth, Reg};
+
+/// A mixed ALU/memory trace resembling a hot loop body.
+fn trace(len: usize) -> Vec<Instr> {
+    (0..len)
+        .map(|i| match i % 5 {
+            0 => Instr::Load {
+                width: LoadWidth::W,
+                rd: Reg::x(10 + (i % 4) as u8),
+                rs1: Reg::x(8),
+                offset: (4 * (i % 32)) as i32,
+            },
+            1 => Instr::OpImm {
+                op: AluOp::Add,
+                rd: Reg::x(11),
+                rs1: Reg::x(10),
+                imm: i as i32 % 100,
+            },
+            2 => Instr::Op { op: AluOp::Xor, rd: Reg::x(12), rs1: Reg::x(11), rs2: Reg::x(10) },
+            3 => Instr::Op { op: AluOp::Sll, rd: Reg::x(13), rs1: Reg::x(12), rs2: Reg::x(11) },
+            _ => Instr::Op { op: AluOp::Add, rd: Reg::x(14), rs1: Reg::x(13), rs2: Reg::x(12) },
+        })
+        .collect()
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let params = TranslatorParams { min_instrs: 1, max_instrs: 512 };
+    let mut group = c.benchmark_group("dbt_translate");
+    for (name, fabric) in [("BE", Fabric::be()), ("BP", Fabric::bp()), ("BU", Fabric::bu())] {
+        for len in [8usize, 32, 128] {
+            let instrs = trace(len);
+            group.bench_with_input(BenchmarkId::new(name, len), &instrs, |b, instrs| {
+                b.iter(|| translate_prefix(&fabric, &params, 0x1000, black_box(instrs)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

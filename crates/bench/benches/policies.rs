@@ -1,0 +1,44 @@
+//! Per-decision cost of each allocation policy — the "lightweight yet
+//! effective" argument of paper §III quantified: the rotation policy is a
+//! counter plus index math, while the health-aware oracle scans every pivot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cgra::Fabric;
+use uaware::{
+    AllocRequest, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, RandomPolicy,
+    RotationPolicy, Snake, UtilizationTracker,
+};
+
+fn bench_policies(c: &mut Criterion) {
+    let fabric = Fabric::bu(); // worst case for the oracle scan
+    let mut tracker = UtilizationTracker::new(&fabric);
+    let footprint: Vec<(u32, u32)> = (0..16u32).map(|i| (i % 8, i)).collect();
+    for i in 0..1000u32 {
+        tracker.record_execution(&[(i % 8, i % 32)], 4);
+    }
+
+    let mut group = c.benchmark_group("policy_decision");
+    let mut bench_one = |name: &str, policy: &mut dyn AllocationPolicy| {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let req = AllocRequest {
+                    fabric: &fabric,
+                    config_switch: false,
+                    footprint: black_box(&footprint),
+                    tracker: &tracker,
+                };
+                policy.next_offset(&req)
+            })
+        });
+    };
+    bench_one("baseline", &mut BaselinePolicy);
+    bench_one("rotation_snake", &mut RotationPolicy::new(Snake));
+    bench_one("random", &mut RandomPolicy::seeded(3));
+    bench_one("health_aware_oracle", &mut HealthAwarePolicy);
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

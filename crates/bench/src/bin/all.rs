@@ -1,0 +1,20 @@
+//! Regenerates every table and figure in one go (the full evaluation).
+
+use bench::*;
+
+fn main() {
+    let ctx = ExperimentContext::default();
+    eprintln!("[fig1]");
+    save_json("fig1", &fig1(&ctx));
+    eprintln!("[fig6]");
+    save_json("fig6", &fig6(&ctx));
+    eprintln!("[fig7]");
+    save_json("fig7", &fig7(&ctx));
+    eprintln!("[fig8]");
+    save_json("fig8", &fig8(&ctx));
+    eprintln!("[table1]");
+    save_json("table1", &table1(&ctx));
+    eprintln!("[table2]");
+    save_json("table2", &table2(&ctx));
+    eprintln!("done: results/*.json");
+}

@@ -1,0 +1,36 @@
+//! Diagnostic: per-benchmark cycle breakdown on the BE fabric.
+
+use cgra::Fabric;
+use transrec::{run_gpp_only, System, SystemConfig};
+use uaware::BaselinePolicy;
+
+fn main() {
+    let cfg = SystemConfig::new(Fabric::be());
+    println!(
+        "{:<16} {:>9} {:>9} {:>7} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "bench", "gpp-only", "system", "speedup", "cover", "gppcyc", "exec", "reconf", "xfer", "rot", "offl", "skip"
+    );
+    for w in mibench::suite(0xDAC2020) {
+        let gpp = run_gpp_only(w.program(), cfg.mem_size, cfg.timing, cfg.max_steps).unwrap();
+        let mut sys = System::new(cfg.clone(), Box::new(BaselinePolicy));
+        sys.run(w.program()).unwrap();
+        w.verify(sys.cpu()).unwrap();
+        let s = *sys.stats();
+        let cover = s.offloaded_instrs as f64 / s.total_instrs() as f64;
+        println!(
+            "{:<16} {:>9} {:>9} {:>7.2} {:>5.1}% {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+            w.name(),
+            gpp.cycles(),
+            s.total_cycles(),
+            gpp.cycles() as f64 / s.total_cycles() as f64,
+            100.0 * cover,
+            s.gpp_cycles,
+            s.cgra_exec_cycles,
+            s.reconfig_cycles,
+            s.transfer_cycles,
+            s.rotate_cycles,
+            s.offloads,
+            s.offloads_skipped,
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 1: FU utilization of a 1D 4×8 CGRA under
+//! traditional (greedy, corner-anchored) mapping.
+
+use bench::{fig1, save_json, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::default();
+    let r = fig1(&ctx);
+    println!("== Fig. 1: utilization of a {}x{} fabric, baseline allocation ==", r.rows, r.cols);
+    println!("{}", r.heatmap);
+    println!("max FU utilization: {:.1}% (paper: 100%)", 100.0 * r.max);
+    println!("min FU utilization: {:.1}% (paper: 1%)", 100.0 * r.min);
+    save_json("fig1", &r);
+}

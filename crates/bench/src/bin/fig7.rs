@@ -1,0 +1,20 @@
+//! Regenerates paper Fig. 7: BE (16×2) per-FU utilization heatmaps under
+//! the baseline and the proposed utilization-aware allocation.
+
+use bench::{fig7, save_json, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::default();
+    let r = fig7(&ctx);
+    println!("== Fig. 7: BE (16x2) utilization, baseline vs proposed ==");
+    println!("-- baseline --");
+    println!("{}", r.baseline_heatmap);
+    println!("-- proposed (snake rotation, per execution) --");
+    println!("{}", r.proposed_heatmap);
+    println!(
+        "max utilization: baseline {:.1}% (paper 94.5%) -> proposed {:.1}% (paper 41.2%)",
+        100.0 * r.baseline_max,
+        100.0 * r.proposed_max
+    );
+    save_json("fig7", &r);
+}

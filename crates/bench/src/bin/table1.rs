@@ -1,0 +1,29 @@
+//! Regenerates paper Table I: utilization and lifetime improvements for the
+//! BE, BP and BU scenarios.
+
+use bench::{save_json, table1, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::default();
+    let r = table1(&ctx);
+    println!("== Table I: utilization and lifetime improvements ==");
+    println!(
+        "{:<9} {:>9} {:>15} {:>15} {:>10} {:>12} {:>12}",
+        "Scenario", "Avg.Util", "BaselineWorst", "ProposedWorst", "Improv.", "BaseLife[y]", "PropLife[y]"
+    );
+    for row in &r.rows {
+        println!(
+            "{:<9} {:>8.1}% {:>14.1}% {:>14.1}% {:>9.2}x {:>12.2} {:>12.2}",
+            row.scenario,
+            100.0 * row.avg_util,
+            100.0 * row.baseline_worst,
+            100.0 * row.proposed_worst,
+            row.lifetime_improvement,
+            row.baseline_lifetime_years,
+            row.proposed_lifetime_years,
+        );
+    }
+    println!();
+    println!("paper: BE 39.7%/94.5%/41.1%/2.29x, BP 17.1%/98.1%/22.4%/4.37x, BU 8.5%/98.1%/12.3%/7.97x");
+    save_json("table1", &r);
+}

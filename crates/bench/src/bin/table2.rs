@@ -1,0 +1,34 @@
+//! Regenerates paper Table II: CGRA area overhead of the movement
+//! extensions (BE scenario) plus the unchanged column latency.
+
+use bench::{save_json, table2, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::default();
+    let r = table2(&ctx);
+    println!("== Table II: CGRA area overhead (BE scenario) ==");
+    println!("{:<12} {:>14} {:>14}", "", "Baseline", "Modified");
+    println!(
+        "{:<12} {:>14.0} {:>14.0}  (+{:.2}%)  [paper: 28,995 -> 30,199, +4.15%]",
+        "Area[um2]", r.baseline_area_um2, r.modified_area_um2, 100.0 * r.area_overhead
+    );
+    println!(
+        "{:<12} {:>14} {:>14}  (+{:.2}%)  [paper: 79,540 -> 83,083, +4.45%]",
+        "# Cells", r.baseline_cells, r.modified_cells, 100.0 * r.cell_overhead
+    );
+    println!(
+        "column latency: {:.0} ps -> {:.0} ps  [paper: 120 ps, unchanged]",
+        r.baseline_delay_ps, r.modified_delay_ps
+    );
+    println!();
+    println!("overheads on the other fabrics (cells / area):");
+    for (name, c, a) in &r.other_fabrics {
+        println!("  {:<10} +{:.2}% / +{:.2}%", name, 100.0 * c, 100.0 * a);
+    }
+    println!();
+    println!(
+        "configuration cache (FinCACTI-substitute sizing): {:.1} KiB, {:.0} um2",
+        r.cfg_cache_kib, r.cfg_cache_area_um2
+    );
+    save_json("table2", &r);
+}

@@ -1,0 +1,40 @@
+//! # bench — the experiment harness
+//!
+//! One runner per paper artefact (Fig. 1, Fig. 6, Fig. 7, Fig. 8, Table I,
+//! Table II), each regenerating the same rows/series the paper reports.
+//! The binaries in `src/bin/` print the tables and drop machine-readable
+//! JSON into `results/`; `cargo run -p bench --bin all --release`
+//! regenerates everything (see EXPERIMENTS.md for paper-vs-measured).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod reports;
+
+pub use experiments::{fig1, fig6, fig7, fig8, table1, table2, ExperimentContext};
+
+use std::path::PathBuf;
+
+/// Directory where experiment JSON lands (`<workspace>/results`).
+pub fn results_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Serializes a report into `results/<name>.json`.
+///
+/// # Panics
+///
+/// Panics on I/O or serialization failure (the harness treats that as a
+/// fatal experiment error).
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize report");
+    std::fs::write(&path, json).expect("write report");
+    eprintln!("[saved {}]", path.display());
+}

@@ -1,0 +1,145 @@
+//! Serializable report types, one per paper artefact.
+
+use serde::{Deserialize, Serialize};
+
+/// Fig. 1 — motivational utilization heatmap (4×8, traditional mapping).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig1Report {
+    /// Fabric rows.
+    pub rows: u32,
+    /// Fabric cols.
+    pub cols: u32,
+    /// Row-major per-FU utilization.
+    pub utilization: Vec<f64>,
+    /// Highest / lowest per-FU utilization.
+    pub max: f64,
+    /// Lowest per-FU utilization.
+    pub min: f64,
+    /// Rendered heatmap (paper-style percent grid).
+    pub heatmap: String,
+}
+
+/// One Fig. 6 design point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig6Point {
+    /// Columns (L).
+    pub l: u32,
+    /// Rows (W).
+    pub w: u32,
+    /// Execution time relative to the stand-alone GPP (1/speedup).
+    pub rel_time: f64,
+    /// Energy relative to the stand-alone GPP.
+    pub rel_energy: f64,
+    /// Mean per-FU utilization ("occupation").
+    pub occupation: f64,
+    /// Speedup over the GPP.
+    pub speedup: f64,
+    /// All benchmarks verified against their oracles.
+    pub verified: bool,
+}
+
+/// Fig. 6 — the design-space exploration scatter.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig6Report {
+    /// All twelve design points.
+    pub points: Vec<Fig6Point>,
+}
+
+/// Fig. 7 — BE utilization heatmaps, baseline vs proposed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig7Report {
+    /// Fabric rows.
+    pub rows: u32,
+    /// Fabric cols.
+    pub cols: u32,
+    /// Baseline per-FU utilization (row-major).
+    pub baseline: Vec<f64>,
+    /// Proposed (rotation) per-FU utilization (row-major).
+    pub proposed: Vec<f64>,
+    /// Baseline worst-FU utilization.
+    pub baseline_max: f64,
+    /// Proposed worst-FU utilization.
+    pub proposed_max: f64,
+    /// Rendered baseline heatmap.
+    pub baseline_heatmap: String,
+    /// Rendered proposed heatmap.
+    pub proposed_heatmap: String,
+}
+
+/// One scenario × policy series of Fig. 8.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig8Series {
+    /// Scenario tag (BE/BP/BU).
+    pub scenario: String,
+    /// Policy name (baseline/rotation).
+    pub policy: String,
+    /// Utilization-PDF points `(bin_center, density)`.
+    pub pdf: Vec<(f64, f64)>,
+    /// Worst-FU delay-degradation curve `(years, delay_fraction)`.
+    pub delay_curve: Vec<(f64, f64)>,
+    /// Worst-FU utilization.
+    pub worst_utilization: f64,
+}
+
+/// Fig. 8 — utilization PDFs (top) and NBTI delay curves (bottom).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig8Report {
+    /// Six series: three scenarios × two policies.
+    pub series: Vec<Fig8Series>,
+    /// End-of-life delay fraction (the 10% line).
+    pub eol_delay_frac: f64,
+}
+
+/// One Table I row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Scenario tag.
+    pub scenario: String,
+    /// Mean per-FU utilization.
+    pub avg_util: f64,
+    /// Baseline worst-FU utilization.
+    pub baseline_worst: f64,
+    /// Proposed worst-FU utilization.
+    pub proposed_worst: f64,
+    /// Lifetime improvement factor.
+    pub lifetime_improvement: f64,
+    /// Baseline lifetime in years.
+    pub baseline_lifetime_years: f64,
+    /// Proposed lifetime in years.
+    pub proposed_lifetime_years: f64,
+}
+
+/// Table I — utilization and lifetime improvements per scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Report {
+    /// BE/BP/BU rows.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Table II — area of the BE fabric with and without the extensions.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table2Report {
+    /// Baseline area in µm².
+    pub baseline_area_um2: f64,
+    /// Modified (with movement extensions) area in µm².
+    pub modified_area_um2: f64,
+    /// Baseline standard-cell count.
+    pub baseline_cells: u64,
+    /// Modified standard-cell count.
+    pub modified_cells: u64,
+    /// Area overhead fraction.
+    pub area_overhead: f64,
+    /// Cell overhead fraction.
+    pub cell_overhead: f64,
+    /// Column latency (ps), baseline.
+    pub baseline_delay_ps: f64,
+    /// Column latency (ps), modified.
+    pub modified_delay_ps: f64,
+    /// Overheads for the other evaluated fabrics `(name, cells, area)`.
+    pub other_fabrics: Vec<(String, f64, f64)>,
+    /// Configuration-cache SRAM sizing (FinCACTI substitute): capacity in
+    /// KiB and macro area in µm².
+    pub cfg_cache_kib: f64,
+    /// Configuration-cache macro area in µm².
+    pub cfg_cache_area_um2: f64,
+}

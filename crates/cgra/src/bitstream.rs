@@ -1,0 +1,464 @@
+//! Bit-level configuration encoding (the words the reconfiguration logic of
+//! paper Fig. 5 actually moves around).
+//!
+//! Each column owns one configuration register holding, for every row, an FU
+//! field of `[opcode | aImm | aSel | bImm | bSel | hasDst | dstSel | imm32]`.
+//! Row fields are contiguous, which is what lets the vertical-movement barrel
+//! shifters of Fig. 5c rotate a column's configuration by whole rows.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Configuration;
+use crate::fabric::Fabric;
+use crate::op::{AluFunc, CtxLine, LoadFunc, MulFunc, OpKind, Operand, PlacedOp, StoreFunc};
+
+/// Opcode space (6 bits). Zero is NOP / unconfigured.
+const OPCODE_BITS: usize = 6;
+const IMM_BITS: usize = 32;
+
+/// Number of bits for a context-line select.
+pub fn ctx_sel_bits(fabric: &Fabric) -> usize {
+    (u16::BITS - (fabric.ctx_lines.max(1) - 1).leading_zeros()) as usize
+}
+
+/// Bits of one FU field.
+pub fn fu_bits(fabric: &Fabric) -> usize {
+    let sel = ctx_sel_bits(fabric);
+    OPCODE_BITS + (1 + sel) + (1 + sel) + (1 + sel) + IMM_BITS
+}
+
+/// Bits of one column's configuration register.
+pub fn column_bits(fabric: &Fabric) -> usize {
+    fu_bits(fabric) * fabric.rows as usize
+}
+
+fn opcode_of(kind: OpKind) -> u64 {
+    match kind {
+        OpKind::Alu(f) => 1 + AluFunc::ALL.iter().position(|x| *x == f).unwrap() as u64,
+        OpKind::Mul(f) => 11 + MulFunc::ALL.iter().position(|x| *x == f).unwrap() as u64,
+        OpKind::Load { func, .. } => {
+            15 + LoadFunc::ALL.iter().position(|x| *x == func).unwrap() as u64
+        }
+        OpKind::Store { func, .. } => {
+            20 + StoreFunc::ALL.iter().position(|x| *x == func).unwrap() as u64
+        }
+    }
+}
+
+fn kind_of(opcode: u64, imm: u32) -> Option<OpKind> {
+    match opcode {
+        1..=10 => Some(OpKind::Alu(AluFunc::ALL[(opcode - 1) as usize])),
+        11..=14 => Some(OpKind::Mul(MulFunc::ALL[(opcode - 11) as usize])),
+        15..=19 => Some(OpKind::Load { func: LoadFunc::ALL[(opcode - 15) as usize], offset: imm as i32 }),
+        20..=22 => {
+            Some(OpKind::Store { func: StoreFunc::ALL[(opcode - 20) as usize], offset: imm as i32 })
+        }
+        _ => None,
+    }
+}
+
+/// One column's configuration register content.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnBits {
+    bits: Vec<bool>,
+}
+
+impl ColumnBits {
+    /// An all-NOP (unconfigured) column for `fabric`.
+    pub fn nop(fabric: &Fabric) -> ColumnBits {
+        ColumnBits { bits: vec![false; column_bits(fabric)] }
+    }
+
+    /// Register width in bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if the register is zero-width (never for a real fabric).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// `true` if every bit is zero (all rows NOP).
+    pub fn is_nop(&self) -> bool {
+        self.bits.iter().all(|b| !b)
+    }
+
+    /// Rotates the per-row field groups downwards by `shift` rows — the
+    /// barrel-shifter operation of paper Fig. 5c. Physical row `p` receives
+    /// the field of virtual row `(p + rows - shift) % rows`.
+    pub fn rotate_rows(&self, fabric: &Fabric, shift: u32) -> ColumnBits {
+        let rows = fabric.rows as usize;
+        let field = fu_bits(fabric);
+        assert_eq!(self.bits.len(), rows * field, "column width mismatch");
+        let shift = (shift as usize) % rows;
+        let mut out = vec![false; self.bits.len()];
+        for p in 0..rows {
+            let v = (p + rows - shift) % rows;
+            out[p * field..(p + 1) * field]
+                .copy_from_slice(&self.bits[v * field..(v + 1) * field]);
+        }
+        ColumnBits { bits: out }
+    }
+}
+
+struct BitWriter<'a> {
+    bits: &'a mut Vec<bool>,
+}
+
+impl BitWriter<'_> {
+    fn push(&mut self, value: u64, n: usize) {
+        for i in 0..n {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+    }
+}
+
+struct BitReader<'a> {
+    bits: &'a [bool],
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    fn read(&mut self, n: usize) -> u64 {
+        let mut v = 0u64;
+        for i in 0..n {
+            if self.bits[self.pos + i] {
+                v |= 1 << i;
+            }
+        }
+        self.pos += n;
+        v
+    }
+}
+
+/// Error decoding a bitstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// Reserved opcode value encountered.
+    BadOpcode {
+        /// Column of the bad field.
+        col: u32,
+        /// Row of the bad field.
+        row: u32,
+        /// The reserved opcode value.
+        opcode: u8,
+    },
+    /// Column register has the wrong width for the fabric.
+    WidthMismatch {
+        /// Expected register width.
+        expected: usize,
+        /// Actual width.
+        got: usize,
+    },
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::BadOpcode { col, row, opcode } => {
+                write!(f, "reserved opcode {opcode} at column {col}, row {row}")
+            }
+            BitstreamError::WidthMismatch { expected, got } => {
+                write!(f, "column register is {got} bits, fabric requires {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+/// A virtual configuration's bitstream: one [`ColumnBits`] per used column.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitstream {
+    columns: Vec<ColumnBits>,
+}
+
+impl Bitstream {
+    /// Encodes a validated configuration.
+    ///
+    /// Cells covered by a multi-column op's tail encode as NOP; the op's
+    /// field lives in its start column and its span is implied by the
+    /// opcode's class latency.
+    pub fn encode(fabric: &Fabric, config: &Configuration) -> Bitstream {
+        let mut columns = Vec::with_capacity(config.cols_used() as usize);
+        for col in 0..config.cols_used() {
+            let mut bits = Vec::with_capacity(column_bits(fabric));
+            let mut w = BitWriter { bits: &mut bits };
+            for row in 0..fabric.rows {
+                let op = config.ops().iter().find(|o| o.row == row && o.col == col);
+                encode_fu(fabric, &mut w, op);
+            }
+            columns.push(ColumnBits { bits });
+        }
+        Bitstream { columns }
+    }
+
+    /// The per-column registers, in virtual column order.
+    pub fn columns(&self) -> &[ColumnBits] {
+        &self.columns
+    }
+
+    /// Number of encoded columns.
+    pub fn cols_used(&self) -> u32 {
+        self.columns.len() as u32
+    }
+
+    /// Total configuration size in bits.
+    pub fn total_bits(&self) -> usize {
+        self.columns.iter().map(ColumnBits::len).sum()
+    }
+
+    /// Decodes the placed operations back out of the bitstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError`] on reserved opcodes or width mismatches.
+    pub fn decode_ops(&self, fabric: &Fabric) -> Result<Vec<PlacedOp>, BitstreamError> {
+        let mut ops = Vec::new();
+        for (c, col_bits) in self.columns.iter().enumerate() {
+            decode_column(fabric, col_bits, c as u32, &mut ops)?;
+        }
+        Ok(ops)
+    }
+}
+
+fn encode_fu(fabric: &Fabric, w: &mut BitWriter<'_>, op: Option<&PlacedOp>) {
+    let sel = ctx_sel_bits(fabric);
+    match op {
+        None => {
+            w.push(0, OPCODE_BITS);
+            w.push(0, 1 + sel);
+            w.push(0, 1 + sel);
+            w.push(0, 1 + sel);
+            w.push(0, IMM_BITS);
+        }
+        Some(op) => {
+            w.push(opcode_of(op.kind), OPCODE_BITS);
+            let mut imm_field: u32 = match op.kind {
+                OpKind::Load { offset, .. } | OpKind::Store { offset, .. } => offset as u32,
+                _ => 0,
+            };
+            for operand in [op.a, op.b] {
+                match operand {
+                    Operand::Ctx(l) => {
+                        w.push(0, 1);
+                        w.push(l.0 as u64, sel);
+                    }
+                    Operand::Imm(v) => {
+                        w.push(1, 1);
+                        w.push(0, sel);
+                        if !op.kind.is_mem() {
+                            imm_field = v;
+                        }
+                    }
+                }
+            }
+            match op.dst {
+                Some(d) => {
+                    w.push(1, 1);
+                    w.push(d.0 as u64, sel);
+                }
+                None => {
+                    w.push(0, 1 + sel);
+                }
+            }
+            w.push(imm_field as u64, IMM_BITS);
+        }
+    }
+}
+
+/// Decodes one column register into `ops`; `col` is the column index to give
+/// the decoded ops (virtual or physical, depending on the caller).
+pub(crate) fn decode_column(
+    fabric: &Fabric,
+    col_bits: &ColumnBits,
+    col: u32,
+    ops: &mut Vec<PlacedOp>,
+) -> Result<(), BitstreamError> {
+    let expected = column_bits(fabric);
+    if col_bits.len() != expected {
+        return Err(BitstreamError::WidthMismatch { expected, got: col_bits.len() });
+    }
+    let sel = ctx_sel_bits(fabric);
+    let mut r = BitReader { bits: &col_bits.bits, pos: 0 };
+    for row in 0..fabric.rows {
+        let opcode = r.read(OPCODE_BITS);
+        let a_imm = r.read(1) == 1;
+        let a_sel = r.read(sel) as u16;
+        let b_imm = r.read(1) == 1;
+        let b_sel = r.read(sel) as u16;
+        let has_dst = r.read(1) == 1;
+        let dst_sel = r.read(sel) as u16;
+        let imm = r.read(IMM_BITS) as u32;
+        if opcode == 0 {
+            continue;
+        }
+        let kind = kind_of(opcode, imm)
+            .ok_or(BitstreamError::BadOpcode { col, row, opcode: opcode as u8 })?;
+        let operand = |is_imm: bool, s: u16| {
+            if is_imm {
+                Operand::Imm(if kind.is_mem() { 0 } else { imm })
+            } else {
+                Operand::Ctx(CtxLine(s))
+            }
+        };
+        ops.push(PlacedOp {
+            row,
+            col,
+            span: fabric.latency(kind),
+            kind,
+            a: operand(a_imm, a_sel),
+            b: operand(b_imm, b_sel),
+            dst: has_dst.then_some(CtxLine(dst_sel)),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+
+    fn sample(f: &Fabric) -> Configuration {
+        Configuration::new(
+            f,
+            vec![
+                PlacedOp {
+                    row: 0,
+                    col: 0,
+                    span: 1,
+                    kind: OpKind::Alu(AluFunc::Add),
+                    a: Operand::Ctx(CtxLine(0)),
+                    b: Operand::Imm(42),
+                    dst: Some(CtxLine(2)),
+                },
+                PlacedOp {
+                    row: 1,
+                    col: 0,
+                    span: 4,
+                    kind: OpKind::Load { func: LoadFunc::Hu, offset: -4 },
+                    a: Operand::Ctx(CtxLine(1)),
+                    b: Operand::Imm(0),
+                    dst: Some(CtxLine(3)),
+                },
+                PlacedOp {
+                    row: 0,
+                    col: 4,
+                    span: 4,
+                    kind: OpKind::Store { func: StoreFunc::W, offset: 12 },
+                    a: Operand::Ctx(CtxLine(1)),
+                    b: Operand::Ctx(CtxLine(2)),
+                    dst: None,
+                },
+            ],
+            vec![CtxLine(0), CtxLine(1)],
+            vec![CtxLine(3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn widths() {
+        let f = Fabric::be(); // 16 ctx lines -> 4 select bits
+        assert_eq!(ctx_sel_bits(&f), 4);
+        assert_eq!(fu_bits(&f), 6 + 5 + 5 + 5 + 32);
+        assert_eq!(column_bits(&f), 2 * 53);
+        let one = Fabric { ctx_lines: 1, ..Fabric::be() };
+        assert_eq!(ctx_sel_bits(&one), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let f = Fabric::be();
+        let cfg = sample(&f);
+        let bs = Bitstream::encode(&f, &cfg);
+        assert_eq!(bs.cols_used(), 8);
+        let ops = bs.decode_ops(&f).unwrap();
+        assert_eq!(ops, cfg.ops(), "bitstream is a lossless encoding of ops");
+    }
+
+    #[test]
+    fn nop_columns_decode_empty() {
+        let f = Fabric::be();
+        let col = ColumnBits::nop(&f);
+        assert!(col.is_nop());
+        let mut ops = Vec::new();
+        decode_column(&f, &col, 0, &mut ops).unwrap();
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn rotate_rows_moves_fields() {
+        let f = Fabric::bp(); // 4 rows
+        let cfg = Configuration::new(
+            &f,
+            vec![PlacedOp {
+                row: 1,
+                col: 0,
+                span: 1,
+                kind: OpKind::Alu(AluFunc::Xor),
+                a: Operand::Ctx(CtxLine(0)),
+                b: Operand::Ctx(CtxLine(0)),
+                dst: Some(CtxLine(1)),
+            }],
+            vec![CtxLine(0)],
+            vec![CtxLine(1)],
+        )
+        .unwrap();
+        let bs = Bitstream::encode(&f, &cfg);
+        let rotated = bs.columns()[0].rotate_rows(&f, 2);
+        let mut ops = Vec::new();
+        decode_column(&f, &rotated, 0, &mut ops).unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].row, 3, "row 1 shifted down by 2");
+        assert_eq!(ops[0].kind, OpKind::Alu(AluFunc::Xor));
+    }
+
+    #[test]
+    fn rotate_by_rows_is_identity() {
+        let f = Fabric::bu(); // 8 rows
+        let cfg = sample(&Fabric::bu());
+        let bs = Bitstream::encode(&f, &cfg);
+        for col in bs.columns() {
+            assert_eq!(&col.rotate_rows(&f, 8), col);
+            assert_eq!(&col.rotate_rows(&f, 0), col);
+        }
+    }
+
+    #[test]
+    fn rotation_composes() {
+        let f = Fabric::bu();
+        let cfg = sample(&f);
+        let col = &Bitstream::encode(&f, &cfg).columns()[0].clone();
+        let once_twice = col.rotate_rows(&f, 3).rotate_rows(&f, 2);
+        let direct = col.rotate_rows(&f, 5);
+        assert_eq!(once_twice, direct);
+    }
+
+    #[test]
+    fn bad_opcode_detected() {
+        let f = Fabric::be();
+        let mut bits = vec![false; column_bits(&f)];
+        // opcode 63 (reserved) in row 0.
+        for b in bits.iter_mut().take(6) {
+            *b = true;
+        }
+        let col = ColumnBits { bits };
+        let mut ops = Vec::new();
+        let e = decode_column(&f, &col, 0, &mut ops).unwrap_err();
+        assert_eq!(e, BitstreamError::BadOpcode { col: 0, row: 0, opcode: 63 });
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let f = Fabric::be();
+        let col = ColumnBits { bits: vec![false; 10] };
+        let mut ops = Vec::new();
+        let e = decode_column(&f, &col, 0, &mut ops).unwrap_err();
+        assert!(matches!(e, BitstreamError::WidthMismatch { .. }));
+    }
+}

@@ -1,0 +1,511 @@
+//! Functional + timing execution of configurations.
+//!
+//! The executor walks the configuration column by column, mirroring the
+//! hardware: an operation captures its operands from the context lines in
+//! its start column and drives its result onto its destination line at the
+//! end of its last column. Stores commit to the [`MemBus`] at their
+//! completion column; loads read at their start column (the DBT's memory
+//! serialization guarantees all program-order-earlier stores have completed
+//! by then).
+//!
+//! Execution takes a pivot [`Offset`]: the *functional* behaviour is
+//! identical for every offset (the movement-invariance property the paper's
+//! hardware extensions must provide — see `tests/` and the `uaware` crate),
+//! while the *physical* cells that do the work rotate with the offset, which
+//! is what redistributes NBTI stress.
+
+use std::fmt;
+
+use crate::config::{Configuration, Offset};
+use crate::fabric::Fabric;
+use crate::op::{LoadFunc, OpKind, Operand, StoreFunc};
+
+/// A data-memory fault raised by a [`MemBus`] implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting byte address.
+    pub addr: u32,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory fault at {:#010x}", self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// The fabric's view of the data cache (paper Fig. 4, "To Memory Unit").
+///
+/// Implemented by the system simulator over the GPP's memory; the provided
+/// [`ArrayMem`] suffices for standalone fabric use.
+pub trait MemBus {
+    /// Loads and width-extends a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if `addr` is not accessible.
+    fn load(&mut self, addr: u32, func: LoadFunc) -> Result<u32, MemFault>;
+
+    /// Stores the low bytes of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if `addr` is not accessible.
+    fn store(&mut self, addr: u32, func: StoreFunc, value: u32) -> Result<(), MemFault>;
+}
+
+/// A simple byte-array [`MemBus`] for standalone use and tests.
+#[derive(Clone, Debug, Default)]
+pub struct ArrayMem {
+    bytes: Vec<u8>,
+}
+
+impl ArrayMem {
+    /// Creates a zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> ArrayMem {
+        ArrayMem { bytes: vec![0; size] }
+    }
+
+    /// Raw byte view.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw byte view.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+}
+
+impl MemBus for ArrayMem {
+    fn load(&mut self, addr: u32, func: LoadFunc) -> Result<u32, MemFault> {
+        let n = func.bytes() as usize;
+        let start = addr as usize;
+        let slice = self.bytes.get(start..start + n).ok_or(MemFault { addr })?;
+        let mut raw = 0u32;
+        for (i, byte) in slice.iter().enumerate() {
+            raw |= (*byte as u32) << (8 * i);
+        }
+        Ok(func.extend(raw))
+    }
+
+    fn store(&mut self, addr: u32, func: StoreFunc, value: u32) -> Result<(), MemFault> {
+        let n = func.bytes() as usize;
+        let start = addr as usize;
+        let slice = self.bytes.get_mut(start..start + n).ok_or(MemFault { addr })?;
+        for (i, byte) in slice.iter_mut().enumerate() {
+            *byte = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from [`Executor::execute`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// `inputs` length differs from the configuration's input bindings.
+    InputCountMismatch {
+        /// Bindings declared by the configuration.
+        expected: usize,
+        /// Values supplied by the caller.
+        got: usize,
+    },
+    /// The pivot offset addresses a cell outside the fabric.
+    OffsetOutOfRange {
+        /// The offending offset.
+        offset: Offset,
+    },
+    /// A memory operation faulted.
+    Mem(MemFault),
+    /// An operand line carried no value (unreachable for validated
+    /// configurations; kept as a defensive error).
+    UndefinedValue {
+        /// The undefined line index.
+        line: u16,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InputCountMismatch { expected, got } => {
+                write!(f, "configuration expects {expected} input value(s), got {got}")
+            }
+            ExecError::OffsetOutOfRange { offset } => {
+                write!(f, "pivot offset {offset} outside the fabric")
+            }
+            ExecError::Mem(e) => write!(f, "{e}"),
+            ExecError::UndefinedValue { line } => {
+                write!(f, "context line c{line} undefined at read time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<MemFault> for ExecError {
+    fn from(e: MemFault) -> ExecError {
+        ExecError::Mem(e)
+    }
+}
+
+/// Result of executing a configuration once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Output values, in the order of the configuration's output bindings.
+    pub outputs: Vec<u32>,
+    /// Pure fabric execution cycles (`⌈cols_used / cols_per_cycle⌉`).
+    pub cycles: u64,
+    /// Physical `(row, col)` cells that were active, sorted.
+    pub active_cells: Vec<(u32, u32)>,
+    /// Number of loads performed.
+    pub loads: u32,
+    /// Number of stores performed.
+    pub stores: u32,
+}
+
+/// Executes validated configurations on a fabric.
+#[derive(Copy, Clone, Debug)]
+pub struct Executor<'f> {
+    fabric: &'f Fabric,
+}
+
+impl<'f> Executor<'f> {
+    /// Creates an executor for `fabric`.
+    pub fn new(fabric: &'f Fabric) -> Executor<'f> {
+        Executor { fabric }
+    }
+
+    /// Executes `config` anchored at `offset`, with `inputs` deposited on the
+    /// input context, against `mem`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`]. On a memory fault the `MemBus` may have absorbed a
+    /// prefix of the configuration's stores (the system model treats faults
+    /// as fatal).
+    pub fn execute(
+        &self,
+        config: &Configuration,
+        offset: Offset,
+        inputs: &[u32],
+        mem: &mut dyn MemBus,
+    ) -> Result<ExecOutcome, ExecError> {
+        if inputs.len() != config.inputs().len() {
+            return Err(ExecError::InputCountMismatch {
+                expected: config.inputs().len(),
+                got: inputs.len(),
+            });
+        }
+        if !offset.in_range(self.fabric) {
+            return Err(ExecError::OffsetOutOfRange { offset });
+        }
+
+        let mut ctx: Vec<Option<u32>> = vec![None; self.fabric.ctx_lines as usize];
+        for (line, value) in config.inputs().iter().zip(inputs) {
+            ctx[line.0 as usize] = Some(*value);
+        }
+
+        let read = |ctx: &[Option<u32>], operand: Operand| -> Result<u32, ExecError> {
+            match operand {
+                Operand::Imm(v) => Ok(v),
+                Operand::Ctx(l) => {
+                    ctx[l.0 as usize].ok_or(ExecError::UndefinedValue { line: l.0 })
+                }
+            }
+        };
+
+        let mut loads = 0u32;
+        let mut stores = 0u32;
+        // (completion_col, dst_line, value) for in-flight producers, and
+        // (completion_col, addr, func, value) for in-flight stores.
+        let mut in_flight: Vec<(u32, u16, u32)> = Vec::new();
+        let mut pending_stores: Vec<(u32, u32, StoreFunc, u32)> = Vec::new();
+
+        for col in 0..config.cols_used() {
+            // Ops starting at this column capture operands and compute.
+            for op in config.ops().iter().filter(|o| o.col == col) {
+                match op.kind {
+                    OpKind::Alu(func) => {
+                        let a = read(&ctx, op.a)?;
+                        let b = read(&ctx, op.b)?;
+                        let v = func.eval(a, b);
+                        if let Some(dst) = op.dst {
+                            in_flight.push((op.end_col(), dst.0, v));
+                        }
+                    }
+                    OpKind::Mul(func) => {
+                        let a = read(&ctx, op.a)?;
+                        let b = read(&ctx, op.b)?;
+                        let v = func.eval(a, b);
+                        if let Some(dst) = op.dst {
+                            in_flight.push((op.end_col(), dst.0, v));
+                        }
+                    }
+                    OpKind::Load { func, offset: moff } => {
+                        let base = read(&ctx, op.a)?;
+                        let addr = base.wrapping_add(moff as u32);
+                        let v = mem.load(addr, func)?;
+                        loads += 1;
+                        if let Some(dst) = op.dst {
+                            in_flight.push((op.end_col(), dst.0, v));
+                        }
+                    }
+                    OpKind::Store { func, offset: moff } => {
+                        let base = read(&ctx, op.a)?;
+                        let addr = base.wrapping_add(moff as u32);
+                        let v = read(&ctx, op.b)?;
+                        pending_stores.push((op.end_col(), addr, func, v));
+                    }
+                }
+            }
+            // Completions at the end of this column become visible.
+            for &(end, line, v) in in_flight.iter().filter(|(end, _, _)| *end == col) {
+                debug_assert_eq!(end, col);
+                ctx[line as usize] = Some(v);
+            }
+            in_flight.retain(|(end, _, _)| *end != col);
+            for &(_, addr, func, v) in pending_stores.iter().filter(|(end, _, _, _)| *end == col) {
+                mem.store(addr, func, v)?;
+                stores += 1;
+            }
+            pending_stores.retain(|(end, _, _, _)| *end != col);
+        }
+
+        let outputs = config
+            .outputs()
+            .iter()
+            .map(|l| ctx[l.0 as usize].ok_or(ExecError::UndefinedValue { line: l.0 }))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut active_cells: Vec<(u32, u32)> = config
+            .ops()
+            .iter()
+            .flat_map(|o| o.cells())
+            .map(|(r, c)| offset.apply(self.fabric, r, c))
+            .collect();
+        active_cells.sort_unstable();
+
+        Ok(ExecOutcome {
+            outputs,
+            cycles: self.fabric.exec_cycles(config.cols_used()),
+            active_cells,
+            loads,
+            stores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluFunc, CtxLine, PlacedOp};
+
+    fn fabric() -> Fabric {
+        Fabric::be()
+    }
+
+    /// out = (in0 + 5) ^ in1
+    fn sample_config(f: &Fabric) -> Configuration {
+        Configuration::new(
+            f,
+            vec![
+                PlacedOp {
+                    row: 0,
+                    col: 0,
+                    span: 1,
+                    kind: OpKind::Alu(AluFunc::Add),
+                    a: Operand::Ctx(CtxLine(0)),
+                    b: Operand::Imm(5),
+                    dst: Some(CtxLine(2)),
+                },
+                PlacedOp {
+                    row: 0,
+                    col: 1,
+                    span: 1,
+                    kind: OpKind::Alu(AluFunc::Xor),
+                    a: Operand::Ctx(CtxLine(2)),
+                    b: Operand::Ctx(CtxLine(1)),
+                    dst: Some(CtxLine(3)),
+                },
+            ],
+            vec![CtxLine(0), CtxLine(1)],
+            vec![CtxLine(3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dataflow_chain() {
+        let f = fabric();
+        let cfg = sample_config(&f);
+        let mut mem = ArrayMem::new(64);
+        let out = Executor::new(&f)
+            .execute(&cfg, Offset::ORIGIN, &[10, 0xff], &mut mem)
+            .unwrap();
+        assert_eq!(out.outputs, vec![(10 + 5) ^ 0xff]);
+        assert_eq!(out.cycles, 1, "2 columns at 2 cols/cycle");
+        assert_eq!(out.active_cells, vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn offset_changes_cells_not_values() {
+        let f = fabric();
+        let cfg = sample_config(&f);
+        let base = Executor::new(&f)
+            .execute(&cfg, Offset::ORIGIN, &[7, 9], &mut ArrayMem::new(64))
+            .unwrap();
+        let moved = Executor::new(&f)
+            .execute(&cfg, Offset::new(1, 15), &[7, 9], &mut ArrayMem::new(64))
+            .unwrap();
+        assert_eq!(base.outputs, moved.outputs);
+        assert_eq!(moved.active_cells, vec![(1, 0), (1, 15)], "wrap-around");
+        assert_ne!(base.active_cells, moved.active_cells);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let f = fabric();
+        // mem[in1 + 8] = load(in0) + 1
+        let cfg = Configuration::new(
+            &f,
+            vec![
+                PlacedOp {
+                    row: 0,
+                    col: 0,
+                    span: 4,
+                    kind: OpKind::Load { func: LoadFunc::W, offset: 0 },
+                    a: Operand::Ctx(CtxLine(0)),
+                    b: Operand::Imm(0),
+                    dst: Some(CtxLine(2)),
+                },
+                PlacedOp {
+                    row: 0,
+                    col: 4,
+                    span: 1,
+                    kind: OpKind::Alu(AluFunc::Add),
+                    a: Operand::Ctx(CtxLine(2)),
+                    b: Operand::Imm(1),
+                    dst: Some(CtxLine(3)),
+                },
+                PlacedOp {
+                    row: 0,
+                    col: 5,
+                    span: 4,
+                    kind: OpKind::Store { func: StoreFunc::W, offset: 8 },
+                    a: Operand::Ctx(CtxLine(1)),
+                    b: Operand::Ctx(CtxLine(3)),
+                    dst: None,
+                },
+            ],
+            vec![CtxLine(0), CtxLine(1)],
+            vec![CtxLine(3)],
+        )
+        .unwrap();
+        let mut mem = ArrayMem::new(64);
+        mem.store(0, StoreFunc::W, 41).unwrap();
+        let out = Executor::new(&f)
+            .execute(&cfg, Offset::ORIGIN, &[0, 8], &mut mem)
+            .unwrap();
+        assert_eq!(out.outputs, vec![42]);
+        assert_eq!(out.loads, 1);
+        assert_eq!(out.stores, 1);
+        assert_eq!(mem.load(16, LoadFunc::W).unwrap(), 42);
+        assert_eq!(out.cycles, 5, "9 columns -> ceil(9/2)");
+    }
+
+    #[test]
+    fn store_to_load_ordering() {
+        let f = Fabric::new(2, 16);
+        // store(in0) = in1; then load(in0) -> out. Load starts after the
+        // store's completion column, per the DBT serialization rule.
+        let cfg = Configuration::new(
+            &f,
+            vec![
+                PlacedOp {
+                    row: 0,
+                    col: 0,
+                    span: 4,
+                    kind: OpKind::Store { func: StoreFunc::W, offset: 0 },
+                    a: Operand::Ctx(CtxLine(0)),
+                    b: Operand::Ctx(CtxLine(1)),
+                    dst: None,
+                },
+                PlacedOp {
+                    row: 0,
+                    col: 4,
+                    span: 4,
+                    kind: OpKind::Load { func: LoadFunc::W, offset: 0 },
+                    a: Operand::Ctx(CtxLine(0)),
+                    b: Operand::Imm(0),
+                    dst: Some(CtxLine(2)),
+                },
+            ],
+            vec![CtxLine(0), CtxLine(1)],
+            vec![CtxLine(2)],
+        )
+        .unwrap();
+        let mut mem = ArrayMem::new(64);
+        let out = Executor::new(&f)
+            .execute(&cfg, Offset::ORIGIN, &[4, 0xdead], &mut mem)
+            .unwrap();
+        assert_eq!(out.outputs, vec![0xdead], "load observes earlier store");
+    }
+
+    #[test]
+    fn input_count_checked() {
+        let f = fabric();
+        let cfg = sample_config(&f);
+        let e = Executor::new(&f)
+            .execute(&cfg, Offset::ORIGIN, &[1], &mut ArrayMem::new(8))
+            .unwrap_err();
+        assert_eq!(e, ExecError::InputCountMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn offset_range_checked() {
+        let f = fabric();
+        let cfg = sample_config(&f);
+        let e = Executor::new(&f)
+            .execute(&cfg, Offset::new(5, 0), &[1, 2], &mut ArrayMem::new(8))
+            .unwrap_err();
+        assert!(matches!(e, ExecError::OffsetOutOfRange { .. }));
+    }
+
+    #[test]
+    fn mem_fault_propagates() {
+        let f = fabric();
+        let cfg = Configuration::new(
+            &f,
+            vec![PlacedOp {
+                row: 0,
+                col: 0,
+                span: 4,
+                kind: OpKind::Load { func: LoadFunc::W, offset: 0 },
+                a: Operand::Ctx(CtxLine(0)),
+                b: Operand::Imm(0),
+                dst: Some(CtxLine(1)),
+            }],
+            vec![CtxLine(0)],
+            vec![CtxLine(1)],
+        )
+        .unwrap();
+        let e = Executor::new(&f)
+            .execute(&cfg, Offset::ORIGIN, &[1 << 20], &mut ArrayMem::new(8))
+            .unwrap_err();
+        assert_eq!(e, ExecError::Mem(MemFault { addr: 1 << 20 }));
+    }
+
+    #[test]
+    fn byte_and_half_memory_ops() {
+        let mut mem = ArrayMem::new(16);
+        mem.store(3, StoreFunc::B, 0x80).unwrap();
+        assert_eq!(mem.load(3, LoadFunc::B).unwrap(), 0xffff_ff80);
+        assert_eq!(mem.load(3, LoadFunc::Bu).unwrap(), 0x80);
+        mem.store(4, StoreFunc::H, 0xbeef).unwrap();
+        assert_eq!(mem.load(4, LoadFunc::Hu).unwrap(), 0xbeef);
+        assert_eq!(mem.load(4, LoadFunc::H).unwrap(), 0xffff_beef);
+    }
+}

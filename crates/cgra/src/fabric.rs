@@ -1,0 +1,187 @@
+//! Fabric geometry and technology parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::OpKind;
+
+/// Latency of each operation class in *columns* (half processor cycles).
+///
+/// The paper's technology point: an ALU takes half a processor cycle (one
+/// column); loads and stores are constrained by the data cache and take two
+/// processor cycles (four columns). We give the combinational multiplier the
+/// same four-column span (assumption documented in DESIGN.md §4.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpLatencies {
+    /// Columns for an ALU operation (paper: 1).
+    pub alu: u32,
+    /// Columns for a multiply (assumption: 4 = two processor cycles).
+    pub mul: u32,
+    /// Columns for a load or store (paper: 4 = two processor cycles).
+    pub mem: u32,
+}
+
+impl Default for OpLatencies {
+    fn default() -> OpLatencies {
+        OpLatencies { alu: 1, mul: 4, mem: 4 }
+    }
+}
+
+/// A rectangular TransRec-style CGRA fabric (paper Fig. 4).
+///
+/// Data propagates strictly left to right over `ctx_lines` context lines;
+/// each of the `rows × cols` cells hosts one FU time-slot. The fabric is
+/// also the carrier for the technology parameters the executor, the
+/// reconfiguration unit and the area model need.
+///
+/// # Examples
+///
+/// ```
+/// use cgra::Fabric;
+/// let be = Fabric::be();            // paper's "best energy" design point
+/// assert_eq!((be.rows, be.cols), (2, 16));
+/// assert_eq!(be.fu_count(), 32);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fabric {
+    /// Number of rows `W` (parallel execution).
+    pub rows: u32,
+    /// Number of columns `L` (sequential execution).
+    pub cols: u32,
+    /// Number of context lines (inter-column value buses).
+    pub ctx_lines: u16,
+    /// Number of reconfiguration bus lines `n` (paper Fig. 5: column `i`
+    /// listens to line `i mod n`).
+    pub cfg_lines: u32,
+    /// Columns traversed per processor cycle (paper: 2 — ALUs take half a
+    /// cycle).
+    pub cols_per_cycle: u32,
+    /// Operation latencies in columns.
+    pub latencies: OpLatencies,
+    /// Concurrent data-cache read ports (paper: one read).
+    pub mem_read_ports: u32,
+    /// Concurrent data-cache write ports (paper: one write).
+    pub mem_write_ports: u32,
+}
+
+impl Fabric {
+    /// Creates a fabric with `rows × cols` FUs and default technology
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero, or if the memory-op latency does
+    /// not fit in `cols` (no memory operation could ever be placed).
+    pub fn new(rows: u32, cols: u32) -> Fabric {
+        assert!(rows > 0 && cols > 0, "fabric must have at least one FU");
+        let f = Fabric {
+            rows,
+            cols,
+            ctx_lines: 16,
+            cfg_lines: 4,
+            cols_per_cycle: 2,
+            latencies: OpLatencies::default(),
+            mem_read_ports: 1,
+            mem_write_ports: 1,
+        };
+        assert!(
+            f.latencies.mem <= cols,
+            "fabric of {cols} column(s) cannot host a {}-column memory op",
+            f.latencies.mem
+        );
+        f
+    }
+
+    /// The motivational 4×8 fabric of paper Fig. 1.
+    pub fn fig1() -> Fabric {
+        Fabric::new(4, 8)
+    }
+
+    /// Paper scenario **BE** (best energy): L16, W2.
+    pub fn be() -> Fabric {
+        Fabric::new(2, 16)
+    }
+
+    /// Paper scenario **BP** (best performance): L32, W4.
+    pub fn bp() -> Fabric {
+        Fabric::new(4, 32)
+    }
+
+    /// Paper scenario **BU** (best/lowest utilization): L32, W8.
+    pub fn bu() -> Fabric {
+        Fabric::new(8, 32)
+    }
+
+    /// Total number of FU cells.
+    pub fn fu_count(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// Latency in columns of an operation class.
+    pub fn latency(&self, kind: OpKind) -> u32 {
+        match kind {
+            OpKind::Alu(_) => self.latencies.alu,
+            OpKind::Mul(_) => self.latencies.mul,
+            OpKind::Load { .. } | OpKind::Store { .. } => self.latencies.mem,
+        }
+    }
+
+    /// Processor cycles to execute `cols_used` columns of configured fabric.
+    pub fn exec_cycles(&self, cols_used: u32) -> u64 {
+        (cols_used as u64).div_ceil(self.cols_per_cycle as u64)
+    }
+
+    /// Cycles the reconfiguration unit needs to stream `cols_used` columns
+    /// of configuration over its `cfg_lines` bus lines (paper Fig. 5a).
+    pub fn reconfig_cycles(&self, cols_used: u32) -> u64 {
+        (cols_used as u64).div_ceil(self.cfg_lines as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluFunc, LoadFunc, MulFunc, StoreFunc};
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!((Fabric::fig1().rows, Fabric::fig1().cols), (4, 8));
+        assert_eq!((Fabric::be().rows, Fabric::be().cols), (2, 16));
+        assert_eq!((Fabric::bp().rows, Fabric::bp().cols), (4, 32));
+        assert_eq!((Fabric::bu().rows, Fabric::bu().cols), (8, 32));
+        assert_eq!(Fabric::bu().fu_count(), 256);
+    }
+
+    #[test]
+    fn latencies() {
+        let f = Fabric::be();
+        assert_eq!(f.latency(OpKind::Alu(AluFunc::Add)), 1);
+        assert_eq!(f.latency(OpKind::Mul(MulFunc::Mul)), 4);
+        assert_eq!(f.latency(OpKind::Load { func: LoadFunc::W, offset: 0 }), 4);
+        assert_eq!(f.latency(OpKind::Store { func: StoreFunc::B, offset: 0 }), 4);
+    }
+
+    #[test]
+    fn cycle_math() {
+        let f = Fabric::be();
+        assert_eq!(f.exec_cycles(1), 1);
+        assert_eq!(f.exec_cycles(2), 1);
+        assert_eq!(f.exec_cycles(3), 2);
+        assert_eq!(f.exec_cycles(16), 8);
+        assert_eq!(f.reconfig_cycles(1), 1);
+        assert_eq!(f.reconfig_cycles(4), 1);
+        assert_eq!(f.reconfig_cycles(5), 2);
+        assert_eq!(f.reconfig_cycles(16), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one FU")]
+    fn zero_rows_rejected() {
+        Fabric::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory op")]
+    fn too_short_for_mem_rejected() {
+        Fabric::new(2, 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Operations a functional unit can perform, and their operands.
+//!
+//! The op set mirrors what the TransRec DBT can translate from RV32IM:
+//! the ten integer ALU functions, the four multiplies, and byte/half/word
+//! loads and stores. Divisions are *not* fabric operations (the DBT
+//! terminates a trace at a division, like the TransRec family does).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a context line (the inter-column value buses of Fig. 4).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CtxLine(pub u16);
+
+impl std::fmt::Display for CtxLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// An FU input operand: either a context line (via the input crossbar) or an
+/// immediate held in the FU's configuration register.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Operand {
+    /// Read the value currently on a context line.
+    Ctx(CtxLine),
+    /// A 32-bit immediate from the configuration word.
+    ///
+    /// Each FU configuration holds a *single* immediate field, so an
+    /// operation may use `Imm` for both operands only with equal values
+    /// (enforced by [`crate::config::Configuration::validate`]).
+    Imm(u32),
+}
+
+/// ALU function (single-column latency).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AluFunc {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+}
+
+impl AluFunc {
+    /// Evaluates the function (identical semantics to RV32I).
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluFunc::Add => a.wrapping_add(b),
+            AluFunc::Sub => a.wrapping_sub(b),
+            AluFunc::Sll => a.wrapping_shl(b & 0x1f),
+            AluFunc::Slt => ((a as i32) < (b as i32)) as u32,
+            AluFunc::Sltu => (a < b) as u32,
+            AluFunc::Xor => a ^ b,
+            AluFunc::Srl => a.wrapping_shr(b & 0x1f),
+            AluFunc::Sra => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+            AluFunc::Or => a | b,
+            AluFunc::And => a & b,
+        }
+    }
+
+    /// All ten functions, in encoding order.
+    pub const ALL: [AluFunc; 10] = [
+        AluFunc::Add,
+        AluFunc::Sub,
+        AluFunc::Sll,
+        AluFunc::Slt,
+        AluFunc::Sltu,
+        AluFunc::Xor,
+        AluFunc::Srl,
+        AluFunc::Sra,
+        AluFunc::Or,
+        AluFunc::And,
+    ];
+}
+
+/// Multiplier function (the fabric's multi-column multiply block).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum MulFunc {
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+}
+
+impl MulFunc {
+    /// Evaluates the function (identical semantics to RV32M).
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            MulFunc::Mul => a.wrapping_mul(b),
+            MulFunc::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+            MulFunc::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+            MulFunc::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        }
+    }
+
+    /// All four functions, in encoding order.
+    pub const ALL: [MulFunc; 4] = [MulFunc::Mul, MulFunc::Mulh, MulFunc::Mulhsu, MulFunc::Mulhu];
+}
+
+/// Load flavour (width + extension), matching RV32I loads.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum LoadFunc {
+    B,
+    Bu,
+    H,
+    Hu,
+    W,
+}
+
+impl LoadFunc {
+    /// Extracts/extends the loaded raw word `raw` as this flavour would.
+    pub fn extend(self, raw: u32) -> u32 {
+        match self {
+            LoadFunc::B => raw as u8 as i8 as i32 as u32,
+            LoadFunc::Bu => raw as u8 as u32,
+            LoadFunc::H => raw as u16 as i16 as i32 as u32,
+            LoadFunc::Hu => raw as u16 as u32,
+            LoadFunc::W => raw,
+        }
+    }
+
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            LoadFunc::B | LoadFunc::Bu => 1,
+            LoadFunc::H | LoadFunc::Hu => 2,
+            LoadFunc::W => 4,
+        }
+    }
+
+    /// All five flavours, in encoding order.
+    pub const ALL: [LoadFunc; 5] = [LoadFunc::B, LoadFunc::Bu, LoadFunc::H, LoadFunc::Hu, LoadFunc::W];
+}
+
+/// Store flavour (width), matching RV32I stores.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum StoreFunc {
+    B,
+    H,
+    W,
+}
+
+impl StoreFunc {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            StoreFunc::B => 1,
+            StoreFunc::H => 2,
+            StoreFunc::W => 4,
+        }
+    }
+
+    /// All three flavours, in encoding order.
+    pub const ALL: [StoreFunc; 3] = [StoreFunc::B, StoreFunc::H, StoreFunc::W];
+}
+
+/// What a placed operation does.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Single-column ALU operation.
+    Alu(AluFunc),
+    /// Multi-column multiply.
+    Mul(MulFunc),
+    /// Memory load; the effective address is `operand_a + offset`.
+    Load {
+        /// Width/extension flavour.
+        func: LoadFunc,
+        /// Byte offset added to the base address operand.
+        offset: i32,
+    },
+    /// Memory store; the effective address is `operand_a + offset` and the
+    /// stored value is `operand_b`.
+    Store {
+        /// Width flavour.
+        func: StoreFunc,
+        /// Byte offset added to the base address operand.
+        offset: i32,
+    },
+}
+
+impl OpKind {
+    /// `true` for loads and stores (they contend for the data-cache ports).
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpKind::Load { .. } | OpKind::Store { .. })
+    }
+
+    /// `true` if the op produces a value (everything except stores).
+    pub fn produces_value(self) -> bool {
+        !matches!(self, OpKind::Store { .. })
+    }
+}
+
+/// An operation placed at a fabric position inside a *virtual configuration*
+/// (coordinates are relative to the configuration's pivot; see paper Fig. 3a).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PlacedOp {
+    /// Row within the virtual configuration (0-based).
+    pub row: u32,
+    /// First column occupied (0-based).
+    pub col: u32,
+    /// Number of columns occupied (must equal the fabric latency of `kind`).
+    pub span: u32,
+    /// The operation.
+    pub kind: OpKind,
+    /// First operand (address base for memory ops).
+    pub a: Operand,
+    /// Second operand (store data for stores; ignored by loads).
+    pub b: Operand,
+    /// Context line written with the result (`None` for stores).
+    pub dst: Option<CtxLine>,
+}
+
+impl PlacedOp {
+    /// Last column occupied (inclusive).
+    pub fn end_col(&self) -> u32 {
+        self.col + self.span - 1
+    }
+
+    /// The fabric cells `(row, col)` this op occupies.
+    pub fn cells(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (self.col..self.col + self.span).map(move |c| (self.row, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_matches_rv32_semantics() {
+        for (a, b) in [(0u32, 0u32), (5, 3), (u32::MAX, 1), (0x8000_0000, 31)] {
+            assert_eq!(AluFunc::Add.eval(a, b), a.wrapping_add(b));
+            assert_eq!(AluFunc::Sub.eval(a, b), a.wrapping_sub(b));
+            assert_eq!(AluFunc::Sra.eval(a, b), ((a as i32) >> (b & 31)) as u32);
+            assert_eq!(AluFunc::Sltu.eval(a, b), u32::from(a < b));
+        }
+    }
+
+    #[test]
+    fn load_extension() {
+        assert_eq!(LoadFunc::B.extend(0x80), 0xffff_ff80);
+        assert_eq!(LoadFunc::Bu.extend(0x80), 0x80);
+        assert_eq!(LoadFunc::H.extend(0x8000), 0xffff_8000);
+        assert_eq!(LoadFunc::Hu.extend(0x8000), 0x8000);
+        assert_eq!(LoadFunc::W.extend(0xdead_beef), 0xdead_beef);
+    }
+
+    #[test]
+    fn op_cells_cover_span() {
+        let op = PlacedOp {
+            row: 1,
+            col: 2,
+            span: 4,
+            kind: OpKind::Load { func: LoadFunc::W, offset: 0 },
+            a: Operand::Ctx(CtxLine(0)),
+            b: Operand::Imm(0),
+            dst: Some(CtxLine(1)),
+        };
+        let cells: Vec<_> = op.cells().collect();
+        assert_eq!(cells, vec![(1, 2), (1, 3), (1, 4), (1, 5)]);
+        assert_eq!(op.end_col(), 5);
+    }
+}

@@ -1,0 +1,332 @@
+//! The reconfiguration unit (paper Fig. 5) and its aging-mitigation
+//! extensions.
+//!
+//! Baseline behaviour: `n = cfg_lines` configuration lines feed the fabric;
+//! column `i` listens to line `i mod n`, so `n` columns are written per
+//! cycle and a configuration always lands anchored at column 0, row 0.
+//!
+//! With the **movement extensions** enabled (the paper's §III.B):
+//!
+//! * *horizontal movement* — every column gains an `n:1` multiplexer on its
+//!   configuration-line input, so virtual column `v` can be steered into
+//!   physical column `(v + offset.col) mod cols`;
+//! * *vertical movement* — barrel shifters on the per-column configuration
+//!   registers rotate the row fields by `offset.row`
+//!   ([`ColumnBits::rotate_rows`]);
+//! * *wrap-around* — a 2:1 multiplexer per context line per column selects
+//!   between the previous column's lines and the initial input context, so
+//!   execution can start at an arbitrary column and flow past the fabric's
+//!   right edge back into column 0.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitstream::{decode_column, Bitstream, BitstreamError, ColumnBits};
+use crate::config::Offset;
+use crate::fabric::Fabric;
+use crate::op::PlacedOp;
+
+/// Cycles to rotate an already-resident configuration to a new offset
+/// (per-execution movement re-shifts the configuration registers in place;
+/// see DESIGN.md §4.4).
+pub const RESIDENT_ROTATE_CYCLES: u64 = 1;
+
+/// Errors from [`ReconfigUnit::load`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The baseline unit cannot place a configuration anywhere but the
+    /// origin — that is exactly the capability the extensions add.
+    MovementUnsupported {
+        /// The requested offset.
+        offset: Offset,
+    },
+    /// Offset outside the fabric.
+    OffsetOutOfRange {
+        /// The requested offset.
+        offset: Offset,
+    },
+    /// Configuration wider than the fabric.
+    TooManyColumns {
+        /// Columns in the bitstream.
+        requested: u32,
+        /// Columns the fabric has.
+        available: u32,
+    },
+    /// Malformed bitstream.
+    Bitstream(BitstreamError),
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigError::MovementUnsupported { offset } => {
+                write!(f, "baseline reconfiguration logic cannot move a configuration to {offset}")
+            }
+            ReconfigError::OffsetOutOfRange { offset } => {
+                write!(f, "offset {offset} outside the fabric")
+            }
+            ReconfigError::TooManyColumns { requested, available } => {
+                write!(f, "configuration needs {requested} columns, fabric has {available}")
+            }
+            ReconfigError::Bitstream(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+impl From<BitstreamError> for ReconfigError {
+    fn from(e: BitstreamError) -> ReconfigError {
+        ReconfigError::Bitstream(e)
+    }
+}
+
+/// The fabric's configuration registers after a load: one register per
+/// *physical* column, plus the wrap-around start column.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadedFabric {
+    columns: Vec<ColumnBits>,
+    start_col: u32,
+    cols_used: u32,
+}
+
+impl LoadedFabric {
+    /// Physical column registers (length = fabric columns).
+    pub fn columns(&self) -> &[ColumnBits] {
+        &self.columns
+    }
+
+    /// Physical column where execution starts (the column whose wrap-around
+    /// mux selects the initial input context).
+    pub fn start_col(&self) -> u32 {
+        self.start_col
+    }
+
+    /// Number of columns the loaded configuration occupies.
+    pub fn cols_used(&self) -> u32 {
+        self.cols_used
+    }
+
+    /// Decodes the physically-placed operations. `col` in each op is the
+    /// physical start column; multi-column ops may wrap past the right edge
+    /// (use modulo `fabric.cols` column arithmetic on spans).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitstreamError`] on malformed registers.
+    pub fn decode_physical(&self, fabric: &Fabric) -> Result<Vec<PlacedOp>, BitstreamError> {
+        let mut ops = Vec::new();
+        for (c, col_bits) in self.columns.iter().enumerate() {
+            decode_column(fabric, col_bits, c as u32, &mut ops)?;
+        }
+        Ok(ops)
+    }
+}
+
+/// The reconfiguration unit model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigUnit {
+    extensions: bool,
+}
+
+impl ReconfigUnit {
+    /// The unmodified TransRec reconfiguration logic (origin anchoring only).
+    pub fn baseline() -> ReconfigUnit {
+        ReconfigUnit { extensions: false }
+    }
+
+    /// The extended logic with horizontal/vertical movement and wrap-around.
+    pub fn with_movement() -> ReconfigUnit {
+        ReconfigUnit { extensions: true }
+    }
+
+    /// Whether the movement extensions are present.
+    pub fn has_movement(&self) -> bool {
+        self.extensions
+    }
+
+    /// Streams `bitstream` into the fabric anchored at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReconfigError::MovementUnsupported`] — non-origin offset on the
+    ///   baseline unit.
+    /// * [`ReconfigError::OffsetOutOfRange`] / [`ReconfigError::TooManyColumns`]
+    ///   on geometry violations.
+    pub fn load(
+        &self,
+        fabric: &Fabric,
+        bitstream: &Bitstream,
+        offset: Offset,
+    ) -> Result<LoadedFabric, ReconfigError> {
+        if !self.extensions && offset != Offset::ORIGIN {
+            return Err(ReconfigError::MovementUnsupported { offset });
+        }
+        if !offset.in_range(fabric) {
+            return Err(ReconfigError::OffsetOutOfRange { offset });
+        }
+        let cols_used = bitstream.cols_used();
+        if cols_used > fabric.cols {
+            return Err(ReconfigError::TooManyColumns {
+                requested: cols_used,
+                available: fabric.cols,
+            });
+        }
+        let mut columns = vec![ColumnBits::nop(fabric); fabric.cols as usize];
+        for (v, col_bits) in bitstream.columns().iter().enumerate() {
+            let p = ((v as u32 + offset.col) % fabric.cols) as usize;
+            columns[p] = if offset.row == 0 {
+                col_bits.clone()
+            } else {
+                col_bits.rotate_rows(fabric, offset.row)
+            };
+        }
+        Ok(LoadedFabric { columns, start_col: offset.col, cols_used })
+    }
+
+    /// Cycles to stream a `cols_used`-column configuration from the
+    /// configuration cache into the fabric (`⌈cols_used / n⌉`, paper Fig. 5a).
+    /// Applying a movement offset during the load is free — the muxes and
+    /// shifters sit in the existing load path.
+    pub fn load_cycles(&self, fabric: &Fabric, cols_used: u32) -> u64 {
+        fabric.reconfig_cycles(cols_used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use crate::op::{AluFunc, CtxLine, LoadFunc, OpKind, Operand};
+
+    fn sample(f: &Fabric) -> Configuration {
+        Configuration::new(
+            f,
+            vec![
+                PlacedOp {
+                    row: 0,
+                    col: 0,
+                    span: 1,
+                    kind: OpKind::Alu(AluFunc::Add),
+                    a: Operand::Ctx(CtxLine(0)),
+                    b: Operand::Imm(1),
+                    dst: Some(CtxLine(2)),
+                },
+                PlacedOp {
+                    row: 1,
+                    col: 1,
+                    span: 4,
+                    kind: OpKind::Load { func: LoadFunc::W, offset: 8 },
+                    a: Operand::Ctx(CtxLine(2)),
+                    b: Operand::Imm(0),
+                    dst: Some(CtxLine(3)),
+                },
+            ],
+            vec![CtxLine(0)],
+            vec![CtxLine(3)],
+        )
+        .unwrap()
+    }
+
+    /// Software rotation of virtual ops — the specification the hardware
+    /// path must match.
+    fn rotate_sw(f: &Fabric, ops: &[PlacedOp], off: Offset) -> Vec<PlacedOp> {
+        let mut out: Vec<PlacedOp> = ops
+            .iter()
+            .map(|o| PlacedOp {
+                row: (o.row + off.row) % f.rows,
+                col: (o.col + off.col) % f.cols,
+                ..*o
+            })
+            .collect();
+        out.sort_by_key(|o| (o.col, o.row));
+        out
+    }
+
+    #[test]
+    fn baseline_rejects_movement() {
+        let f = Fabric::be();
+        let bs = Bitstream::encode(&f, &sample(&f));
+        let u = ReconfigUnit::baseline();
+        assert!(u.load(&f, &bs, Offset::ORIGIN).is_ok());
+        let e = u.load(&f, &bs, Offset::new(0, 1)).unwrap_err();
+        assert!(matches!(e, ReconfigError::MovementUnsupported { .. }));
+    }
+
+    #[test]
+    fn hardware_rotation_equals_software_rotation() {
+        let f = Fabric::bp(); // 4 x 32
+        let cfg = sample(&f);
+        let bs = Bitstream::encode(&f, &cfg);
+        let unit = ReconfigUnit::with_movement();
+        for off in [
+            Offset::ORIGIN,
+            Offset::new(1, 0),
+            Offset::new(0, 5),
+            Offset::new(3, 31),
+            Offset::new(2, 16),
+        ] {
+            let loaded = unit.load(&f, &bs, off).unwrap();
+            let mut physical = loaded.decode_physical(&f).unwrap();
+            physical.sort_by_key(|o| (o.col, o.row));
+            assert_eq!(physical, rotate_sw(&f, cfg.ops(), off), "offset {off}");
+            assert_eq!(loaded.start_col(), off.col);
+        }
+    }
+
+    #[test]
+    fn unused_columns_are_nop() {
+        let f = Fabric::be();
+        let cfg = sample(&f); // 5 columns used
+        let bs = Bitstream::encode(&f, &cfg);
+        let loaded = ReconfigUnit::with_movement()
+            .load(&f, &bs, Offset::new(0, 14))
+            .unwrap();
+        assert_eq!(loaded.columns().len(), 16);
+        // Columns 14,15,0,1,2 configured; the rest NOP.
+        let configured: Vec<usize> = loaded
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_nop())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(configured, vec![14, 15]);
+        // (the load's tail columns carry no bits, so they stay NOP)
+    }
+
+    #[test]
+    fn oversized_config_rejected() {
+        let small = Fabric::new(2, 8);
+        let big = Fabric::new(2, 32);
+        let mut ops = Vec::new();
+        for c in 0..9 {
+            ops.push(PlacedOp {
+                row: 0,
+                col: c,
+                span: 1,
+                kind: OpKind::Alu(AluFunc::Add),
+                a: Operand::Imm(1),
+                b: Operand::Imm(1),
+                dst: Some(CtxLine(0)),
+            });
+        }
+        // Build on the big fabric (9 cols legal there), then try to load on
+        // the small one.
+        let cfg = Configuration::new(&big, ops, vec![], vec![CtxLine(0)]).unwrap();
+        let bs = Bitstream::encode(&big, &cfg);
+        // Same row geometry, so column registers are compatible in width.
+        let e = ReconfigUnit::with_movement().load(&small, &bs, Offset::ORIGIN).unwrap_err();
+        assert!(matches!(e, ReconfigError::TooManyColumns { requested: 9, available: 8 }));
+    }
+
+    #[test]
+    fn load_cycles_follow_bus_width() {
+        let f = Fabric::be(); // n = 4
+        let u = ReconfigUnit::with_movement();
+        assert_eq!(u.load_cycles(&f, 4), 1);
+        assert_eq!(u.load_cycles(&f, 5), 2);
+        assert_eq!(u.load_cycles(&f, 16), 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Analytical SRAM-array estimator — the FinCACTI substitute (DESIGN.md §3).
+//!
+//! The paper sizes its caches with FinCACTI (deeply-scaled FinFET CACTI).
+//! The evaluation only consumes first-order quantities — array area, static
+//! power, access energy — so this module provides the classic CACTI-style
+//! decomposition: bitcell array + periphery (decoders, sense amplifiers,
+//! drivers) scaled by geometry. Used to size the configuration cache of the
+//! TransRec system.
+
+use serde::{Deserialize, Serialize};
+
+/// Technology constants for a 6T bitcell array (NanGate-15nm-like defaults).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SramTech {
+    /// Bitcell area in µm² (15 nm FinFET 6T ≈ 0.05 µm²).
+    pub bitcell_um2: f64,
+    /// Array-efficiency factor: fraction of macro area that is bitcells
+    /// (the rest is decoders/sense-amps/drivers).
+    pub array_efficiency: f64,
+    /// Leakage power per bit, in GPP-cycle-energy units per cycle
+    /// (matches [`crate::area`]'s normalization downstream).
+    pub leak_per_bit: f64,
+    /// Dynamic energy per bit accessed (read or write).
+    pub access_energy_per_bit: f64,
+}
+
+impl Default for SramTech {
+    fn default() -> SramTech {
+        SramTech {
+            bitcell_um2: 0.050,
+            array_efficiency: 0.7,
+            leak_per_bit: 2.5e-7,
+            access_energy_per_bit: 1.2e-5,
+        }
+    }
+}
+
+/// A sized SRAM macro.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SramMacro {
+    /// Capacity in bits.
+    pub bits: u64,
+    /// Access width in bits (one row of the logical array).
+    pub width_bits: u32,
+    /// Total macro area in µm² (bitcells + periphery).
+    pub area_um2: f64,
+    /// Static power in GPP-cycle-energy units per cycle.
+    pub leakage: f64,
+    /// Energy per access of one full row.
+    pub access_energy: f64,
+}
+
+impl SramMacro {
+    /// Sizes a macro of `bits` capacity accessed `width_bits` at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` or `width_bits` is zero.
+    pub fn size(tech: &SramTech, bits: u64, width_bits: u32) -> SramMacro {
+        assert!(bits > 0, "empty SRAM");
+        assert!(width_bits > 0, "zero access width");
+        let cell_area = bits as f64 * tech.bitcell_um2;
+        SramMacro {
+            bits,
+            width_bits,
+            area_um2: cell_area / tech.array_efficiency,
+            leakage: bits as f64 * tech.leak_per_bit,
+            access_energy: width_bits as f64 * tech.access_energy_per_bit,
+        }
+    }
+}
+
+/// Sizes the configuration cache for a fabric: `entries` configurations of
+/// up to the full fabric's column registers, plus a PC tag per entry.
+pub fn config_cache_macro(
+    tech: &SramTech,
+    fabric: &crate::Fabric,
+    entries: u32,
+) -> SramMacro {
+    let config_bits = crate::bitstream::column_bits(fabric) as u64 * fabric.cols as u64;
+    let tag_bits = 32u64;
+    let bits = entries as u64 * (config_bits + tag_bits);
+    // One column's bits move per access (the reconfiguration bus width).
+    let width = crate::bitstream::column_bits(fabric) as u32;
+    SramMacro::size(tech, bits, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fabric;
+
+    #[test]
+    fn sizing_scales_linearly_with_capacity() {
+        let t = SramTech::default();
+        let small = SramMacro::size(&t, 1 << 10, 64);
+        let big = SramMacro::size(&t, 1 << 12, 64);
+        assert!((big.area_um2 / small.area_um2 - 4.0).abs() < 1e-9);
+        assert!((big.leakage / small.leakage - 4.0).abs() < 1e-9);
+        assert_eq!(big.access_energy, small.access_energy, "same row width");
+    }
+
+    #[test]
+    fn config_cache_for_be_is_tens_of_kilobytes() {
+        let m = config_cache_macro(&SramTech::default(), &Fabric::be(), 256);
+        // BE: 2 rows x 53 bits x 16 cols = 1696 config bits + 32 tag bits.
+        assert_eq!(m.bits, 256 * (1696 + 32));
+        let kib = m.bits as f64 / 8.0 / 1024.0;
+        assert!((50.0..60.0).contains(&kib), "{kib} KiB");
+        assert!(m.area_um2 > 0.0 && m.leakage > 0.0);
+    }
+
+    #[test]
+    fn periphery_inflates_area_beyond_bitcells() {
+        let t = SramTech::default();
+        let m = SramMacro::size(&t, 8192, 128);
+        assert!(m.area_um2 > 8192.0 * t.bitcell_um2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn zero_capacity_rejected() {
+        SramMacro::size(&SramTech::default(), 0, 8);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the fabric model: offset arithmetic, bitstream
+//! rotations, area-model monotonicity, and executor edge behaviour.
+
+use proptest::prelude::*;
+
+use cgra::op::{AluFunc, CtxLine, OpKind, Operand, PlacedOp};
+use cgra::{
+    AreaModel, ArrayMem, Bitstream, Configuration, Executor, Fabric, Offset, ReconfigUnit,
+};
+
+fn any_fabric() -> impl Strategy<Value = Fabric> {
+    ((1u32..=8), (4u32..=32)).prop_map(|(rows, cols)| Fabric::new(rows, cols))
+}
+
+proptest! {
+    #[test]
+    fn offset_apply_is_a_bijection(fabric in any_fabric(), row in 0u32..8, col in 0u32..32) {
+        let off = Offset::new(row % fabric.rows, col % fabric.cols);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..fabric.rows {
+            for c in 0..fabric.cols {
+                seen.insert(off.apply(&fabric, r, c));
+            }
+        }
+        prop_assert_eq!(seen.len() as u32, fabric.fu_count(),
+            "rotation must permute the fabric cells");
+    }
+
+    #[test]
+    fn offset_composition_wraps(fabric in any_fabric(), r1 in 0u32..8, c1 in 0u32..32,
+                                r2 in 0u32..8, c2 in 0u32..32) {
+        let a = Offset::new(r1 % fabric.rows, c1 % fabric.cols);
+        let b = Offset::new(r2 % fabric.rows, c2 % fabric.cols);
+        // Applying a then b equals applying their modular sum.
+        let (ar, ac) = a.apply(&fabric, 0, 0);
+        let (br, bc) = b.apply(&fabric, ar, ac);
+        let sum = Offset::new((a.row + b.row) % fabric.rows, (a.col + b.col) % fabric.cols);
+        prop_assert_eq!((br, bc), sum.apply(&fabric, 0, 0));
+    }
+
+    #[test]
+    fn chain_configs_execute_at_any_offset(
+        fabric in any_fabric(),
+        imms in proptest::collection::vec(-100i32..100, 1..12),
+        off_row in 0u32..8,
+        off_col in 0u32..32,
+    ) {
+        // A dependent ALU chain along one row, built by hand.
+        prop_assume!(imms.len() as u32 <= fabric.cols);
+        prop_assume!(fabric.ctx_lines >= 4);
+        let mut ops = Vec::new();
+        let mut src = CtxLine(0);
+        for (i, imm) in imms.iter().enumerate() {
+            let dst = CtxLine(1 + (i % 2) as u16);
+            ops.push(PlacedOp {
+                row: 0,
+                col: i as u32,
+                span: 1,
+                kind: OpKind::Alu(AluFunc::Add),
+                a: Operand::Ctx(src),
+                b: Operand::Imm(*imm as u32),
+                dst: Some(dst),
+            });
+            src = dst;
+        }
+        let cfg = Configuration::new(&fabric, ops, vec![CtxLine(0)], vec![src]).unwrap();
+        let exec = Executor::new(&fabric);
+        let expect: u32 = imms.iter().fold(7u32, |acc, v| acc.wrapping_add(*v as u32));
+        let off = Offset::new(off_row % fabric.rows, off_col % fabric.cols);
+        for offset in [Offset::ORIGIN, off] {
+            let out = exec
+                .execute(&cfg, offset, &[7], &mut ArrayMem::new(16))
+                .unwrap();
+            prop_assert_eq!(out.outputs[0], expect);
+            prop_assert_eq!(out.active_cells.len(), imms.len());
+        }
+    }
+
+    #[test]
+    fn bitstream_rotation_composes_with_itself(
+        fabric in any_fabric(),
+        shift1 in 0u32..8,
+        shift2 in 0u32..8,
+    ) {
+        let cfg = Configuration::new(
+            &fabric,
+            vec![PlacedOp {
+                row: 0,
+                col: 0,
+                span: 1,
+                kind: OpKind::Alu(AluFunc::Xor),
+                a: Operand::Ctx(CtxLine(0)),
+                b: Operand::Imm(0xabcd),
+                dst: Some(CtxLine(1)),
+            }],
+            vec![CtxLine(0)],
+            vec![CtxLine(1)],
+        )
+        .unwrap();
+        let bs = Bitstream::encode(&fabric, &cfg);
+        let col = &bs.columns()[0];
+        let once = col.rotate_rows(&fabric, shift1 % fabric.rows)
+            .rotate_rows(&fabric, shift2 % fabric.rows);
+        let direct = col.rotate_rows(&fabric, (shift1 + shift2) % fabric.rows);
+        prop_assert_eq!(once, direct);
+    }
+
+    #[test]
+    fn hardware_load_is_offset_exhaustive(fabric in any_fabric()) {
+        // Every legal offset loads without error and yields ops somewhere.
+        let cfg = Configuration::new(
+            &fabric,
+            vec![PlacedOp {
+                row: 0,
+                col: 0,
+                span: 1,
+                kind: OpKind::Alu(AluFunc::Add),
+                a: Operand::Imm(1),
+                b: Operand::Imm(1),
+                dst: Some(CtxLine(0)),
+            }],
+            vec![],
+            vec![CtxLine(0)],
+        )
+        .unwrap();
+        let bs = Bitstream::encode(&fabric, &cfg);
+        let unit = ReconfigUnit::with_movement();
+        for row in 0..fabric.rows {
+            for col in 0..fabric.cols {
+                let loaded = unit.load(&fabric, &bs, Offset::new(row, col)).unwrap();
+                let ops = loaded.decode_physical(&fabric).unwrap();
+                prop_assert_eq!(ops.len(), 1);
+                prop_assert_eq!((ops[0].row, ops[0].col), (row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn area_grows_monotonically(rows in 1u32..=8, cols in 4u32..=31) {
+        let m = AreaModel::default();
+        let small = m.report(&Fabric::new(rows, cols), false);
+        let taller = m.report(&Fabric::new(rows + 1, cols), false);
+        let wider = m.report(&Fabric::new(rows, cols + 1), false);
+        prop_assert!(taller.area_um2 > small.area_um2);
+        prop_assert!(wider.area_um2 > small.area_um2);
+        prop_assert!(taller.cells > small.cells);
+        prop_assert!(wider.cells > small.cells);
+    }
+
+    #[test]
+    fn extension_overhead_bounded_everywhere(rows in 1u32..=8, cols in 4u32..=32) {
+        let fabric = Fabric::new(rows, cols);
+        let m = AreaModel::default();
+        let base = m.report(&fabric, false);
+        let ext = m.report(&fabric, true);
+        let (c, a) = ext.overhead_vs(&base);
+        prop_assert!(c > 0.0 && c < 0.10, "cells {c} on {rows}x{cols}");
+        prop_assert!(a > 0.0 && a < 0.10, "area {a} on {rows}x{cols}");
+    }
+
+    #[test]
+    fn exec_cycle_charging(fabric in any_fabric(), cols_used in 1u32..=32) {
+        let cols_used = 1 + cols_used % fabric.cols.max(1);
+        let cycles = fabric.exec_cycles(cols_used);
+        prop_assert!(cycles >= 1);
+        prop_assert!(cycles * fabric.cols_per_cycle as u64 >= cols_used as u64);
+        prop_assert!((cycles - 1) * fabric.cols_per_cycle as u64 > cols_used as u64
+            || (cycles - 1) * (fabric.cols_per_cycle as u64) < cols_used as u64);
+    }
+}

@@ -1,0 +1,72 @@
+//! # uaware — utilization-aware configuration allocation for CGRAs
+//!
+//! The primary contribution of *"Proactive Aging Mitigation in CGRAs through
+//! Utilization-Aware Allocation"* (Brandalero et al., DAC 2020) as a
+//! library. Traditional greedy mappers anchor every configuration at the
+//! fabric's top-left corner, so those FUs accumulate NBTI stress and define
+//! the system's end of life. This crate moves each new execution's
+//! *pivot* along a fabric-covering pattern (with wrap-around), flattening
+//! per-FU utilization towards the mean and stretching lifetime by the ratio
+//! of worst-case utilizations.
+//!
+//! * [`pattern`] — movement patterns (paper Fig. 3b): [`Snake`] (default),
+//!   [`Raster`], [`ColumnMajor`], [`Fixed`].
+//! * [`policy`] — allocation policies: [`BaselinePolicy`],
+//!   [`RotationPolicy`] (the contribution), [`RandomPolicy`] and the
+//!   future-work [`HealthAwarePolicy`].
+//! * [`stats`] — per-FU utilization tracking and distribution statistics
+//!   ([`UtilizationTracker`], [`UtilizationGrid`], [`Histogram`]).
+//! * [`lifetime`] — NBTI lifetime evaluation of utilization maps.
+//!
+//! # Examples
+//!
+//! Rotate a two-cell configuration around a BE-sized fabric and watch the
+//! utilization flatten:
+//!
+//! ```
+//! use cgra::Fabric;
+//! use uaware::{
+//!     AllocationPolicy, AllocRequest, BaselinePolicy, RotationPolicy, Snake,
+//!     UtilizationTracker,
+//! };
+//!
+//! let fabric = Fabric::be();
+//! let footprint = [(0, 0), (0, 1)];
+//!
+//! let run = |policy: &mut dyn AllocationPolicy| {
+//!     let mut tracker = UtilizationTracker::new(&fabric);
+//!     for _ in 0..3200 {
+//!         let req = AllocRequest {
+//!             fabric: &fabric,
+//!             config_switch: false,
+//!             footprint: &footprint,
+//!             tracker: &tracker,
+//!         };
+//!         let off = policy.next_offset(&req);
+//!         let cells: Vec<_> =
+//!             footprint.iter().map(|&(r, c)| off.apply(&fabric, r, c)).collect();
+//!         tracker.record_execution(&cells, 2);
+//!     }
+//!     tracker.utilization()
+//! };
+//!
+//! let baseline = run(&mut BaselinePolicy);
+//! let rotated = run(&mut RotationPolicy::new(Snake));
+//! assert_eq!(baseline.max(), 1.0);            // corner FUs always active
+//! assert!(rotated.max() < 0.10);              // stress spread over 32 FUs
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lifetime;
+pub mod pattern;
+pub mod policy;
+pub mod stats;
+
+pub use lifetime::{evaluate_aging, lifetime_improvement, AgingEvaluation};
+pub use pattern::{ColumnMajor, Fixed, MovementPattern, Raster, Snake};
+pub use policy::{
+    AllocRequest, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, MovementGranularity,
+    RandomPolicy, RotationPolicy,
+};
+pub use stats::{Histogram, UtilizationGrid, UtilizationTracker};

@@ -1,0 +1,91 @@
+//! From utilization maps to lifetimes (the glue behind paper Table I and
+//! Fig. 8's lower half).
+
+use nbti::{CalibratedAging, DelayCurve};
+use serde::{Deserialize, Serialize};
+
+use crate::stats::UtilizationGrid;
+
+/// Aging evaluation of one allocation strategy on one design point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AgingEvaluation {
+    /// Mean per-FU utilization (the paper's "Avg. Util").
+    pub avg_utilization: f64,
+    /// Worst per-FU utilization — determines the end of life.
+    pub worst_utilization: f64,
+    /// Years until the worst FU reaches the end-of-life delay degradation.
+    pub lifetime_years: f64,
+    /// Delay degradation over time of the worst FU (one Fig. 8 curve).
+    pub delay_curve: DelayCurve,
+}
+
+/// Evaluates a utilization map under an aging model.
+///
+/// # Examples
+///
+/// ```
+/// use nbti::CalibratedAging;
+/// use uaware::{evaluate_aging, UtilizationGrid};
+///
+/// let grid = UtilizationGrid::from_values(1, 2, vec![0.945, 0.2]);
+/// let eval = evaluate_aging(&CalibratedAging::default(), &grid, 10.0, 101);
+/// assert!((eval.lifetime_years - 3.0 / 0.945).abs() < 1e-12);
+/// ```
+pub fn evaluate_aging(
+    aging: &CalibratedAging,
+    grid: &UtilizationGrid,
+    horizon_years: f64,
+    curve_points: usize,
+) -> AgingEvaluation {
+    let worst = grid.max();
+    AgingEvaluation {
+        avg_utilization: grid.mean(),
+        worst_utilization: worst,
+        lifetime_years: aging.lifetime_years(worst),
+        delay_curve: aging.delay_curve(worst, horizon_years, curve_points),
+    }
+}
+
+/// Lifetime improvement of `proposed` over `baseline`
+/// (paper Table I, last column).
+pub fn lifetime_improvement(baseline: &AgingEvaluation, proposed: &AgingEvaluation) -> f64 {
+    proposed.lifetime_years / baseline.lifetime_years
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_be_scenario_numbers() {
+        let aging = CalibratedAging::default();
+        // Paper Fig. 7 worst utilizations for BE: 94.5% baseline, 41.1%
+        // proposed (32-FU grid shapes are irrelevant to the evaluation).
+        let base = evaluate_aging(
+            &aging,
+            &UtilizationGrid::from_values(1, 2, vec![0.945, 0.3]),
+            10.0,
+            11,
+        );
+        let prop = evaluate_aging(
+            &aging,
+            &UtilizationGrid::from_values(1, 2, vec![0.411, 0.38]),
+            10.0,
+            11,
+        );
+        let improvement = lifetime_improvement(&base, &prop);
+        assert!((improvement - 2.29).abs() < 0.02, "got {improvement}");
+        assert!(base.lifetime_years < 3.2);
+        assert!(prop.lifetime_years > 7.0);
+    }
+
+    #[test]
+    fn curve_belongs_to_worst_fu() {
+        let aging = CalibratedAging::default();
+        let grid = UtilizationGrid::from_values(1, 3, vec![0.1, 0.9, 0.4]);
+        let eval = evaluate_aging(&aging, &grid, 6.0, 13);
+        assert_eq!(eval.worst_utilization, 0.9);
+        assert_eq!(eval.delay_curve.utilization, 0.9);
+        assert_eq!(eval.delay_curve.samples.len(), 13);
+    }
+}

@@ -1,0 +1,319 @@
+//! Allocation policies: who decides where a configuration lands.
+//!
+//! The paper's contribution is the *rotation* policy — move the pivot along
+//! a fabric-covering pattern on every execution — implemented here next to
+//! the corner-anchored baseline it replaces, a random policy (the
+//! alternative the paper dismisses as interconnect-hostile; our wrap-around
+//! fabric can express it, making it a useful ablation), and a health-aware
+//! policy that realizes the paper's future-work item of steering allocation
+//! with run-time aging information.
+
+use cgra::{Fabric, Offset};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::MovementPattern;
+use crate::stats::UtilizationTracker;
+
+/// How often the rotation policy advances the pivot (DESIGN.md §4.4).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MovementGranularity {
+    /// Advance on every execution (the paper's behaviour).
+    #[default]
+    PerExecution,
+    /// Advance only when a different configuration is loaded into the
+    /// fabric; repeated executions of a resident configuration stay put
+    /// (cheaper, weaker balancing — the ablation bench quantifies it).
+    PerLoad,
+    /// Advance every `n` executions.
+    Periodic(u32),
+}
+
+/// Context handed to a policy for one upcoming configuration execution.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocRequest<'a> {
+    /// The target fabric.
+    pub fabric: &'a Fabric,
+    /// `true` if this execution requires loading a configuration different
+    /// from the resident one.
+    pub config_switch: bool,
+    /// Virtual cells the configuration occupies (for footprint-aware
+    /// policies).
+    pub footprint: &'a [(u32, u32)],
+    /// Live utilization state (for health-aware policies).
+    pub tracker: &'a UtilizationTracker,
+}
+
+/// A pivot-selection policy.
+pub trait AllocationPolicy: std::fmt::Debug {
+    /// Chooses the pivot for the next execution.
+    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Offset;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the policy needs the movement hardware extensions
+    /// (§III.B). The baseline runs on the unmodified reconfiguration logic.
+    fn needs_movement(&self) -> bool {
+        true
+    }
+}
+
+/// The aging-unaware baseline: every configuration anchors at the top-left
+/// corner, exactly like traditional greedy mappers.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselinePolicy;
+
+impl AllocationPolicy for BaselinePolicy {
+    fn next_offset(&mut self, _req: &AllocRequest<'_>) -> Offset {
+        Offset::ORIGIN
+    }
+
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn needs_movement(&self) -> bool {
+        false
+    }
+}
+
+/// The paper's utilization-aware allocation: advance the pivot along a
+/// movement pattern at the configured granularity.
+///
+/// # Examples
+///
+/// ```
+/// use cgra::{Fabric, Offset};
+/// use uaware::{AllocationPolicy, AllocRequest, RotationPolicy, Snake, UtilizationTracker};
+///
+/// let fabric = Fabric::be();
+/// let tracker = UtilizationTracker::new(&fabric);
+/// let mut policy = RotationPolicy::new(Snake);
+/// let req = AllocRequest { fabric: &fabric, config_switch: false, footprint: &[], tracker: &tracker };
+/// assert_eq!(policy.next_offset(&req), Offset::new(0, 0));
+/// assert_eq!(policy.next_offset(&req), Offset::new(0, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RotationPolicy<P> {
+    pattern: P,
+    granularity: MovementGranularity,
+    step: u64,
+    execs_since_move: u32,
+    current: Option<Offset>,
+}
+
+impl<P: MovementPattern> RotationPolicy<P> {
+    /// Per-execution rotation along `pattern` (the paper's default).
+    pub fn new(pattern: P) -> RotationPolicy<P> {
+        RotationPolicy::with_granularity(pattern, MovementGranularity::PerExecution)
+    }
+
+    /// Rotation with an explicit movement granularity.
+    pub fn with_granularity(pattern: P, granularity: MovementGranularity) -> RotationPolicy<P> {
+        RotationPolicy { pattern, granularity, step: 0, execs_since_move: 0, current: None }
+    }
+
+    /// The movement pattern in use.
+    pub fn pattern(&self) -> &P {
+        &self.pattern
+    }
+
+    /// Executions performed so far.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+}
+
+impl<P: MovementPattern> AllocationPolicy for RotationPolicy<P> {
+    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Offset {
+        let advance = match self.granularity {
+            MovementGranularity::PerExecution => true,
+            MovementGranularity::PerLoad => req.config_switch || self.current.is_none(),
+            MovementGranularity::Periodic(n) => {
+                self.execs_since_move += 1;
+                self.current.is_none() || self.execs_since_move >= n.max(1)
+            }
+        };
+        let offset = if advance {
+            let o = self.pattern.offset_at(req.fabric, self.step);
+            self.step += 1;
+            self.execs_since_move = 0;
+            self.current = Some(o);
+            o
+        } else {
+            self.current.expect("current set when not advancing")
+        };
+        offset
+    }
+
+    fn name(&self) -> &'static str {
+        "rotation"
+    }
+}
+
+/// Uniform-random pivot per execution. Balances utilization in expectation
+/// but needs the same movement hardware and gives up the pattern's
+/// determinism; kept as an ablation point.
+#[derive(Clone, Debug)]
+pub struct RandomPolicy {
+    rng: SmallRng,
+}
+
+impl RandomPolicy {
+    /// Creates a random policy from a seed (deterministic experiments).
+    pub fn seeded(seed: u64) -> RandomPolicy {
+        RandomPolicy { rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl AllocationPolicy for RandomPolicy {
+    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Offset {
+        Offset::new(
+            self.rng.random_range(0..req.fabric.rows),
+            self.rng.random_range(0..req.fabric.cols),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// The paper's future-work policy: use run-time aging information to adapt
+/// the allocation. For each execution it scans all `rows × cols` pivots and
+/// picks the one minimizing the maximum projected stress count over the
+/// configuration's footprint (ties break towards the smallest offset).
+///
+/// This is the "detecting the optimal allocation at run time" option the
+/// paper calls prohibitively expensive in hardware — implemented here as an
+/// oracle upper bound for the rotation policy to be compared against.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct HealthAwarePolicy;
+
+impl AllocationPolicy for HealthAwarePolicy {
+    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Offset {
+        let fabric = req.fabric;
+        let counts = req.tracker.utilization();
+        let mut best = Offset::ORIGIN;
+        let mut best_cost = f64::INFINITY;
+        for row in 0..fabric.rows {
+            for col in 0..fabric.cols {
+                let off = Offset::new(row, col);
+                let cost = req
+                    .footprint
+                    .iter()
+                    .map(|&(r, c)| {
+                        let (pr, pc) = off.apply(fabric, r, c);
+                        counts.value(pr, pc)
+                    })
+                    .fold(0.0f64, f64::max);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = off;
+                }
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "health-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Raster;
+
+    fn req<'a>(
+        fabric: &'a Fabric,
+        tracker: &'a UtilizationTracker,
+        footprint: &'a [(u32, u32)],
+        config_switch: bool,
+    ) -> AllocRequest<'a> {
+        AllocRequest { fabric, config_switch, footprint, tracker }
+    }
+
+    #[test]
+    fn baseline_is_pinned_and_needs_no_hardware() {
+        let fabric = Fabric::be();
+        let tracker = UtilizationTracker::new(&fabric);
+        let mut p = BaselinePolicy;
+        for _ in 0..5 {
+            assert_eq!(p.next_offset(&req(&fabric, &tracker, &[], false)), Offset::ORIGIN);
+        }
+        assert!(!p.needs_movement());
+    }
+
+    #[test]
+    fn rotation_follows_pattern_per_execution() {
+        let fabric = Fabric::be();
+        let tracker = UtilizationTracker::new(&fabric);
+        let mut p = RotationPolicy::new(Raster);
+        let r = req(&fabric, &tracker, &[], false);
+        assert_eq!(p.next_offset(&r), Offset::new(0, 0));
+        assert_eq!(p.next_offset(&r), Offset::new(0, 1));
+        assert_eq!(p.next_offset(&r), Offset::new(0, 2));
+        assert!(p.needs_movement());
+    }
+
+    #[test]
+    fn per_load_granularity_only_moves_on_switches() {
+        let fabric = Fabric::be();
+        let tracker = UtilizationTracker::new(&fabric);
+        let mut p = RotationPolicy::with_granularity(Raster, MovementGranularity::PerLoad);
+        let stay = req(&fabric, &tracker, &[], false);
+        let switch = req(&fabric, &tracker, &[], true);
+        let first = p.next_offset(&switch);
+        assert_eq!(p.next_offset(&stay), first);
+        assert_eq!(p.next_offset(&stay), first);
+        let second = p.next_offset(&switch);
+        assert_ne!(second, first);
+    }
+
+    #[test]
+    fn periodic_granularity_moves_every_n() {
+        let fabric = Fabric::be();
+        let tracker = UtilizationTracker::new(&fabric);
+        let mut p = RotationPolicy::with_granularity(Raster, MovementGranularity::Periodic(3));
+        let r = req(&fabric, &tracker, &[], false);
+        let offsets: Vec<Offset> = (0..7).map(|_| p.next_offset(&r)).collect();
+        assert_eq!(offsets[0], offsets[1]);
+        assert_eq!(offsets[1], offsets[2]);
+        assert_ne!(offsets[2], offsets[3]);
+        assert_eq!(offsets[3], offsets[4]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let fabric = Fabric::bp();
+        let tracker = UtilizationTracker::new(&fabric);
+        let r = req(&fabric, &tracker, &[], false);
+        let mut a = RandomPolicy::seeded(42);
+        let mut b = RandomPolicy::seeded(42);
+        let mut c = RandomPolicy::seeded(7);
+        let seq_a: Vec<Offset> = (0..50).map(|_| a.next_offset(&r)).collect();
+        let seq_b: Vec<Offset> = (0..50).map(|_| b.next_offset(&r)).collect();
+        let seq_c: Vec<Offset> = (0..50).map(|_| c.next_offset(&r)).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same sequence");
+        assert_ne!(seq_a, seq_c, "different seed, different sequence");
+        assert!(seq_a.iter().all(|o| o.in_range(&fabric)));
+    }
+
+    #[test]
+    fn health_aware_avoids_hot_cells() {
+        let fabric = Fabric::be();
+        let mut tracker = UtilizationTracker::new(&fabric);
+        // Hammer the top-left cell.
+        for _ in 0..10 {
+            tracker.record_execution(&[(0, 0)], 1);
+        }
+        let footprint = [(0u32, 0u32)];
+        let mut p = HealthAwarePolicy;
+        let o = p.next_offset(&req(&fabric, &tracker, &footprint, false));
+        assert_ne!(o, Offset::ORIGIN, "must dodge the stressed corner");
+    }
+}

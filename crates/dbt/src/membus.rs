@@ -1,0 +1,61 @@
+//! Adapter: an [`rv32::mem::Memory`] as the CGRA's [`MemBus`].
+
+use cgra::op::{LoadFunc, StoreFunc};
+use cgra::{MemBus, MemFault};
+use rv32::mem::Memory;
+
+/// Lets the fabric's memory unit address the processor's memory — the
+/// "To Memory Unit" connection of paper Fig. 4.
+#[derive(Debug)]
+pub struct MemoryBus<'a> {
+    mem: &'a mut Memory,
+}
+
+impl<'a> MemoryBus<'a> {
+    /// Wraps a memory for the duration of a configuration execution.
+    pub fn new(mem: &'a mut Memory) -> MemoryBus<'a> {
+        MemoryBus { mem }
+    }
+}
+
+impl MemBus for MemoryBus<'_> {
+    fn load(&mut self, addr: u32, func: LoadFunc) -> Result<u32, MemFault> {
+        let fault = |_| MemFault { addr };
+        Ok(match func {
+            LoadFunc::B => self.mem.read_u8(addr).map_err(fault)? as i8 as i32 as u32,
+            LoadFunc::Bu => self.mem.read_u8(addr).map_err(fault)? as u32,
+            LoadFunc::H => self.mem.read_u16(addr).map_err(fault)? as i16 as i32 as u32,
+            LoadFunc::Hu => self.mem.read_u16(addr).map_err(fault)? as u32,
+            LoadFunc::W => self.mem.read_u32(addr).map_err(fault)?,
+        })
+    }
+
+    fn store(&mut self, addr: u32, func: StoreFunc, value: u32) -> Result<(), MemFault> {
+        let fault = |_| MemFault { addr };
+        match func {
+            StoreFunc::B => self.mem.write_u8(addr, value as u8).map_err(fault),
+            StoreFunc::H => self.mem.write_u16(addr, value as u16).map_err(fault),
+            StoreFunc::W => self.mem.write_u32(addr, value).map_err(fault),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_matches_memory_semantics() {
+        let mut mem = Memory::new(64);
+        {
+            let mut bus = MemoryBus::new(&mut mem);
+            bus.store(4, StoreFunc::W, 0x8000_beef).unwrap();
+            assert_eq!(bus.load(4, LoadFunc::W).unwrap(), 0x8000_beef);
+            assert_eq!(bus.load(5, LoadFunc::B).unwrap(), 0xffff_ffbe);
+            assert_eq!(bus.load(6, LoadFunc::Hu).unwrap(), 0x8000);
+            assert!(bus.load(100, LoadFunc::W).is_err());
+            assert!(bus.store(100, StoreFunc::W, 0).is_err());
+        }
+        assert_eq!(mem.read_u32(4).unwrap(), 0x8000_beef);
+    }
+}

@@ -1,0 +1,174 @@
+//! `dijkstra` — single-source shortest paths on a dense adjacency matrix
+//! with linear min-selection (exactly MiBench network/dijkstra's O(V²)
+//! structure).
+
+use rand::RngExt;
+
+use crate::workload::{rng, words_directive, words_to_bytes, Workload};
+
+const V: usize = 16;
+const INF: u32 = 0x3fff_ffff;
+
+/// Reference shortest-path distances from node 0.
+pub fn dijkstra(adj: &[u32]) -> Vec<u32> {
+    let mut dist = vec![INF; V];
+    let mut visited = vec![false; V];
+    dist[0] = 0;
+    for _ in 0..V {
+        let mut best = usize::MAX;
+        let mut best_d = u32::MAX;
+        for (i, d) in dist.iter().enumerate() {
+            if !visited[i] && *d < best_d {
+                best_d = *d;
+                best = i;
+            }
+        }
+        if best == usize::MAX {
+            break;
+        }
+        visited[best] = true;
+        for j in 0..V {
+            let w = adj[best * V + j];
+            if w >= INF {
+                continue;
+            }
+            let nd = best_d + w;
+            if nd < dist[j] {
+                dist[j] = nd;
+            }
+        }
+    }
+    dist
+}
+
+/// Builds the workload for `seed`.
+pub fn workload(seed: u64) -> Workload {
+    let mut r = rng(seed ^ 0xd1175);
+    let mut adj = vec![INF; V * V];
+    for i in 0..V {
+        adj[i * V + i] = 0;
+        for j in 0..V {
+            if i != j && r.random_range(0..100u32) < 40 {
+                adj[i * V + j] = r.random_range(1..100u32);
+            }
+        }
+    }
+    let expected = words_to_bytes(&dijkstra(&adj));
+
+    let source = format!(
+        "
+    .data
+{adj_words}
+dist:
+    .space {dist_bytes}
+vis:
+    .space {v}
+
+    .text
+    # dist[*] = INF; dist[0] = 0; vis[*] = 0
+    la   t0, dist
+    li   t1, {v}
+    li   t2, {inf}
+init_d:
+    sw   t2, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, init_d
+    la   t0, dist
+    sw   zero, 0(t0)
+    la   t0, vis
+    li   t1, {v}
+init_v:
+    sb   zero, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, init_v
+    li   s0, {v}            # outer iterations
+iter:
+    beqz s0, done_d
+    # linear scan for the nearest unvisited node
+    li   s1, -1
+    li   s2, 0x7fffffff
+    li   t0, 0
+scan:
+    la   t1, vis
+    add  t1, t1, t0
+    lbu  t1, 0(t1)
+    bnez t1, scan_next
+    la   t1, dist
+    slli t2, t0, 2
+    add  t1, t1, t2
+    lw   t1, 0(t1)
+    bgeu t1, s2, scan_next
+    mv   s2, t1
+    mv   s1, t0
+scan_next:
+    addi t0, t0, 1
+    li   t6, {v}
+    blt  t0, t6, scan
+    bltz s1, done_d
+    la   t0, vis
+    add  t0, t0, s1
+    li   t1, 1
+    sb   t1, 0(t0)
+    # relax all edges out of s1
+    li   t0, 0
+    la   t2, adj
+    li   t3, {v}
+    mul  t4, s1, t3
+    slli t4, t4, 2
+    add  t2, t2, t4
+relax:
+    slli t4, t0, 2
+    add  t4, t2, t4
+    lw   t4, 0(t4)
+    li   t5, {inf}
+    bgeu t4, t5, relax_next
+    add  t4, t4, s2
+    la   t5, dist
+    slli t6, t0, 2
+    add  t5, t5, t6
+    lw   t6, 0(t5)
+    bgeu t4, t6, relax_next
+    sw   t4, 0(t5)
+relax_next:
+    addi t0, t0, 1
+    blt  t0, t3, relax
+    addi s0, s0, -1
+    j    iter
+done_d:
+    ebreak
+",
+        adj_words = words_directive("adj", &adj),
+        dist_bytes = V * 4,
+        v = V,
+        inf = INF,
+    );
+
+    Workload::new("dijkstra", &source, 500_000, vec![("dist".into(), expected)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_tiny_graph() {
+        // 0 -> 1 (w=5) and nothing else reachable.
+        let mut adj = vec![INF; V * V];
+        for i in 0..V {
+            adj[i * V + i] = 0;
+        }
+        adj[1] = 5; // adj[0*V + 1]
+        let d = dijkstra(&adj);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 5);
+        assert_eq!(d[2], INF);
+    }
+
+    #[test]
+    fn dijkstra_verifies_on_interpreter() {
+        workload(1).run_and_verify(1 << 20).unwrap();
+        workload(321).run_and_verify(1 << 20).unwrap();
+    }
+}

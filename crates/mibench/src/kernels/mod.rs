@@ -1,0 +1,10 @@
+//! The ten benchmark kernels (paper §IV.A's MiBench subset).
+
+pub mod bitcount;
+pub mod crc32;
+pub mod dijkstra;
+pub mod qsort;
+pub mod rijndael;
+pub mod sha;
+pub mod stringsearch;
+pub mod susan;

@@ -1,0 +1,99 @@
+//! `qsort` — iterative quicksort (Lomuto partition, explicit segment stack)
+//! over unsigned words, standing in for MiBench auto/qsort.
+
+use crate::workload::{random_words, rng, words_directive, words_to_bytes, Workload};
+
+const N: usize = 128;
+
+/// Builds the workload for `seed`.
+pub fn workload(seed: u64) -> Workload {
+    let mut r = rng(seed ^ 0x9504);
+    let input = random_words(&mut r, N);
+    let mut sorted = input.clone();
+    sorted.sort_unstable();
+    let expected = words_to_bytes(&sorted);
+
+    let source = format!(
+        "
+    .data
+{arr_words}
+qstack:
+    .space 2048
+
+    .text
+    la   s0, arr
+    la   s1, qstack
+    li   t0, 0
+    li   t1, {n_m1}
+    sw   t0, 0(s1)
+    sw   t1, 4(s1)
+    addi s1, s1, 8
+main_loop:
+    la   t6, qstack
+    beq  s1, t6, done_q
+    addi s1, s1, -8
+    lw   s2, 0(s1)          # lo
+    lw   s3, 4(s1)          # hi
+    bge  s2, s3, main_loop
+    # Lomuto partition around arr[hi]
+    slli t0, s3, 2
+    add  t0, s0, t0
+    lw   s4, 0(t0)          # pivot
+    mv   s5, s2             # i (store index)
+    mv   s6, s2             # j (scan index)
+part_loop:
+    slli t1, s6, 2
+    add  t1, s0, t1
+    lw   t2, 0(t1)
+    bgeu t2, s4, no_swap
+    slli t3, s5, 2
+    add  t3, s0, t3
+    lw   t4, 0(t3)
+    sw   t2, 0(t3)
+    sw   t4, 0(t1)
+    addi s5, s5, 1
+no_swap:
+    addi s6, s6, 1
+    blt  s6, s3, part_loop
+    # move pivot into place: swap arr[i] <-> arr[hi]
+    slli t1, s5, 2
+    add  t1, s0, t1
+    lw   t2, 0(t1)
+    slli t3, s3, 2
+    add  t3, s0, t3
+    lw   t4, 0(t3)
+    sw   t4, 0(t1)
+    sw   t2, 0(t3)
+    # push (lo, i-1) and (i+1, hi)
+    addi t5, s5, -1
+    bge  s2, t5, try2
+    sw   s2, 0(s1)
+    sw   t5, 4(s1)
+    addi s1, s1, 8
+try2:
+    addi t5, s5, 1
+    bge  t5, s3, main_loop
+    sw   t5, 0(s1)
+    sw   s3, 4(s1)
+    addi s1, s1, 8
+    j    main_loop
+done_q:
+    ebreak
+",
+        arr_words = words_directive("arr", &input),
+        n_m1 = N - 1,
+    );
+
+    Workload::new("qsort", &source, 2_000_000, vec![("arr".into(), expected)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qsort_verifies_on_interpreter() {
+        workload(1).run_and_verify(1 << 20).unwrap();
+        workload(1000).run_and_verify(1 << 20).unwrap();
+    }
+}

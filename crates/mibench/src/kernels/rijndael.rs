@@ -1,0 +1,384 @@
+//! `rijndael-e` — AES-128 ECB encryption of a few blocks (MiBench
+//! security/rijndael, encrypt direction). Like MiBench's implementation the
+//! kernel is word-oriented: the state lives in four registers and each
+//! round is sixteen T-table lookups plus round-key XORs, generated as
+//! straight-line code — long, ILP-rich, translatable traces. A
+//! byte-oriented implementation (FIPS-197-checked) doubles as a second
+//! oracle for the T-tables themselves.
+
+use crate::workload::{bytes_directive, random_bytes, rng, Workload};
+
+const BLOCKS: usize = 4;
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+fn xtime(x: u8) -> u8 {
+    let shifted = (x as u32) << 1;
+    (if x & 0x80 != 0 { shifted ^ 0x1b } else { shifted }) as u8
+}
+
+/// AES-128 key expansion to 11 round keys (176 bytes).
+pub fn expand_key(key: &[u8; 16]) -> Vec<u8> {
+    let mut rk = key.to_vec();
+    let rcon = [0x01u8, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+    for round in 0..10 {
+        let n = rk.len();
+        let mut t = [rk[n - 4], rk[n - 3], rk[n - 2], rk[n - 1]];
+        t.rotate_left(1);
+        for b in &mut t {
+            *b = SBOX[*b as usize];
+        }
+        t[0] ^= rcon[round];
+        for i in 0..16 {
+            let prev = rk[n - 16 + i];
+            let x = if i < 4 { t[i] } else { rk[n + i - 4] };
+            rk.push(prev ^ x);
+        }
+    }
+    rk
+}
+
+/// The four MixColumns/SubBytes T-tables over little-endian state words.
+///
+/// `ti[x]` is the LE-encoded contribution of byte `x` arriving in row `i`
+/// of a column after ShiftRows: T0 = (2S, S, S, 3S), T1 = (3S, 2S, S, S),
+/// T2 = (S, 3S, 2S, S), T3 = (S, S, 3S, 2S).
+fn t_tables() -> [Vec<u32>; 4] {
+    let mut t = [vec![0u32; 256], vec![0u32; 256], vec![0u32; 256], vec![0u32; 256]];
+    for x in 0..256usize {
+        let s = SBOX[x] as u32;
+        let s2 = xtime(SBOX[x]) as u32;
+        let s3 = s2 ^ s;
+        t[0][x] = s2 | s << 8 | s << 16 | s3 << 24;
+        t[1][x] = s3 | s2 << 8 | s << 16 | s << 24;
+        t[2][x] = s | s3 << 8 | s2 << 16 | s << 24;
+        t[3][x] = s | s << 8 | s3 << 16 | s2 << 24;
+    }
+    t
+}
+
+/// Round keys as little-endian words (44 of them).
+fn rk_words(key: &[u8; 16]) -> Vec<u32> {
+    expand_key(key)
+        .chunks(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// T-table AES-128 ECB encryption over little-endian state words — the
+/// word-oriented formulation MiBench's rijndael uses, and exactly what the
+/// assembly kernel mirrors. Verified equal to [`encrypt_ecb`].
+pub fn encrypt_ecb_ttable(key: &[u8; 16], data: &[u8]) -> Vec<u8> {
+    assert_eq!(data.len() % 16, 0);
+    let t = t_tables();
+    let rk = rk_words(key);
+    let mut out = Vec::with_capacity(data.len());
+    for block in data.chunks(16) {
+        let mut s = [0u32; 4];
+        for (c, sc) in s.iter_mut().enumerate() {
+            *sc = u32::from_le_bytes([
+                block[4 * c],
+                block[4 * c + 1],
+                block[4 * c + 2],
+                block[4 * c + 3],
+            ]) ^ rk[c];
+        }
+        for round in 1..10 {
+            let mut n = [0u32; 4];
+            for (c, nc) in n.iter_mut().enumerate() {
+                *nc = t[0][(s[c] & 0xff) as usize]
+                    ^ t[1][((s[(c + 1) % 4] >> 8) & 0xff) as usize]
+                    ^ t[2][((s[(c + 2) % 4] >> 16) & 0xff) as usize]
+                    ^ t[3][(s[(c + 3) % 4] >> 24) as usize]
+                    ^ rk[4 * round + c];
+            }
+            s = n;
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let mut n = [0u32; 4];
+        for (c, nc) in n.iter_mut().enumerate() {
+            *nc = (SBOX[(s[c] & 0xff) as usize] as u32)
+                | (SBOX[((s[(c + 1) % 4] >> 8) & 0xff) as usize] as u32) << 8
+                | (SBOX[((s[(c + 2) % 4] >> 16) & 0xff) as usize] as u32) << 16
+                | (SBOX[(s[(c + 3) % 4] >> 24) as usize] as u32) << 24;
+            *nc ^= rk[40 + c];
+        }
+        for w in n {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Reference AES-128 ECB encryption (the oracle).
+pub fn encrypt_ecb(key: &[u8; 16], data: &[u8]) -> Vec<u8> {
+    assert_eq!(data.len() % 16, 0);
+    let rk = expand_key(key);
+    let mut out = Vec::with_capacity(data.len());
+    for block in data.chunks(16) {
+        let mut s: Vec<u8> = block.iter().zip(&rk[0..16]).map(|(a, b)| a ^ b).collect();
+        for round in 1..=10 {
+            for b in s.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+            // ShiftRows on column-major state: new[4c + r] = old[4((c+r)%4) + r].
+            let old = s.clone();
+            for c in 0..4 {
+                for r in 0..4 {
+                    s[4 * c + r] = old[4 * ((c + r) % 4) + r];
+                }
+            }
+            if round != 10 {
+                for c in 0..4 {
+                    let a: Vec<u8> = (0..4).map(|r| s[4 * c + r]).collect();
+                    let b: Vec<u8> = a.iter().map(|x| xtime(*x)).collect();
+                    s[4 * c] = b[0] ^ b[1] ^ a[1] ^ a[2] ^ a[3];
+                    s[4 * c + 1] = a[0] ^ b[1] ^ b[2] ^ a[2] ^ a[3];
+                    s[4 * c + 2] = a[0] ^ a[1] ^ b[2] ^ b[3] ^ a[3];
+                    s[4 * c + 3] = b[0] ^ a[0] ^ a[1] ^ a[2] ^ b[3];
+                }
+            }
+            for (i, b) in s.iter_mut().enumerate() {
+                *b ^= rk[16 * round + i];
+            }
+        }
+        out.extend_from_slice(&s);
+    }
+    out
+}
+
+const STATE_REGS: [&str; 4] = ["a2", "a3", "a4", "a5"];
+const OUT_REGS: [&str; 4] = ["t3", "t4", "t5", "t6"];
+
+/// One middle round (T-table lookups + round-key XOR), fully unrolled.
+fn round_code(round: usize) -> String {
+    let mut c = String::new();
+    for col in 0..4usize {
+        let sc = |k: usize| STATE_REGS[(col + k) % 4];
+        let out = OUT_REGS[col];
+        c.push_str(&format!(
+            "    andi t0, {s0}, 0xff\n\
+             \x20   slli t0, t0, 2\n\
+             \x20   add  t0, s4, t0\n\
+             \x20   lw   {out}, 0(t0)\n\
+             \x20   srli t0, {s1}, 8\n\
+             \x20   andi t0, t0, 0xff\n\
+             \x20   slli t0, t0, 2\n\
+             \x20   add  t0, s5, t0\n\
+             \x20   lw   t1, 0(t0)\n\
+             \x20   xor  {out}, {out}, t1\n\
+             \x20   srli t0, {s2}, 16\n\
+             \x20   andi t0, t0, 0xff\n\
+             \x20   slli t0, t0, 2\n\
+             \x20   add  t0, s6, t0\n\
+             \x20   lw   t1, 0(t0)\n\
+             \x20   xor  {out}, {out}, t1\n\
+             \x20   srli t0, {s3}, 24\n\
+             \x20   slli t0, t0, 2\n\
+             \x20   add  t0, s7, t0\n\
+             \x20   lw   t1, 0(t0)\n\
+             \x20   xor  {out}, {out}, t1\n\
+             \x20   lw   t1, {rk}(s8)\n\
+             \x20   xor  {out}, {out}, t1\n",
+            s0 = sc(0),
+            s1 = sc(1),
+            s2 = sc(2),
+            s3 = sc(3),
+            out = out,
+            rk = 4 * (4 * round + col),
+        ));
+    }
+    for col in 0..4 {
+        c.push_str(&format!("    mv   {}, {}\n", STATE_REGS[col], OUT_REGS[col]));
+    }
+    c
+}
+
+/// The final round: plain S-box bytes, ShiftRows via the byte selection,
+/// AddRoundKey — no MixColumns.
+fn final_round_code() -> String {
+    let mut c = String::new();
+    for col in 0..4usize {
+        let sc = |k: usize| STATE_REGS[(col + k) % 4];
+        let out = OUT_REGS[col];
+        c.push_str(&format!(
+            "    andi t0, {s0}, 0xff\n\
+             \x20   add  t0, s9, t0\n\
+             \x20   lbu  {out}, 0(t0)\n\
+             \x20   srli t0, {s1}, 8\n\
+             \x20   andi t0, t0, 0xff\n\
+             \x20   add  t0, s9, t0\n\
+             \x20   lbu  t1, 0(t0)\n\
+             \x20   slli t1, t1, 8\n\
+             \x20   or   {out}, {out}, t1\n\
+             \x20   srli t0, {s2}, 16\n\
+             \x20   andi t0, t0, 0xff\n\
+             \x20   add  t0, s9, t0\n\
+             \x20   lbu  t1, 0(t0)\n\
+             \x20   slli t1, t1, 16\n\
+             \x20   or   {out}, {out}, t1\n\
+             \x20   srli t0, {s3}, 24\n\
+             \x20   add  t0, s9, t0\n\
+             \x20   lbu  t1, 0(t0)\n\
+             \x20   slli t1, t1, 24\n\
+             \x20   or   {out}, {out}, t1\n\
+             \x20   lw   t1, {rk}(s8)\n\
+             \x20   xor  {out}, {out}, t1\n",
+            s0 = sc(0),
+            s1 = sc(1),
+            s2 = sc(2),
+            s3 = sc(3),
+            out = out,
+            rk = 4 * (40 + col),
+        ));
+    }
+    for col in 0..4 {
+        c.push_str(&format!("    mv   {}, {}\n", STATE_REGS[col], OUT_REGS[col]));
+    }
+    c
+}
+
+/// Builds the workload for `seed`.
+pub fn workload(seed: u64) -> Workload {
+    let mut r = rng(seed ^ 0xae5128);
+    let key_bytes = random_bytes(&mut r, 16);
+    let key: [u8; 16] = key_bytes.clone().try_into().expect("16 bytes");
+    let plaintext = random_bytes(&mut r, BLOCKS * 16);
+    let expected = encrypt_ecb_ttable(&key, &plaintext);
+
+    let mut rounds = String::new();
+    for round in 1..10 {
+        rounds.push_str(&format!("    # ---- round {round} ----\n"));
+        rounds.push_str(&round_code(round));
+    }
+    rounds.push_str("    # ---- final round ----\n");
+    rounds.push_str(&final_round_code());
+
+    let t = t_tables();
+    let source = format!(
+        "
+    .data
+{t0_words}
+{t1_words}
+{t2_words}
+{t3_words}
+{rk_words_src}
+{sbox_bytes}
+{pt_bytes}
+    .align 2
+ct:
+    .space {ct_len}
+
+    .text
+    la   s4, t0tab
+    la   s5, t1tab
+    la   s6, t2tab
+    la   s7, t3tab
+    la   s8, rkw
+    la   s9, sbox
+    la   s1, pt
+    la   s2, ct
+    li   s0, {blocks}
+block_loop:
+    # conditional branches reach +-4 KiB; the unrolled rounds are longer,
+    # so branch to a local trampoline and use a far jump.
+    bnez s0, block_go
+    j    done_aes
+block_go:
+    lw   a2, 0(s1)
+    lw   t1, 0(s8)
+    xor  a2, a2, t1
+    lw   a3, 4(s1)
+    lw   t1, 4(s8)
+    xor  a3, a3, t1
+    lw   a4, 8(s1)
+    lw   t1, 8(s8)
+    xor  a4, a4, t1
+    lw   a5, 12(s1)
+    lw   t1, 12(s8)
+    xor  a5, a5, t1
+{rounds}
+    sw   a2, 0(s2)
+    sw   a3, 4(s2)
+    sw   a4, 8(s2)
+    sw   a5, 12(s2)
+    addi s1, s1, 16
+    addi s2, s2, 16
+    addi s0, s0, -1
+    j    block_loop
+done_aes:
+    ebreak
+",
+        t0_words = crate::workload::words_directive("t0tab", &t[0]),
+        t1_words = crate::workload::words_directive("t1tab", &t[1]),
+        t2_words = crate::workload::words_directive("t2tab", &t[2]),
+        t3_words = crate::workload::words_directive("t3tab", &t[3]),
+        rk_words_src = crate::workload::words_directive("rkw", &rk_words(&key)),
+        sbox_bytes = bytes_directive("sbox", &SBOX),
+        pt_bytes = bytes_directive("pt", &plaintext),
+        ct_len = BLOCKS * 16,
+        blocks = BLOCKS,
+        rounds = rounds,
+    );
+
+    Workload::new("rijndael", &source, 2_000_000, vec![("ct".into(), expected)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_reference_fips197_vector() {
+        // FIPS-197 appendix B: key 2b7e...3c, plaintext 3243...34,
+        // ciphertext 3925841d02dc09fbdc118597196a0b32.
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let ct = encrypt_ecb(&key, &pt);
+        assert_eq!(
+            ct,
+            vec![
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+                0x6a, 0x0b, 0x32
+            ]
+        );
+    }
+
+    #[test]
+    fn ttable_matches_byte_oriented() {
+        let key: [u8; 16] = *b"0123456789abcdef";
+        let data: Vec<u8> = (0..64u8).collect();
+        assert_eq!(encrypt_ecb_ttable(&key, &data), encrypt_ecb(&key, &data));
+    }
+
+    #[test]
+    fn rijndael_verifies_on_interpreter() {
+        workload(1).run_and_verify(1 << 20).unwrap();
+    }
+}

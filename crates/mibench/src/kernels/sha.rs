@@ -1,0 +1,227 @@
+//! `sha` — SHA-1 over a random message (MiBench security/sha). The message
+//! is padded at build time; the kernel does the per-block compression:
+//! 16→80-word schedule expansion plus the 80-round loop.
+
+use crate::workload::{random_bytes, rng, words_directive, Workload};
+
+const MSG_LEN: usize = 200;
+
+/// Reference SHA-1, returning the five state words.
+pub fn sha1(msg: &[u8]) -> [u32; 5] {
+    let mut h: [u32; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+    for block in pad(msg).chunks(64) {
+        let mut w = [0u32; 80];
+        for (i, word) in block.chunks(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | ((!b) & d), 0x5a82_7999u32),
+                1 => (b ^ c ^ d, 0x6ed9_eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(*wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    h
+}
+
+fn pad(msg: &[u8]) -> Vec<u8> {
+    let mut m = msg.to_vec();
+    let bit_len = (msg.len() as u64) * 8;
+    m.push(0x80);
+    while m.len() % 64 != 56 {
+        m.push(0);
+    }
+    m.extend_from_slice(&bit_len.to_be_bytes());
+    m
+}
+
+/// Builds the workload for `seed`.
+pub fn workload(seed: u64) -> Workload {
+    let mut r = rng(seed ^ 0x54a1);
+    let msg = random_bytes(&mut r, MSG_LEN);
+    let padded = pad(&msg);
+    // Pre-swap to big-endian words so the kernel's `lw` yields the schedule
+    // words directly (byte-order handling is not what the paper measures).
+    let be_words: Vec<u32> = padded
+        .chunks(4)
+        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let blocks = padded.len() / 64;
+
+    let digest = sha1(&msg);
+    let expected: Vec<u8> = digest.iter().flat_map(|w| w.to_le_bytes()).collect();
+
+    let source = format!(
+        "
+    .data
+{input_words}
+wbuf:
+    .space 320
+out:
+    .word 0, 0, 0, 0, 0
+
+    .text
+    li   s0, {blocks}
+    la   s1, input
+    li   s2, 0x67452301
+    li   s3, 0xEFCDAB89
+    li   s4, 0x98BADCFE
+    li   s5, 0x10325476
+    li   s6, 0xC3D2E1F0
+block_loop:
+    beqz s0, finish
+    # copy the 16 message words into the schedule buffer
+    la   t0, wbuf
+    li   t1, 16
+copy:
+    lw   t2, 0(s1)
+    sw   t2, 0(t0)
+    addi s1, s1, 4
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, copy
+    # expand w[16..80): w[i] = rol1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16])
+    la   t0, wbuf
+    li   t1, 16
+expand:
+    slli t2, t1, 2
+    add  t2, t0, t2
+    lw   t3, -12(t2)
+    lw   t4, -32(t2)
+    xor  t3, t3, t4
+    lw   t4, -56(t2)
+    xor  t3, t3, t4
+    lw   t4, -64(t2)
+    xor  t3, t3, t4
+    srli t4, t3, 31
+    slli t3, t3, 1
+    or   t3, t3, t4
+    sw   t3, 0(t2)
+    addi t1, t1, 1
+    li   t6, 80
+    blt  t1, t6, expand
+    mv   a2, s2
+    mv   a3, s3
+    mv   a4, s4
+    mv   a5, s5
+    mv   a6, s6
+    li   a7, 0
+    la   s8, wbuf
+rounds:
+    li   t5, 20
+    blt  a7, t5, f1
+    li   t5, 40
+    blt  a7, t5, f2
+    li   t5, 60
+    blt  a7, t5, f3
+    # rounds 60-79: f = b ^ c ^ d
+    xor  t0, a3, a4
+    xor  t0, t0, a5
+    li   t1, 0xCA62C1D6
+    j    fdone
+f1: # rounds 0-19: f = (b & c) | (~b & d)
+    and  t0, a3, a4
+    not  t1, a3
+    and  t1, t1, a5
+    or   t0, t0, t1
+    li   t1, 0x5A827999
+    j    fdone
+f2: # rounds 20-39: f = b ^ c ^ d
+    xor  t0, a3, a4
+    xor  t0, t0, a5
+    li   t1, 0x6ED9EBA1
+    j    fdone
+f3: # rounds 40-59: f = majority(b, c, d)
+    and  t0, a3, a4
+    and  t2, a3, a5
+    or   t0, t0, t2
+    and  t2, a4, a5
+    or   t0, t0, t2
+    li   t1, 0x8F1BBCDC
+fdone:
+    # tmp = rol5(a) + f + e + k + w[i]
+    slli t2, a2, 5
+    srli t3, a2, 27
+    or   t2, t2, t3
+    add  t2, t2, t0
+    add  t2, t2, a6
+    add  t2, t2, t1
+    slli t3, a7, 2
+    add  t3, s8, t3
+    lw   t3, 0(t3)
+    add  t2, t2, t3
+    mv   a6, a5
+    mv   a5, a4
+    slli t3, a3, 30
+    srli t4, a3, 2
+    or   a4, t3, t4
+    mv   a3, a2
+    mv   a2, t2
+    addi a7, a7, 1
+    li   t6, 80
+    blt  a7, t6, rounds
+    add  s2, s2, a2
+    add  s3, s3, a3
+    add  s4, s4, a4
+    add  s5, s5, a5
+    add  s6, s6, a6
+    addi s0, s0, -1
+    j    block_loop
+finish:
+    la   t0, out
+    sw   s2, 0(t0)
+    sw   s3, 4(t0)
+    sw   s4, 8(t0)
+    sw   s5, 12(t0)
+    sw   s6, 16(t0)
+    ebreak
+",
+        input_words = words_directive("input", &be_words),
+        blocks = blocks,
+    );
+
+    Workload::new("sha", &source, 2_000_000, vec![("out".into(), expected)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha1_reference_known_vector() {
+        // SHA-1("abc") = a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d
+        let d = sha1(b"abc");
+        assert_eq!(
+            d,
+            [0xa999_3e36, 0x4706_816a, 0xba3e_2571, 0x7850_c26c, 0x9cd0_d89d]
+        );
+    }
+
+    #[test]
+    fn sha_verifies_on_interpreter() {
+        workload(1).run_and_verify(1 << 20).unwrap();
+        workload(1234).run_and_verify(1 << 20).unwrap();
+    }
+}

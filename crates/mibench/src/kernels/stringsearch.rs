@@ -1,0 +1,150 @@
+//! `stringsearch` — Boyer–Moore–Horspool substring search with a planted
+//! pattern (MiBench office/stringsearch uses the Pratt-Boyer-Moore family;
+//! BMH preserves its skip-table character).
+
+use rand::RngExt;
+
+use crate::workload::{bytes_directive, rng, Workload};
+
+const TEXT_LEN: usize = 2048;
+const PAT: &[u8] = b"reconfig";
+
+/// Reference: count of (possibly overlapping) occurrences and the first
+/// match index, or `-1` if absent.
+pub fn search(text: &[u8], pat: &[u8]) -> (u32, i32) {
+    let mut count = 0u32;
+    let mut first = -1i32;
+    if pat.is_empty() || text.len() < pat.len() {
+        return (0, -1);
+    }
+    for pos in 0..=(text.len() - pat.len()) {
+        if &text[pos..pos + pat.len()] == pat {
+            count += 1;
+            if first < 0 {
+                first = pos as i32;
+            }
+        }
+    }
+    (count, first)
+}
+
+/// Builds the workload for `seed`.
+pub fn workload(seed: u64) -> Workload {
+    let mut r = rng(seed ^ 0x57717);
+    // Lowercase-letter haystack with a handful of planted patterns.
+    let mut text: Vec<u8> =
+        (0..TEXT_LEN).map(|_| b'a' + r.random_range(0..26u32) as u8).collect();
+    for _ in 0..4 {
+        let at = r.random_range(0..(TEXT_LEN - PAT.len()) as u32) as usize;
+        text[at..at + PAT.len()].copy_from_slice(PAT);
+    }
+
+    let (count, first) = search(&text, PAT);
+    let mut expected = count.to_le_bytes().to_vec();
+    expected.extend_from_slice(&(first as u32).to_le_bytes());
+
+    let source = format!(
+        "
+    .data
+{text_bytes}
+{pat_bytes}
+skip:
+    .space 256
+    .align 2
+out:
+    .word 0, 0
+
+    .text
+    # skip[c] = plen for all c
+    la   t0, skip
+    li   t1, 256
+    li   t2, {plen}
+fill:
+    sb   t2, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, fill
+    # skip[pat[i]] = plen - 1 - i  for i in 0 .. plen-1
+    la   t0, pat
+    li   t1, 0
+    li   t3, {plen_m1}
+build:
+    add  t4, t0, t1
+    lbu  t4, 0(t4)
+    la   t5, skip
+    add  t5, t5, t4
+    sub  t6, t3, t1
+    sb   t6, 0(t5)
+    addi t1, t1, 1
+    blt  t1, t3, build
+    li   s1, 0              # match count
+    li   s2, -1             # first match
+    li   s3, 0              # pos
+    li   s4, {last_pos}     # final valid start
+    la   s5, haystack
+    la   s6, pat
+    li   s7, {plen}
+    bgt  s3, s4, done       # guard: pattern longer than text
+search:
+    addi t1, s7, -1         # j = plen-1, compare from the tail
+cmp:
+    add  t2, s3, t1
+    add  t2, s5, t2
+    lbu  t2, 0(t2)
+    add  t3, s6, t1
+    lbu  t3, 0(t3)
+    bne  t2, t3, mismatch
+    addi t1, t1, -1
+    bgez t1, cmp
+    # full match (fell out of cmp)
+    addi s1, s1, 1
+    bgez s2, after_first
+    mv   s2, s3
+after_first:
+    addi s3, s3, 1          # overlapping matches: advance by one
+    ble  s3, s4, search
+    j    done
+mismatch:
+    # BMH shift: skip[text[pos + plen - 1]]
+    add  t2, s3, s7
+    addi t2, t2, -1
+    add  t2, s5, t2
+    lbu  t2, 0(t2)
+    la   t3, skip
+    add  t3, t3, t2
+    lbu  t3, 0(t3)
+    add  s3, s3, t3
+    ble  s3, s4, search
+done:
+    la   t0, out
+    sw   s1, 0(t0)
+    sw   s2, 4(t0)
+    ebreak
+",
+        text_bytes = bytes_directive("haystack", &text),
+        pat_bytes = bytes_directive("pat", PAT),
+        plen = PAT.len(),
+        plen_m1 = PAT.len() - 1,
+        last_pos = TEXT_LEN - PAT.len(),
+    );
+
+    Workload::new("stringsearch", &source, 500_000, vec![("out".into(), expected)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_counts_overlaps() {
+        assert_eq!(search(b"aaaa", b"aa"), (3, 0));
+        assert_eq!(search(b"hello", b"xyz"), (0, -1));
+        assert_eq!(search(b"abcabc", b"abc"), (2, 0));
+    }
+
+    #[test]
+    fn stringsearch_verifies_on_interpreter() {
+        workload(1).run_and_verify(1 << 20).unwrap();
+        workload(55).run_and_verify(1 << 20).unwrap();
+    }
+}

@@ -1,0 +1,278 @@
+//! `susan` — the three MiBench automotive/susan image kernels over a small
+//! grayscale image: smoothing (weighted 3×3 blur via multiply-shift),
+//! edges (3×3 USAN response through a brightness LUT) and corners (5×5
+//! USAN response). The USAN structure — per-pixel neighbourhood gathers
+//! through a lookup table — is what shapes the fabric utilization, and is
+//! preserved; SUSAN's non-maxima suppression stage is not (DESIGN.md §3).
+
+use crate::workload::{bytes_directive, random_bytes, rng, Workload};
+
+const W: usize = 20;
+const H: usize = 20;
+/// Brightness-similarity threshold.
+const T: i32 = 27;
+/// Edge USAN geometric threshold (3×3, 9 pixels).
+const G_EDGE: u32 = 7;
+/// Corner USAN geometric threshold (5×5, 25 pixels).
+const G_CORNER: u32 = 14;
+
+/// Which of the three susan kernels to build.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Multiply-shift 3×3 smoothing.
+    Smoothing,
+    /// 3×3 USAN edge response.
+    Edges,
+    /// 5×5 USAN corner response.
+    Corners,
+}
+
+impl Variant {
+    fn name(self) -> &'static str {
+        match self {
+            Variant::Smoothing => "susan_smoothing",
+            Variant::Edges => "susan_edges",
+            Variant::Corners => "susan_corners",
+        }
+    }
+
+    fn border(self) -> usize {
+        match self {
+            Variant::Smoothing | Variant::Edges => 1,
+            Variant::Corners => 2,
+        }
+    }
+
+    fn threshold(self) -> u32 {
+        match self {
+            Variant::Smoothing => 0,
+            Variant::Edges => G_EDGE,
+            Variant::Corners => G_CORNER,
+        }
+    }
+}
+
+/// Similarity LUT: `lut[diff + 255] = 1` if `|diff| < T` else 0.
+fn similarity_lut() -> Vec<u8> {
+    (0..511i32).map(|i| u8::from((i - 255).abs() < T)).collect()
+}
+
+/// Reference implementation (the oracle) for all three variants.
+pub fn reference(variant: Variant, img: &[u8]) -> Vec<u8> {
+    let lut = similarity_lut();
+    let b = variant.border();
+    let mut out = vec![0u8; W * H];
+    for y in b..H - b {
+        for x in b..W - b {
+            let c = img[y * W + x] as i32;
+            match variant {
+                Variant::Smoothing => {
+                    let mut sum = 0u32;
+                    for dy in -1i32..=1 {
+                        for dx in -1i32..=1 {
+                            let p = (y as i32 + dy) as usize * W + (x as i32 + dx) as usize;
+                            sum += img[p] as u32;
+                        }
+                    }
+                    // (sum * 228) >> 11 approximates sum / 9.
+                    out[y * W + x] = ((sum * 228) >> 11) as u8;
+                }
+                Variant::Edges | Variant::Corners => {
+                    let r = b as i32;
+                    let mut n = 0u32;
+                    for dy in -r..=r {
+                        for dx in -r..=r {
+                            let p = (y as i32 + dy) as usize * W + (x as i32 + dx) as usize;
+                            let d = img[p] as i32 - c;
+                            n += lut[(d + 255) as usize] as u32;
+                        }
+                    }
+                    let g = variant.threshold();
+                    out[y * W + x] = if n < g { (g - n) as u8 } else { 0 };
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The neighbourhood byte offsets, emitted as a `.word` table the gather
+/// loop walks — the same mask-loop structure as MiBench's susan source.
+fn offsets(variant: Variant) -> Vec<u32> {
+    let r = variant.border() as i32;
+    let mut offs = Vec::new();
+    for dy in -r..=r {
+        for dx in -r..=r {
+            offs.push((dy * W as i32 + dx) as u32);
+        }
+    }
+    offs
+}
+
+/// The per-pixel gather loop (s3 accumulates; s9 walks the offset table).
+fn gather_code(variant: Variant) -> String {
+    let n = offsets(variant).len();
+    let body = match variant {
+        Variant::Smoothing => "    add  s3, s3, t5\n".to_string(),
+        // USAN: accumulate the similarity LUT entry for img[p] - center.
+        _ => "    sub  t5, t5, s2\n\
+              \x20   addi t5, t5, 255\n\
+              \x20   add  t6, s8, t5\n\
+              \x20   lbu  t5, 0(t6)\n\
+              \x20   add  s3, s3, t5\n"
+            .to_string(),
+    };
+    // Bottom-tested (do-while) form, like -O3 loop inversion: the whole
+    // iteration including the back edge is one fabric-resolvable trace.
+    format!(
+        "    li   s4, {n}
+    la   s9, offs
+gather:
+    lw   t4, 0(s9)
+    add  t5, t2, t4
+    lbu  t5, 0(t5)
+{body}    addi s9, s9, 4
+    addi s4, s4, -1
+    bnez s4, gather
+"
+    )
+}
+
+fn response_code(variant: Variant) -> String {
+    match variant {
+        Variant::Smoothing => "
+    li   t4, 228
+    mul  t4, s3, t4
+    srli t4, t4, 11
+    la   t5, outimg
+    add  t5, t5, t1
+    sb   t4, 0(t5)
+"
+        .to_string(),
+        _ => format!(
+            "
+    li   t4, {g}
+    la   t5, outimg
+    add  t5, t5, t1
+    blt  s3, t4, resp
+    sb   zero, 0(t5)
+    j    cont
+resp:
+    sub  t4, t4, s3
+    sb   t4, 0(t5)
+cont:
+",
+            g = variant.threshold()
+        ),
+    }
+}
+
+/// Builds one susan variant for `seed`.
+pub fn workload(variant: Variant, seed: u64) -> Workload {
+    let mut r = rng(seed ^ 0x5059a);
+    let img = random_bytes(&mut r, W * H);
+    let expected = reference(variant, &img);
+    let b = variant.border();
+
+    let center_setup = match variant {
+        Variant::Smoothing => "",
+        _ => "    lbu  s2, 0(t2)\n",
+    };
+
+    let source = format!(
+        "
+    .data
+{img_bytes}
+{lut_bytes}
+{offs_words}
+outimg:
+    .space {npix}
+
+    .text
+    la   s8, lut
+    li   s0, {b}            # y
+loop_y:
+    li   s1, {b}            # x
+loop_x:
+    li   t0, {w}
+    mul  t1, s0, t0
+    add  t1, t1, s1         # pixel index
+    la   t2, img
+    add  t2, t2, t1
+{center_setup}    li   s3, 0
+{gather}
+{response}
+    addi s1, s1, 1
+    li   t6, {xmax}
+    blt  s1, t6, loop_x
+    addi s0, s0, 1
+    li   t6, {ymax}
+    blt  s0, t6, loop_y
+    ebreak
+",
+        img_bytes = bytes_directive("img", &img),
+        lut_bytes = bytes_directive("lut", &similarity_lut()),
+        offs_words = crate::workload::words_directive("offs", &offsets(variant)),
+        npix = W * H,
+        b = b,
+        ymax = H - b,
+        xmax = W - b,
+        w = W,
+        center_setup = center_setup,
+        gather = gather_code(variant),
+        response = response_code(variant),
+    );
+
+    Workload::new(variant.name(), &source, 2_000_000, vec![("outimg".into(), expected)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoothing_of_flat_image_is_near_identity() {
+        let img = vec![100u8; W * H];
+        let out = reference(Variant::Smoothing, &img);
+        // (900 * 228) >> 11 = 100 (plus truncation)
+        assert_eq!(out[W + 1], 100);
+    }
+
+    #[test]
+    fn edges_flat_image_has_zero_response() {
+        let img = vec![100u8; W * H];
+        let out = reference(Variant::Edges, &img);
+        assert!(out.iter().all(|&v| v == 0), "uniform USAN -> no edges");
+    }
+
+    #[test]
+    fn corners_sees_a_corner_but_not_a_straight_edge() {
+        // A bright quadrant: its corner pixel has a small USAN (9 of 25
+        // similar), while pixels along the straight edges keep n >= g.
+        let mut img = vec![10u8; W * H];
+        for y in H / 2..H {
+            for x in W / 2..W {
+                img[y * W + x] = 200;
+            }
+        }
+        let out = reference(Variant::Corners, &img);
+        assert!(out[(H / 2) * W + W / 2] > 0, "quadrant corner responds");
+        // A pure vertical step (far from the corner) must stay silent.
+        assert_eq!(out[(H - 3) * W + W / 2], 0, "straight edge suppressed");
+    }
+
+    #[test]
+    fn susan_smoothing_verifies() {
+        workload(Variant::Smoothing, 1).run_and_verify(1 << 20).unwrap();
+    }
+
+    #[test]
+    fn susan_edges_verifies() {
+        workload(Variant::Edges, 1).run_and_verify(1 << 20).unwrap();
+    }
+
+    #[test]
+    fn susan_corners_verifies() {
+        workload(Variant::Corners, 1).run_and_verify(1 << 20).unwrap();
+    }
+}

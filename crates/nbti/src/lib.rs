@@ -1,0 +1,304 @@
+//! # nbti — Negative-Bias Temperature Instability aging model
+//!
+//! Implements the predictive NBTI model the paper uses (its Eq. 1, from
+//! Henkel et al., ASP-DAC'13):
+//!
+//! ```text
+//! ΔVt = 0.005 · e^(−1500/T) · Vdd⁴ · t^(1/6) · u^(1/6)
+//! ```
+//!
+//! where `T` is the temperature in Kelvin, `Vdd` the operating voltage, `t`
+//! the elapsed time and `u` the duty cycle (≡ the utilization rate of a
+//! functional unit). The increase in delay is approximated to first order as
+//! the relative increase in Vt.
+//!
+//! Two views are provided:
+//!
+//! * [`NbtiModel`] — the raw physical formula, for sensitivity studies.
+//! * [`CalibratedAging`] — the paper's evaluation calibration: the delay
+//!   degradation of a *fully utilized* unit reaches the end-of-life limit
+//!   (10%) after exactly the anchor time (3 years), matching the worst-case
+//!   estimates of Tiwari & Torrellas (MICRO'08) the paper cites. Under this
+//!   calibration the lifetime of a unit with utilization `u` is
+//!   `anchor / u`, so the paper's lifetime improvement equals the ratio of
+//!   worst-case utilizations — the property Table I is built on.
+//!
+//! # Examples
+//!
+//! ```
+//! use nbti::CalibratedAging;
+//!
+//! let aging = CalibratedAging::default();          // 10% after 3 years at u=1
+//! assert!((aging.lifetime_years(1.0) - 3.0).abs() < 1e-12);
+//! // Paper Table I, BE scenario: 94.5% worst utilization (baseline)
+//! // vs 41.1% (proposed) gives a 2.29x lifetime improvement.
+//! let improvement = aging.lifetime_improvement(0.945, 0.411);
+//! assert!((improvement - 2.29).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// The raw predictive NBTI model (paper Eq. 1).
+///
+/// Produces the long-term threshold-voltage increase `ΔVt` in volts. The
+/// time unit is years (the constant prefactor absorbs the unit choice; the
+/// evaluation only ever uses calibrated or relative quantities).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NbtiModel {
+    /// Operating voltage in volts (NanGate 15 nm nominal: 0.8 V).
+    pub vdd: f64,
+    /// Temperature in Kelvin (embedded operating point: 330 K).
+    pub temp_k: f64,
+    /// Nominal threshold voltage in volts, used to map ΔVt to relative delay.
+    pub vt_nominal: f64,
+    /// Model prefactor (paper: 0.005).
+    pub prefactor: f64,
+    /// Thermal activation constant in Kelvin (paper: 1500).
+    pub activation_k: f64,
+    /// Time exponent (paper: 1/6).
+    pub time_exp: f64,
+    /// Duty-cycle exponent (paper: 1/6).
+    pub duty_exp: f64,
+}
+
+impl Default for NbtiModel {
+    fn default() -> NbtiModel {
+        NbtiModel {
+            vdd: 0.8,
+            temp_k: 330.0,
+            vt_nominal: 0.40,
+            prefactor: 0.005,
+            activation_k: 1500.0,
+            time_exp: 1.0 / 6.0,
+            duty_exp: 1.0 / 6.0,
+        }
+    }
+}
+
+impl NbtiModel {
+    /// Threshold-voltage increase ΔVt (volts) after `t_years` at duty cycle
+    /// `u` ∈ [0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside `[0, 1]` or `t_years` is negative.
+    pub fn delta_vt(&self, t_years: f64, u: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&u), "duty cycle {u} outside [0, 1]");
+        assert!(t_years >= 0.0, "negative time {t_years}");
+        self.prefactor
+            * (-self.activation_k / self.temp_k).exp()
+            * self.vdd.powi(4)
+            * t_years.powf(self.time_exp)
+            * u.powf(self.duty_exp)
+    }
+
+    /// First-order relative delay increase: `ΔVt / Vt_nominal`.
+    pub fn delay_increase(&self, t_years: f64, u: f64) -> f64 {
+        self.delta_vt(t_years, u) / self.vt_nominal
+    }
+}
+
+/// End-of-life–calibrated aging model used by the paper's evaluation.
+///
+/// Calibration: a unit stressed at `u = 1` reaches `eol_delay_frac`
+/// (default 10%) delay degradation after `anchor_years` (default 3 years).
+/// Because ΔVt scales as `(t·u)^(1/6)`, degradation is then
+///
+/// ```text
+/// Δd(t, u) = eol_delay_frac · (t·u / anchor_years)^(1/6)
+/// ```
+///
+/// and the lifetime (time to reach `eol_delay_frac`) is `anchor_years / u`.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedAging {
+    /// Delay-degradation fraction that defines end of life (paper: 0.10).
+    pub eol_delay_frac: f64,
+    /// Years to reach end of life at u = 1 (paper: 3, per its refs [23], [34]).
+    pub anchor_years: f64,
+    /// Combined time/duty exponent (paper: 1/6).
+    pub exponent: f64,
+}
+
+impl Default for CalibratedAging {
+    fn default() -> CalibratedAging {
+        CalibratedAging { eol_delay_frac: 0.10, anchor_years: 3.0, exponent: 1.0 / 6.0 }
+    }
+}
+
+impl CalibratedAging {
+    /// Relative delay degradation after `t_years` at utilization `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside `[0, 1]` or `t_years` is negative.
+    pub fn delay_increase(&self, t_years: f64, u: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&u), "utilization {u} outside [0, 1]");
+        assert!(t_years >= 0.0, "negative time {t_years}");
+        self.eol_delay_frac * (t_years * u / self.anchor_years).powf(self.exponent)
+    }
+
+    /// Years until the unit reaches the end-of-life degradation.
+    ///
+    /// Returns `f64::INFINITY` for `u = 0` (a never-stressed unit never ages
+    /// under this model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside `[0, 1]`.
+    pub fn lifetime_years(&self, u: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&u), "utilization {u} outside [0, 1]");
+        if u == 0.0 {
+            f64::INFINITY
+        } else {
+            self.anchor_years / u
+        }
+    }
+
+    /// Lifetime improvement factor of an allocation whose worst-case (most
+    /// stressed FU) utilization is `u_proposed` over one whose worst case is
+    /// `u_baseline`.
+    ///
+    /// Equals `u_baseline / u_proposed`; this is exactly how the paper's
+    /// Table I numbers follow from its Fig. 7/8 utilizations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either utilization is outside `(0, 1]`.
+    pub fn lifetime_improvement(&self, u_baseline: f64, u_proposed: f64) -> f64 {
+        assert!(u_baseline > 0.0 && u_baseline <= 1.0, "u_baseline out of range");
+        assert!(u_proposed > 0.0 && u_proposed <= 1.0, "u_proposed out of range");
+        self.lifetime_years(u_proposed) / self.lifetime_years(u_baseline)
+    }
+
+    /// Samples the delay-degradation curve at `points` evenly spaced times in
+    /// `[0, horizon_years]` (paper Fig. 8, bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn delay_curve(&self, u: f64, horizon_years: f64, points: usize) -> DelayCurve {
+        assert!(points >= 2, "need at least two sample points");
+        let samples = (0..points)
+            .map(|i| {
+                let t = horizon_years * i as f64 / (points - 1) as f64;
+                (t, self.delay_increase(t, u))
+            })
+            .collect();
+        DelayCurve { utilization: u, samples }
+    }
+}
+
+/// A sampled delay-degradation-over-time series (one curve of Fig. 8).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DelayCurve {
+    /// The utilization the curve was generated for.
+    pub utilization: f64,
+    /// `(t_years, delay_increase_fraction)` samples.
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl DelayCurve {
+    /// First sampled time at which degradation reaches `frac`, if any.
+    pub fn time_to_reach(&self, frac: f64) -> Option<f64> {
+        self.samples.iter().find(|(_, d)| *d >= frac).map(|(t, _)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_model_monotonic() {
+        let m = NbtiModel::default();
+        assert!(m.delta_vt(1.0, 0.5) < m.delta_vt(2.0, 0.5), "monotonic in time");
+        assert!(m.delta_vt(1.0, 0.2) < m.delta_vt(1.0, 0.8), "monotonic in duty");
+        let hot = NbtiModel { temp_k: 360.0, ..NbtiModel::default() };
+        assert!(m.delta_vt(1.0, 0.5) < hot.delta_vt(1.0, 0.5), "hotter ages faster");
+        let high_v = NbtiModel { vdd: 1.0, ..NbtiModel::default() };
+        assert!(m.delta_vt(1.0, 0.5) < high_v.delta_vt(1.0, 0.5), "higher Vdd ages faster");
+    }
+
+    #[test]
+    fn raw_model_zero_boundaries() {
+        let m = NbtiModel::default();
+        assert_eq!(m.delta_vt(0.0, 1.0), 0.0);
+        assert_eq!(m.delta_vt(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn raw_model_rejects_bad_duty() {
+        NbtiModel::default().delta_vt(1.0, 1.5);
+    }
+
+    #[test]
+    fn calibration_anchor() {
+        let a = CalibratedAging::default();
+        assert!((a.delay_increase(3.0, 1.0) - 0.10).abs() < 1e-12);
+        assert!((a.lifetime_years(1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_table1_improvements() {
+        let a = CalibratedAging::default();
+        // (baseline worst util, proposed worst util, paper improvement)
+        for (base, prop, expect) in [(0.945, 0.411, 2.29), (0.981, 0.224, 4.37), (0.981, 0.123, 7.97)]
+        {
+            let got = a.lifetime_improvement(base, prop);
+            assert!((got - expect).abs() < 0.02, "expected {expect}, got {got}");
+        }
+    }
+
+    #[test]
+    fn paper_section_va_claim_7_years_not_3() {
+        // "the system presents a performance degradation of 10% only in 7
+        // years rather than in 3" (BE scenario).
+        let a = CalibratedAging::default();
+        let baseline_life = a.lifetime_years(0.945);
+        let proposed_life = a.lifetime_years(0.411);
+        assert!((3.0..4.0).contains(&baseline_life));
+        assert!((7.0..8.0).contains(&proposed_life));
+    }
+
+    #[test]
+    fn degradation_at_lifetime_equals_limit() {
+        let a = CalibratedAging::default();
+        for u in [0.05, 0.3, 0.7, 1.0] {
+            let t = a.lifetime_years(u);
+            assert!((a.delay_increase(t, u) - a.eol_delay_frac).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_utilization_never_dies() {
+        let a = CalibratedAging::default();
+        assert_eq!(a.lifetime_years(0.0), f64::INFINITY);
+        assert_eq!(a.delay_increase(100.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn curve_reaches_limit() {
+        let a = CalibratedAging::default();
+        let c = a.delay_curve(0.5, 10.0, 101);
+        assert_eq!(c.samples.len(), 101);
+        let t = c.time_to_reach(0.10).expect("reaches EOL inside horizon");
+        assert!((t - a.lifetime_years(0.5)).abs() < 0.2, "t={t}");
+        assert!(c.time_to_reach(0.5).is_none());
+    }
+
+    #[test]
+    fn raw_and_calibrated_agree_on_ratios() {
+        // The improvement factor is model-independent: it relies only on the
+        // (t·u)^k structure shared by both formulations.
+        let raw = NbtiModel::default();
+        let (u1, u2) = (0.9, 0.3);
+        let d1 = raw.delta_vt(1.0, u1);
+        let d2 = raw.delta_vt(1.0, u2);
+        // delta ∝ (t·u)^(1/6)  =>  (d1/d2)^6 = u1/u2.
+        let ratio = (d1 / d2).powf(6.0);
+        assert!((ratio - u1 / u2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1048 @@
+//! A two-pass RV32IM text assembler with the usual GNU-style pseudo
+//! instructions and data directives.
+//!
+//! The workload crate writes every MiBench-like kernel in this dialect, so
+//! the assembler intentionally covers what compiled embedded code needs:
+//! labels, `%hi`/`%lo`, `li`/`la`, the full branch pseudo family, and the
+//! `.text`/`.data`/`.word`/`.byte`/`.ascii`/`.space`/`.align`/`.equ`
+//! directives.
+//!
+//! # Examples
+//!
+//! ```
+//! let program = rv32::asm::assemble("
+//!     .data
+//! nums:   .word 3, 4
+//!     .text
+//!     la   t0, nums
+//!     lw   a0, 0(t0)
+//!     lw   a1, 4(t0)
+//!     add  a0, a0, a1
+//!     ebreak
+//! ").unwrap();
+//! assert_eq!(program.instr_count(), 6); // la expands to two instructions
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::encode::encode;
+use crate::isa::{AluOp, BranchOp, Instr, LoadWidth, MulOp, Reg, StoreWidth};
+use crate::program::Program;
+
+/// Default text-segment base address.
+pub const DEFAULT_TEXT_BASE: u32 = 0x0000_1000;
+/// Default data-segment base address.
+pub const DEFAULT_DATA_BASE: u32 = 0x0004_0000;
+
+/// Assembly error with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Problem description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles `src` with the default segment bases.
+///
+/// The entry point is the `_start` symbol if defined, else `main`, else the
+/// first text address.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any syntax, range or
+/// unknown-symbol problem.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    Assembler::new().assemble(src)
+}
+
+/// Configurable assembler (segment base addresses).
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    text_base: u32,
+    data_base: u32,
+}
+
+impl Default for Assembler {
+    fn default() -> Assembler {
+        Assembler::new()
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+#[derive(Clone)]
+enum Stmt {
+    Instr { mnemonic: String, operands: Vec<String> },
+    Directive { name: String, args: Vec<String> },
+}
+
+struct Placed {
+    line: usize,
+    addr: u32,
+    section: Section,
+    stmt: Stmt,
+}
+
+impl Assembler {
+    /// Creates an assembler with the default segment bases.
+    pub fn new() -> Assembler {
+        Assembler { text_base: DEFAULT_TEXT_BASE, data_base: DEFAULT_DATA_BASE }
+    }
+
+    /// Sets the text-segment base address.
+    pub fn text_base(mut self, base: u32) -> Assembler {
+        self.text_base = base;
+        self
+    }
+
+    /// Sets the data-segment base address.
+    pub fn data_base(mut self, base: u32) -> Assembler {
+        self.data_base = base;
+        self
+    }
+
+    /// Assembles `src` into a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] with the offending line on any syntax, range or
+    /// unknown-symbol problem.
+    pub fn assemble(&self, src: &str) -> Result<Program, AsmError> {
+        let mut symbols: HashMap<String, u32> = HashMap::new();
+        let mut placed: Vec<Placed> = Vec::new();
+        let mut text_cur = self.text_base;
+        let mut data_cur = self.data_base;
+        let mut section = Section::Text;
+
+        // Pass 1: compute addresses and label values.
+        for (idx, raw) in src.lines().enumerate() {
+            let line_no = idx + 1;
+            let err = |msg: String| AsmError { line: line_no, msg };
+            let mut line = strip_comment(raw).trim().to_string();
+            // Peel leading labels.
+            loop {
+                match split_label(&line) {
+                    Some((label, rest)) => {
+                        let addr = match section {
+                            Section::Text => text_cur,
+                            Section::Data => data_cur,
+                        };
+                        if symbols.insert(label.to_string(), addr).is_some() {
+                            return Err(err(format!("duplicate label `{label}`")));
+                        }
+                        line = rest.trim().to_string();
+                    }
+                    None => break,
+                }
+            }
+            if line.is_empty() {
+                continue;
+            }
+            let stmt = parse_stmt(&line).map_err(|m| err(m))?;
+            let cur = match section {
+                Section::Text => &mut text_cur,
+                Section::Data => &mut data_cur,
+            };
+            match &stmt {
+                Stmt::Directive { name, args } => match name.as_str() {
+                    ".text" => {
+                        section = Section::Text;
+                        continue;
+                    }
+                    ".data" => {
+                        section = Section::Data;
+                        continue;
+                    }
+                    ".section" => {
+                        let target = args.first().map(String::as_str).unwrap_or("");
+                        section = if target.contains("data") || target.contains("bss") {
+                            Section::Data
+                        } else {
+                            Section::Text
+                        };
+                        continue;
+                    }
+                    ".globl" | ".global" | ".type" | ".size" | ".option" | ".attribute" => {
+                        continue;
+                    }
+                    ".equ" | ".set" => {
+                        if args.len() != 2 {
+                            return Err(err(format!("`{name}` takes `name, value`")));
+                        }
+                        let v = parse_int(&args[1])
+                            .ok_or_else(|| err(format!("bad constant `{}`", args[1])))?;
+                        symbols.insert(args[0].clone(), v as u32);
+                        continue;
+                    }
+                    ".align" | ".p2align" => {
+                        let n = args
+                            .first()
+                            .and_then(|a| parse_int(a))
+                            .ok_or_else(|| err("`.align` needs a power".into()))?;
+                        let a = 1u32 << n;
+                        *cur = (*cur + a - 1) & !(a - 1);
+                        let addr = *cur;
+                        placed.push(Placed { line: line_no, addr, section, stmt });
+                        continue;
+                    }
+                    _ => {}
+                },
+                Stmt::Instr { .. } => {
+                    if section == Section::Data {
+                        return Err(err("instruction in .data section".into()));
+                    }
+                }
+            }
+            let size = self.stmt_size(&stmt, *cur).map_err(|m| err(m))?;
+            placed.push(Placed { line: line_no, addr: *cur, section, stmt });
+            *cur += size;
+        }
+
+        // Pass 2: emit.
+        let mut text: Vec<u32> = Vec::new();
+        let mut data: Vec<u8> = vec![0; (data_cur - self.data_base) as usize];
+        for p in &placed {
+            let err = |msg: String| AsmError { line: p.line, msg };
+            match &p.stmt {
+                Stmt::Instr { mnemonic, operands } => {
+                    let instrs = expand_instr(mnemonic, operands, p.addr, &symbols)
+                        .map_err(|m| err(m))?;
+                    // Pass-1 sizing and pass-2 emission must agree, or every
+                    // later label would be wrong.
+                    debug_assert_eq!(
+                        p.addr,
+                        self.text_base + 4 * text.len() as u32,
+                        "pass-1/pass-2 drift before `{mnemonic}`"
+                    );
+                    debug_assert_eq!(
+                        instrs.len() as u32 * 4,
+                        self.stmt_size(&p.stmt, p.addr).unwrap(),
+                        "pass-1/pass-2 size mismatch for `{mnemonic}`"
+                    );
+                    for i in &instrs {
+                        let w = encode(i).map_err(|e| err(e.to_string()))?;
+                        text.push(w);
+                    }
+                }
+                Stmt::Directive { name, args } => {
+                    let bytes = emit_data(name, args, &symbols).map_err(|m| err(m))?;
+                    match p.section {
+                        Section::Data => {
+                            let off = (p.addr - self.data_base) as usize;
+                            data[off..off + bytes.len()].copy_from_slice(&bytes);
+                        }
+                        Section::Text => {
+                            if !bytes.is_empty() {
+                                return Err(err(format!(
+                                    "data directive `{name}` in .text is not supported"
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let entry = symbols
+            .get("_start")
+            .or_else(|| symbols.get("main"))
+            .copied()
+            .unwrap_or(self.text_base);
+        Ok(Program {
+            text_base: self.text_base,
+            text,
+            data_base: self.data_base,
+            data,
+            entry,
+            symbols,
+        })
+    }
+
+    /// Size in bytes the statement occupies (must be identical in both passes).
+    fn stmt_size(&self, stmt: &Stmt, _addr: u32) -> Result<u32, String> {
+        match stmt {
+            Stmt::Instr { mnemonic, operands } => {
+                let n = match mnemonic.as_str() {
+                    "li" => {
+                        let imm = operands
+                            .get(1)
+                            .and_then(|s| parse_int(s))
+                            .ok_or_else(|| "`li` needs a literal immediate (use `la` for symbols)".to_string())?;
+                        if (-2048..=2047).contains(&imm) {
+                            1
+                        } else {
+                            2
+                        }
+                    }
+                    "la" => 2,
+                    _ => 1,
+                };
+                Ok(n * 4)
+            }
+            Stmt::Directive { name, args } => match name.as_str() {
+                ".word" => Ok(4 * args.len() as u32),
+                ".half" => Ok(2 * args.len() as u32),
+                ".byte" => Ok(args.len() as u32),
+                ".space" | ".skip" => {
+                    let n = args
+                        .first()
+                        .and_then(|a| parse_int(a))
+                        .ok_or_else(|| "`.space` needs a size".to_string())?;
+                    Ok(n as u32)
+                }
+                ".ascii" => Ok(parse_string(args)? .len() as u32),
+                ".asciz" | ".string" => Ok(parse_string(args)?.len() as u32 + 1),
+                ".align" | ".p2align" => Ok(0),
+                other => Err(format!("unknown directive `{other}`")),
+            },
+        }
+    }
+}
+
+/// Strips `#`, `//` and `;` comments, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if c == b'\\' {
+                i += 1;
+            } else if c == b'"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                b'"' => in_str = true,
+                b'#' | b';' => return &line[..i],
+                b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => return &line[..i],
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Splits a leading `label:` off the line, if present.
+fn split_label(line: &str) -> Option<(&str, &str)> {
+    let colon = line.find(':')?;
+    let (head, tail) = line.split_at(colon);
+    let head = head.trim();
+    if head.is_empty() || !head.chars().next().unwrap().is_ascii_alphabetic() && !head.starts_with('_') && !head.starts_with('.') {
+        return None;
+    }
+    if head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$') {
+        Some((head, &tail[1..]))
+    } else {
+        None
+    }
+}
+
+fn parse_stmt(line: &str) -> Result<Stmt, String> {
+    let (head, rest) = match line.find(|c: char| c.is_whitespace()) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    };
+    let head_lc = head.to_ascii_lowercase();
+    if head_lc.starts_with('.') {
+        let args = split_operands(rest);
+        Ok(Stmt::Directive { name: head_lc, args })
+    } else {
+        let operands = split_operands(rest);
+        Ok(Stmt::Instr { mnemonic: head_lc, operands })
+    }
+}
+
+/// Splits on top-level commas, respecting quotes and parentheses.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut cur = String::new();
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_str {
+            cur.push(c);
+            if c == '\\' {
+                if let Some(n) = chars.next() {
+                    cur.push(n);
+                }
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                cur.push(c);
+            }
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    let last = cur.trim();
+    if !last.is_empty() {
+        out.push(last.to_string());
+    }
+    out
+}
+
+/// Parses a literal integer: decimal, hex (`0x`), binary (`0b`), octal (`0o`),
+/// char (`'a'`), optionally negative; underscores are ignored.
+pub fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('\'').and_then(|r| r.strip_suffix('\'')) {
+        let c = match body {
+            "\\n" => b'\n',
+            "\\t" => b'\t',
+            "\\r" => b'\r',
+            "\\0" => 0,
+            "\\\\" => b'\\',
+            "\\'" => b'\'',
+            _ => {
+                let mut it = body.chars();
+                let c = it.next()?;
+                if it.next().is_some() || !c.is_ascii() {
+                    return None;
+                }
+                c as u8
+            }
+        };
+        return Some(c as i64);
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s.strip_prefix('+').unwrap_or(s)),
+    };
+    let body = body.replace('_', "");
+    let v = if let Some(h) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(h, 16).ok()?
+    } else if let Some(b) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(b, 2).ok()?
+    } else if let Some(o) = body.strip_prefix("0o").or_else(|| body.strip_prefix("0O")) {
+        i64::from_str_radix(o, 8).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// A resolved operand value.
+#[derive(Copy, Clone, Debug)]
+enum Value {
+    Plain(i64),
+    Hi(i64),
+    Lo(i64),
+}
+
+fn resolve_value(s: &str, symbols: &HashMap<String, u32>) -> Result<Value, String> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix("%hi(").and_then(|r| r.strip_suffix(')')) {
+        return Ok(Value::Hi(resolve_plain(inner, symbols)?));
+    }
+    if let Some(inner) = s.strip_prefix("%lo(").and_then(|r| r.strip_suffix(')')) {
+        return Ok(Value::Lo(resolve_plain(inner, symbols)?));
+    }
+    Ok(Value::Plain(resolve_plain(s, symbols)?))
+}
+
+/// Resolves `literal`, `symbol`, `symbol+literal` or `symbol-literal`.
+fn resolve_plain(s: &str, symbols: &HashMap<String, u32>) -> Result<i64, String> {
+    let s = s.trim();
+    if let Some(v) = parse_int(s) {
+        return Ok(v);
+    }
+    let split_at = s[1..].find(['+', '-']).map(|i| i + 1);
+    let (name, rest) = match split_at {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    };
+    let base = *symbols
+        .get(name.trim())
+        .ok_or_else(|| format!("unknown symbol `{}`", name.trim()))? as i64;
+    if rest.is_empty() {
+        return Ok(base);
+    }
+    let off = parse_int(rest).ok_or_else(|| format!("bad offset `{rest}`"))?;
+    Ok(base + off)
+}
+
+fn hi20(v: i64) -> i32 {
+    (((v as i32).wrapping_add(0x800)) as u32 & 0xffff_f000) as i32
+}
+
+fn lo12(v: i64) -> i32 {
+    (v as i32).wrapping_sub(hi20(v))
+}
+
+fn reg(s: &str) -> Result<Reg, String> {
+    Reg::from_name(s.trim()).ok_or_else(|| format!("unknown register `{s}`"))
+}
+
+/// Parses `off(reg)` (offset may be empty, a literal, or `%lo(sym)`).
+fn mem_operand(s: &str, symbols: &HashMap<String, u32>) -> Result<(i32, Reg), String> {
+    let s = s.trim();
+    let open = s.rfind('(').ok_or_else(|| format!("expected `off(reg)`, got `{s}`"))?;
+    if !s.ends_with(')') {
+        return Err(format!("expected `off(reg)`, got `{s}`"));
+    }
+    let base = reg(&s[open + 1..s.len() - 1])?;
+    let off_str = s[..open].trim();
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        match resolve_value(off_str, symbols)? {
+            Value::Plain(v) => v as i32,
+            Value::Lo(a) => lo12(a),
+            Value::Hi(_) => return Err("%hi() is not valid as a memory offset".into()),
+        }
+    };
+    Ok((off, base))
+}
+
+fn want(ops: &[String], n: usize, mnemonic: &str) -> Result<(), String> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()))
+    }
+}
+
+/// Expands one source mnemonic (possibly a pseudo-instruction) to machine
+/// instructions at address `pc`.
+fn expand_instr(
+    mnemonic: &str,
+    ops: &[String],
+    pc: u32,
+    symbols: &HashMap<String, u32>,
+) -> Result<Vec<Instr>, String> {
+    let alu_rrr = |op: AluOp| -> Result<Vec<Instr>, String> {
+        want(ops, 3, mnemonic)?;
+        Ok(vec![Instr::Op { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, rs2: reg(&ops[2])? }])
+    };
+    let mul_rrr = |op: MulOp| -> Result<Vec<Instr>, String> {
+        want(ops, 3, mnemonic)?;
+        Ok(vec![Instr::MulDiv { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, rs2: reg(&ops[2])? }])
+    };
+    let alu_rri = |op: AluOp| -> Result<Vec<Instr>, String> {
+        want(ops, 3, mnemonic)?;
+        let imm = match resolve_value(&ops[2], symbols)? {
+            Value::Plain(v) => v as i32,
+            Value::Lo(a) => lo12(a),
+            Value::Hi(_) => return Err("%hi() is not valid here".into()),
+        };
+        Ok(vec![Instr::OpImm { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm }])
+    };
+    let load = |width: LoadWidth| -> Result<Vec<Instr>, String> {
+        want(ops, 2, mnemonic)?;
+        let (offset, rs1) = mem_operand(&ops[1], symbols)?;
+        Ok(vec![Instr::Load { width, rd: reg(&ops[0])?, rs1, offset }])
+    };
+    let store = |width: StoreWidth| -> Result<Vec<Instr>, String> {
+        want(ops, 2, mnemonic)?;
+        let (offset, rs1) = mem_operand(&ops[1], symbols)?;
+        Ok(vec![Instr::Store { width, rs2: reg(&ops[0])?, rs1, offset }])
+    };
+    let target = |s: &str| -> Result<i32, String> {
+        match resolve_value(s, symbols)? {
+            Value::Plain(v) => Ok((v as i64 - pc as i64) as i32),
+            _ => Err("%hi/%lo not valid as a branch target".into()),
+        }
+    };
+    let branch = |op: BranchOp, swap: bool| -> Result<Vec<Instr>, String> {
+        want(ops, 3, mnemonic)?;
+        let (a, b) = if swap { (1, 0) } else { (0, 1) };
+        Ok(vec![Instr::Branch {
+            op,
+            rs1: reg(&ops[a])?,
+            rs2: reg(&ops[b])?,
+            offset: target(&ops[2])?,
+        }])
+    };
+    let branchz = |op: BranchOp, zero_first: bool| -> Result<Vec<Instr>, String> {
+        want(ops, 2, mnemonic)?;
+        let r = reg(&ops[0])?;
+        let (rs1, rs2) = if zero_first { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
+        Ok(vec![Instr::Branch { op, rs1, rs2, offset: target(&ops[1])? }])
+    };
+
+    match mnemonic {
+        "add" => alu_rrr(AluOp::Add),
+        "sub" => alu_rrr(AluOp::Sub),
+        "sll" => alu_rrr(AluOp::Sll),
+        "slt" => alu_rrr(AluOp::Slt),
+        "sltu" => alu_rrr(AluOp::Sltu),
+        "xor" => alu_rrr(AluOp::Xor),
+        "srl" => alu_rrr(AluOp::Srl),
+        "sra" => alu_rrr(AluOp::Sra),
+        "or" => alu_rrr(AluOp::Or),
+        "and" => alu_rrr(AluOp::And),
+        "mul" => mul_rrr(MulOp::Mul),
+        "mulh" => mul_rrr(MulOp::Mulh),
+        "mulhsu" => mul_rrr(MulOp::Mulhsu),
+        "mulhu" => mul_rrr(MulOp::Mulhu),
+        "div" => mul_rrr(MulOp::Div),
+        "divu" => mul_rrr(MulOp::Divu),
+        "rem" => mul_rrr(MulOp::Rem),
+        "remu" => mul_rrr(MulOp::Remu),
+        "addi" => alu_rri(AluOp::Add),
+        "slti" => alu_rri(AluOp::Slt),
+        "sltiu" => alu_rri(AluOp::Sltu),
+        "xori" => alu_rri(AluOp::Xor),
+        "ori" => alu_rri(AluOp::Or),
+        "andi" => alu_rri(AluOp::And),
+        "slli" => alu_rri(AluOp::Sll),
+        "srli" => alu_rri(AluOp::Srl),
+        "srai" => alu_rri(AluOp::Sra),
+        "lb" => load(LoadWidth::B),
+        "lh" => load(LoadWidth::H),
+        "lw" => load(LoadWidth::W),
+        "lbu" => load(LoadWidth::Bu),
+        "lhu" => load(LoadWidth::Hu),
+        "sb" => store(StoreWidth::B),
+        "sh" => store(StoreWidth::H),
+        "sw" => store(StoreWidth::W),
+        "beq" => branch(BranchOp::Eq, false),
+        "bne" => branch(BranchOp::Ne, false),
+        "blt" => branch(BranchOp::Lt, false),
+        "bge" => branch(BranchOp::Ge, false),
+        "bltu" => branch(BranchOp::Ltu, false),
+        "bgeu" => branch(BranchOp::Geu, false),
+        "bgt" => branch(BranchOp::Lt, true),
+        "ble" => branch(BranchOp::Ge, true),
+        "bgtu" => branch(BranchOp::Ltu, true),
+        "bleu" => branch(BranchOp::Geu, true),
+        "beqz" => branchz(BranchOp::Eq, false),
+        "bnez" => branchz(BranchOp::Ne, false),
+        "bltz" => branchz(BranchOp::Lt, false),
+        "bgez" => branchz(BranchOp::Ge, false),
+        "bgtz" => branchz(BranchOp::Lt, true),
+        "blez" => branchz(BranchOp::Ge, true),
+        "lui" | "auipc" => {
+            want(ops, 2, mnemonic)?;
+            let rd = reg(&ops[0])?;
+            let imm = match resolve_value(&ops[1], symbols)? {
+                Value::Plain(v) => {
+                    if !(0..=0xfffff).contains(&v) {
+                        return Err(format!("upper immediate {v} out of range [0, 0xfffff]"));
+                    }
+                    (v << 12) as i32
+                }
+                Value::Hi(a) => hi20(a),
+                Value::Lo(_) => return Err("%lo() is not valid here".into()),
+            };
+            Ok(vec![if mnemonic == "lui" {
+                Instr::Lui { rd, imm }
+            } else {
+                Instr::Auipc { rd, imm }
+            }])
+        }
+        "jal" => match ops.len() {
+            1 => Ok(vec![Instr::Jal { rd: Reg::RA, offset: target(&ops[0])? }]),
+            2 => Ok(vec![Instr::Jal { rd: reg(&ops[0])?, offset: target(&ops[1])? }]),
+            n => Err(format!("`jal` expects 1 or 2 operands, got {n}")),
+        },
+        "jalr" => match ops.len() {
+            1 => Ok(vec![Instr::Jalr { rd: Reg::RA, rs1: reg(&ops[0])?, offset: 0 }]),
+            2 => {
+                let (offset, rs1) = mem_operand(&ops[1], symbols)?;
+                Ok(vec![Instr::Jalr { rd: reg(&ops[0])?, rs1, offset }])
+            }
+            3 => Ok(vec![Instr::Jalr {
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                offset: match resolve_value(&ops[2], symbols)? {
+                    Value::Plain(v) => v as i32,
+                    Value::Lo(a) => lo12(a),
+                    Value::Hi(_) => return Err("%hi() is not valid here".into()),
+                },
+            }]),
+            n => Err(format!("`jalr` expects 1-3 operands, got {n}")),
+        },
+        "j" => {
+            want(ops, 1, mnemonic)?;
+            Ok(vec![Instr::Jal { rd: Reg::ZERO, offset: target(&ops[0])? }])
+        }
+        "jr" => {
+            want(ops, 1, mnemonic)?;
+            Ok(vec![Instr::Jalr { rd: Reg::ZERO, rs1: reg(&ops[0])?, offset: 0 }])
+        }
+        "call" => {
+            want(ops, 1, mnemonic)?;
+            Ok(vec![Instr::Jal { rd: Reg::RA, offset: target(&ops[0])? }])
+        }
+        "tail" => {
+            want(ops, 1, mnemonic)?;
+            Ok(vec![Instr::Jal { rd: Reg::ZERO, offset: target(&ops[0])? }])
+        }
+        "ret" => {
+            want(ops, 0, mnemonic)?;
+            Ok(vec![Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }])
+        }
+        "nop" => {
+            want(ops, 0, mnemonic)?;
+            Ok(vec![Instr::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }])
+        }
+        "mv" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::OpImm { op: AluOp::Add, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: 0 }])
+        }
+        "not" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::OpImm { op: AluOp::Xor, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: -1 }])
+        }
+        "neg" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::Op { op: AluOp::Sub, rd: reg(&ops[0])?, rs1: Reg::ZERO, rs2: reg(&ops[1])? }])
+        }
+        "seqz" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::OpImm { op: AluOp::Sltu, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: 1 }])
+        }
+        "snez" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::Op { op: AluOp::Sltu, rd: reg(&ops[0])?, rs1: Reg::ZERO, rs2: reg(&ops[1])? }])
+        }
+        "sltz" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::Op { op: AluOp::Slt, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, rs2: Reg::ZERO }])
+        }
+        "sgtz" => {
+            want(ops, 2, mnemonic)?;
+            Ok(vec![Instr::Op { op: AluOp::Slt, rd: reg(&ops[0])?, rs1: Reg::ZERO, rs2: reg(&ops[1])? }])
+        }
+        "li" => {
+            want(ops, 2, mnemonic)?;
+            let rd = reg(&ops[0])?;
+            let imm = parse_int(&ops[1])
+                .ok_or_else(|| "`li` needs a literal immediate (use `la` for symbols)".to_string())?;
+            if (-2048..=2047).contains(&imm) {
+                Ok(vec![Instr::OpImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: imm as i32 }])
+            } else {
+                if imm > u32::MAX as i64 || imm < i32::MIN as i64 {
+                    return Err(format!("`li` immediate {imm} does not fit 32 bits"));
+                }
+                let v = imm as i32;
+                Ok(vec![
+                    Instr::Lui { rd, imm: hi20(v as i64) },
+                    Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: lo12(v as i64) },
+                ])
+            }
+        }
+        "la" => {
+            want(ops, 2, mnemonic)?;
+            let rd = reg(&ops[0])?;
+            let v = resolve_plain(&ops[1], symbols)?;
+            Ok(vec![
+                Instr::Lui { rd, imm: hi20(v) },
+                Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: lo12(v) },
+            ])
+        }
+        "ecall" => Ok(vec![Instr::Ecall]),
+        "ebreak" => Ok(vec![Instr::Ebreak]),
+        "fence" => Ok(vec![Instr::Fence]),
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+fn parse_string(args: &[String]) -> Result<Vec<u8>, String> {
+    let joined = args.join(",");
+    let s = joined.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{s}`"))?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            let e = chars.next().ok_or("dangling escape")?;
+            out.push(match e {
+                'n' => b'\n',
+                't' => b'\t',
+                'r' => b'\r',
+                '0' => 0,
+                '\\' => b'\\',
+                '"' => b'"',
+                other => return Err(format!("unknown escape `\\{other}`")),
+            });
+        } else {
+            if !c.is_ascii() {
+                return Err(format!("non-ASCII character `{c}` in string"));
+            }
+            out.push(c as u8);
+        }
+    }
+    Ok(out)
+}
+
+fn emit_data(
+    name: &str,
+    args: &[String],
+    symbols: &HashMap<String, u32>,
+) -> Result<Vec<u8>, String> {
+    match name {
+        ".word" => {
+            let mut out = Vec::with_capacity(4 * args.len());
+            for a in args {
+                let v = resolve_plain(a, symbols)? as u32;
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Ok(out)
+        }
+        ".half" => {
+            let mut out = Vec::with_capacity(2 * args.len());
+            for a in args {
+                let v = resolve_plain(a, symbols)? as u16;
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Ok(out)
+        }
+        ".byte" => args
+            .iter()
+            .map(|a| resolve_plain(a, symbols).map(|v| v as u8))
+            .collect(),
+        ".space" | ".skip" => {
+            let n = parse_int(&args[0]).ok_or("`.space` needs a size")? as usize;
+            let fill = args.get(1).and_then(|a| parse_int(a)).unwrap_or(0) as u8;
+            Ok(vec![fill; n])
+        }
+        ".ascii" => parse_string(args),
+        ".asciz" | ".string" => {
+            let mut b = parse_string(args)?;
+            b.push(0);
+            Ok(b)
+        }
+        ".align" | ".p2align" => Ok(Vec::new()),
+        other => Err(format!("unknown directive `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_branches() {
+        let p = assemble(
+            "
+            li a0, 0
+        loop:
+            addi a0, a0, 1
+            li t0, 3
+            blt a0, t0, loop
+            ebreak
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.instr_count(), 5);
+        assert_eq!(p.symbol("loop"), Some(p.text_base + 4));
+    }
+
+    #[test]
+    fn li_expansion_sizes() {
+        let p = assemble("li a0, 5\nebreak").unwrap();
+        assert_eq!(p.instr_count(), 2);
+        let p = assemble("li a0, 0x12345678\nebreak").unwrap();
+        assert_eq!(p.instr_count(), 3);
+    }
+
+    #[test]
+    fn li_values() {
+        for v in [0i64, 5, -5, 2047, -2048, 2048, -2049, 0x12345678, 0x7fffffff, -0x80000000, 0xffffffff] {
+            let p = assemble(&format!("li a0, {v}\nebreak")).unwrap();
+            let mut cpu = crate::cpu::Cpu::new(1 << 20);
+            cpu.load_program(&p).unwrap();
+            cpu.run(10).unwrap();
+            assert_eq!(cpu.reg(Reg::A0), v as u32, "li {v}");
+        }
+    }
+
+    #[test]
+    fn la_and_word_directive() {
+        let p = assemble(
+            "
+            .data
+        tbl: .word 10, 20, tbl
+            .text
+            la a0, tbl
+            lw a1, 8(a0)
+            ebreak
+        ",
+        )
+        .unwrap();
+        let tbl = p.symbol("tbl").unwrap();
+        let mut cpu = crate::cpu::Cpu::new(1 << 20);
+        cpu.load_program(&p).unwrap();
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.reg(Reg::A0), tbl);
+        assert_eq!(cpu.reg(Reg::A1), tbl, ".word with a symbol ref");
+    }
+
+    #[test]
+    fn hi_lo_pairs() {
+        let p = assemble(
+            "
+            .data
+            .space 100
+        v:  .word 0xabcd1234
+            .text
+            lui t0, %hi(v)
+            lw a0, %lo(v)(t0)
+            ebreak
+        ",
+        )
+        .unwrap();
+        let mut cpu = crate::cpu::Cpu::new(1 << 20);
+        cpu.load_program(&p).unwrap();
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.reg(Reg::A0), 0xabcd1234);
+    }
+
+    #[test]
+    fn strings_and_alignment() {
+        let p = assemble(
+            "
+            .data
+        s:  .asciz \"ab\\n\"
+            .align 2
+        w:  .word 1
+            .text
+            ebreak
+        ",
+        )
+        .unwrap();
+        assert_eq!(&p.data[..4], b"ab\n\0");
+        let w = p.symbol("w").unwrap();
+        assert_eq!(w % 4, 0);
+        assert_eq!(p.symbol("s").unwrap(), p.data_base);
+    }
+
+    #[test]
+    fn equ_constants() {
+        let p = assemble(
+            "
+            .equ N, 40
+            li a0, 0
+            addi a0, a0, N
+            ebreak
+        ",
+        )
+        .unwrap();
+        let mut cpu = crate::cpu::Cpu::new(1 << 20);
+        cpu.load_program(&p).unwrap();
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.reg(Reg::A0), 40);
+    }
+
+    #[test]
+    fn pseudo_instructions_execute() {
+        let p = assemble(
+            "
+            li t0, 9
+            mv a0, t0
+            not a1, t0       # -10
+            neg a2, t0       # -9
+            seqz a3, zero    # 1
+            snez a4, t0      # 1
+            ebreak
+        ",
+        )
+        .unwrap();
+        let mut cpu = crate::cpu::Cpu::new(1 << 20);
+        cpu.load_program(&p).unwrap();
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.reg(Reg::A0), 9);
+        assert_eq!(cpu.reg(Reg::A1), -10i32 as u32);
+        assert_eq!(cpu.reg(Reg::from_name("a2").unwrap()), -9i32 as u32);
+        assert_eq!(cpu.reg(Reg::from_name("a3").unwrap()), 1);
+        assert_eq!(cpu.reg(Reg::from_name("a4").unwrap()), 1);
+    }
+
+    #[test]
+    fn call_ret() {
+        let p = assemble(
+            "
+        main:
+            li a0, 1
+            call f
+            addi a0, a0, 100
+            ebreak
+        f:  addi a0, a0, 10
+            ret
+        ",
+        )
+        .unwrap();
+        let mut cpu = crate::cpu::Cpu::new(1 << 20);
+        cpu.load_program(&p).unwrap();
+        cpu.run(20).unwrap();
+        assert_eq!(cpu.reg(Reg::A0), 111);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus a0, a1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus"));
+        let e = assemble("addi a0, a1, 5000").unwrap_err();
+        assert!(e.msg.contains("out of range"), "{}", e.msg);
+        let e = assemble("x: nop\nx: nop").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+        let e = assemble("lw a0, 0(a9)").unwrap_err();
+        assert!(e.msg.contains("register"));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let p = assemble(
+            "
+            nop # trailing
+            nop // c++ style
+            nop ; asm style
+            .data
+        s: .ascii \"has # no ; comment\"
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.instr_count(), 3);
+        assert_eq!(p.data.len(), "has # no ; comment".len());
+    }
+
+    #[test]
+    fn entry_point_selection() {
+        let p = assemble("nop\n_start: ebreak").unwrap();
+        assert_eq!(p.entry, p.text_base + 4);
+        let p = assemble("nop\nmain: ebreak").unwrap();
+        assert_eq!(p.entry, p.text_base + 4);
+        let p = assemble("nop\nebreak").unwrap();
+        assert_eq!(p.entry, p.text_base);
+    }
+}

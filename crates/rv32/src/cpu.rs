@@ -1,0 +1,517 @@
+//! Single-issue in-order CPU interpreter with a TimingSimple-like cycle model.
+//!
+//! This stands in for the paper's gem5 `TimingSimpleCPU` substrate: it
+//! produces (a) architectural results, (b) a deterministic cycle count from a
+//! per-class latency table, and (c) the retired-instruction stream consumed
+//! by the hardware DBT model in the `dbt` crate.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::decode::{decode, DecodeError};
+use crate::isa::{Instr, Reg};
+use crate::mem::{MemError, Memory};
+use crate::program::Program;
+
+/// Per-instruction-class latencies in processor cycles.
+///
+/// Defaults model a single-issue embedded core in the spirit of gem5's
+/// `TimingSimpleCPU` with L1 caches: one cycle per ALU instruction,
+/// three-cycle loads (AGU + cache access + writeback), a fetch-redirect
+/// penalty on taken control transfers, a multi-cycle multiplier and an
+/// iterative divider.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// ALU / lui / auipc latency.
+    pub alu: u64,
+    /// Load latency (includes the data-cache access).
+    pub load: u64,
+    /// Store latency.
+    pub store: u64,
+    /// Multiply latency.
+    pub mul: u64,
+    /// Divide/remainder latency.
+    pub div: u64,
+    /// Not-taken conditional branch latency.
+    pub branch: u64,
+    /// Extra cycles when a branch is taken (redirect penalty).
+    pub taken_extra: u64,
+    /// Unconditional jump (`jal`/`jalr`) latency.
+    pub jump: u64,
+    /// System instruction (`fence`/`ecall`/`ebreak`) latency.
+    pub system: u64,
+}
+
+impl Default for TimingModel {
+    fn default() -> TimingModel {
+        TimingModel {
+            alu: 1,
+            load: 3,
+            store: 2,
+            mul: 4,
+            div: 35,
+            branch: 1,
+            taken_extra: 2,
+            jump: 3,
+            system: 1,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Cycles charged for `instr` given whether a branch was taken.
+    pub fn cycles_for(&self, instr: &Instr, taken: bool) -> u64 {
+        match instr {
+            Instr::Load { .. } => self.load,
+            Instr::Store { .. } => self.store,
+            Instr::MulDiv { op, .. } => {
+                if op.is_div() {
+                    self.div
+                } else {
+                    self.mul
+                }
+            }
+            Instr::Branch { .. } => self.branch + if taken { self.taken_extra } else { 0 },
+            Instr::Jal { .. } | Instr::Jalr { .. } => self.jump,
+            Instr::Fence | Instr::Ecall | Instr::Ebreak => self.system,
+            _ => self.alu,
+        }
+    }
+}
+
+/// Why the CPU stopped voluntarily.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exit {
+    /// `ebreak` executed at the given PC.
+    Break {
+        /// PC of the `ebreak`.
+        pc: u32,
+    },
+    /// `ecall` exit syscall (a7 = 93) with the given status code.
+    Exit {
+        /// Exit status (register `a0`).
+        code: u32,
+    },
+}
+
+/// Errors from [`Cpu::step`] / [`Cpu::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// Fetched word is not a valid instruction.
+    Decode(DecodeError),
+    /// Data or instruction access out of bounds.
+    Mem(MemError),
+    /// `ecall` with an unimplemented syscall number.
+    UnsupportedSyscall {
+        /// Syscall number (register `a7`).
+        num: u32,
+        /// PC of the `ecall`.
+        pc: u32,
+    },
+    /// Attempted to step a halted CPU.
+    Halted,
+    /// [`Cpu::run`] exceeded its step budget.
+    StepLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::Decode(e) => write!(f, "{e}"),
+            CpuError::Mem(e) => write!(f, "{e}"),
+            CpuError::UnsupportedSyscall { num, pc } => {
+                write!(f, "unsupported syscall {num} at pc {pc:#010x}")
+            }
+            CpuError::Halted => write!(f, "cpu is halted"),
+            CpuError::StepLimit { limit } => write!(f, "step limit of {limit} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+impl From<DecodeError> for CpuError {
+    fn from(e: DecodeError) -> CpuError {
+        CpuError::Decode(e)
+    }
+}
+
+impl From<MemError> for CpuError {
+    fn from(e: MemError) -> CpuError {
+        CpuError::Mem(e)
+    }
+}
+
+/// One retired instruction, as observed by the DBT hardware (paper Fig. 2,
+/// step 2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Retired {
+    /// PC the instruction was fetched from.
+    pub pc: u32,
+    /// The instruction.
+    pub instr: Instr,
+    /// PC of the next instruction (reflects taken branches).
+    pub next_pc: u32,
+    /// `Some(taken)` for conditional branches.
+    pub taken: Option<bool>,
+    /// Cycles this instruction was charged.
+    pub cycles: u64,
+}
+
+/// The single-issue RV32IM processor model.
+///
+/// # Examples
+///
+/// ```
+/// use rv32::{asm::assemble, cpu::Cpu};
+/// let p = assemble("
+///     li a0, 6
+///     li a1, 7
+///     mul a0, a0, a1
+///     ebreak
+/// ").unwrap();
+/// let mut cpu = Cpu::new(1 << 20);
+/// cpu.load_program(&p).unwrap();
+/// cpu.run(1_000).unwrap();
+/// assert_eq!(cpu.reg(rv32::isa::Reg::A0), 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    regs: [u32; 32],
+    pc: u32,
+    /// The memory image (public: workloads poke inputs / peek outputs).
+    pub mem: Memory,
+    timing: TimingModel,
+    cycles: u64,
+    retired: u64,
+    exit: Option<Exit>,
+    output: Vec<u8>,
+}
+
+impl Cpu {
+    /// Creates a CPU with a zeroed `mem_size`-byte memory.
+    pub fn new(mem_size: usize) -> Cpu {
+        Cpu::with_timing(mem_size, TimingModel::default())
+    }
+
+    /// Creates a CPU with an explicit timing model.
+    pub fn with_timing(mem_size: usize, timing: TimingModel) -> Cpu {
+        Cpu {
+            regs: [0; 32],
+            pc: 0,
+            mem: Memory::new(mem_size),
+            timing,
+            cycles: 0,
+            retired: 0,
+            exit: None,
+            output: Vec::new(),
+        }
+    }
+
+    /// Loads `program` into memory, sets the entry PC and the stack pointer
+    /// (top of memory, 16-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns a memory error if a segment does not fit.
+    pub fn load_program(&mut self, program: &Program) -> Result<(), MemError> {
+        for (i, w) in program.text.iter().enumerate() {
+            self.mem.write_u32(program.text_base + 4 * i as u32, *w)?;
+        }
+        self.mem.write_bytes(program.data_base, &program.data)?;
+        self.pc = program.entry;
+        let sp = (self.mem.size() as u32 - 16) & !0xf;
+        self.set_reg(Reg::SP, sp);
+        Ok(())
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Reads a register (`x0` always reads zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.num() as usize]
+    }
+
+    /// Writes a register (writes to `x0` are ignored).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.num() as usize] = v;
+        }
+    }
+
+    /// Total cycles charged so far (including externally charged ones).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Charges extra cycles (used by the system model for offload overheads).
+    pub fn add_cycles(&mut self, c: u64) {
+        self.cycles += c;
+    }
+
+    /// Number of retired instructions.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Exit status, if the program has halted.
+    pub fn exit(&self) -> Option<Exit> {
+        self.exit
+    }
+
+    /// Bytes written through the `write` syscall (fd 1/2).
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// The timing model in use.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Fetches, decodes, executes and retires one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] on invalid fetch/decode/data accesses, on
+    /// unsupported syscalls, and when the CPU has already halted.
+    pub fn step(&mut self) -> Result<Retired, CpuError> {
+        if self.exit.is_some() {
+            return Err(CpuError::Halted);
+        }
+        let pc = self.pc;
+        let word = self.mem.read_u32(pc)?;
+        let instr = decode(word).map_err(|mut e| {
+            e.pc = Some(pc);
+            e
+        })?;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut taken = None;
+
+        match instr {
+            Instr::Lui { rd, imm } => self.set_reg(rd, imm as u32),
+            Instr::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm as u32)),
+            Instr::Jal { rd, offset } => {
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(offset as u32);
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Instr::Branch { op, rs1, rs2, offset } => {
+                let t = op.taken(self.reg(rs1), self.reg(rs2));
+                taken = Some(t);
+                if t {
+                    next_pc = pc.wrapping_add(offset as u32);
+                }
+            }
+            Instr::Load { width, rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = match width {
+                    crate::isa::LoadWidth::B => self.mem.read_u8(addr)? as i8 as i32 as u32,
+                    crate::isa::LoadWidth::Bu => self.mem.read_u8(addr)? as u32,
+                    crate::isa::LoadWidth::H => self.mem.read_u16(addr)? as i16 as i32 as u32,
+                    crate::isa::LoadWidth::Hu => self.mem.read_u16(addr)? as u32,
+                    crate::isa::LoadWidth::W => self.mem.read_u32(addr)?,
+                };
+                self.set_reg(rd, v);
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = self.reg(rs2);
+                match width {
+                    crate::isa::StoreWidth::B => self.mem.write_u8(addr, v as u8)?,
+                    crate::isa::StoreWidth::H => self.mem.write_u16(addr, v as u16)?,
+                    crate::isa::StoreWidth::W => self.mem.write_u32(addr, v)?,
+                }
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                self.set_reg(rd, op.eval(self.reg(rs1), imm as u32));
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                self.set_reg(rd, op.eval(self.reg(rs1), self.reg(rs2)));
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                self.set_reg(rd, op.eval(self.reg(rs1), self.reg(rs2)));
+            }
+            Instr::Fence => {}
+            Instr::Ebreak => {
+                self.exit = Some(Exit::Break { pc });
+            }
+            Instr::Ecall => {
+                let num = self.reg(Reg::A7);
+                match num {
+                    93 => self.exit = Some(Exit::Exit { code: self.reg(Reg::A0) }),
+                    64 => {
+                        // write(fd, buf, len): capture the bytes, return len.
+                        let buf = self.reg(Reg::A1);
+                        let len = self.reg(crate::isa::Reg::x(12));
+                        let bytes = self.mem.read_bytes(buf, len)?.to_vec();
+                        self.output.extend_from_slice(&bytes);
+                        self.set_reg(Reg::A0, len);
+                    }
+                    _ => return Err(CpuError::UnsupportedSyscall { num, pc }),
+                }
+            }
+        }
+
+        let cycles = self.timing.cycles_for(&instr, taken.unwrap_or(false));
+        self.cycles += cycles;
+        self.retired += 1;
+        self.pc = next_pc;
+        Ok(Retired { pc, instr, next_pc, taken, cycles })
+    }
+
+    /// Runs until the program halts or `max_steps` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Cpu::step`] errors; returns [`CpuError::StepLimit`] if the
+    /// budget is exhausted without a halt.
+    pub fn run(&mut self, max_steps: u64) -> Result<Exit, CpuError> {
+        for _ in 0..max_steps {
+            self.step()?;
+            if let Some(e) = self.exit {
+                return Ok(e);
+            }
+        }
+        Err(CpuError::StepLimit { limit: max_steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_asm(src: &str) -> Cpu {
+        let p = assemble(src).expect("assembles");
+        let mut cpu = Cpu::new(1 << 20);
+        cpu.load_program(&p).unwrap();
+        cpu.run(1_000_000).expect("halts");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // Sum 1..=10.
+        let cpu = run_asm(
+            "
+            li a0, 0
+            li a1, 1
+        loop:
+            add a0, a0, a1
+            addi a1, a1, 1
+            li t0, 10
+            ble a1, t0, loop
+            ebreak
+        ",
+        );
+        assert_eq!(cpu.reg(Reg::A0), 55);
+    }
+
+    #[test]
+    fn memory_and_branches() {
+        let cpu = run_asm(
+            "
+            .data
+        buf: .space 16
+            .text
+            la t0, buf
+            li t1, 0x12345678
+            sw t1, 0(t0)
+            lb t2, 1(t0)
+            lhu t3, 2(t0)
+            ebreak
+        ",
+        );
+        assert_eq!(cpu.reg(Reg::from_name("t2").unwrap()), 0x56);
+        assert_eq!(cpu.reg(Reg::from_name("t3").unwrap()), 0x1234);
+    }
+
+    #[test]
+    fn exit_syscall() {
+        let cpu = run_asm(
+            "
+            li a0, 7
+            li a7, 93
+            ecall
+        ",
+        );
+        assert_eq!(cpu.exit(), Some(Exit::Exit { code: 7 }));
+    }
+
+    #[test]
+    fn write_syscall_collects_output() {
+        let cpu = run_asm(
+            "
+            .data
+        msg: .ascii \"hi\"
+            .text
+            li a0, 1
+            la a1, msg
+            li a2, 2
+            li a7, 64
+            ecall
+            ebreak
+        ",
+        );
+        assert_eq!(cpu.output(), b"hi");
+    }
+
+    #[test]
+    fn cycle_accounting_matches_timing_model() {
+        let cpu = run_asm(
+            "
+            li t0, 1     # alu: 1
+            li t1, 2     # alu: 1
+            mul t2, t0, t1  # mul: 4
+            lw t3, 0(zero)  # load: 3
+            ebreak       # system: 1
+        ",
+        );
+        assert_eq!(cpu.cycles(), 1 + 1 + 4 + 3 + 1);
+        assert_eq!(cpu.retired(), 5);
+    }
+
+    #[test]
+    fn step_after_halt_is_error() {
+        let mut cpu = run_asm("ebreak");
+        assert_eq!(cpu.step(), Err(CpuError::Halted));
+    }
+
+    #[test]
+    fn step_limit() {
+        let p = assemble("loop: j loop").unwrap();
+        let mut cpu = Cpu::new(1 << 20);
+        cpu.load_program(&p).unwrap();
+        assert_eq!(cpu.run(10), Err(CpuError::StepLimit { limit: 10 }));
+    }
+
+    #[test]
+    fn x0_is_hardwired() {
+        let cpu = run_asm(
+            "
+            addi zero, zero, 5
+            add a0, zero, zero
+            ebreak
+        ",
+        );
+        assert_eq!(cpu.reg(Reg::ZERO), 0);
+        assert_eq!(cpu.reg(Reg::A0), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! 32-bit word → instruction decoding (the inverse of [`crate::encode`]).
+
+use std::fmt;
+
+use crate::isa::{AluOp, BranchOp, Instr, LoadWidth, MulOp, Reg, StoreWidth};
+
+/// Error produced for machine words that are not valid RV32IM encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+    /// Address the word was fetched from, when known (set by the CPU).
+    pub pc: Option<u32>,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(f, "cannot decode word {:#010x} at pc {:#010x}", self.word, pc),
+            None => write!(f, "cannot decode word {:#010x}", self.word),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(w: u32) -> Reg {
+    Reg::new(((w >> 7) & 0x1f) as u8).expect("5-bit field")
+}
+fn rs1(w: u32) -> Reg {
+    Reg::new(((w >> 15) & 0x1f) as u8).expect("5-bit field")
+}
+fn rs2(w: u32) -> Reg {
+    Reg::new(((w >> 20) & 0x1f) as u8).expect("5-bit field")
+}
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+/// Sign-extends the low `bits` bits of `v`.
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+fn imm_i(w: u32) -> i32 {
+    sext(w >> 20, 12)
+}
+
+fn imm_s(w: u32) -> i32 {
+    sext(((w >> 25) << 5) | ((w >> 7) & 0x1f), 12)
+}
+
+fn imm_b(w: u32) -> i32 {
+    let v = ((w >> 31) & 1) << 12 | ((w >> 7) & 1) << 11 | ((w >> 25) & 0x3f) << 5 | ((w >> 8) & 0xf) << 1;
+    sext(v, 13)
+}
+
+fn imm_j(w: u32) -> i32 {
+    let v = ((w >> 31) & 1) << 20
+        | ((w >> 12) & 0xff) << 12
+        | ((w >> 20) & 1) << 11
+        | ((w >> 21) & 0x3ff) << 1;
+    sext(v, 21)
+}
+
+/// Decodes a 32-bit machine word into an [`Instr`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for reserved/unsupported encodings (including all
+/// compressed and floating-point instructions, which are outside RV32IM).
+///
+/// # Examples
+///
+/// ```
+/// // 0x00a00513 is `addi a0, zero, 10`.
+/// let i = rv32::decode(0x00a0_0513)?;
+/// assert_eq!(i.to_string(), "addi a0, zero, 10");
+/// # Ok::<(), rv32::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = || DecodeError { word, pc: None };
+    let opcode = word & 0x7f;
+    match opcode {
+        0b0110111 => Ok(Instr::Lui { rd: rd(word), imm: (word & 0xffff_f000) as i32 }),
+        0b0010111 => Ok(Instr::Auipc { rd: rd(word), imm: (word & 0xffff_f000) as i32 }),
+        0b1101111 => Ok(Instr::Jal { rd: rd(word), offset: imm_j(word) }),
+        0b1100111 => {
+            if funct3(word) != 0 {
+                return Err(err());
+            }
+            Ok(Instr::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) })
+        }
+        0b1100011 => {
+            let op = match funct3(word) {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return Err(err()),
+            };
+            Ok(Instr::Branch { op, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) })
+        }
+        0b0000011 => {
+            let width = match funct3(word) {
+                0b000 => LoadWidth::B,
+                0b001 => LoadWidth::H,
+                0b010 => LoadWidth::W,
+                0b100 => LoadWidth::Bu,
+                0b101 => LoadWidth::Hu,
+                _ => return Err(err()),
+            };
+            Ok(Instr::Load { width, rd: rd(word), rs1: rs1(word), offset: imm_i(word) })
+        }
+        0b0100011 => {
+            let width = match funct3(word) {
+                0b000 => StoreWidth::B,
+                0b001 => StoreWidth::H,
+                0b010 => StoreWidth::W,
+                _ => return Err(err()),
+            };
+            Ok(Instr::Store { width, rs2: rs2(word), rs1: rs1(word), offset: imm_s(word) })
+        }
+        0b0010011 => {
+            let (op, imm) = match funct3(word) {
+                0b000 => (AluOp::Add, imm_i(word)),
+                0b010 => (AluOp::Slt, imm_i(word)),
+                0b011 => (AluOp::Sltu, imm_i(word)),
+                0b100 => (AluOp::Xor, imm_i(word)),
+                0b110 => (AluOp::Or, imm_i(word)),
+                0b111 => (AluOp::And, imm_i(word)),
+                0b001 => {
+                    if funct7(word) != 0 {
+                        return Err(err());
+                    }
+                    (AluOp::Sll, ((word >> 20) & 0x1f) as i32)
+                }
+                0b101 => match funct7(word) {
+                    0 => (AluOp::Srl, ((word >> 20) & 0x1f) as i32),
+                    0b0100000 => (AluOp::Sra, ((word >> 20) & 0x1f) as i32),
+                    _ => return Err(err()),
+                },
+                _ => unreachable!("funct3 is 3 bits"),
+            };
+            Ok(Instr::OpImm { op, rd: rd(word), rs1: rs1(word), imm })
+        }
+        0b0110011 => {
+            let f3 = funct3(word);
+            match funct7(word) {
+                0b0000001 => {
+                    let op = match f3 {
+                        0b000 => MulOp::Mul,
+                        0b001 => MulOp::Mulh,
+                        0b010 => MulOp::Mulhsu,
+                        0b011 => MulOp::Mulhu,
+                        0b100 => MulOp::Div,
+                        0b101 => MulOp::Divu,
+                        0b110 => MulOp::Rem,
+                        0b111 => MulOp::Remu,
+                        _ => unreachable!("funct3 is 3 bits"),
+                    };
+                    Ok(Instr::MulDiv { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+                }
+                0b0000000 => {
+                    let op = match f3 {
+                        0b000 => AluOp::Add,
+                        0b001 => AluOp::Sll,
+                        0b010 => AluOp::Slt,
+                        0b011 => AluOp::Sltu,
+                        0b100 => AluOp::Xor,
+                        0b101 => AluOp::Srl,
+                        0b110 => AluOp::Or,
+                        0b111 => AluOp::And,
+                        _ => unreachable!("funct3 is 3 bits"),
+                    };
+                    Ok(Instr::Op { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+                }
+                0b0100000 => {
+                    let op = match f3 {
+                        0b000 => AluOp::Sub,
+                        0b101 => AluOp::Sra,
+                        _ => return Err(err()),
+                    };
+                    Ok(Instr::Op { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) })
+                }
+                _ => Err(err()),
+            }
+        }
+        0b0001111 => Ok(Instr::Fence),
+        0b1110011 => match word >> 7 {
+            0 => Ok(Instr::Ecall),
+            0x2000 => Ok(Instr::Ebreak),
+            _ => Err(err()),
+        },
+        _ => Err(err()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn known_words() {
+        // Cross-checked against the RISC-V spec examples / GNU as output.
+        assert_eq!(decode(0x00a00513).unwrap().to_string(), "addi a0, zero, 10");
+        assert_eq!(decode(0x00000013).unwrap().to_string(), "addi zero, zero, 0"); // nop
+        assert_eq!(decode(0x00008067).unwrap().to_string(), "jalr zero, 0(ra)"); // ret
+        assert_eq!(decode(0xfff00693).unwrap().to_string(), "addi a3, zero, -1");
+        assert_eq!(decode(0x00c58633).unwrap().to_string(), "add a2, a1, a2");
+        assert_eq!(decode(0x02b50533).unwrap().to_string(), "mul a0, a0, a1");
+        assert_eq!(decode(0x0000006f).unwrap().to_string(), "jal zero, 0");
+        assert_eq!(decode(0x00100073).unwrap(), Instr::Ebreak);
+        assert_eq!(decode(0x00000073).unwrap(), Instr::Ecall);
+    }
+
+    #[test]
+    fn branch_offsets() {
+        // beq a0, a1, -8  (backwards)
+        let i = Instr::Branch { op: BranchOp::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: -8 };
+        let w = encode(&i).unwrap();
+        assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0x0000_0000).is_err());
+        // Compressed instruction space (low bits != 11).
+        assert!(decode(0x0000_4501).is_err());
+    }
+
+    #[test]
+    fn imm_extremes_round_trip() {
+        for imm in [-2048, -1, 0, 1, 2047] {
+            let i = Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm };
+            assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+        }
+        for offset in [-4096, -2, 0, 2, 4094] {
+            let i = Instr::Branch { op: BranchOp::Ne, rs1: Reg::A0, rs2: Reg::ZERO, offset };
+            assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+        }
+        for offset in [-(1 << 20), -2, 0, 2, (1 << 20) - 2] {
+            let i = Instr::Jal { rd: Reg::RA, offset };
+            assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+        }
+    }
+}

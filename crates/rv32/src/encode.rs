@@ -1,0 +1,239 @@
+//! Instruction → 32-bit word encoding (the inverse of [`crate::decode`]).
+
+use std::fmt;
+
+use crate::isa::{AluOp, BranchOp, Instr, LoadWidth, MulOp, StoreWidth};
+
+/// Error produced when an [`Instr`] cannot be represented as a machine word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Immediate does not fit the instruction format's field.
+    ImmOutOfRange {
+        /// Offending instruction (rendered).
+        instr: String,
+        /// The immediate value.
+        imm: i32,
+        /// Human-readable description of the accepted range.
+        range: &'static str,
+    },
+    /// `subi` does not exist in RV32I.
+    SubImmediate,
+    /// PC-relative offset must be even (2-byte aligned).
+    MisalignedOffset {
+        /// Offending instruction (rendered).
+        instr: String,
+        /// The offset value.
+        offset: i32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { instr, imm, range } => {
+                write!(f, "immediate {imm} out of range {range} in `{instr}`")
+            }
+            EncodeError::SubImmediate => write!(f, "`sub` has no immediate form"),
+            EncodeError::MisalignedOffset { instr, offset } => {
+                write!(f, "pc-relative offset {offset} is not 2-byte aligned in `{instr}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn check_i12(instr: &Instr, imm: i32) -> Result<u32, EncodeError> {
+    if (-2048..=2047).contains(&imm) {
+        Ok((imm as u32) & 0xfff)
+    } else {
+        Err(EncodeError::ImmOutOfRange {
+            instr: instr.to_string(),
+            imm,
+            range: "[-2048, 2047]",
+        })
+    }
+}
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm12: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (imm12 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+/// Encodes an instruction into its 32-bit little-endian machine word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when an immediate or offset does not fit its
+/// encoding field, or for the non-existent `sub`-immediate form.
+///
+/// # Examples
+///
+/// ```
+/// use rv32::isa::{AluOp, Instr, Reg};
+/// let word = rv32::encode(&Instr::OpImm {
+///     op: AluOp::Add,
+///     rd: Reg::A0,
+///     rs1: Reg::ZERO,
+///     imm: 42,
+/// })?;
+/// assert_eq!(rv32::decode(word)?, Instr::OpImm {
+///     op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 42,
+/// });
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode(instr: &Instr) -> Result<u32, EncodeError> {
+    let i = *instr;
+    match i {
+        Instr::Lui { rd, imm } | Instr::Auipc { rd, imm } => {
+            if imm & 0xfff != 0 {
+                return Err(EncodeError::ImmOutOfRange {
+                    instr: i.to_string(),
+                    imm,
+                    range: "low 12 bits must be zero (stored pre-shifted)",
+                });
+            }
+            let opcode = if matches!(i, Instr::Lui { .. }) { 0b0110111 } else { 0b0010111 };
+            Ok((imm as u32) | ((rd.num() as u32) << 7) | opcode)
+        }
+        Instr::Jal { rd, offset } => {
+            if offset % 2 != 0 {
+                return Err(EncodeError::MisalignedOffset { instr: i.to_string(), offset });
+            }
+            if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                return Err(EncodeError::ImmOutOfRange {
+                    instr: i.to_string(),
+                    imm: offset,
+                    range: "[-1 MiB, 1 MiB)",
+                });
+            }
+            let o = offset as u32;
+            let imm = ((o >> 20) & 1) << 31
+                | ((o >> 1) & 0x3ff) << 21
+                | ((o >> 11) & 1) << 20
+                | ((o >> 12) & 0xff) << 12;
+            Ok(imm | ((rd.num() as u32) << 7) | 0b1101111)
+        }
+        Instr::Jalr { rd, rs1, offset } => {
+            let imm = check_i12(&i, offset)?;
+            Ok(i_type(imm, rs1.num() as u32, 0b000, rd.num() as u32, 0b1100111))
+        }
+        Instr::Branch { op, rs1, rs2, offset } => {
+            if offset % 2 != 0 {
+                return Err(EncodeError::MisalignedOffset { instr: i.to_string(), offset });
+            }
+            if !(-4096..4096).contains(&offset) {
+                return Err(EncodeError::ImmOutOfRange {
+                    instr: i.to_string(),
+                    imm: offset,
+                    range: "[-4096, 4094]",
+                });
+            }
+            let funct3 = match op {
+                BranchOp::Eq => 0b000,
+                BranchOp::Ne => 0b001,
+                BranchOp::Lt => 0b100,
+                BranchOp::Ge => 0b101,
+                BranchOp::Ltu => 0b110,
+                BranchOp::Geu => 0b111,
+            };
+            let o = offset as u32;
+            let word = ((o >> 12) & 1) << 31
+                | ((o >> 5) & 0x3f) << 25
+                | (rs2.num() as u32) << 20
+                | (rs1.num() as u32) << 15
+                | funct3 << 12
+                | ((o >> 1) & 0xf) << 8
+                | ((o >> 11) & 1) << 7
+                | 0b1100011;
+            Ok(word)
+        }
+        Instr::Load { width, rd, rs1, offset } => {
+            let funct3 = match width {
+                LoadWidth::B => 0b000,
+                LoadWidth::H => 0b001,
+                LoadWidth::W => 0b010,
+                LoadWidth::Bu => 0b100,
+                LoadWidth::Hu => 0b101,
+            };
+            let imm = check_i12(&i, offset)?;
+            Ok(i_type(imm, rs1.num() as u32, funct3, rd.num() as u32, 0b0000011))
+        }
+        Instr::Store { width, rs2, rs1, offset } => {
+            let funct3 = match width {
+                StoreWidth::B => 0b000,
+                StoreWidth::H => 0b001,
+                StoreWidth::W => 0b010,
+            };
+            let imm = check_i12(&i, offset)?;
+            let word = ((imm >> 5) & 0x7f) << 25
+                | (rs2.num() as u32) << 20
+                | (rs1.num() as u32) << 15
+                | funct3 << 12
+                | (imm & 0x1f) << 7
+                | 0b0100011;
+            Ok(word)
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            let (funct3, funct7) = match op {
+                AluOp::Add => (0b000, None),
+                AluOp::Slt => (0b010, None),
+                AluOp::Sltu => (0b011, None),
+                AluOp::Xor => (0b100, None),
+                AluOp::Or => (0b110, None),
+                AluOp::And => (0b111, None),
+                AluOp::Sll => (0b001, Some(0u32)),
+                AluOp::Srl => (0b101, Some(0)),
+                AluOp::Sra => (0b101, Some(0b0100000)),
+                AluOp::Sub => return Err(EncodeError::SubImmediate),
+            };
+            let imm12 = if let Some(f7) = funct7 {
+                if !(0..32).contains(&imm) {
+                    return Err(EncodeError::ImmOutOfRange {
+                        instr: i.to_string(),
+                        imm,
+                        range: "[0, 31]",
+                    });
+                }
+                (f7 << 5) | (imm as u32)
+            } else {
+                check_i12(&i, imm)?
+            };
+            Ok(i_type(imm12, rs1.num() as u32, funct3, rd.num() as u32, 0b0010011))
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let (funct3, funct7) = match op {
+                AluOp::Add => (0b000, 0),
+                AluOp::Sub => (0b000, 0b0100000),
+                AluOp::Sll => (0b001, 0),
+                AluOp::Slt => (0b010, 0),
+                AluOp::Sltu => (0b011, 0),
+                AluOp::Xor => (0b100, 0),
+                AluOp::Srl => (0b101, 0),
+                AluOp::Sra => (0b101, 0b0100000),
+                AluOp::Or => (0b110, 0),
+                AluOp::And => (0b111, 0),
+            };
+            Ok(r_type(funct7, rs2.num() as u32, rs1.num() as u32, funct3, rd.num() as u32, 0b0110011))
+        }
+        Instr::MulDiv { op, rd, rs1, rs2 } => {
+            let funct3 = match op {
+                MulOp::Mul => 0b000,
+                MulOp::Mulh => 0b001,
+                MulOp::Mulhsu => 0b010,
+                MulOp::Mulhu => 0b011,
+                MulOp::Div => 0b100,
+                MulOp::Divu => 0b101,
+                MulOp::Rem => 0b110,
+                MulOp::Remu => 0b111,
+            };
+            Ok(r_type(0b0000001, rs2.num() as u32, rs1.num() as u32, funct3, rd.num() as u32, 0b0110011))
+        }
+        Instr::Fence => Ok(0x0ff0000f),
+        Instr::Ecall => Ok(0x00000073),
+        Instr::Ebreak => Ok(0x00100073),
+    }
+}

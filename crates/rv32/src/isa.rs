@@ -1,0 +1,647 @@
+//! RV32IM instruction-set model: registers, opcodes, and the [`Instr`] type.
+//!
+//! The model covers the full RV32I base integer ISA plus the M extension
+//! (multiply/divide), `fence`, `ecall` and `ebreak` — everything a
+//! `-O3`-compiled embedded benchmark needs. Floating point is intentionally
+//! absent: the TransRec fabric (and the MiBench subset evaluated in the
+//! paper) is integer-only.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An architectural register `x0`–`x31`.
+///
+/// `x0` is hardwired to zero; writes to it are discarded by the CPU model.
+///
+/// # Examples
+///
+/// ```
+/// use rv32::isa::Reg;
+/// let a0 = Reg::from_name("a0").unwrap();
+/// assert_eq!(a0.num(), 10);
+/// assert_eq!(a0.abi_name(), "a0");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address register `x1`/`ra`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2`/`sp`.
+    pub const SP: Reg = Reg(2);
+    /// First argument / return value register `x10`/`a0`.
+    pub const A0: Reg = Reg(10);
+    /// Second argument register `x11`/`a1`.
+    pub const A1: Reg = Reg(11);
+    /// Syscall number register `x17`/`a7`.
+    pub const A7: Reg = Reg(17);
+
+    /// Creates a register from its index, returning `None` for indices ≥ 32.
+    pub fn new(n: u8) -> Option<Reg> {
+        (n < 32).then_some(Reg(n))
+    }
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn x(n: u8) -> Reg {
+        assert!(n < 32, "register index out of range");
+        Reg(n)
+    }
+
+    /// The register index (0–31).
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The RISC-V ABI name (`zero`, `ra`, `sp`, …, `t6`).
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// Parses either an ABI name (`a0`, `s11`, `fp`, …) or a raw name (`x17`).
+    pub fn from_name(name: &str) -> Option<Reg> {
+        if let Some(rest) = name.strip_prefix('x') {
+            if let Ok(n) = rest.parse::<u8>() {
+                return Reg::new(n);
+            }
+        }
+        if name == "fp" {
+            return Some(Reg(8));
+        }
+        ABI_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| Reg(i as u8))
+    }
+
+    /// Iterator over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abi_name())
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abi_name())
+    }
+}
+
+/// Integer ALU operation (shared by register–register and register–immediate
+/// instruction forms).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Addition (`add`/`addi`).
+    Add,
+    /// Subtraction (`sub`; has no immediate form).
+    Sub,
+    /// Logical shift left.
+    Sll,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Bitwise or.
+    Or,
+    /// Bitwise and.
+    And,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two 32-bit operands.
+    ///
+    /// Shift amounts use only the low five bits of `b`, as the ISA specifies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rv32::isa::AluOp;
+    /// assert_eq!(AluOp::Sra.eval(0x8000_0000, 31), 0xffff_ffff);
+    /// assert_eq!(AluOp::Slt.eval(-1i32 as u32, 0), 1);
+    /// ```
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a.wrapping_shl(b & 0x1f),
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a.wrapping_shr(b & 0x1f),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+        }
+    }
+
+    /// Mnemonic stem (`add`, `slt`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+        }
+    }
+}
+
+/// M-extension multiply/divide operation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MulOp {
+    /// Low 32 bits of signed×signed product.
+    Mul,
+    /// High 32 bits of signed×signed product.
+    Mulh,
+    /// High 32 bits of signed×unsigned product.
+    Mulhsu,
+    /// High 32 bits of unsigned×unsigned product.
+    Mulhu,
+    /// Signed division (RISC-V semantics: x/0 = −1, overflow wraps).
+    Div,
+    /// Unsigned division (x/0 = 2³²−1).
+    Divu,
+    /// Signed remainder (x%0 = x).
+    Rem,
+    /// Unsigned remainder (x%0 = x).
+    Remu,
+}
+
+impl MulOp {
+    /// Evaluates with full RISC-V corner-case semantics (division by zero and
+    /// signed overflow never trap).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rv32::isa::MulOp;
+    /// assert_eq!(MulOp::Div.eval(7, 0), u32::MAX); // x / 0 == -1
+    /// assert_eq!(MulOp::Rem.eval(i32::MIN as u32, u32::MAX), 0); // overflow
+    /// ```
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            MulOp::Mul => a.wrapping_mul(b),
+            MulOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+            MulOp::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+            MulOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+            MulOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else if a == i32::MIN as u32 && b == u32::MAX {
+                    a
+                } else {
+                    ((a as i32) / (b as i32)) as u32
+                }
+            }
+            MulOp::Divu => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    a / b
+                }
+            }
+            MulOp::Rem => {
+                if b == 0 {
+                    a
+                } else if a == i32::MIN as u32 && b == u32::MAX {
+                    0
+                } else {
+                    ((a as i32) % (b as i32)) as u32
+                }
+            }
+            MulOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+
+    /// Mnemonic (`mul`, `divu`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MulOp::Mul => "mul",
+            MulOp::Mulh => "mulh",
+            MulOp::Mulhsu => "mulhsu",
+            MulOp::Mulhu => "mulhu",
+            MulOp::Div => "div",
+            MulOp::Divu => "divu",
+            MulOp::Rem => "rem",
+            MulOp::Remu => "remu",
+        }
+    }
+
+    /// `true` for the divide/remainder group, which the CGRA fabric does not
+    /// implement (division terminates a trace in the DBT).
+    pub fn is_div(self) -> bool {
+        matches!(self, MulOp::Div | MulOp::Divu | MulOp::Rem | MulOp::Remu)
+    }
+}
+
+/// Conditional-branch comparison.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BranchOp {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+    /// Branch if unsigned less-than.
+    Ltu,
+    /// Branch if unsigned greater-or-equal.
+    Geu,
+}
+
+impl BranchOp {
+    /// Evaluates the branch condition.
+    pub fn taken(self, a: u32, b: u32) -> bool {
+        match self {
+            BranchOp::Eq => a == b,
+            BranchOp::Ne => a != b,
+            BranchOp::Lt => (a as i32) < (b as i32),
+            BranchOp::Ge => (a as i32) >= (b as i32),
+            BranchOp::Ltu => a < b,
+            BranchOp::Geu => a >= b,
+        }
+    }
+
+    /// Mnemonic (`beq`, `bgeu`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchOp::Eq => "beq",
+            BranchOp::Ne => "bne",
+            BranchOp::Lt => "blt",
+            BranchOp::Ge => "bge",
+            BranchOp::Ltu => "bltu",
+            BranchOp::Geu => "bgeu",
+        }
+    }
+}
+
+/// Load access width and extension behaviour.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum LoadWidth {
+    /// `lb`: sign-extended byte.
+    B,
+    /// `lh`: sign-extended half-word.
+    H,
+    /// `lw`: word.
+    W,
+    /// `lbu`: zero-extended byte.
+    Bu,
+    /// `lhu`: zero-extended half-word.
+    Hu,
+}
+
+impl LoadWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            LoadWidth::B | LoadWidth::Bu => 1,
+            LoadWidth::H | LoadWidth::Hu => 2,
+            LoadWidth::W => 4,
+        }
+    }
+
+    /// Mnemonic (`lb`, `lhu`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            LoadWidth::B => "lb",
+            LoadWidth::H => "lh",
+            LoadWidth::W => "lw",
+            LoadWidth::Bu => "lbu",
+            LoadWidth::Hu => "lhu",
+        }
+    }
+}
+
+/// Store access width.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum StoreWidth {
+    /// `sb`: byte.
+    B,
+    /// `sh`: half-word.
+    H,
+    /// `sw`: word.
+    W,
+}
+
+impl StoreWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            StoreWidth::B => 1,
+            StoreWidth::H => 2,
+            StoreWidth::W => 4,
+        }
+    }
+
+    /// Mnemonic (`sb`, `sh`, `sw`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            StoreWidth::B => "sb",
+            StoreWidth::H => "sh",
+            StoreWidth::W => "sw",
+        }
+    }
+}
+
+/// A decoded RV32IM instruction.
+///
+/// Immediates are stored fully sign-extended (e.g. `Lui` stores the final
+/// `imm << 12` value), so consumers never re-apply ISA bit plumbing.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Instr {
+    /// `lui rd, imm20` — `rd = imm` (already shifted).
+    Lui {
+        /// Destination register.
+        rd: Reg,
+        /// Upper immediate, stored pre-shifted (low 12 bits zero).
+        imm: i32,
+    },
+    /// `auipc rd, imm20` — `rd = pc + imm` (already shifted).
+    Auipc {
+        /// Destination register.
+        rd: Reg,
+        /// Upper immediate, stored pre-shifted (low 12 bits zero).
+        imm: i32,
+    },
+    /// `jal rd, offset` — link and jump PC-relative.
+    Jal {
+        /// Link register (receives `pc + 4`).
+        rd: Reg,
+        /// Sign-extended PC-relative byte offset.
+        offset: i32,
+    },
+    /// `jalr rd, offset(rs1)` — link and jump register-indirect.
+    Jalr {
+        /// Link register (receives `pc + 4`).
+        rd: Reg,
+        /// Base register of the jump target.
+        rs1: Reg,
+        /// Sign-extended byte offset added to `rs1`.
+        offset: i32,
+    },
+    /// Conditional PC-relative branch.
+    Branch {
+        /// Comparison performed between `rs1` and `rs2`.
+        op: BranchOp,
+        /// First compared register.
+        rs1: Reg,
+        /// Second compared register.
+        rs2: Reg,
+        /// Sign-extended PC-relative byte offset.
+        offset: i32,
+    },
+    /// Memory load `rd = mem[rs1 + offset]`.
+    Load {
+        /// Access width / extension.
+        width: LoadWidth,
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Sign-extended byte offset.
+        offset: i32,
+    },
+    /// Memory store `mem[rs1 + offset] = rs2`.
+    Store {
+        /// Access width.
+        width: StoreWidth,
+        /// Value register.
+        rs2: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Sign-extended byte offset.
+        offset: i32,
+    },
+    /// Register–immediate ALU operation (`addi`, `slli`, …).
+    ///
+    /// `op` is never [`AluOp::Sub`]; the encoder rejects it.
+    OpImm {
+        /// ALU operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Sign-extended 12-bit immediate (shift ops: 0–31).
+        imm: i32,
+    },
+    /// Register–register ALU operation.
+    Op {
+        /// ALU operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// M-extension multiply/divide.
+    MulDiv {
+        /// Multiply/divide operation.
+        op: MulOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// `fence` (a no-op in this single-hart model).
+    Fence,
+    /// `ecall` — environment call (the CPU model implements exit/write).
+    Ecall,
+    /// `ebreak` — halts the CPU model.
+    Ebreak,
+}
+
+impl Instr {
+    /// The register written by this instruction, if any (never `x0`).
+    pub fn dest(self) -> Option<Reg> {
+        let rd = match self {
+            Instr::Lui { rd, .. }
+            | Instr::Auipc { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::Jalr { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::OpImm { rd, .. }
+            | Instr::Op { rd, .. }
+            | Instr::MulDiv { rd, .. } => rd,
+            _ => return None,
+        };
+        (rd != Reg::ZERO).then_some(rd)
+    }
+
+    /// The registers read by this instruction (`x0` reads are kept: they read
+    /// the constant zero). At most two.
+    pub fn sources(self) -> [Option<Reg>; 2] {
+        match self {
+            Instr::Lui { .. } | Instr::Auipc { .. } | Instr::Jal { .. } => [None, None],
+            Instr::Jalr { rs1, .. } | Instr::Load { rs1, .. } | Instr::OpImm { rs1, .. } => {
+                [Some(rs1), None]
+            }
+            Instr::Branch { rs1, rs2, .. }
+            | Instr::Store { rs1, rs2, .. }
+            | Instr::Op { rs1, rs2, .. }
+            | Instr::MulDiv { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instr::Fence | Instr::Ecall | Instr::Ebreak => [None, None],
+        }
+    }
+
+    /// `true` for control-transfer instructions (branches and jumps).
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. }
+        )
+    }
+
+    /// `true` for loads and stores.
+    pub fn is_mem(self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+
+    /// `true` for system instructions (`fence`, `ecall`, `ebreak`).
+    pub fn is_system(self) -> bool {
+        matches!(self, Instr::Fence | Instr::Ecall | Instr::Ebreak)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm as u32) >> 12),
+            Instr::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm as u32) >> 12),
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Instr::Branch { op, rs1, rs2, offset } => {
+                write!(f, "{} {rs1}, {rs2}, {offset}", op.mnemonic())
+            }
+            Instr::Load { width, rd, rs1, offset } => {
+                write!(f, "{} {rd}, {offset}({rs1})", width.mnemonic())
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                write!(f, "{} {rs2}, {offset}({rs1})", width.mnemonic())
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let m = match op {
+                    AluOp::Sll => "slli",
+                    AluOp::Srl => "srli",
+                    AluOp::Sra => "srai",
+                    _ => return write!(f, "{}i {rd}, {rs1}, {imm}", op.mnemonic()),
+                };
+                write!(f, "{m} {rd}, {rs1}, {imm}")
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Instr::Fence => write!(f, "fence"),
+            Instr::Ecall => write!(f, "ecall"),
+            Instr::Ebreak => write!(f, "ebreak"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_names_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::from_name(r.abi_name()), Some(r));
+            assert_eq!(Reg::from_name(&format!("x{}", r.num())), Some(r));
+        }
+        assert_eq!(Reg::from_name("fp"), Some(Reg::x(8)));
+        assert_eq!(Reg::from_name("x32"), None);
+        assert_eq!(Reg::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.eval(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.eval(0, 1), u32::MAX);
+        assert_eq!(AluOp::Sll.eval(1, 33), 2, "shift amount masked to 5 bits");
+        assert_eq!(AluOp::Sra.eval(0x8000_0000, 4), 0xf800_0000);
+        assert_eq!(AluOp::Srl.eval(0x8000_0000, 4), 0x0800_0000);
+        assert_eq!(AluOp::Slt.eval(1, 2), 1);
+        assert_eq!(AluOp::Sltu.eval(u32::MAX, 0), 0);
+    }
+
+    #[test]
+    fn muldiv_corner_cases() {
+        assert_eq!(MulOp::Div.eval(10, 0), u32::MAX);
+        assert_eq!(MulOp::Divu.eval(10, 0), u32::MAX);
+        assert_eq!(MulOp::Rem.eval(10, 0), 10);
+        assert_eq!(MulOp::Remu.eval(10, 0), 10);
+        assert_eq!(MulOp::Div.eval(i32::MIN as u32, u32::MAX), i32::MIN as u32);
+        assert_eq!(MulOp::Mulh.eval(u32::MAX, u32::MAX), 0); // (-1)*(-1) = 1
+        assert_eq!(MulOp::Mulhu.eval(u32::MAX, u32::MAX), 0xffff_fffe);
+        assert_eq!(MulOp::Mulhsu.eval(u32::MAX, u32::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn branch_semantics() {
+        assert!(BranchOp::Lt.taken(-1i32 as u32, 0));
+        assert!(!BranchOp::Ltu.taken(-1i32 as u32, 0));
+        assert!(BranchOp::Geu.taken(u32::MAX, 0));
+        assert!(BranchOp::Eq.taken(5, 5));
+        assert!(BranchOp::Ne.taken(5, 6));
+        assert!(BranchOp::Ge.taken(0, 0));
+    }
+
+    #[test]
+    fn dest_never_x0() {
+        let i = Instr::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 };
+        assert_eq!(i.dest(), None);
+        let i = Instr::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::ZERO, imm: 0 };
+        assert_eq!(i.dest(), Some(Reg::A0));
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Instr::Load { width: LoadWidth::W, rd: Reg::A0, rs1: Reg::SP, offset: -4 };
+        assert_eq!(i.to_string(), "lw a0, -4(sp)");
+        let i = Instr::Branch { op: BranchOp::Ne, rs1: Reg::A0, rs2: Reg::ZERO, offset: 8 };
+        assert_eq!(i.to_string(), "bne a0, zero, 8");
+    }
+}

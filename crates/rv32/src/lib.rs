@@ -1,0 +1,54 @@
+//! # rv32 — an RV32IM instruction-set substrate
+//!
+//! This crate is the processor substrate for the `uaware-cgra` workspace,
+//! which reproduces *"Proactive Aging Mitigation in CGRAs through
+//! Utilization-Aware Allocation"* (DAC 2020). The paper evaluates on gem5
+//! running RISC-V MiBench binaries; this crate provides the equivalent
+//! laptop-scale substrate:
+//!
+//! * [`isa`] — the RV32IM instruction model ([`isa::Instr`], [`isa::Reg`]).
+//! * [`decode`]/[`encode`] — machine-word conversions (lossless round-trip).
+//! * [`asm`] — a two-pass text assembler with GNU-style pseudo-instructions,
+//!   used by the `mibench` crate to express whole benchmark kernels.
+//! * [`mem`] — flat little-endian memory.
+//! * [`cpu`] — a single-issue in-order interpreter with a deterministic
+//!   per-class cycle model (the gem5 `TimingSimpleCPU` stand-in) and a
+//!   retired-instruction stream for the hardware DBT model.
+//!
+//! # Examples
+//!
+//! ```
+//! use rv32::{asm::assemble, cpu::Cpu, isa::Reg};
+//!
+//! let program = assemble("
+//!     li   a0, 0
+//!     li   a1, 1
+//! loop:
+//!     add  a0, a0, a1          # a0 += a1
+//!     addi a1, a1, 1
+//!     li   t0, 100
+//!     ble  a1, t0, loop
+//!     ebreak
+//! ")?;
+//!
+//! let mut cpu = Cpu::new(64 * 1024);
+//! cpu.load_program(&program)?;
+//! cpu.run(10_000)?;
+//! assert_eq!(cpu.reg(Reg::A0), 5050);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod decode;
+pub mod encode;
+pub mod isa;
+pub mod mem;
+pub mod program;
+
+pub use decode::{decode, DecodeError};
+pub use encode::{encode, EncodeError};
+pub use isa::{Instr, Reg};
+pub use program::Program;

@@ -1,0 +1,78 @@
+//! Assembled program images.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An assembled RV32 program: a text segment, a data segment, an entry point
+/// and a symbol table.
+///
+/// Produced by [`crate::asm::Assembler`]; consumed by
+/// [`crate::cpu::Cpu::load_program`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Program {
+    /// Base address of the text segment.
+    pub text_base: u32,
+    /// Machine words of the text segment, in order.
+    pub text: Vec<u32>,
+    /// Base address of the data segment.
+    pub data_base: u32,
+    /// Raw bytes of the data segment.
+    pub data: Vec<u8>,
+    /// Entry-point address (address of the `_start`/first label, see assembler).
+    pub entry: u32,
+    /// Label name → address.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Looks up a label address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = rv32::asm::assemble("start: nop\nebreak\n").unwrap();
+    /// assert_eq!(p.symbol("start"), Some(p.entry));
+    /// ```
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Number of instructions in the text segment.
+    pub fn instr_count(&self) -> usize {
+        self.text.len()
+    }
+
+    /// End address (exclusive) of the text segment.
+    pub fn text_end(&self) -> u32 {
+        self.text_base + 4 * self.text.len() as u32
+    }
+
+    /// End address (exclusive) of the data segment.
+    pub fn data_end(&self) -> u32 {
+        self.data_base + self.data.len() as u32
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program: {} instrs at {:#x}, {} data bytes at {:#x}, entry {:#x}",
+            self.text.len(),
+            self.text_base,
+            self.data.len(),
+            self.data_base,
+            self.entry
+        )?;
+        for (i, w) in self.text.iter().enumerate() {
+            let pc = self.text_base + 4 * i as u32;
+            match crate::decode(*w) {
+                Ok(instr) => writeln!(f, "  {pc:#08x}: {instr}")?,
+                Err(_) => writeln!(f, "  {pc:#08x}: .word {w:#010x}")?,
+            }
+        }
+        Ok(())
+    }
+}

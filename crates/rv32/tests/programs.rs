@@ -1,0 +1,205 @@
+//! Whole-program assembler/interpreter tests: realistic code shapes
+//! (string routines, recursion with a real stack, jump tables) verified
+//! against native Rust computations.
+
+use rv32::asm::assemble;
+use rv32::cpu::{Cpu, TimingModel};
+use rv32::isa::Reg;
+
+fn run(src: &str) -> Cpu {
+    let p = assemble(src).expect("assembles");
+    let mut cpu = Cpu::new(1 << 20);
+    cpu.load_program(&p).unwrap();
+    cpu.run(5_000_000).expect("halts");
+    cpu
+}
+
+#[test]
+fn memcpy_bytewise() {
+    let cpu = run(
+        "
+        .data
+    src: .ascii \"the quick brown fox jumps over the lazy dog\"
+    dst: .space 43
+        .text
+        la   a0, dst
+        la   a1, src
+        li   a2, 43
+    loop:
+        lbu  t0, 0(a1)
+        sb   t0, 0(a0)
+        addi a0, a0, 1
+        addi a1, a1, 1
+        addi a2, a2, -1
+        bnez a2, loop
+        ebreak
+    ",
+    );
+    let dst = cpu.mem.read_bytes(rv32::asm::DEFAULT_DATA_BASE + 43, 43).unwrap();
+    assert_eq!(dst, b"the quick brown fox jumps over the lazy dog");
+}
+
+#[test]
+fn strlen_null_terminated() {
+    let cpu = run(
+        "
+        .data
+    s:  .asciz \"reconfigurable\"
+        .text
+        la   t0, s
+        li   a0, 0
+    loop:
+        lbu  t1, 0(t0)
+        beqz t1, done
+        addi a0, a0, 1
+        addi t0, t0, 1
+        j    loop
+    done:
+        ebreak
+    ",
+    );
+    assert_eq!(cpu.reg(Reg::A0), 14);
+}
+
+#[test]
+fn recursive_fibonacci_uses_the_stack() {
+    // fib(12) = 144 with genuine call/ret recursion and stack frames.
+    let cpu = run(
+        "
+    main:
+        li   a0, 12
+        call fib
+        ebreak
+    fib:
+        li   t0, 2
+        bge  a0, t0, rec
+        ret
+    rec:
+        addi sp, sp, -12
+        sw   ra, 0(sp)
+        sw   a0, 4(sp)
+        addi a0, a0, -1
+        call fib
+        sw   a0, 8(sp)      # fib(n-1)
+        lw   a0, 4(sp)
+        addi a0, a0, -2
+        call fib
+        lw   t1, 8(sp)
+        add  a0, a0, t1
+        lw   ra, 0(sp)
+        addi sp, sp, 12
+        ret
+    ",
+    );
+    assert_eq!(cpu.reg(Reg::A0), 144);
+}
+
+#[test]
+fn jump_table_dispatch() {
+    // Computed jump through a table of code addresses (jalr-based dispatch).
+    let cpu = run(
+        "
+        .data
+    table: .word case0, case1, case2
+        .text
+        li   s0, 1              # select case 1
+        la   t0, table
+        slli t1, s0, 2
+        add  t0, t0, t1
+        lw   t0, 0(t0)
+        jr   t0
+    case0:
+        li   a0, 100
+        j    end
+    case1:
+        li   a0, 200
+        j    end
+    case2:
+        li   a0, 300
+    end:
+        ebreak
+    ",
+    );
+    assert_eq!(cpu.reg(Reg::A0), 200);
+}
+
+#[test]
+fn unsigned_division_by_shifts() {
+    // divu semantics vs a shift-subtract implementation of 97 / 7.
+    let cpu = run(
+        "
+        li   s0, 97
+        li   s1, 7
+        divu a0, s0, s1
+        remu a1, s0, s1
+        ebreak
+    ",
+    );
+    assert_eq!(cpu.reg(Reg::A0), 13);
+    assert_eq!(cpu.reg(Reg::A1), 6);
+}
+
+#[test]
+fn custom_timing_model_is_respected() {
+    let p = assemble(
+        "
+        lw  t0, 0(zero)
+        lw  t1, 4(zero)
+        add t2, t0, t1
+        ebreak
+    ",
+    )
+    .unwrap();
+    let timing = TimingModel { load: 10, alu: 2, system: 5, ..TimingModel::default() };
+    let mut cpu = Cpu::with_timing(1 << 20, timing);
+    cpu.load_program(&p).unwrap();
+    cpu.run(100).unwrap();
+    assert_eq!(cpu.cycles(), 10 + 10 + 2 + 5);
+}
+
+#[test]
+fn taken_branches_cost_extra() {
+    // A taken backward branch pays the redirect penalty; not-taken does not.
+    let taken = run("li t0, 1\nbeqz zero, t1\nt1: ebreak");
+    let not_taken = run("li t0, 1\nbnez zero, t2\nt2: ebreak");
+    assert!(taken.cycles() > not_taken.cycles());
+}
+
+#[test]
+fn output_stream_via_write_syscall() {
+    let cpu = run(
+        "
+        .data
+    msg: .ascii \"ok\\n\"
+        .text
+        li  a0, 1
+        la  a1, msg
+        li  a2, 3
+        li  a7, 64
+        ecall
+        li  a0, 0
+        li  a7, 93
+        ecall
+    ",
+    );
+    assert_eq!(cpu.output(), b"ok\n");
+    assert_eq!(cpu.exit(), Some(rv32::cpu::Exit::Exit { code: 0 }));
+}
+
+#[test]
+fn data_section_symbol_arithmetic() {
+    let cpu = run(
+        "
+        .data
+    vals: .word 11, 22, 33, 44
+        .text
+        la   t0, vals+8
+        lw   a0, 0(t0)
+        la   t1, vals+12
+        lw   a1, 0(t1)
+        ebreak
+    ",
+    );
+    assert_eq!(cpu.reg(Reg::A0), 33);
+    assert_eq!(cpu.reg(Reg::A1), 44);
+}

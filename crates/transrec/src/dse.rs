@@ -1,0 +1,184 @@
+//! Design-space exploration (paper §IV.B / Fig. 6) and whole-suite
+//! evaluation runs.
+
+use serde::{Deserialize, Serialize};
+
+use cgra::Fabric;
+use mibench::Workload;
+use uaware::{AllocationPolicy, UtilizationTracker};
+
+use crate::energy::{gpp_only_energy, system_energy, EnergyParams};
+use crate::system::{run_gpp_only, System, SystemConfig, SystemError, SystemStats};
+
+/// The paper's exploration grid: length L ∈ {8,16,24,32} columns ×
+/// width W ∈ {2,4,8} rows.
+pub fn dse_grid() -> Vec<(u32, u32)> {
+    let mut grid = Vec::new();
+    for l in [8u32, 16, 24, 32] {
+        for w in [2u32, 4, 8] {
+            grid.push((l, w));
+        }
+    }
+    grid
+}
+
+/// One benchmark's outcome on one system configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkRun {
+    /// Benchmark name.
+    pub name: String,
+    /// System cycles.
+    pub system_cycles: u64,
+    /// Stand-alone GPP cycles (the 1× reference).
+    pub gpp_cycles: u64,
+    /// System energy (GPP-cycle-energy units).
+    pub system_energy: f64,
+    /// GPP-only energy.
+    pub gpp_energy: f64,
+    /// Full stats.
+    pub stats: SystemStats,
+    /// Whether the workload's oracle verified the run.
+    pub verified: bool,
+}
+
+impl BenchmarkRun {
+    /// Speedup over the stand-alone GPP.
+    pub fn speedup(&self) -> f64 {
+        self.gpp_cycles as f64 / self.system_cycles as f64
+    }
+
+    /// Relative energy (system / GPP-only).
+    pub fn relative_energy(&self) -> f64 {
+        self.system_energy / self.gpp_energy
+    }
+}
+
+/// A whole-suite evaluation on one fabric with one policy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SuiteRun {
+    /// Fabric columns (L).
+    pub cols: u32,
+    /// Fabric rows (W).
+    pub rows: u32,
+    /// Policy name.
+    pub policy: String,
+    /// Per-benchmark results.
+    pub benchmarks: Vec<BenchmarkRun>,
+    /// Merged per-FU utilization across the suite.
+    pub tracker: UtilizationTracker,
+}
+
+impl SuiteRun {
+    /// Geometric-mean speedup across benchmarks (paper-style ×GPP).
+    pub fn speedup(&self) -> f64 {
+        geo_mean(self.benchmarks.iter().map(BenchmarkRun::speedup))
+    }
+
+    /// Geometric-mean relative energy.
+    pub fn relative_energy(&self) -> f64 {
+        geo_mean(self.benchmarks.iter().map(BenchmarkRun::relative_energy))
+    }
+
+    /// Relative execution time (1 / speedup), the x-axis of Fig. 6.
+    pub fn relative_time(&self) -> f64 {
+        1.0 / self.speedup()
+    }
+
+    /// Mean per-FU utilization ("occupation" in Fig. 6).
+    pub fn avg_occupation(&self) -> f64 {
+        self.tracker.utilization().mean()
+    }
+
+    /// `true` if every benchmark verified.
+    pub fn all_verified(&self) -> bool {
+        self.benchmarks.iter().all(|b| b.verified)
+    }
+}
+
+fn geo_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Runs the full suite on `fabric` with policies produced by
+/// `make_policy` (one fresh policy per benchmark; the utilization trackers
+/// are merged across the suite like the paper's aggregated utilization).
+///
+/// # Errors
+///
+/// Propagates the first [`SystemError`].
+pub fn run_suite(
+    fabric: Fabric,
+    workloads: &[Workload],
+    energy: &EnergyParams,
+    make_policy: &dyn Fn() -> Box<dyn AllocationPolicy>,
+) -> Result<SuiteRun, SystemError> {
+    run_suite_with(SystemConfig::new(fabric), workloads, energy, make_policy)
+}
+
+/// [`run_suite`] with an explicit [`SystemConfig`].
+///
+/// # Errors
+///
+/// Propagates the first [`SystemError`].
+pub fn run_suite_with(
+    base_config: SystemConfig,
+    workloads: &[Workload],
+    energy: &EnergyParams,
+    make_policy: &dyn Fn() -> Box<dyn AllocationPolicy>,
+) -> Result<SuiteRun, SystemError> {
+    let fabric = base_config.fabric;
+    let mut merged = UtilizationTracker::new(&fabric);
+    let mut benchmarks = Vec::with_capacity(workloads.len());
+    let mut policy_name = String::new();
+    for w in workloads {
+        let mut system = System::new(base_config.clone(), make_policy());
+        policy_name = system.policy_name().to_string();
+        system.run(w.program())?;
+        let verified = w.verify(system.cpu()).is_ok();
+        let gpp = run_gpp_only(w.program(), base_config.mem_size, base_config.timing, base_config.max_steps)
+            .map_err(SystemError::Cpu)?;
+        let stats = *system.stats();
+        benchmarks.push(BenchmarkRun {
+            name: w.name().to_string(),
+            system_cycles: stats.total_cycles(),
+            gpp_cycles: gpp.cycles(),
+            system_energy: system_energy(energy, &fabric, &stats).total(),
+            gpp_energy: gpp_only_energy(energy, gpp.cycles()),
+            stats,
+            verified,
+        });
+        merged.merge(system.tracker());
+    }
+    Ok(SuiteRun {
+        cols: fabric.cols,
+        rows: fabric.rows,
+        policy: policy_name,
+        benchmarks,
+        tracker: merged,
+    })
+}
+
+/// Runs the paper's full DSE grid (Fig. 6) with the baseline policy.
+///
+/// # Errors
+///
+/// Propagates the first [`SystemError`].
+pub fn run_dse(
+    workloads: &[Workload],
+    energy: &EnergyParams,
+    make_policy: &dyn Fn() -> Box<dyn AllocationPolicy>,
+) -> Result<Vec<SuiteRun>, SystemError> {
+    dse_grid()
+        .into_iter()
+        .map(|(l, w)| run_suite(Fabric::new(w, l), workloads, energy, make_policy))
+        .collect()
+}

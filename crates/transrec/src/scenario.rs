@@ -1,0 +1,54 @@
+//! The paper's selected design points (§IV.B): BE, BP and BU.
+
+use cgra::Fabric;
+use serde::{Deserialize, Serialize};
+
+/// A named design point from the paper's DSE.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario tag ("BE", "BP", "BU").
+    pub name: &'static str,
+    /// What the point optimizes.
+    pub description: &'static str,
+    /// Fabric columns (L).
+    pub cols: u32,
+    /// Fabric rows (W).
+    pub rows: u32,
+}
+
+impl Scenario {
+    /// The fabric for this scenario.
+    pub fn fabric(&self) -> Fabric {
+        Fabric::new(self.rows, self.cols)
+    }
+}
+
+/// BE — best energy consumption (L16, W2).
+pub const BE: Scenario =
+    Scenario { name: "BE", description: "best energy consumption", cols: 16, rows: 2 };
+
+/// BP — best performance (L32, W4).
+pub const BP: Scenario =
+    Scenario { name: "BP", description: "best performance", cols: 32, rows: 4 };
+
+/// BU — best (lowest) utilization (L32, W8).
+pub const BU: Scenario =
+    Scenario { name: "BU", description: "best (lowest) utilization", cols: 32, rows: 8 };
+
+/// The three evaluation scenarios, in paper order.
+pub const ALL: [Scenario; 3] = [BE, BP, BU];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_match_paper() {
+        assert_eq!((BE.cols, BE.rows), (16, 2));
+        assert_eq!((BP.cols, BP.rows), (32, 4));
+        assert_eq!((BU.cols, BU.rows), (32, 8));
+        assert_eq!(BE.fabric(), Fabric::be());
+        assert_eq!(BP.fabric(), Fabric::bp());
+        assert_eq!(BU.fabric(), Fabric::bu());
+    }
+}

@@ -1,0 +1,562 @@
+//! The full TransRec machine (paper Fig. 2): GPP core + DBT + configuration
+//! cache + CGRA reconfigurable unit, wired to an allocation policy.
+//!
+//! Execution loop per the paper's steps: the application runs on the GPP
+//! (1); retired instructions stream into the DBT (2), which builds
+//! configurations into the PC-indexed cache (3); every fetch checks the
+//! cache (4); on a hit the input context is transferred (5), the CGRA
+//! executes the configuration at the pivot the policy chose (6), and the
+//! outputs commit back to the register file (7).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cgra::op::OpKind;
+use cgra::{ExecError, Executor, Fabric, Offset, ReconfigUnit, RESIDENT_ROTATE_CYCLES};
+use dbt::membus::MemoryBus;
+use dbt::{CachedConfig, ConfigCache, Translator, TranslatorParams};
+use rv32::cpu::{Cpu, CpuError, Exit, TimingModel};
+use rv32::mem::MemError;
+use rv32::Program;
+use serde::{Deserialize, Serialize};
+use uaware::{AllocRequest, AllocationPolicy, UtilizationTracker};
+
+/// Static system parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The CGRA fabric.
+    pub fabric: Fabric,
+    /// Configuration-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// DBT parameters.
+    pub translator: TranslatorParams,
+    /// GPP memory size in bytes.
+    pub mem_size: usize,
+    /// GPP timing model.
+    pub timing: TimingModel,
+    /// Whether the movement hardware extensions (§III.B) are present.
+    /// Without them, only origin-anchored policies can run.
+    pub movement_hardware: bool,
+    /// Register words transferred to/from the context per cycle (steps 5/7).
+    pub transfer_words_per_cycle: u32,
+    /// Skip offloading when the fabric would be slower than the GPP.
+    pub offload_heuristic: bool,
+    /// Safety valve for run lengths.
+    pub max_steps: u64,
+}
+
+impl SystemConfig {
+    /// Defaults for a given fabric: 256-entry cache, default DBT and timing,
+    /// movement hardware present, 2 words/cycle context transfer.
+    pub fn new(fabric: Fabric) -> SystemConfig {
+        SystemConfig {
+            fabric,
+            cache_capacity: 256,
+            translator: TranslatorParams::default(),
+            mem_size: 1 << 20,
+            timing: TimingModel::default(),
+            movement_hardware: true,
+            transfer_words_per_cycle: 2,
+            offload_heuristic: true,
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// Cycle and event counters for one run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemStats {
+    /// Cycles spent executing instructions on the GPP.
+    pub gpp_cycles: u64,
+    /// Cycles the CGRA spent computing.
+    pub cgra_exec_cycles: u64,
+    /// Cycles spent streaming configurations into the fabric.
+    pub reconfig_cycles: u64,
+    /// Cycles rotating a resident configuration to a new pivot.
+    pub rotate_cycles: u64,
+    /// Cycles transferring the input/output contexts.
+    pub transfer_cycles: u64,
+    /// Configuration executions on the fabric.
+    pub offloads: u64,
+    /// Instructions covered by those executions.
+    pub offloaded_instrs: u64,
+    /// Instructions retired by the GPP itself.
+    pub gpp_retired: u64,
+    /// Offloads skipped by the profitability heuristic.
+    pub offloads_skipped: u64,
+    /// Loads/stores performed by the fabric.
+    pub cgra_loads: u64,
+    /// Stores performed by the fabric.
+    pub cgra_stores: u64,
+    /// Active FU column-slots (Σ occupied cells over all executions).
+    pub cgra_active_fu_slots: u64,
+    /// Executed fabric columns (Σ cols_used over all executions).
+    pub cgra_columns: u64,
+    /// Configuration-cache lookups (one per fetch-check).
+    pub cache_lookups: u64,
+}
+
+impl SystemStats {
+    /// Total system cycles (GPP + all offload components).
+    pub fn total_cycles(&self) -> u64 {
+        self.gpp_cycles
+            + self.cgra_exec_cycles
+            + self.reconfig_cycles
+            + self.rotate_cycles
+            + self.transfer_cycles
+    }
+
+    /// Dynamic instructions (GPP-retired + offloaded).
+    pub fn total_instrs(&self) -> u64 {
+        self.gpp_retired + self.offloaded_instrs
+    }
+}
+
+/// Errors from a system run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// GPP fault.
+    Cpu(CpuError),
+    /// Fabric fault.
+    Exec(ExecError),
+    /// Program image problem.
+    Mem(MemError),
+    /// A policy asked for movement without the hardware extensions.
+    MovementUnsupported {
+        /// The offending offset.
+        offset: Offset,
+    },
+    /// The run exceeded `max_steps`.
+    StepLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Cpu(e) => write!(f, "{e}"),
+            SystemError::Exec(e) => write!(f, "{e}"),
+            SystemError::Mem(e) => write!(f, "{e}"),
+            SystemError::MovementUnsupported { offset } => {
+                write!(f, "policy requested offset {offset} but the movement extensions are absent")
+            }
+            SystemError::StepLimit { limit } => write!(f, "system step limit {limit} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<CpuError> for SystemError {
+    fn from(e: CpuError) -> SystemError {
+        SystemError::Cpu(e)
+    }
+}
+
+impl From<ExecError> for SystemError {
+    fn from(e: ExecError) -> SystemError {
+        SystemError::Exec(e)
+    }
+}
+
+impl From<MemError> for SystemError {
+    fn from(e: MemError) -> SystemError {
+        SystemError::Mem(e)
+    }
+}
+
+/// Cycle components of one offload after overlap.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+struct Overheads {
+    /// Input-context transfer cycles.
+    input: u64,
+    /// Output drain cycles not hidden behind execution.
+    out_drain: u64,
+    /// Configuration-load cycles not hidden behind the input transfer.
+    reconfig_extra: u64,
+    /// Resident-rotation cycles.
+    rotate: u64,
+}
+
+impl Overheads {
+    fn total(&self) -> u64 {
+        self.input + self.out_drain + self.reconfig_extra + self.rotate
+    }
+}
+
+/// The TransRec system simulator.
+pub struct System {
+    config: SystemConfig,
+    cpu: Cpu,
+    translator: Translator,
+    cache: ConfigCache,
+    policy: Box<dyn AllocationPolicy>,
+    tracker: UtilizationTracker,
+    reconfig_unit: ReconfigUnit,
+    resident: Option<(u32, Offset)>,
+    /// Whether the GPP has retired anything since the last offload (if not,
+    /// a re-execution of the resident configuration finds its input context
+    /// still valid and skips the transfer).
+    gpp_dirty: bool,
+    gpp_estimates: HashMap<u32, u64>,
+    stats: SystemStats,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("fabric", &self.config.fabric)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds a system from a configuration and an allocation policy.
+    pub fn new(config: SystemConfig, policy: Box<dyn AllocationPolicy>) -> System {
+        let reconfig_unit = if config.movement_hardware {
+            ReconfigUnit::with_movement()
+        } else {
+            ReconfigUnit::baseline()
+        };
+        System {
+            cpu: Cpu::with_timing(config.mem_size, config.timing),
+            translator: Translator::with_params(config.fabric, config.translator),
+            cache: ConfigCache::new(config.cache_capacity),
+            policy,
+            tracker: UtilizationTracker::new(&config.fabric),
+            reconfig_unit,
+            resident: None,
+            gpp_dirty: true,
+            gpp_estimates: HashMap::new(),
+            stats: SystemStats::default(),
+            config,
+        }
+    }
+
+    /// The GPP (for inspecting architectural state after a run).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// The utilization tracker (per-FU stress observations).
+    pub fn tracker(&self) -> &UtilizationTracker {
+        &self.tracker
+    }
+
+    /// Configuration-cache statistics.
+    pub fn cache_stats(&self) -> &dbt::CacheStats {
+        self.cache.stats()
+    }
+
+    /// The allocation policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// What the covered instructions would cost on the GPP.
+    fn estimate_gpp_cycles(&self, cc: &CachedConfig) -> u64 {
+        let t = &self.config.timing;
+        let exit = match cc.exit {
+            dbt::TraceExit::Branch { .. } => t.branch + t.taken_extra,
+            dbt::TraceExit::Jump { .. } => t.jump,
+            dbt::TraceExit::Sequential => 0,
+        };
+        exit + cc
+            .config
+            .ops()
+            .iter()
+            .map(|op| match op.kind {
+                OpKind::Alu(_) => t.alu,
+                OpKind::Mul(_) => t.mul,
+                OpKind::Load { .. } => t.load,
+                OpKind::Store { .. } => t.store,
+            })
+            .sum::<u64>()
+    }
+
+    /// Offload cost components for `cc` at the current resident state.
+    ///
+    /// Overlap model (DESIGN.md §4): the input-context transfer overlaps
+    /// with configuration streaming (both happen before execution, on
+    /// independent paths), and outputs drain through the ROB *during*
+    /// execution — only the residual beyond the execution time stalls the
+    /// commit (paper Fig. 4, "To ROB").
+    fn offload_overheads(&self, cc: &CachedConfig, offset: Offset) -> Overheads {
+        let wpc = self.config.transfer_words_per_cycle as u64;
+        let same_config = matches!(self.resident, Some((pc, _)) if pc == cc.start_pc);
+        // A back-to-back re-execution of the resident configuration with no
+        // intervening GPP activity finds the input context still valid
+        // (loop-carried values feed back, invariants were already loaded).
+        let input = if same_config && !self.gpp_dirty {
+            0
+        } else {
+            (cc.input_regs.len() as u64).div_ceil(wpc)
+        };
+        let exec = self.config.fabric.exec_cycles(cc.config.cols_used());
+        let out_drain = (cc.output_regs.len() as u64).div_ceil(wpc).saturating_sub(exec);
+        let (reconfig_extra, rotate) = match self.resident {
+            Some((pc, old)) if pc == cc.start_pc && old == offset => (0, 0),
+            Some((pc, _)) if pc == cc.start_pc => {
+                // Rotating the resident configuration: the per-column barrel
+                // shift proceeds behind the previous execution's
+                // left-to-right wave, so back-to-back executions hide it
+                // completely (the paper's "no significant performance
+                // overhead"). It is only exposed after GPP activity.
+                (0, if self.gpp_dirty { RESIDENT_ROTATE_CYCLES } else { 0 })
+            }
+            _ => {
+                let load =
+                    self.reconfig_unit.load_cycles(&self.config.fabric, cc.config.cols_used());
+                (load.saturating_sub(input), 0)
+            }
+        };
+        Overheads { input, out_drain, reconfig_extra, rotate }
+    }
+
+    /// Executes one offload (paper steps 5–7).
+    fn offload(&mut self, cc: &CachedConfig) -> Result<(), SystemError> {
+        let fabric = self.config.fabric;
+        let footprint: Vec<(u32, u32)> = cc.config.cells().collect();
+        let config_switch = !matches!(self.resident, Some((pc, _)) if pc == cc.start_pc);
+        let offset = self.policy.next_offset(&AllocRequest {
+            fabric: &fabric,
+            config_switch,
+            footprint: &footprint,
+            tracker: &self.tracker,
+        });
+        if offset != Offset::ORIGIN && !self.config.movement_hardware {
+            return Err(SystemError::MovementUnsupported { offset });
+        }
+        let ov = self.offload_overheads(cc, offset);
+
+        let inputs: Vec<u32> = cc.input_regs.iter().map(|r| self.cpu.reg(*r)).collect();
+        let outcome = Executor::new(&fabric).execute(
+            &cc.config,
+            offset,
+            &inputs,
+            &mut MemoryBus::new(&mut self.cpu.mem),
+        )?;
+        for (reg, value) in cc.output_regs.iter().zip(&outcome.outputs) {
+            self.cpu.set_reg(*reg, *value);
+        }
+        let next_pc = match cc.exit {
+            dbt::TraceExit::Branch { taken, not_taken } => {
+                let idx = cc.cond_output_index.expect("branch exit carries a condition");
+                if outcome.outputs[idx] != 0 {
+                    taken
+                } else {
+                    not_taken
+                }
+            }
+            _ => cc.next_pc(),
+        };
+        self.cpu.set_pc(next_pc);
+        self.resident = Some((cc.start_pc, offset));
+
+        self.tracker.record_execution(&outcome.active_cells, cc.config.cols_used());
+        self.cpu.add_cycles(outcome.cycles + ov.total());
+        self.stats.cgra_exec_cycles += outcome.cycles;
+        self.stats.reconfig_cycles += ov.reconfig_extra;
+        self.stats.rotate_cycles += ov.rotate;
+        self.stats.transfer_cycles += ov.input + ov.out_drain;
+        self.stats.offloads += 1;
+        self.stats.offloaded_instrs += cc.instr_count as u64;
+        self.stats.cgra_loads += outcome.loads as u64;
+        self.stats.cgra_stores += outcome.stores as u64;
+        self.stats.cgra_active_fu_slots += outcome.active_cells.len() as u64;
+        self.stats.cgra_columns += cc.config.cols_used() as u64;
+        self.gpp_dirty = false;
+        Ok(())
+    }
+
+    /// Loads and runs `program` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GPP/fabric faults; returns [`SystemError::StepLimit`] if
+    /// the program does not halt within the configured budget.
+    pub fn run(&mut self, program: &Program) -> Result<Exit, SystemError> {
+        self.cpu.load_program(program)?;
+        let mut budget = self.config.max_steps;
+        loop {
+            if let Some(exit) = self.cpu.exit() {
+                return Ok(exit);
+            }
+            if budget == 0 {
+                return Err(SystemError::StepLimit { limit: self.config.max_steps });
+            }
+            let pc = self.cpu.pc();
+            // Step 4: check the configuration cache for this PC.
+            self.stats.cache_lookups += 1;
+            if let Some(cc) = self.cache.lookup(pc) {
+                let cc = cc.clone();
+                let profitable = if self.config.offload_heuristic {
+                    let gpp_est = *self
+                        .gpp_estimates
+                        .get(&pc)
+                        .expect("estimate recorded at insertion");
+                    // Steady-state estimate (resident configuration with a
+                    // warm input context): the regime that matters for hot
+                    // code.
+                    let wpc = self.config.transfer_words_per_cycle as u64;
+                    let exec = self.config.fabric.exec_cycles(cc.config.cols_used());
+                    let out_drain =
+                        (cc.output_regs.len() as u64).div_ceil(wpc).saturating_sub(exec);
+                    exec + out_drain <= gpp_est
+                } else {
+                    true
+                };
+                if profitable {
+                    budget = budget.saturating_sub(cc.instr_count as u64);
+                    self.offload(&cc)?;
+                    continue;
+                }
+                self.stats.offloads_skipped += 1;
+            }
+            // Step 1/2: execute on the GPP, feed the DBT.
+            let before = self.cpu.cycles();
+            let retired = self.cpu.step()?;
+            self.stats.gpp_cycles += self.cpu.cycles() - before;
+            self.stats.gpp_retired += 1;
+            self.gpp_dirty = true;
+            budget -= 1;
+            let cached = self.cache.contains(retired.pc);
+            for built in self.translator.observe(&retired, cached) {
+                // Step 3: install into the configuration cache.
+                self.gpp_estimates.insert(built.start_pc, self.estimate_gpp_cycles(&built));
+                self.cache.insert(built);
+            }
+        }
+    }
+}
+
+/// Runs `program` on a plain GPP (no CGRA) — the 1× reference of Fig. 6.
+///
+/// # Errors
+///
+/// Propagates CPU faults and the step limit.
+pub fn run_gpp_only(
+    program: &Program,
+    mem_size: usize,
+    timing: TimingModel,
+    max_steps: u64,
+) -> Result<Cpu, CpuError> {
+    let mut cpu = Cpu::with_timing(mem_size, timing);
+    cpu.load_program(program).map_err(CpuError::Mem)?;
+    cpu.run(max_steps)?;
+    Ok(cpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaware::{BaselinePolicy, RotationPolicy, Snake};
+
+    fn toy_program() -> Program {
+        rv32::asm::assemble(
+            "
+            li   a0, 0
+            li   a1, 0
+        loop:
+            addi t0, a1, 3
+            slli t1, t0, 2
+            xor  t2, t1, a1
+            and  t3, t2, t0
+            add  a0, a0, t3
+            addi a1, a1, 1
+            li   t4, 400
+            blt  a1, t4, loop
+            ebreak
+        ",
+        )
+        .unwrap()
+    }
+
+    fn reference_result() -> u32 {
+        let mut a0 = 0u32;
+        for a1 in 0..400u32 {
+            let t0 = a1.wrapping_add(3);
+            let t1 = t0 << 2;
+            let t2 = t1 ^ a1;
+            let t3 = t2 & t0;
+            a0 = a0.wrapping_add(t3);
+        }
+        a0
+    }
+
+    #[test]
+    fn system_produces_architectural_results() {
+        let mut sys = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
+        sys.run(&toy_program()).unwrap();
+        assert_eq!(sys.cpu().reg(rv32::Reg::A0), reference_result());
+        assert!(sys.stats().offloads > 300, "hot loop must offload");
+    }
+
+    #[test]
+    fn rotation_gives_same_results_as_baseline() {
+        let mut base = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
+        base.run(&toy_program()).unwrap();
+        let mut rot = System::new(
+            SystemConfig::new(Fabric::be()),
+            Box::new(RotationPolicy::new(Snake)),
+        );
+        rot.run(&toy_program()).unwrap();
+        assert_eq!(base.cpu().reg(rv32::Reg::A0), rot.cpu().reg(rv32::Reg::A0));
+        // And it actually moved work around.
+        assert!(rot.tracker().utilization().max() < base.tracker().utilization().max());
+    }
+
+    #[test]
+    fn movement_without_hardware_is_rejected() {
+        let config = SystemConfig { movement_hardware: false, ..SystemConfig::new(Fabric::be()) };
+        let mut sys = System::new(config, Box::new(RotationPolicy::new(Snake)));
+        let err = sys.run(&toy_program()).unwrap_err();
+        assert!(matches!(err, SystemError::MovementUnsupported { .. }));
+    }
+
+    #[test]
+    fn baseline_runs_without_movement_hardware() {
+        let config = SystemConfig { movement_hardware: false, ..SystemConfig::new(Fabric::be()) };
+        let mut sys = System::new(config, Box::new(BaselinePolicy));
+        sys.run(&toy_program()).unwrap();
+        assert_eq!(sys.cpu().reg(rv32::Reg::A0), reference_result());
+    }
+
+    #[test]
+    fn offloading_beats_gpp_on_the_hot_loop() {
+        let gpp = run_gpp_only(&toy_program(), 1 << 20, TimingModel::default(), 10_000_000)
+            .unwrap();
+        let mut sys = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
+        sys.run(&toy_program()).unwrap();
+        assert!(
+            sys.cpu().cycles() < gpp.cycles(),
+            "system {} vs gpp {}",
+            sys.cpu().cycles(),
+            gpp.cycles()
+        );
+    }
+
+    #[test]
+    fn stats_account_all_cycles() {
+        let mut sys = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
+        sys.run(&toy_program()).unwrap();
+        assert_eq!(sys.stats().total_cycles(), sys.cpu().cycles());
+    }
+
+    #[test]
+    fn step_limit_detected() {
+        let config = SystemConfig { max_steps: 100, ..SystemConfig::new(Fabric::be()) };
+        let mut sys = System::new(config, Box::new(BaselinePolicy));
+        let err = sys.run(&toy_program()).unwrap_err();
+        assert!(matches!(err, SystemError::StepLimit { .. }));
+    }
+}

@@ -1,0 +1,180 @@
+//! System-level behavioural tests: fabric-resolved exits, warm-context
+//! accounting, energy invariants and DSE plumbing.
+
+use cgra::Fabric;
+use rv32::asm::assemble;
+use rv32::Reg;
+use transrec::{
+    gpp_only_energy, run_gpp_only, system_energy, EnergyParams, System, SystemConfig,
+};
+use uaware::{BaselinePolicy, RotationPolicy, Snake};
+
+fn run_sys(src: &str) -> System {
+    let p = assemble(src).unwrap();
+    let mut sys = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
+    sys.run(&p).unwrap();
+    sys
+}
+
+#[test]
+fn branch_exit_takes_both_paths() {
+    // A loop whose body branches each way; both sides must compute right.
+    let sys = run_sys(
+        "
+        li   s0, 100
+        li   s1, 0          # even counter
+        li   s2, 0          # odd sum
+    loop:
+        andi t0, s0, 1
+        slli t1, s0, 1
+        xor  t2, t1, s0
+        bnez t0, odd
+        addi s1, s1, 1
+        and  s4, t2, t1
+        j    next
+    odd:
+        add  s2, s2, s0
+        or   s5, t2, t1
+    next:
+        addi s0, s0, -1
+        bnez s0, loop
+        ebreak
+    ",
+    );
+    assert_eq!(sys.cpu().reg(Reg::from_name("s1").unwrap()), 50);
+    // sum of odd numbers 1..=99 = 50^2 = 2500
+    assert_eq!(sys.cpu().reg(Reg::from_name("s2").unwrap()), 2500);
+    assert!(sys.stats().offloads > 50, "loop body should offload");
+}
+
+#[test]
+fn jump_exit_links_the_return_address() {
+    // `call` terminating a trace: the link register must still be written.
+    let sys = run_sys(
+        "
+    main:
+        li   a0, 5
+        li   a1, 7
+        add  a2, a0, a1
+        call helper
+        add  a0, a0, a2
+        ebreak
+    helper:
+        addi a0, a0, 100
+        ret
+    ",
+    );
+    assert_eq!(sys.cpu().reg(Reg::A0), 5 + 100 + 12);
+}
+
+#[test]
+fn warm_context_skips_input_transfers() {
+    // A tight fabric-resident loop: after warm-up, iterations transfer no
+    // inputs, so transfer cycles stay far below one per iteration.
+    let sys = run_sys(
+        "
+        li   s0, 2000
+        li   s1, 0
+    loop:
+        addi s1, s1, 3
+        xor  s2, s1, s0
+        and  s3, s2, s1
+        addi s0, s0, -1
+        bnez s0, loop
+        ebreak
+    ",
+    );
+    let s = sys.stats();
+    assert!(s.offloads >= 1990, "nearly every iteration offloads, got {}", s.offloads);
+    assert!(
+        s.transfer_cycles < s.offloads / 4,
+        "warm context should suppress transfers: {} transfers for {} offloads",
+        s.transfer_cycles,
+        s.offloads
+    );
+}
+
+#[test]
+fn division_runs_on_the_gpp() {
+    let sys = run_sys(
+        "
+        li   s0, 30
+        li   s1, 0
+    loop:
+        li   t0, 7
+        div  t1, s0, t0      # not a fabric op
+        add  s1, s1, t1
+        addi s0, s0, -1
+        bnez s0, loop
+        ebreak
+    ",
+    );
+    // Correct result despite the unsupported instruction in the hot loop.
+    let expect: u32 = (1..=30).map(|v: i32| (v / 7) as u32).sum();
+    assert_eq!(sys.cpu().reg(Reg::from_name("s1").unwrap()), expect);
+    assert!(sys.stats().gpp_retired > 30, "div must retire on the GPP");
+}
+
+#[test]
+fn energy_accounting_is_internally_consistent() {
+    let w = &mibench::suite(9)[0];
+    let cfg = SystemConfig::new(Fabric::be());
+    let mut sys = System::new(cfg.clone(), Box::new(RotationPolicy::new(Snake)));
+    sys.run(w.program()).unwrap();
+    let params = EnergyParams::default();
+    let b = system_energy(&params, &cfg.fabric, sys.stats());
+    assert!(b.gpp_active > 0.0 && b.cgra_dynamic > 0.0 && b.cgra_leakage > 0.0);
+    let total = b.total();
+    // Doubling leakage strictly increases the total.
+    let mut leaky = params;
+    leaky.fu_leak *= 2.0;
+    assert!(system_energy(&leaky, &cfg.fabric, sys.stats()).total() > total);
+    // GPP-only energy is proportional to cycles.
+    assert_eq!(gpp_only_energy(&params, 100), 100.0);
+}
+
+#[test]
+fn dse_grid_matches_paper() {
+    let grid = transrec::dse_grid();
+    assert_eq!(grid.len(), 12);
+    for l in [8, 16, 24, 32] {
+        for w in [2, 4, 8] {
+            assert!(grid.contains(&(l, w)), "missing (L{l},W{w})");
+        }
+    }
+}
+
+#[test]
+fn speedup_reported_against_gpp_reference() {
+    let w = &mibench::suite(4)[1]; // crc32
+    let cfg = SystemConfig::new(Fabric::bp());
+    let gpp = run_gpp_only(w.program(), cfg.mem_size, cfg.timing, cfg.max_steps).unwrap();
+    let mut sys = System::new(cfg, Box::new(BaselinePolicy));
+    sys.run(w.program()).unwrap();
+    let speedup = gpp.cycles() as f64 / sys.cpu().cycles() as f64;
+    assert!(speedup > 1.5, "crc32 on BP should beat the GPP clearly, got {speedup}");
+}
+
+#[test]
+fn rotation_visits_many_distinct_offsets() {
+    let w = &mibench::suite(4)[1];
+    let mut sys =
+        System::new(SystemConfig::new(Fabric::be()), Box::new(RotationPolicy::new(Snake)));
+    sys.run(w.program()).unwrap();
+    let grid = sys.tracker().utilization();
+    // With per-execution snake movement over a 32-FU fabric and hundreds of
+    // executions, every FU must have been touched.
+    assert!(grid.min() > 0.0, "rotation should reach every FU");
+}
+
+#[test]
+fn stats_instruction_conservation() {
+    // GPP-retired + offloaded = the dynamic instruction count of the
+    // equivalent GPP-only run.
+    let w = &mibench::suite(21)[6]; // stringsearch
+    let cfg = SystemConfig::new(Fabric::be());
+    let gpp = run_gpp_only(w.program(), cfg.mem_size, cfg.timing, cfg.max_steps).unwrap();
+    let mut sys = System::new(cfg, Box::new(BaselinePolicy));
+    sys.run(w.program()).unwrap();
+    assert_eq!(sys.stats().total_instrs(), gpp.retired());
+}

@@ -1,0 +1,61 @@
+//! Aging forecast: plan the deployment lifetime of a CGRA product running a
+//! known workload mix, comparing allocation policies — the decision the
+//! paper's Table I supports.
+//!
+//! ```sh
+//! cargo run --release -p transrec --example aging_forecast
+//! ```
+
+use cgra::Fabric;
+use nbti::CalibratedAging;
+use transrec::{run_suite, EnergyParams};
+use uaware::{
+    evaluate_aging, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, RandomPolicy,
+    RotationPolicy, Snake,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fabric = Fabric::be();
+    let workloads = mibench::suite(42);
+    let energy = EnergyParams::default();
+    let aging = CalibratedAging::default();
+
+    println!("deployment forecast, {}x{} fabric, ten-benchmark mix", fabric.rows, fabric.cols);
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>14}",
+        "policy", "worst-FU", "CoV", "lifetime[y]", "10y delay[%]"
+    );
+
+    let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn AllocationPolicy>>)> = vec![
+        ("baseline", Box::new(|| Box::new(BaselinePolicy) as Box<dyn AllocationPolicy>)),
+        (
+            "rotation",
+            Box::new(|| Box::new(RotationPolicy::new(Snake)) as Box<dyn AllocationPolicy>),
+        ),
+        ("random", Box::new(|| Box::new(RandomPolicy::seeded(7)) as Box<dyn AllocationPolicy>)),
+        ("health-aware", Box::new(|| Box::new(HealthAwarePolicy) as Box<dyn AllocationPolicy>)),
+    ];
+
+    for (name, factory) in &policies {
+        let run = run_suite(fabric, &workloads, &energy, factory.as_ref())?;
+        assert!(run.all_verified(), "oracle failure under {name}");
+        let grid = run.tracker.utilization();
+        let eval = evaluate_aging(&aging, &grid, 10.0, 101);
+        let at_10y = aging.delay_increase(10.0, eval.worst_utilization);
+        println!(
+            "{:<14} {:>9.1}% {:>10.3} {:>12.2} {:>13.2}%",
+            name,
+            100.0 * eval.worst_utilization,
+            grid.cov(),
+            eval.lifetime_years,
+            100.0 * at_10y,
+        );
+    }
+
+    println!();
+    println!(
+        "(end of life = {:.0}% delay degradation; paper anchor: u=100% dies in 3 years)",
+        100.0 * aging.eol_delay_frac
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Design-space explorer: sweep fabric geometries beyond the paper's grid
+//! and print the speedup / energy / lifetime trade-off per design point.
+//!
+//! ```sh
+//! cargo run --release -p transrec --example dse_explorer [seed]
+//! ```
+
+use cgra::Fabric;
+use nbti::CalibratedAging;
+use transrec::{run_suite, EnergyParams};
+use uaware::{AllocationPolicy, BaselinePolicy, RotationPolicy, Snake};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0xDAC2020u64);
+    let workloads = mibench::suite(seed);
+    let energy = EnergyParams::default();
+    let aging = CalibratedAging::default();
+
+    println!("seed {seed}; lifetime improvement = baseline worst-FU / rotated worst-FU");
+    println!(
+        "{:>10} {:>9} {:>10} {:>11} {:>13} {:>12}",
+        "design", "speedup", "energy[x]", "occupation", "life-base[y]", "life-rot[y]"
+    );
+
+    let baseline: &dyn Fn() -> Box<dyn AllocationPolicy> = &|| Box::new(BaselinePolicy);
+    let rotation: &dyn Fn() -> Box<dyn AllocationPolicy> = &|| Box::new(RotationPolicy::new(Snake));
+
+    for l in [8u32, 12, 16, 20, 24, 32] {
+        for w in [2u32, 4] {
+            let fabric = Fabric::new(w, l);
+            let base = run_suite(fabric, &workloads, &energy, baseline)?;
+            let rot = run_suite(fabric, &workloads, &energy, rotation)?;
+            assert!(base.all_verified() && rot.all_verified());
+            println!(
+                "{:>10} {:>8.2}x {:>10.3} {:>10.1}% {:>13.2} {:>12.2}",
+                format!("(L{l},W{w})"),
+                base.speedup(),
+                base.relative_energy(),
+                100.0 * base.avg_occupation(),
+                aging.lifetime_years(base.tracker.utilization().max()),
+                aging.lifetime_years(rot.tracker.utilization().max()),
+            );
+        }
+    }
+    Ok(())
+}
