@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cgra::Fabric;
 use transrec::{System, SystemConfig};
 use uaware::{
-    AllocationPolicy, ColumnMajor, HealthAwarePolicy, RandomPolicy, Raster, RotationPolicy, Snake,
+    AllocationPolicy, ColumnMajor, HealthAwarePolicy, PolicyFactory, RandomPolicy, Raster,
+    RotationPolicy, Snake,
 };
 
 fn run_once(make: &dyn Fn() -> Box<dyn AllocationPolicy>) -> (f64, f64) {
@@ -22,7 +23,7 @@ fn run_once(make: &dyn Fn() -> Box<dyn AllocationPolicy>) -> (f64, f64) {
 fn bench_patterns(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_patterns");
     group.sample_size(10);
-    let entries: Vec<(&str, Box<dyn Fn() -> Box<dyn AllocationPolicy>>)> = vec![
+    let entries: Vec<(&str, PolicyFactory)> = vec![
         ("snake", Box::new(|| Box::new(RotationPolicy::new(Snake)))),
         ("raster", Box::new(|| Box::new(RotationPolicy::new(Raster)))),
         ("column_major", Box::new(|| Box::new(RotationPolicy::new(ColumnMajor)))),

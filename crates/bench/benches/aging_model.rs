@@ -10,9 +10,7 @@ use uaware::UtilizationGrid;
 fn bench_aging(c: &mut Criterion) {
     let raw = NbtiModel::default();
     let cal = CalibratedAging::default();
-    c.bench_function("nbti_delta_vt", |b| {
-        b.iter(|| raw.delta_vt(black_box(3.0), black_box(0.42)))
-    });
+    c.bench_function("nbti_delta_vt", |b| b.iter(|| raw.delta_vt(black_box(3.0), black_box(0.42))));
     c.bench_function("nbti_lifetime", |b| b.iter(|| cal.lifetime_years(black_box(0.42))));
     c.bench_function("nbti_delay_curve_101", |b| {
         b.iter(|| cal.delay_curve(black_box(0.42), 10.0, 101))

@@ -8,7 +8,18 @@ fn main() {
     let cfg = SystemConfig::new(Fabric::be());
     println!(
         "{:<16} {:>9} {:>9} {:>7} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
-        "bench", "gpp-only", "system", "speedup", "cover", "gppcyc", "exec", "reconf", "xfer", "rot", "offl", "skip"
+        "bench",
+        "gpp-only",
+        "system",
+        "speedup",
+        "cover",
+        "gppcyc",
+        "exec",
+        "reconf",
+        "xfer",
+        "rot",
+        "offl",
+        "skip"
     );
     for w in mibench::suite(0xDAC2020) {
         let gpp = run_gpp_only(w.program(), cfg.mem_size, cfg.timing, cfg.max_steps).unwrap();

@@ -7,7 +7,10 @@ fn main() {
     let ctx = ExperimentContext::default();
     let r = fig6(&ctx);
     println!("== Fig. 6: design-space exploration (relative to stand-alone GPP) ==");
-    println!("{:>10} {:>10} {:>10} {:>10} {:>12} {:>9}", "design", "time [x]", "energy [x]", "speedup", "occupation", "verified");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12} {:>9}",
+        "design", "time [x]", "energy [x]", "speedup", "occupation", "verified"
+    );
     for p in &r.points {
         let tag = match (p.l, p.w) {
             (16, 2) => " <- BE",

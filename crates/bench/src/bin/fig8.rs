@@ -11,12 +11,19 @@ fn main() {
         let peak = s.pdf.iter().cloned().fold((0.0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
         println!(
             "{:<3} {:<9} worst-util {:>5.1}%  pdf peak at u={:.2} (density {:.1})",
-            s.scenario, s.policy, 100.0 * s.worst_utilization, peak.0, peak.1
+            s.scenario,
+            s.policy,
+            100.0 * s.worst_utilization,
+            peak.0,
+            peak.1
         );
     }
     println!();
     println!("== Fig. 8 (bottom): delay increase over time (worst FU) ==");
-    println!("{:<3} {:<9} {:>7} {:>7} {:>7} {:>7} {:>7}  years->10%", "sc", "policy", "2y", "4y", "6y", "8y", "10y");
+    println!(
+        "{:<3} {:<9} {:>7} {:>7} {:>7} {:>7} {:>7}  years->10%",
+        "sc", "policy", "2y", "4y", "6y", "8y", "10y"
+    );
     for s in &r.series {
         let at = |y: f64| {
             s.delay_curve
@@ -33,7 +40,14 @@ fn main() {
             .unwrap_or_else(|| "> horizon".into());
         println!(
             "{:<3} {:<9} {} {} {} {} {}  {}",
-            s.scenario, s.policy, at(2.0), at(4.0), at(6.0), at(8.0), at(10.0), eol
+            s.scenario,
+            s.policy,
+            at(2.0),
+            at(4.0),
+            at(6.0),
+            at(8.0),
+            at(10.0),
+            eol
         );
     }
     save_json("fig8", &r);

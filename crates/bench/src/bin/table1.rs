@@ -9,7 +9,13 @@ fn main() {
     println!("== Table I: utilization and lifetime improvements ==");
     println!(
         "{:<9} {:>9} {:>15} {:>15} {:>10} {:>12} {:>12}",
-        "Scenario", "Avg.Util", "BaselineWorst", "ProposedWorst", "Improv.", "BaseLife[y]", "PropLife[y]"
+        "Scenario",
+        "Avg.Util",
+        "BaselineWorst",
+        "ProposedWorst",
+        "Improv.",
+        "BaseLife[y]",
+        "PropLife[y]"
     );
     for row in &r.rows {
         println!(
@@ -24,6 +30,8 @@ fn main() {
         );
     }
     println!();
-    println!("paper: BE 39.7%/94.5%/41.1%/2.29x, BP 17.1%/98.1%/22.4%/4.37x, BU 8.5%/98.1%/12.3%/7.97x");
+    println!(
+        "paper: BE 39.7%/94.5%/41.1%/2.29x, BP 17.1%/98.1%/22.4%/4.37x, BU 8.5%/98.1%/12.3%/7.97x"
+    );
     save_json("table1", &r);
 }

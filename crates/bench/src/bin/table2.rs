@@ -10,11 +10,17 @@ fn main() {
     println!("{:<12} {:>14} {:>14}", "", "Baseline", "Modified");
     println!(
         "{:<12} {:>14.0} {:>14.0}  (+{:.2}%)  [paper: 28,995 -> 30,199, +4.15%]",
-        "Area[um2]", r.baseline_area_um2, r.modified_area_um2, 100.0 * r.area_overhead
+        "Area[um2]",
+        r.baseline_area_um2,
+        r.modified_area_um2,
+        100.0 * r.area_overhead
     );
     println!(
         "{:<12} {:>14} {:>14}  (+{:.2}%)  [paper: 79,540 -> 83,083, +4.45%]",
-        "# Cells", r.baseline_cells, r.modified_cells, 100.0 * r.cell_overhead
+        "# Cells",
+        r.baseline_cells,
+        r.modified_cells,
+        100.0 * r.cell_overhead
     );
     println!(
         "column latency: {:.0} ps -> {:.0} ps  [paper: 120 ps, unchanged]",

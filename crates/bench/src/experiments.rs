@@ -170,15 +170,16 @@ pub fn table2(_ctx: &ExperimentContext) -> Table2Report {
     let base = model.report(&fabric, false);
     let ext = model.report(&fabric, true);
     let (cell_overhead, area_overhead) = ext.overhead_vs(&base);
-    let other_fabrics = [("fig1(4x8)", Fabric::fig1()), ("BP(32x4)", Fabric::bp()), ("BU(32x8)", Fabric::bu())]
-        .iter()
-        .map(|(name, f)| {
-            let b = model.report(f, false);
-            let e = model.report(f, true);
-            let (c, a) = e.overhead_vs(&b);
-            (name.to_string(), c, a)
-        })
-        .collect();
+    let other_fabrics =
+        [("fig1(4x8)", Fabric::fig1()), ("BP(32x4)", Fabric::bp()), ("BU(32x8)", Fabric::bu())]
+            .iter()
+            .map(|(name, f)| {
+                let b = model.report(f, false);
+                let e = model.report(f, true);
+                let (c, a) = e.overhead_vs(&b);
+                (name.to_string(), c, a)
+            })
+            .collect();
     // The configuration cache, sized like the system default (FinCACTI
     // substitute, DESIGN.md §3).
     let cache = cgra::config_cache_macro(&cgra::SramTech::default(), &fabric, 256);

@@ -140,10 +140,7 @@ impl AreaReport {
     /// `(cell_overhead, area_overhead)` of `self` relative to `base`,
     /// as fractions (0.045 = +4.5%).
     pub fn overhead_vs(&self, base: &AreaReport) -> (f64, f64) {
-        (
-            self.cells as f64 / base.cells as f64 - 1.0,
-            self.area_um2 / base.area_um2 - 1.0,
-        )
+        (self.cells as f64 / base.cells as f64 - 1.0, self.area_um2 / base.area_um2 - 1.0)
     }
 }
 
@@ -183,10 +180,7 @@ impl AreaModel {
     /// keep path).
     fn column_output_xbar(&self, fabric: &Fabric) -> CellCount {
         let per_bit = fabric.rows as u64; // rows+1 inputs -> rows mux2
-        CellCount {
-            mux2: fabric.ctx_lines as u64 * 32 * per_bit,
-            ..CellCount::default()
-        }
+        CellCount { mux2: fabric.ctx_lines as u64 * 32 * per_bit, ..CellCount::default() }
     }
 
     fn column_control(&self) -> CellCount {

@@ -51,7 +51,9 @@ fn kind_of(opcode: u64, imm: u32) -> Option<OpKind> {
     match opcode {
         1..=10 => Some(OpKind::Alu(AluFunc::ALL[(opcode - 1) as usize])),
         11..=14 => Some(OpKind::Mul(MulFunc::ALL[(opcode - 11) as usize])),
-        15..=19 => Some(OpKind::Load { func: LoadFunc::ALL[(opcode - 15) as usize], offset: imm as i32 }),
+        15..=19 => {
+            Some(OpKind::Load { func: LoadFunc::ALL[(opcode - 15) as usize], offset: imm as i32 })
+        }
         20..=22 => {
             Some(OpKind::Store { func: StoreFunc::ALL[(opcode - 20) as usize], offset: imm as i32 })
         }
@@ -97,8 +99,7 @@ impl ColumnBits {
         let mut out = vec![false; self.bits.len()];
         for p in 0..rows {
             let v = (p + rows - shift) % rows;
-            out[p * field..(p + 1) * field]
-                .copy_from_slice(&self.bits[v * field..(v + 1) * field]);
+            out[p * field..(p + 1) * field].copy_from_slice(&self.bits[v * field..(v + 1) * field]);
         }
         ColumnBits { bits: out }
     }
@@ -296,8 +297,11 @@ pub(crate) fn decode_column(
         if opcode == 0 {
             continue;
         }
-        let kind = kind_of(opcode, imm)
-            .ok_or(BitstreamError::BadOpcode { col, row, opcode: opcode as u8 })?;
+        let kind = kind_of(opcode, imm).ok_or(BitstreamError::BadOpcode {
+            col,
+            row,
+            opcode: opcode as u8,
+        })?;
         let operand = |is_imm: bool, s: u16| {
             if is_imm {
                 Operand::Imm(if kind.is_mem() { 0 } else { imm })

@@ -270,10 +270,7 @@ impl Configuration {
             if op.span != expected {
                 return Err(ConfigError::WrongSpan { index: i, expected, got: op.span });
             }
-            if op.row >= fabric.rows
-                || op.col >= fabric.cols
-                || op.col + op.span > fabric.cols
-            {
+            if op.row >= fabric.rows || op.col >= fabric.cols || op.col + op.span > fabric.cols {
                 return Err(ConfigError::OutOfBounds { index: i });
             }
             for operand in [op.a, op.b] {
@@ -294,10 +291,10 @@ impl Configuration {
                         return Err(ConfigError::MemOperandImm { index: i });
                     }
                 }
-                OpKind::Store { .. } => {
-                    if matches!(op.a, Operand::Imm(_)) || matches!(op.b, Operand::Imm(_)) {
-                        return Err(ConfigError::MemOperandImm { index: i });
-                    }
+                OpKind::Store { .. }
+                    if (matches!(op.a, Operand::Imm(_)) || matches!(op.b, Operand::Imm(_))) =>
+                {
+                    return Err(ConfigError::MemOperandImm { index: i });
                 }
                 _ => {}
             }
@@ -311,8 +308,7 @@ impl Configuration {
         }
 
         // Cell-overlap check.
-        let mut cell_owner: Vec<Option<usize>> =
-            vec![None; (fabric.rows * fabric.cols) as usize];
+        let mut cell_owner: Vec<Option<usize>> = vec![None; (fabric.rows * fabric.cols) as usize];
         for (i, op) in ops.iter().enumerate() {
             for (r, c) in op.cells() {
                 let idx = (r * fabric.cols + c) as usize;
@@ -467,10 +463,7 @@ mod tests {
     #[test]
     fn empty_rejected() {
         let f = Fabric::be();
-        assert_eq!(
-            Configuration::new(&f, vec![], vec![], vec![]),
-            Err(ConfigError::Empty)
-        );
+        assert_eq!(Configuration::new(&f, vec![], vec![], vec![]), Err(ConfigError::Empty));
     }
 
     #[test]
@@ -521,8 +514,8 @@ mod tests {
             .unwrap();
         // Consumer *before* the producer completes.
         let eager = alu(1, 0, Operand::Ctx(CtxLine(1)), Operand::Imm(2), 2);
-        let e = Configuration::new(&f, vec![producer, eager], vec![CtxLine(0)], vec![])
-            .unwrap_err();
+        let e =
+            Configuration::new(&f, vec![producer, eager], vec![CtxLine(0)], vec![]).unwrap_err();
         assert!(matches!(e, ConfigError::UndefinedRead { .. }));
     }
 
@@ -549,8 +542,9 @@ mod tests {
         };
         // Two loads issuing in the same cycle (columns 0 and 1): the single
         // pipelined read port accepts one issue per cycle -> reject.
-        let e = Configuration::new(&f, vec![mk_load(0, 0), mk_load(1, 1)], vec![CtxLine(0)], vec![])
-            .unwrap_err();
+        let e =
+            Configuration::new(&f, vec![mk_load(0, 0), mk_load(1, 1)], vec![CtxLine(0)], vec![])
+                .unwrap_err();
         assert!(matches!(e, ConfigError::PortConflict { read: true, .. }));
         // One issue per cycle (columns 0 and 2) pipelines fine.
         Configuration::new(&f, vec![mk_load(0, 0), mk_load(1, 2)], vec![CtxLine(0)], vec![])
@@ -589,7 +583,10 @@ mod tests {
         let e = Configuration::new(&f, vec![op], vec![], vec![]).unwrap_err();
         assert_eq!(e, ConfigError::TwoImmediates { index: 0 });
         // Equal immediates share the field: legal (used for constant gen).
-        let op = PlacedOp { kind: OpKind::Alu(AluFunc::Or), ..alu(0, 0, Operand::Imm(7), Operand::Imm(7), 1) };
+        let op = PlacedOp {
+            kind: OpKind::Alu(AluFunc::Or),
+            ..alu(0, 0, Operand::Imm(7), Operand::Imm(7), 1)
+        };
         Configuration::new(&f, vec![op], vec![], vec![]).unwrap();
     }
 
@@ -613,8 +610,7 @@ mod tests {
     fn duplicate_inputs_rejected() {
         let f = Fabric::be();
         let op = alu(0, 0, Operand::Ctx(CtxLine(0)), Operand::Imm(0), 1);
-        let e = Configuration::new(&f, vec![op], vec![CtxLine(0), CtxLine(0)], vec![])
-            .unwrap_err();
+        let e = Configuration::new(&f, vec![op], vec![CtxLine(0), CtxLine(0)], vec![]).unwrap_err();
         assert_eq!(e, ConfigError::DuplicateInput { line: CtxLine(0) });
     }
 

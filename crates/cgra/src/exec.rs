@@ -211,9 +211,7 @@ impl<'f> Executor<'f> {
         let read = |ctx: &[Option<u32>], operand: Operand| -> Result<u32, ExecError> {
             match operand {
                 Operand::Imm(v) => Ok(v),
-                Operand::Ctx(l) => {
-                    ctx[l.0 as usize].ok_or(ExecError::UndefinedValue { line: l.0 })
-                }
+                Operand::Ctx(l) => ctx[l.0 as usize].ok_or(ExecError::UndefinedValue { line: l.0 }),
             }
         };
 
@@ -342,9 +340,7 @@ mod tests {
         let f = fabric();
         let cfg = sample_config(&f);
         let mut mem = ArrayMem::new(64);
-        let out = Executor::new(&f)
-            .execute(&cfg, Offset::ORIGIN, &[10, 0xff], &mut mem)
-            .unwrap();
+        let out = Executor::new(&f).execute(&cfg, Offset::ORIGIN, &[10, 0xff], &mut mem).unwrap();
         assert_eq!(out.outputs, vec![(10 + 5) ^ 0xff]);
         assert_eq!(out.cycles, 1, "2 columns at 2 cols/cycle");
         assert_eq!(out.active_cells, vec![(0, 0), (0, 1)]);
@@ -406,9 +402,7 @@ mod tests {
         .unwrap();
         let mut mem = ArrayMem::new(64);
         mem.store(0, StoreFunc::W, 41).unwrap();
-        let out = Executor::new(&f)
-            .execute(&cfg, Offset::ORIGIN, &[0, 8], &mut mem)
-            .unwrap();
+        let out = Executor::new(&f).execute(&cfg, Offset::ORIGIN, &[0, 8], &mut mem).unwrap();
         assert_eq!(out.outputs, vec![42]);
         assert_eq!(out.loads, 1);
         assert_eq!(out.stores, 1);
@@ -448,9 +442,7 @@ mod tests {
         )
         .unwrap();
         let mut mem = ArrayMem::new(64);
-        let out = Executor::new(&f)
-            .execute(&cfg, Offset::ORIGIN, &[4, 0xdead], &mut mem)
-            .unwrap();
+        let out = Executor::new(&f).execute(&cfg, Offset::ORIGIN, &[4, 0xdead], &mut mem).unwrap();
         assert_eq!(out.outputs, vec![0xdead], "load observes earlier store");
     }
 

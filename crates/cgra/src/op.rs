@@ -137,7 +137,8 @@ impl LoadFunc {
     }
 
     /// All five flavours, in encoding order.
-    pub const ALL: [LoadFunc; 5] = [LoadFunc::B, LoadFunc::Bu, LoadFunc::H, LoadFunc::Hu, LoadFunc::W];
+    pub const ALL: [LoadFunc; 5] =
+        [LoadFunc::B, LoadFunc::Bu, LoadFunc::H, LoadFunc::Hu, LoadFunc::W];
 }
 
 /// Store flavour (width), matching RV32I stores.

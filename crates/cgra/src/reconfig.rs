@@ -280,9 +280,7 @@ mod tests {
         let f = Fabric::be();
         let cfg = sample(&f); // 5 columns used
         let bs = Bitstream::encode(&f, &cfg);
-        let loaded = ReconfigUnit::with_movement()
-            .load(&f, &bs, Offset::new(0, 14))
-            .unwrap();
+        let loaded = ReconfigUnit::with_movement().load(&f, &bs, Offset::new(0, 14)).unwrap();
         assert_eq!(loaded.columns().len(), 16);
         // Columns 14,15,0,1,2 configured; the rest NOP.
         let configured: Vec<usize> = loaded

@@ -72,11 +72,7 @@ impl SramMacro {
 
 /// Sizes the configuration cache for a fabric: `entries` configurations of
 /// up to the full fabric's column registers, plus a PC tag per entry.
-pub fn config_cache_macro(
-    tech: &SramTech,
-    fabric: &crate::Fabric,
-    entries: u32,
-) -> SramMacro {
+pub fn config_cache_macro(tech: &SramTech, fabric: &crate::Fabric, entries: u32) -> SramMacro {
     let config_bits = crate::bitstream::column_bits(fabric) as u64 * fabric.cols as u64;
     let tag_bits = 32u64;
     let bits = entries as u64 * (config_bits + tag_bits);

@@ -67,6 +67,6 @@ pub use lifetime::{evaluate_aging, lifetime_improvement, AgingEvaluation};
 pub use pattern::{ColumnMajor, Fixed, MovementPattern, Raster, Snake};
 pub use policy::{
     AllocRequest, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, MovementGranularity,
-    RandomPolicy, RotationPolicy,
+    PolicyFactory, RandomPolicy, RotationPolicy,
 };
 pub use stats::{Histogram, UtilizationGrid, UtilizationTracker};

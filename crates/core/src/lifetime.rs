@@ -61,12 +61,8 @@ mod tests {
         let aging = CalibratedAging::default();
         // Paper Fig. 7 worst utilizations for BE: 94.5% baseline, 41.1%
         // proposed (32-FU grid shapes are irrelevant to the evaluation).
-        let base = evaluate_aging(
-            &aging,
-            &UtilizationGrid::from_values(1, 2, vec![0.945, 0.3]),
-            10.0,
-            11,
-        );
+        let base =
+            evaluate_aging(&aging, &UtilizationGrid::from_values(1, 2, vec![0.945, 0.3]), 10.0, 11);
         let prop = evaluate_aging(
             &aging,
             &UtilizationGrid::from_values(1, 2, vec![0.411, 0.38]),

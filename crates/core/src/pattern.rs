@@ -40,7 +40,7 @@ impl MovementPattern for Snake {
         let idx = (step % self.period(fabric)) as u32;
         let row = idx / fabric.cols;
         let within = idx % fabric.cols;
-        let col = if row % 2 == 0 { within } else { fabric.cols - 1 - within };
+        let col = if row.is_multiple_of(2) { within } else { fabric.cols - 1 - within };
         Offset::new(row, col)
     }
 
@@ -147,14 +147,13 @@ mod tests {
     fn snake_matches_figure3_shape() {
         // 2x4 toy fabric: expect (0,0) (0,1) (0,2) (0,3) (1,3) (1,2) (1,1) (1,0).
         let f = Fabric::new(2, 4);
-        let seq: Vec<(u32, u32)> = (0..8).map(|s| {
-            let o = Snake.offset_at(&f, s);
-            (o.row, o.col)
-        }).collect();
-        assert_eq!(
-            seq,
-            vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 3), (1, 2), (1, 1), (1, 0)]
-        );
+        let seq: Vec<(u32, u32)> = (0..8)
+            .map(|s| {
+                let o = Snake.offset_at(&f, s);
+                (o.row, o.col)
+            })
+            .collect();
+        assert_eq!(seq, vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 3), (1, 2), (1, 1), (1, 0)]);
     }
 
     #[test]

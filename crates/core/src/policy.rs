@@ -10,7 +10,7 @@
 
 use cgra::{Fabric, Offset};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::pattern::MovementPattern;
@@ -44,6 +44,10 @@ pub struct AllocRequest<'a> {
     /// Live utilization state (for health-aware policies).
     pub tracker: &'a UtilizationTracker,
 }
+
+/// Boxed constructor for boxed policies — the shape runners and harnesses
+/// take when they need a fresh policy instance per run.
+pub type PolicyFactory = Box<dyn Fn() -> Box<dyn AllocationPolicy>>;
 
 /// A pivot-selection policy.
 pub trait AllocationPolicy: std::fmt::Debug {
@@ -136,7 +140,8 @@ impl<P: MovementPattern> AllocationPolicy for RotationPolicy<P> {
                 self.current.is_none() || self.execs_since_move >= n.max(1)
             }
         };
-        let offset = if advance {
+
+        if advance {
             let o = self.pattern.offset_at(req.fabric, self.step);
             self.step += 1;
             self.execs_since_move = 0;
@@ -144,8 +149,7 @@ impl<P: MovementPattern> AllocationPolicy for RotationPolicy<P> {
             o
         } else {
             self.current.expect("current set when not advancing")
-        };
-        offset
+        }
     }
 
     fn name(&self) -> &'static str {

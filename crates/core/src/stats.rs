@@ -129,10 +129,7 @@ impl UtilizationGrid {
     /// `[0, 1]`.
     pub fn from_values(rows: u32, cols: u32, values: Vec<f64>) -> UtilizationGrid {
         assert_eq!(values.len(), (rows * cols) as usize, "value count mismatch");
-        assert!(
-            values.iter().all(|v| (0.0..=1.0).contains(v)),
-            "utilization outside [0, 1]"
-        );
+        assert!(values.iter().all(|v| (0.0..=1.0).contains(v)), "utilization outside [0, 1]");
         UtilizationGrid { rows, cols, values }
     }
 
@@ -179,8 +176,7 @@ impl UtilizationGrid {
     /// Population standard deviation.
     pub fn std_dev(&self) -> f64 {
         let m = self.mean();
-        (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64)
-            .sqrt()
+        (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.values.len() as f64).sqrt()
     }
 
     /// Coefficient of variation (σ/µ); 0 for perfectly balanced utilization.
@@ -203,11 +199,7 @@ impl UtilizationGrid {
         if total == 0.0 {
             return 0.0;
         }
-        let weighted: f64 = sorted
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i as f64 + 1.0) * v)
-            .sum();
+        let weighted: f64 = sorted.iter().enumerate().map(|(i, v)| (i as f64 + 1.0) * v).sum();
         (2.0 * weighted) / (n * total) - (n + 1.0) / n
     }
 
@@ -262,20 +254,13 @@ impl Histogram {
     /// Probability density per bin (integrates to 1 over `[0, 1]`).
     pub fn density(&self) -> Vec<f64> {
         let w = 1.0 / self.bins as f64;
-        self.counts
-            .iter()
-            .map(|c| *c as f64 / (self.total.max(1) as f64 * w))
-            .collect()
+        self.counts.iter().map(|c| *c as f64 / (self.total.max(1) as f64 * w)).collect()
     }
 
     /// `(bin_center, density)` pairs, ready for plotting.
     pub fn series(&self) -> Vec<(f64, f64)> {
         let w = 1.0 / self.bins as f64;
-        self.density()
-            .into_iter()
-            .enumerate()
-            .map(|(i, d)| ((i as f64 + 0.5) * w, d))
-            .collect()
+        self.density().into_iter().enumerate().map(|(i, d)| ((i as f64 + 0.5) * w, d)).collect()
     }
 }
 

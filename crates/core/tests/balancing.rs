@@ -31,12 +31,7 @@ fn drive(
     let mut tracker = UtilizationTracker::new(fabric);
     for _ in 0..executions {
         let off = {
-            let req = AllocRequest {
-                fabric,
-                config_switch: false,
-                footprint,
-                tracker: &tracker,
-            };
+            let req = AllocRequest { fabric, config_switch: false, footprint, tracker: &tracker };
             policy.next_offset(&req)
         };
         assert!(off.in_range(fabric), "{}: offset out of range", policy.name());

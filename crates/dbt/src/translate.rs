@@ -311,8 +311,7 @@ impl<'f> Placer<'f> {
         let f = self.fabric;
         for col in earliest..f.cols.saturating_sub(span - 1) {
             for row in 0..f.rows {
-                let free = (col..col + span)
-                    .all(|c| !self.grid[(row * f.cols + c) as usize]);
+                let free = (col..col + span).all(|c| !self.grid[(row * f.cols + c) as usize]);
                 if free {
                     return Some((col, row));
                 }
@@ -378,11 +377,8 @@ impl<'f> Placer<'f> {
         self.note_read(a.0, col);
         self.note_read(b.0, col);
         let l = self.alloc_line(completion).ok_or(PlaceFail::LinesExhausted)?;
-        self.lines[l as usize] = LineState {
-            bound: None,
-            last_event: completion as i64,
-            avail: col + span,
-        };
+        self.lines[l as usize] =
+            LineState { bound: None, last_event: completion as i64, avail: col + span };
         self.occupy(row, col, span);
         self.ops.push(PlacedOp { row, col, span, kind, a: a.0, b: b.0, dst: Some(CtxLine(l)) });
         Ok((CtxLine(l), col + span))
@@ -464,30 +460,22 @@ impl<'f> Placer<'f> {
         let (kind, a_src, b_src): (OpKind, SourceSpec, SourceSpec) = match *instr {
             // Constant generators: Or(v, v) = v occupies one FU, both
             // operand selects read the single shared immediate field.
-            Instr::Lui { imm, .. } => (
-                OpKind::Alu(AluFunc::Or),
-                SourceSpec::Imm(imm as u32),
-                SourceSpec::Imm(imm as u32),
-            ),
+            Instr::Lui { imm, .. } => {
+                (OpKind::Alu(AluFunc::Or), SourceSpec::Imm(imm as u32), SourceSpec::Imm(imm as u32))
+            }
             Instr::Auipc { imm, .. } => {
                 let v = pc.wrapping_add(imm as u32);
                 (OpKind::Alu(AluFunc::Or), SourceSpec::Imm(v), SourceSpec::Imm(v))
             }
-            Instr::OpImm { op, rs1, imm, .. } => (
-                OpKind::Alu(alu_func(op)),
-                SourceSpec::Reg(rs1),
-                SourceSpec::Imm(imm as u32),
-            ),
-            Instr::Op { op, rs1, rs2, .. } => (
-                OpKind::Alu(alu_func(op)),
-                SourceSpec::Reg(rs1),
-                SourceSpec::Reg(rs2),
-            ),
-            Instr::MulDiv { op, rs1, rs2, .. } => (
-                OpKind::Mul(mul_func(op)),
-                SourceSpec::Reg(rs1),
-                SourceSpec::Reg(rs2),
-            ),
+            Instr::OpImm { op, rs1, imm, .. } => {
+                (OpKind::Alu(alu_func(op)), SourceSpec::Reg(rs1), SourceSpec::Imm(imm as u32))
+            }
+            Instr::Op { op, rs1, rs2, .. } => {
+                (OpKind::Alu(alu_func(op)), SourceSpec::Reg(rs1), SourceSpec::Reg(rs2))
+            }
+            Instr::MulDiv { op, rs1, rs2, .. } => {
+                (OpKind::Mul(mul_func(op)), SourceSpec::Reg(rs1), SourceSpec::Reg(rs2))
+            }
             Instr::Load { width, rs1, offset, .. } => (
                 OpKind::Load { func: load_func(width), offset },
                 SourceSpec::Reg(rs1),
@@ -761,9 +749,7 @@ pub fn translate_trace(
 
     let inputs: Vec<CtxLine> = placer.inputs.iter().map(|(l, _)| *l).collect();
     let input_regs: Vec<Reg> = placer.inputs.iter().map(|(_, r)| *r).collect();
-    let mut output_regs: Vec<Reg> = Reg::all()
-        .filter(|r| placer.dirty[r.num() as usize])
-        .collect();
+    let mut output_regs: Vec<Reg> = Reg::all().filter(|r| placer.dirty[r.num() as usize]).collect();
     output_regs.sort_by_key(|r| r.num());
     let mut outputs: Vec<CtxLine> = output_regs
         .iter()
@@ -774,8 +760,8 @@ pub fn translate_trace(
         outputs.len() - 1
     });
 
-    let config = Configuration::new(fabric, placer.ops, inputs, outputs)
-        .map_err(TranslateError::Invalid)?;
+    let config =
+        Configuration::new(fabric, placer.ops, inputs, outputs).map_err(TranslateError::Invalid)?;
     Ok(CachedConfig {
         start_pc,
         instr_count: covered as u32,

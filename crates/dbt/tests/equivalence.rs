@@ -77,8 +77,7 @@ fn reg_value(r: Reg, seed: u32) -> u32 {
     } else if r == BASE {
         DATA_BASE
     } else {
-        seed.wrapping_mul(0x9e37_79b9)
-            .wrapping_add((r.num() as u32).wrapping_mul(0x85eb_ca6b))
+        seed.wrapping_mul(0x9e37_79b9).wrapping_add((r.num() as u32).wrapping_mul(0x85eb_ca6b))
     }
 }
 
@@ -123,8 +122,7 @@ fn check_equivalence(fabric: &Fabric, instrs: &[Instr], seed: u32, offsets: &[Of
         for i in 0..256u32 {
             mem.write_u8(DATA_BASE + i, (i as u8).wrapping_mul(31).wrapping_add(7)).unwrap();
         }
-        let inputs: Vec<u32> =
-            cached.input_regs.iter().map(|r| reg_value(*r, seed)).collect();
+        let inputs: Vec<u32> = cached.input_regs.iter().map(|r| reg_value(*r, seed)).collect();
         let out = Executor::new(fabric)
             .execute(&cached.config, offset, &inputs, &mut MemoryBus::new(&mut mem))
             .expect("fabric executes");
@@ -221,12 +219,7 @@ fn corner_bias_of_greedy_allocation() {
     // allocator stacks them from the top-left corner — the paper's Fig. 1
     // phenomenon in miniature.
     let instrs: Vec<Instr> = (0..6)
-        .map(|i| Instr::OpImm {
-            op: AluOp::Add,
-            rd: Reg::x(POOL[i]),
-            rs1: BASE,
-            imm: i as i32,
-        })
+        .map(|i| Instr::OpImm { op: AluOp::Add, rd: Reg::x(POOL[i]), rs1: BASE, imm: i as i32 })
         .collect();
     let fabric = Fabric::fig1(); // 4 x 8
     let params = TranslatorParams { min_instrs: 1, max_instrs: 64 };

@@ -2,7 +2,7 @@
 //! with linear min-selection (exactly MiBench network/dijkstra's O(V²)
 //! structure).
 
-use rand::RngExt;
+use rand::Rng;
 
 use crate::workload::{rng, words_directive, words_to_bytes, Workload};
 
@@ -12,7 +12,7 @@ const INF: u32 = 0x3fff_ffff;
 /// Reference shortest-path distances from node 0.
 pub fn dijkstra(adj: &[u32]) -> Vec<u32> {
     let mut dist = vec![INF; V];
-    let mut visited = vec![false; V];
+    let mut visited = [false; V];
     dist[0] = 0;
     for _ in 0..V {
         let mut best = usize::MAX;

@@ -25,12 +25,8 @@ pub fn sha1(msg: &[u8]) -> [u32; 5] {
                 2 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
                 _ => (b ^ c ^ d, 0xca62_c1d6),
             };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(*wi);
+            let tmp =
+                a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(*wi);
             e = d;
             d = c;
             c = b.rotate_left(30);
@@ -64,10 +60,8 @@ pub fn workload(seed: u64) -> Workload {
     let padded = pad(&msg);
     // Pre-swap to big-endian words so the kernel's `lw` yields the schedule
     // words directly (byte-order handling is not what the paper measures).
-    let be_words: Vec<u32> = padded
-        .chunks(4)
-        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
+    let be_words: Vec<u32> =
+        padded.chunks(4).map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]])).collect();
     let blocks = padded.len() / 64;
 
     let digest = sha1(&msg);
@@ -213,10 +207,7 @@ mod tests {
     fn sha1_reference_known_vector() {
         // SHA-1("abc") = a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d
         let d = sha1(b"abc");
-        assert_eq!(
-            d,
-            [0xa999_3e36, 0x4706_816a, 0xba3e_2571, 0x7850_c26c, 0x9cd0_d89d]
-        );
+        assert_eq!(d, [0xa999_3e36, 0x4706_816a, 0xba3e_2571, 0x7850_c26c, 0x9cd0_d89d]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! pattern (MiBench office/stringsearch uses the Pratt-Boyer-Moore family;
 //! BMH preserves its skip-table character).
 
-use rand::RngExt;
+use rand::Rng;
 
 use crate::workload::{bytes_directive, rng, Workload};
 
@@ -32,8 +32,7 @@ pub fn search(text: &[u8], pat: &[u8]) -> (u32, i32) {
 pub fn workload(seed: u64) -> Workload {
     let mut r = rng(seed ^ 0x57717);
     // Lowercase-letter haystack with a handful of planted patterns.
-    let mut text: Vec<u8> =
-        (0..TEXT_LEN).map(|_| b'a' + r.random_range(0..26u32) as u8).collect();
+    let mut text: Vec<u8> = (0..TEXT_LEN).map(|_| b'a' + r.random_range(0..26u32) as u8).collect();
     for _ in 0..4 {
         let at = r.random_range(0..(TEXT_LEN - PAT.len()) as u32) as usize;
         text[at..at + PAT.len()].copy_from_slice(PAT);

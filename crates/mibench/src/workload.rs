@@ -4,7 +4,7 @@
 use std::fmt;
 
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rv32::asm::{assemble, AsmError};
 use rv32::cpu::Cpu;
 use rv32::Program;
@@ -70,10 +70,7 @@ impl Workload {
             }
         };
         for (sym, _) in &expected {
-            assert!(
-                program.symbol(sym).is_some(),
-                "kernel `{name}` lacks expected symbol `{sym}`"
-            );
+            assert!(program.symbol(sym).is_some(), "kernel `{name}` lacks expected symbol `{sym}`");
         }
         Workload { name, program, max_steps, expected }
     }
@@ -106,10 +103,8 @@ impl Workload {
     pub fn verify(&self, cpu: &Cpu) -> Result<(), VerifyError> {
         for (sym, bytes) in &self.expected {
             let addr = self.program.symbol(sym).expect("checked in constructor");
-            let got = cpu
-                .mem
-                .read_bytes(addr, bytes.len() as u32)
-                .expect("expected region in memory");
+            let got =
+                cpu.mem.read_bytes(addr, bytes.len() as u32).expect("expected region in memory");
             if let Some(offset) = (0..bytes.len()).find(|&i| got[i] != bytes[i]) {
                 return Err(VerifyError {
                     workload: self.name.clone(),

@@ -245,7 +245,8 @@ mod tests {
     fn paper_table1_improvements() {
         let a = CalibratedAging::default();
         // (baseline worst util, proposed worst util, paper improvement)
-        for (base, prop, expect) in [(0.945, 0.411, 2.29), (0.981, 0.224, 4.37), (0.981, 0.123, 7.97)]
+        for (base, prop, expect) in
+            [(0.945, 0.411, 2.29), (0.981, 0.224, 4.37), (0.981, 0.123, 7.97)]
         {
             let got = a.lifetime_improvement(base, prop);
             assert!((got - expect).abs() < 0.02, "expected {expect}, got {got}");

@@ -134,25 +134,20 @@ impl Assembler {
             let err = |msg: String| AsmError { line: line_no, msg };
             let mut line = strip_comment(raw).trim().to_string();
             // Peel leading labels.
-            loop {
-                match split_label(&line) {
-                    Some((label, rest)) => {
-                        let addr = match section {
-                            Section::Text => text_cur,
-                            Section::Data => data_cur,
-                        };
-                        if symbols.insert(label.to_string(), addr).is_some() {
-                            return Err(err(format!("duplicate label `{label}`")));
-                        }
-                        line = rest.trim().to_string();
-                    }
-                    None => break,
+            while let Some((label, rest)) = split_label(&line) {
+                let addr = match section {
+                    Section::Text => text_cur,
+                    Section::Data => data_cur,
+                };
+                if symbols.insert(label.to_string(), addr).is_some() {
+                    return Err(err(format!("duplicate label `{label}`")));
                 }
+                line = rest.trim().to_string();
             }
             if line.is_empty() {
                 continue;
             }
-            let stmt = parse_stmt(&line).map_err(|m| err(m))?;
+            let stmt = parse_stmt(&line).map_err(&err)?;
             let cur = match section {
                 Section::Text => &mut text_cur,
                 Section::Data => &mut data_cur,
@@ -207,7 +202,7 @@ impl Assembler {
                     }
                 }
             }
-            let size = self.stmt_size(&stmt, *cur).map_err(|m| err(m))?;
+            let size = self.stmt_size(&stmt, *cur).map_err(err)?;
             placed.push(Placed { line: line_no, addr: *cur, section, stmt });
             *cur += size;
         }
@@ -219,8 +214,8 @@ impl Assembler {
             let err = |msg: String| AsmError { line: p.line, msg };
             match &p.stmt {
                 Stmt::Instr { mnemonic, operands } => {
-                    let instrs = expand_instr(mnemonic, operands, p.addr, &symbols)
-                        .map_err(|m| err(m))?;
+                    let instrs =
+                        expand_instr(mnemonic, operands, p.addr, &symbols).map_err(&err)?;
                     // Pass-1 sizing and pass-2 emission must agree, or every
                     // later label would be wrong.
                     debug_assert_eq!(
@@ -239,7 +234,7 @@ impl Assembler {
                     }
                 }
                 Stmt::Directive { name, args } => {
-                    let bytes = emit_data(name, args, &symbols).map_err(|m| err(m))?;
+                    let bytes = emit_data(name, args, &symbols).map_err(&err)?;
                     match p.section {
                         Section::Data => {
                             let off = (p.addr - self.data_base) as usize;
@@ -278,10 +273,9 @@ impl Assembler {
             Stmt::Instr { mnemonic, operands } => {
                 let n = match mnemonic.as_str() {
                     "li" => {
-                        let imm = operands
-                            .get(1)
-                            .and_then(|s| parse_int(s))
-                            .ok_or_else(|| "`li` needs a literal immediate (use `la` for symbols)".to_string())?;
+                        let imm = operands.get(1).and_then(|s| parse_int(s)).ok_or_else(|| {
+                            "`li` needs a literal immediate (use `la` for symbols)".to_string()
+                        })?;
                         if (-2048..=2047).contains(&imm) {
                             1
                         } else {
@@ -304,7 +298,7 @@ impl Assembler {
                         .ok_or_else(|| "`.space` needs a size".to_string())?;
                     Ok(n as u32)
                 }
-                ".ascii" => Ok(parse_string(args)? .len() as u32),
+                ".ascii" => Ok(parse_string(args)?.len() as u32),
                 ".asciz" | ".string" => Ok(parse_string(args)?.len() as u32 + 1),
                 ".align" | ".p2align" => Ok(0),
                 other => Err(format!("unknown directive `{other}`")),
@@ -344,7 +338,11 @@ fn split_label(line: &str) -> Option<(&str, &str)> {
     let colon = line.find(':')?;
     let (head, tail) = line.split_at(colon);
     let head = head.trim();
-    if head.is_empty() || !head.chars().next().unwrap().is_ascii_alphabetic() && !head.starts_with('_') && !head.starts_with('.') {
+    if head.is_empty()
+        || !head.chars().next().unwrap().is_ascii_alphabetic()
+            && !head.starts_with('_')
+            && !head.starts_with('.')
+    {
         return None;
     }
     if head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$') {
@@ -573,7 +571,7 @@ fn expand_instr(
     };
     let target = |s: &str| -> Result<i32, String> {
         match resolve_value(s, symbols)? {
-            Value::Plain(v) => Ok((v as i64 - pc as i64) as i32),
+            Value::Plain(v) => Ok((v - pc as i64) as i32),
             _ => Err("%hi/%lo not valid as a branch target".into()),
         }
     };
@@ -717,33 +715,64 @@ fn expand_instr(
         }
         "not" => {
             want(ops, 2, mnemonic)?;
-            Ok(vec![Instr::OpImm { op: AluOp::Xor, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: -1 }])
+            Ok(vec![Instr::OpImm {
+                op: AluOp::Xor,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                imm: -1,
+            }])
         }
         "neg" => {
             want(ops, 2, mnemonic)?;
-            Ok(vec![Instr::Op { op: AluOp::Sub, rd: reg(&ops[0])?, rs1: Reg::ZERO, rs2: reg(&ops[1])? }])
+            Ok(vec![Instr::Op {
+                op: AluOp::Sub,
+                rd: reg(&ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: reg(&ops[1])?,
+            }])
         }
         "seqz" => {
             want(ops, 2, mnemonic)?;
-            Ok(vec![Instr::OpImm { op: AluOp::Sltu, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: 1 }])
+            Ok(vec![Instr::OpImm {
+                op: AluOp::Sltu,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                imm: 1,
+            }])
         }
         "snez" => {
             want(ops, 2, mnemonic)?;
-            Ok(vec![Instr::Op { op: AluOp::Sltu, rd: reg(&ops[0])?, rs1: Reg::ZERO, rs2: reg(&ops[1])? }])
+            Ok(vec![Instr::Op {
+                op: AluOp::Sltu,
+                rd: reg(&ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: reg(&ops[1])?,
+            }])
         }
         "sltz" => {
             want(ops, 2, mnemonic)?;
-            Ok(vec![Instr::Op { op: AluOp::Slt, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, rs2: Reg::ZERO }])
+            Ok(vec![Instr::Op {
+                op: AluOp::Slt,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                rs2: Reg::ZERO,
+            }])
         }
         "sgtz" => {
             want(ops, 2, mnemonic)?;
-            Ok(vec![Instr::Op { op: AluOp::Slt, rd: reg(&ops[0])?, rs1: Reg::ZERO, rs2: reg(&ops[1])? }])
+            Ok(vec![Instr::Op {
+                op: AluOp::Slt,
+                rd: reg(&ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: reg(&ops[1])?,
+            }])
         }
         "li" => {
             want(ops, 2, mnemonic)?;
             let rd = reg(&ops[0])?;
-            let imm = parse_int(&ops[1])
-                .ok_or_else(|| "`li` needs a literal immediate (use `la` for symbols)".to_string())?;
+            let imm = parse_int(&ops[1]).ok_or_else(|| {
+                "`li` needs a literal immediate (use `la` for symbols)".to_string()
+            })?;
             if (-2048..=2047).contains(&imm) {
                 Ok(vec![Instr::OpImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: imm as i32 }])
             } else {
@@ -826,10 +855,7 @@ fn emit_data(
             }
             Ok(out)
         }
-        ".byte" => args
-            .iter()
-            .map(|a| resolve_plain(a, symbols).map(|v| v as u8))
-            .collect(),
+        ".byte" => args.iter().map(|a| resolve_plain(a, symbols).map(|v| v as u8)).collect(),
         ".space" | ".skip" => {
             let n = parse_int(&args[0]).ok_or("`.space` needs a size")? as usize;
             let fill = args.get(1).and_then(|a| parse_int(a)).unwrap_or(0) as u8;
@@ -877,7 +903,9 @@ mod tests {
 
     #[test]
     fn li_values() {
-        for v in [0i64, 5, -5, 2047, -2048, 2048, -2049, 0x12345678, 0x7fffffff, -0x80000000, 0xffffffff] {
+        for v in
+            [0i64, 5, -5, 2047, -2048, 2048, -2049, 0x12345678, 0x7fffffff, -0x80000000, 0xffffffff]
+        {
             let p = assemble(&format!("li a0, {v}\nebreak")).unwrap();
             let mut cpu = crate::cpu::Cpu::new(1 << 20);
             cpu.load_program(&p).unwrap();

@@ -55,7 +55,10 @@ fn imm_s(w: u32) -> i32 {
 }
 
 fn imm_b(w: u32) -> i32 {
-    let v = ((w >> 31) & 1) << 12 | ((w >> 7) & 1) << 11 | ((w >> 25) & 0x3f) << 5 | ((w >> 8) & 0xf) << 1;
+    let v = ((w >> 31) & 1) << 12
+        | ((w >> 7) & 1) << 11
+        | ((w >> 25) & 0x3f) << 5
+        | ((w >> 8) & 0xf) << 1;
     sext(v, 13)
 }
 

@@ -47,11 +47,7 @@ fn check_i12(instr: &Instr, imm: i32) -> Result<u32, EncodeError> {
     if (-2048..=2047).contains(&imm) {
         Ok((imm as u32) & 0xfff)
     } else {
-        Err(EncodeError::ImmOutOfRange {
-            instr: instr.to_string(),
-            imm,
-            range: "[-2048, 2047]",
-        })
+        Err(EncodeError::ImmOutOfRange { instr: instr.to_string(), imm, range: "[-2048, 2047]" })
     }
 }
 
@@ -217,7 +213,14 @@ pub fn encode(instr: &Instr) -> Result<u32, EncodeError> {
                 AluOp::Or => (0b110, 0),
                 AluOp::And => (0b111, 0),
             };
-            Ok(r_type(funct7, rs2.num() as u32, rs1.num() as u32, funct3, rd.num() as u32, 0b0110011))
+            Ok(r_type(
+                funct7,
+                rs2.num() as u32,
+                rs1.num() as u32,
+                funct3,
+                rd.num() as u32,
+                0b0110011,
+            ))
         }
         Instr::MulDiv { op, rd, rs1, rs2 } => {
             let funct3 = match op {
@@ -230,7 +233,14 @@ pub fn encode(instr: &Instr) -> Result<u32, EncodeError> {
                 MulOp::Rem => 0b110,
                 MulOp::Remu => 0b111,
             };
-            Ok(r_type(0b0000001, rs2.num() as u32, rs1.num() as u32, funct3, rd.num() as u32, 0b0110011))
+            Ok(r_type(
+                0b0000001,
+                rs2.num() as u32,
+                rs1.num() as u32,
+                funct3,
+                rd.num() as u32,
+                0b0110011,
+            ))
         }
         Instr::Fence => Ok(0x0ff0000f),
         Instr::Ecall => Ok(0x00000073),

@@ -74,10 +74,7 @@ impl Reg {
         if name == "fp" {
             return Some(Reg(8));
         }
-        ABI_NAMES
-            .iter()
-            .position(|&n| n == name)
-            .map(|i| Reg(i as u8))
+        ABI_NAMES.iter().position(|&n| n == name).map(|i| Reg(i as u8))
     }
 
     /// Iterator over all 32 registers in index order.
@@ -221,13 +218,7 @@ impl MulOp {
                     ((a as i32) / (b as i32)) as u32
                 }
             }
-            MulOp::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
+            MulOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
             MulOp::Rem => {
                 if b == 0 {
                     a
@@ -526,10 +517,7 @@ impl Instr {
 
     /// `true` for control-transfer instructions (branches and jumps).
     pub fn is_control(self) -> bool {
-        matches!(
-            self,
-            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. }
-        )
+        matches!(self, Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. })
     }
 
     /// `true` for loads and stores.

@@ -95,12 +95,7 @@ impl Memory {
     /// Returns [`MemError`] if the 4-byte range is out of bounds.
     pub fn read_u32(&self, addr: u32) -> Result<u32, MemError> {
         let i = self.check(addr, 4)?;
-        Ok(u32::from_le_bytes([
-            self.data[i],
-            self.data[i + 1],
-            self.data[i + 2],
-            self.data[i + 3],
-        ]))
+        Ok(u32::from_le_bytes([self.data[i], self.data[i + 1], self.data[i + 2], self.data[i + 3]]))
     }
 
     /// Writes one byte.

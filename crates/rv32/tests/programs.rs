@@ -16,8 +16,7 @@ fn run(src: &str) -> Cpu {
 
 #[test]
 fn memcpy_bytewise() {
-    let cpu = run(
-        "
+    let cpu = run("
         .data
     src: .ascii \"the quick brown fox jumps over the lazy dog\"
     dst: .space 43
@@ -33,16 +32,14 @@ fn memcpy_bytewise() {
         addi a2, a2, -1
         bnez a2, loop
         ebreak
-    ",
-    );
+    ");
     let dst = cpu.mem.read_bytes(rv32::asm::DEFAULT_DATA_BASE + 43, 43).unwrap();
     assert_eq!(dst, b"the quick brown fox jumps over the lazy dog");
 }
 
 #[test]
 fn strlen_null_terminated() {
-    let cpu = run(
-        "
+    let cpu = run("
         .data
     s:  .asciz \"reconfigurable\"
         .text
@@ -56,16 +53,14 @@ fn strlen_null_terminated() {
         j    loop
     done:
         ebreak
-    ",
-    );
+    ");
     assert_eq!(cpu.reg(Reg::A0), 14);
 }
 
 #[test]
 fn recursive_fibonacci_uses_the_stack() {
     // fib(12) = 144 with genuine call/ret recursion and stack frames.
-    let cpu = run(
-        "
+    let cpu = run("
     main:
         li   a0, 12
         call fib
@@ -89,16 +84,14 @@ fn recursive_fibonacci_uses_the_stack() {
         lw   ra, 0(sp)
         addi sp, sp, 12
         ret
-    ",
-    );
+    ");
     assert_eq!(cpu.reg(Reg::A0), 144);
 }
 
 #[test]
 fn jump_table_dispatch() {
     // Computed jump through a table of code addresses (jalr-based dispatch).
-    let cpu = run(
-        "
+    let cpu = run("
         .data
     table: .word case0, case1, case2
         .text
@@ -118,23 +111,20 @@ fn jump_table_dispatch() {
         li   a0, 300
     end:
         ebreak
-    ",
-    );
+    ");
     assert_eq!(cpu.reg(Reg::A0), 200);
 }
 
 #[test]
 fn unsigned_division_by_shifts() {
     // divu semantics vs a shift-subtract implementation of 97 / 7.
-    let cpu = run(
-        "
+    let cpu = run("
         li   s0, 97
         li   s1, 7
         divu a0, s0, s1
         remu a1, s0, s1
         ebreak
-    ",
-    );
+    ");
     assert_eq!(cpu.reg(Reg::A0), 13);
     assert_eq!(cpu.reg(Reg::A1), 6);
 }
@@ -167,8 +157,7 @@ fn taken_branches_cost_extra() {
 
 #[test]
 fn output_stream_via_write_syscall() {
-    let cpu = run(
-        "
+    let cpu = run("
         .data
     msg: .ascii \"ok\\n\"
         .text
@@ -180,16 +169,14 @@ fn output_stream_via_write_syscall() {
         li  a0, 0
         li  a7, 93
         ecall
-    ",
-    );
+    ");
     assert_eq!(cpu.output(), b"ok\n");
     assert_eq!(cpu.exit(), Some(rv32::cpu::Exit::Exit { code: 0 }));
 }
 
 #[test]
 fn data_section_symbol_arithmetic() {
-    let cpu = run(
-        "
+    let cpu = run("
         .data
     vals: .word 11, 22, 33, 44
         .text
@@ -198,8 +185,7 @@ fn data_section_symbol_arithmetic() {
         la   t1, vals+12
         lw   a1, 0(t1)
         ebreak
-    ",
-    );
+    ");
     assert_eq!(cpu.reg(Reg::A0), 33);
     assert_eq!(cpu.reg(Reg::A1), 44);
 }

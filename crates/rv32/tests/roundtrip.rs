@@ -70,9 +70,13 @@ fn any_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (any_reg(), 0i32..=0xfffff).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
         (any_reg(), 0i32..=0xfffff).prop_map(|(rd, v)| Instr::Auipc { rd, imm: v << 12 }),
-        (any_reg(), (-(1i32 << 19)..(1 << 19))).prop_map(|(rd, o)| Instr::Jal { rd, offset: o * 2 }),
-        (any_reg(), any_reg(), -2048i32..=2047)
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (any_reg(), (-(1i32 << 19)..(1 << 19)))
+            .prop_map(|(rd, o)| Instr::Jal { rd, offset: o * 2 }),
+        (any_reg(), any_reg(), -2048i32..=2047).prop_map(|(rd, rs1, offset)| Instr::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
         (any_branch_op(), any_reg(), any_reg(), -2048i32..=2047)
             .prop_map(|(op, rs1, rs2, o)| Instr::Branch { op, rs1, rs2, offset: o * 2 }),
         (any_load_width(), any_reg(), any_reg(), -2048i32..=2047)
@@ -80,15 +84,16 @@ fn any_instr() -> impl Strategy<Value = Instr> {
         (any_store_width(), any_reg(), any_reg(), -2048i32..=2047)
             .prop_map(|(width, rs2, rs1, offset)| Instr::Store { width, rs2, rs1, offset }),
         (any_imm_alu_op(), any_reg(), any_reg(), -2048i32..=2047).prop_map(|(op, rd, rs1, imm)| {
-            let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
-                imm & 0x1f
-            } else {
-                imm
-            };
+            let imm =
+                if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) { imm & 0x1f } else { imm };
             Instr::OpImm { op, rd, rs1, imm }
         }),
-        (any_alu_op(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+        (any_alu_op(), any_reg(), any_reg(), any_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (any_mul_op(), any_reg(), any_reg(), any_reg())
             .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
         Just(Instr::Fence),

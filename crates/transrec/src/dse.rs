@@ -144,8 +144,13 @@ pub fn run_suite_with(
         policy_name = system.policy_name().to_string();
         system.run(w.program())?;
         let verified = w.verify(system.cpu()).is_ok();
-        let gpp = run_gpp_only(w.program(), base_config.mem_size, base_config.timing, base_config.max_steps)
-            .map_err(SystemError::Cpu)?;
+        let gpp = run_gpp_only(
+            w.program(),
+            base_config.mem_size,
+            base_config.timing,
+            base_config.max_steps,
+        )
+        .map_err(SystemError::Cpu)?;
         let stats = *system.stats();
         benchmarks.push(BenchmarkRun {
             name: w.name().to_string(),

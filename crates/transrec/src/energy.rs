@@ -105,10 +105,8 @@ pub fn system_energy(
         cgra_dynamic: stats.cgra_active_fu_slots as f64 * params.fu_active
             + stats.cgra_columns as f64 * params.xbar_per_column,
         cgra_leakage: fabric.fu_count() as f64 * total_cycles * params.fu_leak,
-        reconfig: columns_loaded * params.reconfig_per_column
-            + words * params.transfer_per_word,
-        cache: total_cycles * params.cache_leak
-            + stats.cache_lookups as f64 * params.cache_lookup,
+        reconfig: columns_loaded * params.reconfig_per_column + words * params.transfer_per_word,
+        cache: total_cycles * params.cache_leak + stats.cache_lookups as f64 * params.cache_lookup,
     }
 }
 
@@ -143,8 +141,13 @@ mod tests {
     #[test]
     fn breakdown_sums() {
         let b = system_energy(&EnergyParams::default(), &Fabric::be(), &stats());
-        let manual = b.gpp_active + b.gpp_idle + b.dbt + b.cgra_dynamic + b.cgra_leakage
-            + b.reconfig + b.cache;
+        let manual = b.gpp_active
+            + b.gpp_idle
+            + b.dbt
+            + b.cgra_dynamic
+            + b.cgra_leakage
+            + b.reconfig
+            + b.cache;
         assert!((b.total() - manual).abs() < 1e-12);
         assert!(b.total() > 0.0);
     }
@@ -163,8 +166,9 @@ mod tests {
         let p = EnergyParams::default();
         let s = stats();
         let sys = system_energy(&p, &Fabric::be(), &s);
-        let gpp = gpp_only_energy(&p, 2500); // hypothetical GPP-only cycles
-        // The model can go either way; just check the relative math is sane.
+        // Hypothetical GPP-only cycles; the model can go either way, so
+        // just check the relative math is sane.
+        let gpp = gpp_only_energy(&p, 2500);
         let rel = sys.total() / gpp;
         assert!(rel > 0.3 && rel < 3.0, "rel {rel}");
     }

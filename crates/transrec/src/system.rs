@@ -400,10 +400,8 @@ impl System {
             if let Some(cc) = self.cache.lookup(pc) {
                 let cc = cc.clone();
                 let profitable = if self.config.offload_heuristic {
-                    let gpp_est = *self
-                        .gpp_estimates
-                        .get(&pc)
-                        .expect("estimate recorded at insertion");
+                    let gpp_est =
+                        *self.gpp_estimates.get(&pc).expect("estimate recorded at insertion");
                     // Steady-state estimate (resident configuration with a
                     // warm input context): the regime that matters for hot
                     // code.
@@ -505,10 +503,8 @@ mod tests {
     fn rotation_gives_same_results_as_baseline() {
         let mut base = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
         base.run(&toy_program()).unwrap();
-        let mut rot = System::new(
-            SystemConfig::new(Fabric::be()),
-            Box::new(RotationPolicy::new(Snake)),
-        );
+        let mut rot =
+            System::new(SystemConfig::new(Fabric::be()), Box::new(RotationPolicy::new(Snake)));
         rot.run(&toy_program()).unwrap();
         assert_eq!(base.cpu().reg(rv32::Reg::A0), rot.cpu().reg(rv32::Reg::A0));
         // And it actually moved work around.
@@ -533,8 +529,8 @@ mod tests {
 
     #[test]
     fn offloading_beats_gpp_on_the_hot_loop() {
-        let gpp = run_gpp_only(&toy_program(), 1 << 20, TimingModel::default(), 10_000_000)
-            .unwrap();
+        let gpp =
+            run_gpp_only(&toy_program(), 1 << 20, TimingModel::default(), 10_000_000).unwrap();
         let mut sys = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
         sys.run(&toy_program()).unwrap();
         assert!(

@@ -4,9 +4,7 @@
 use cgra::Fabric;
 use rv32::asm::assemble;
 use rv32::Reg;
-use transrec::{
-    gpp_only_energy, run_gpp_only, system_energy, EnergyParams, System, SystemConfig,
-};
+use transrec::{gpp_only_energy, run_gpp_only, system_energy, EnergyParams, System, SystemConfig};
 use uaware::{BaselinePolicy, RotationPolicy, Snake};
 
 fn run_sys(src: &str) -> System {

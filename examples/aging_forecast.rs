@@ -10,11 +10,11 @@ use cgra::Fabric;
 use nbti::CalibratedAging;
 use transrec::{run_suite, EnergyParams};
 use uaware::{
-    evaluate_aging, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, RandomPolicy,
-    RotationPolicy, Snake,
+    evaluate_aging, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, PolicyFactory,
+    RandomPolicy, RotationPolicy, Snake,
 };
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fabric = Fabric::be();
     let workloads = mibench::suite(42);
     let energy = EnergyParams::default();
@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "policy", "worst-FU", "CoV", "lifetime[y]", "10y delay[%]"
     );
 
-    let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn AllocationPolicy>>)> = vec![
+    let policies: Vec<(&str, PolicyFactory)> = vec![
         ("baseline", Box::new(|| Box::new(BaselinePolicy) as Box<dyn AllocationPolicy>)),
         (
             "rotation",

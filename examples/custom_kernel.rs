@@ -58,7 +58,7 @@ fn oracle(values: &[u32]) -> Vec<u8> {
         .collect()
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let values: Vec<u32> = (0..64u32).map(|i| i.wrapping_mul(2654435761)).collect();
     let workload = Workload::new(
         "fibmix",

@@ -10,8 +10,13 @@ use nbti::CalibratedAging;
 use transrec::{run_suite, EnergyParams};
 use uaware::{AllocationPolicy, BaselinePolicy, RotationPolicy, Snake};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0xDAC2020u64);
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0xDAC2020u64))
+}
+
+/// Runs the sweep with an explicit seed (the smoke test enters here, so
+/// libtest's own CLI arguments can never leak in as a seed).
+pub fn run(seed: u64) -> Result<(), Box<dyn std::error::Error>> {
     let workloads = mibench::suite(seed);
     let energy = EnergyParams::default();
     let aging = CalibratedAging::default();

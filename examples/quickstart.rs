@@ -11,7 +11,7 @@ use rv32::asm::assemble;
 use transrec::{run_gpp_only, System, SystemConfig};
 use uaware::{BaselinePolicy, RotationPolicy, Snake};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small fixed-point dot-product kernel, written like compiled -O3
     // code (bottom-tested loop).
     let program = assemble(
@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Reference: the stand-alone GPP.
     let gpp = run_gpp_only(&program, 1 << 20, Default::default(), 1_000_000)?;
-    println!("GPP alone:              {:>6} cycles, dot = {}", gpp.cycles(), gpp.reg(rv32::Reg::A0));
+    println!(
+        "GPP alone:              {:>6} cycles, dot = {}",
+        gpp.cycles(),
+        gpp.reg(rv32::Reg::A0)
+    );
 
     // The paper's BE design point (16 columns x 2 rows).
     let fabric = Fabric::be();

@@ -5,10 +5,11 @@
 use cgra::Fabric;
 use transrec::{System, SystemConfig};
 use uaware::{
-    AllocationPolicy, BaselinePolicy, HealthAwarePolicy, RandomPolicy, RotationPolicy, Snake,
+    AllocationPolicy, BaselinePolicy, HealthAwarePolicy, PolicyFactory, RandomPolicy,
+    RotationPolicy, Snake,
 };
 
-fn policies() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn AllocationPolicy>>)> {
+fn policies() -> Vec<(&'static str, PolicyFactory)> {
     vec![
         ("baseline", Box::new(|| Box::new(BaselinePolicy) as Box<dyn AllocationPolicy>)),
         (

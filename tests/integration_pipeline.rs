@@ -64,9 +64,8 @@ fn benchmark_configs_are_offset_invariant() {
     let exec = Executor::new(&fabric);
     let w = &mibench::suite(29)[1];
     for cc in configs_of(w, fabric) {
-        let inputs: Vec<u32> = (0..cc.input_regs.len() as u32)
-            .map(|i| 0x4000u32.wrapping_add(i * 8))
-            .collect();
+        let inputs: Vec<u32> =
+            (0..cc.input_regs.len() as u32).map(|i| 0x4000u32.wrapping_add(i * 8)).collect();
         // Synthetic inputs may make a config compute an out-of-bounds
         // address; the *fault* must then be offset-invariant too, so we
         // compare whole results.
@@ -87,10 +86,8 @@ fn config_cache_thrash_is_correct() {
     // A tiny cache forces constant eviction/re-translation; results must
     // still verify.
     let w = &mibench::suite(3)[5]; // sha
-    let cfg = transrec::SystemConfig {
-        cache_capacity: 2,
-        ..transrec::SystemConfig::new(Fabric::be())
-    };
+    let cfg =
+        transrec::SystemConfig { cache_capacity: 2, ..transrec::SystemConfig::new(Fabric::be()) };
     let mut sys = transrec::System::new(cfg, Box::new(uaware::BaselinePolicy));
     sys.run(w.program()).unwrap();
     w.verify(sys.cpu()).unwrap();

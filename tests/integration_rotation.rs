@@ -89,8 +89,7 @@ fn rotation_overhead_is_negligible() {
     // Paper §V: "negligible performance overheads". Allow a small margin.
     let base = run_with(Box::new(BaselinePolicy), 23);
     let rot = run_with(Box::new(RotationPolicy::new(Snake)), 23);
-    let slowdown =
-        rot.cpu().cycles() as f64 / base.cpu().cycles() as f64;
+    let slowdown = rot.cpu().cycles() as f64 / base.cpu().cycles() as f64;
     assert!(
         slowdown < 1.10,
         "rotation slowdown {slowdown} exceeds 10% (rotate cycles {})",

@@ -1,0 +1,41 @@
+//! Smoke coverage for the runnable examples: each example's `main` is
+//! compiled into this test binary via `#[path]` includes and executed
+//! in-process, so `cargo test` fails if an example stops compiling or
+//! starts erroring — they can never silently rot.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../examples/custom_kernel.rs"]
+mod custom_kernel;
+
+#[path = "../examples/aging_forecast.rs"]
+mod aging_forecast;
+
+// The smoke test enters via run(seed), so the arg-parsing main is unused
+// in this compilation unit.
+#[allow(dead_code)]
+#[path = "../examples/dse_explorer.rs"]
+mod dse_explorer;
+
+#[test]
+fn quickstart_runs() {
+    quickstart::main().expect("quickstart example failed");
+}
+
+#[test]
+fn custom_kernel_runs() {
+    custom_kernel::main().expect("custom_kernel example failed");
+}
+
+#[test]
+fn aging_forecast_runs() {
+    aging_forecast::main().expect("aging_forecast example failed");
+}
+
+#[test]
+fn dse_explorer_runs() {
+    // Enter through run(seed), not main(): main parses std::env::args(),
+    // which inside the libtest harness would pick up test-filter arguments.
+    dse_explorer::run(0xDAC2020).expect("dse_explorer example failed");
+}

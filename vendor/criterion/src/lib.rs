@@ -1,0 +1,320 @@
+//! Vendored minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no route to a crates registry, so this crate
+//! implements the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`] — over a simple wall-clock measurement loop:
+//! per-sample medians over a fixed sample count, with automatic
+//! per-iteration batching, printed as `name  time: [median]`.
+//!
+//! Bench binaries accept the flags cargo passes (`--bench`) plus an
+//! optional positional substring filter, like real criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Collects one timing sample by running the routine repeatedly.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, retaining a per-iteration duration sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/param`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<&&str> for BenchmarkId {
+    fn from(s: &&str) -> Self {
+        BenchmarkId { id: (*s).to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The benchmark driver: owns the filter and measurement settings.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    /// Wall-clock budget per benchmark (all samples together).
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, sample_size: 20, target_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Restricts runs to benchmarks whose id contains `filter`.
+    pub fn with_filter<S: Into<String>>(mut self, filter: S) -> Self {
+        let f = filter.into();
+        self.filter = if f.is_empty() { None } else { Some(f) };
+        self
+    }
+
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(&self.filter.clone(), id, self.sample_size, self.target_time, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: group_name.into(), sample_size: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs `group_name/id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_bench(
+            &self.criterion.filter.clone(),
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.target_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs `group_name/id` with an input handed through to the routine.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    filter: &Option<String>,
+    id: &str,
+    sample_size: usize,
+    target_time: Duration,
+    mut f: F,
+) {
+    if let Some(needle) = filter {
+        if !id.contains(needle.as_str()) {
+            return;
+        }
+    }
+    // Calibration pass: one iteration, to size the batches.
+    let mut calib = Bencher { iters_per_sample: 1, samples: Vec::new() };
+    f(&mut calib);
+    let once = calib.samples.last().copied().unwrap_or(Duration::ZERO);
+    let budget_per_sample = target_time / sample_size as u32;
+    let iters = if once.is_zero() {
+        1000
+    } else {
+        (budget_per_sample.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64
+    };
+    let mut bencher = Bencher { iters_per_sample: iters, samples: Vec::new() };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<50} (no samples: routine never called Bencher::iter)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "{id:<50} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_duration(lo),
+        fmt_duration(median),
+        fmt_duration(hi),
+        samples.len(),
+        iters,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Parses the CLI arguments cargo passes to a `harness = false` bench
+/// binary and builds the matching [`Criterion`] driver.
+pub fn criterion_from_args() -> Criterion {
+    criterion_from_arg_list(std::env::args().skip(1))
+}
+
+fn criterion_from_arg_list(args: impl Iterator<Item = String>) -> Criterion {
+    let mut c = Criterion::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // Flags cargo/criterion pass that this harness accepts and/or
+            // ignores. `--bench` marks bench mode; the rest tune output.
+            "--bench" | "--test" | "--verbose" | "--quiet" | "--noplot" | "--exact" => {}
+            "--sample-size" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    c = c.sample_size(n);
+                }
+            }
+            flag if flag.starts_with("--") => {
+                // Unknown flag (e.g. real criterion's --measurement-time):
+                // consume its value too, so the value is not mistaken for a
+                // positional benchmark filter.
+                if args.peek().is_some_and(|next| !next.starts_with('-')) {
+                    args.next();
+                }
+            }
+            positional => {
+                c = c.with_filter(positional);
+            }
+        }
+    }
+    c
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::criterion_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.target_time = Duration::from_millis(5);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            runs += 1;
+            b.iter(|| black_box(2u64 + 2))
+        });
+        // Calibration + sample_size invocations of the closure.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion::default().with_filter("nomatch");
+        c.target_time = Duration::from_millis(1);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            runs += 1;
+            b.iter(|| ())
+        });
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn unknown_value_flags_do_not_become_the_filter() {
+        let args = ["--bench", "--measurement-time", "10", "--sample-size", "5"];
+        let c = criterion_from_arg_list(args.iter().map(|s| s.to_string()));
+        assert_eq!(c.filter, None, "'10' must be eaten as --measurement-time's value");
+        assert_eq!(c.sample_size, 5);
+
+        let args = ["--bench", "--warm-up-time", "3", "my_filter"];
+        let c = criterion_from_arg_list(args.iter().map(|s| s.to_string()));
+        assert_eq!(c.filter.as_deref(), Some("my_filter"));
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut c = Criterion::default().sample_size(2);
+        c.target_time = Duration::from_millis(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group
+            .bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| b.iter(|| black_box(x) * 2));
+        group.bench_function(BenchmarkId::from_parameter("p"), |b| b.iter(|| ()));
+        group.finish();
+    }
+}

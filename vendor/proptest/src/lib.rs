@@ -1,0 +1,702 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build container has no route to a crates registry, so this crate
+//! implements the property-testing surface the workspace's tests use:
+//! [`strategy::Strategy`] with `prop_map` / `prop_filter` / `prop_flat_map`
+//! / `boxed`, range and tuple strategies, [`strategy::Just`],
+//! [`collection::vec`] and [`collection::btree_set`], [`arbitrary::any`],
+//! and the [`proptest!`], [`prop_oneof!`], [`prop_assert!`]-family macros,
+//! driven by a deterministic [`test_runner::TestRunner`].
+//!
+//! Differences from real proptest: no shrinking (failures report the seed
+//! and case number instead of a minimized input) and a fixed default seed
+//! (override with `PROPTEST_SEED`) so CI runs are reproducible.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// Why a generation attempt produced no value.
+    #[derive(Clone, Debug)]
+    pub struct Rejection(pub String);
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value, or rejects the attempt (e.g. a filter).
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred` (retries, then rejects).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: impl Into<String>,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, reason: reason.into(), pred }
+        }
+
+        /// Generates a value, then generates from the strategy it selects.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+            for _ in 0..100 {
+                let v = self.inner.generate(rng)?;
+                if (self.pred)(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(Rejection(format!("prop_filter exhausted retries: {}", self.reason)))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, Rejection> {
+            let first = self.inner.generate(rng)?;
+            (self.f)(first).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// Weighted union of boxed strategies (behind [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if no arm or all weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total_weight: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+            let mut roll = rng.random_u64_below(self.total_weight);
+            for (weight, arm) in &self.arms {
+                if roll < *weight as u64 {
+                    return arm.generate(rng);
+                }
+                roll -= *weight as u64;
+            }
+            unreachable!("roll below total weight always lands in an arm")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                    if self.start >= self.end {
+                        return Err(Rejection(format!("empty range {:?}", self)));
+                    }
+                    Ok(rng.random_range(self.clone()))
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                    if self.start() > self.end() {
+                        return Err(Rejection(format!("empty range {:?}", self)));
+                    }
+                    Ok(rng.random_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                    Ok(($(self.$idx.generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    //! Default strategies per type, behind [`any`].
+
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+            Ok(T::arbitrary(rng))
+        }
+    }
+
+    /// The canonical strategy for `T`: uniform over the whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.random_bits() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random_bits() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification: `n`, `lo..hi` or `lo..=hi`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.min == self.max {
+                self.min
+            } else {
+                self.min + rng.random_u64_below((self.max - self.min + 1) as u64) as usize
+            }
+        }
+    }
+
+    /// `Vec`s of `size.pick()` elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for vectors: `vec(element, 1..12)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet`s of roughly `size.pick()` distinct elements.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for ordered sets: `btree_set(element, 1..=8)`. Duplicate
+    /// draws are retried a bounded number of times, so the resulting set
+    /// may be smaller than requested when the element domain is tiny.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<BTreeSet<S::Value>, Rejection> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 20 + 20 {
+                set.insert(self.element.generate(rng)?);
+                attempts += 1;
+            }
+            if set.len() < self.size.min {
+                return Err(Rejection("btree_set could not reach minimum size".to_string()));
+            }
+            Ok(set)
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner behind [`crate::proptest!`].
+
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SampleRange, SeedableRng};
+
+    /// The randomness source handed to strategies.
+    pub struct TestRng {
+        rng: SmallRng,
+    }
+
+    impl TestRng {
+        /// Uniform sample from any integer range.
+        pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            self.rng.random_range(range)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn random_u64_below(&mut self, bound: u64) -> u64 {
+            self.rng.random_range(0..bound)
+        }
+
+        /// 64 raw random bits.
+        pub fn random_bits(&mut self) -> u64 {
+            self.rng.random_range(0..=u64::MAX)
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+        /// RNG seed; defaults to `PROPTEST_SEED` or a fixed constant.
+        pub seed: u64,
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases, ..Config::default() }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x_5eed_cafe_f00d);
+            Config { cases: 256, seed }
+        }
+    }
+
+    /// Why one test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case asked to be skipped (`prop_assume!`).
+        Reject(String),
+        /// The property failed (`prop_assert!`).
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail<S: Into<String>>(msg: S) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A skip with a reason.
+        pub fn reject<S: Into<String>>(msg: S) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Drives a property over many generated cases.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration.
+        pub fn new(config: Config) -> TestRunner {
+            TestRunner { config }
+        }
+
+        /// Runs `test` over generated inputs until `config.cases` cases
+        /// pass, a case fails, or the reject budget is exhausted.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), String> {
+            let mut rng = TestRng { rng: SmallRng::seed_from_u64(self.config.seed) };
+            let mut passed = 0u32;
+            let mut rejected = 0u64;
+            let max_rejects = (self.config.cases as u64) * 64 + 1024;
+            let mut case = 0u64;
+            while passed < self.config.cases {
+                case += 1;
+                if rejected > max_rejects {
+                    return Err(format!(
+                        "too many rejected cases ({rejected}) after {passed} passes \
+                         (seed {:#x})",
+                        self.config.seed
+                    ));
+                }
+                let value = match strategy.generate(&mut rng) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        rejected += 1;
+                        continue;
+                    }
+                };
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => rejected += 1,
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(format!(
+                            "property failed at case {case} (seed {:#x}): {msg}",
+                            self.config.seed
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test file needs, mirroring proptest's prelude.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: `proptest! { #[test] fn p(x in strat) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($argpat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategy = ($($strat,)+);
+                let result = runner.run(&strategy, |($($argpat,)+)| {
+                    $body
+                    Ok(())
+                });
+                if let Err(message) = result {
+                    panic!("{}", message);
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($argpat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($(#[$meta])* fn $name($($argpat in $strat),+) $body)*
+        }
+    };
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`: {}\n  both: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), left
+        );
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..10, y in -5i32..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn map_and_filter_compose(v in (0u32..100).prop_map(|x| x * 2)
+            .prop_filter("nonzero", |v| *v != 0))
+        {
+            prop_assert!(v % 2 == 0);
+            prop_assert_ne!(v, 0);
+        }
+
+        #[test]
+        fn vectors_hit_requested_sizes(v in crate::collection::vec(0u8..=255, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_picks_every_listed_arm(x in prop_oneof![Just(1u8), Just(2u8), 3u8..=3]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn flat_map_dependent_generation(
+            (len, v) in (1usize..6).prop_flat_map(|n| {
+                crate::collection::vec(0u8..10, n).prop_map(move |v| (n, v))
+            })
+        ) {
+            prop_assert_eq!(v.len(), len);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config::with_cases(8));
+        let result = runner.run(&(0u32..10,), |(_x,)| {
+            Err(crate::test_runner::TestCaseError::fail("always fails"))
+        });
+        let err = result.unwrap_err();
+        assert!(err.contains("always fails") && err.contains("seed"), "got: {err}");
+    }
+
+    #[test]
+    fn too_many_rejects_errors_out() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config::with_cases(4));
+        let result = runner.run(&(0u32..10,), |(_x,)| {
+            Err(crate::test_runner::TestCaseError::reject("never satisfiable"))
+        });
+        assert!(result.unwrap_err().contains("too many rejected"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! minimal serde stand-in under `vendor/serde`.
+//!
+//! The container has no network route to a crates registry, so this crate
+//! parses the item token stream by hand (no `syn`/`quote`) and emits impls
+//! of the Value-tree `serde::Serialize`/`serde::Deserialize` traits. It
+//! supports the shapes the workspace actually uses: unit/tuple/named
+//! structs and enums with unit, tuple and struct variants, all
+//! non-generic. Serialization follows serde's JSON conventions so reports
+//! match what the real serde would emit.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives `serde::Serialize` for non-generic structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` for non-generic structs and enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+/// Walks the item tokens up to the `struct`/`enum` keyword, then dispatches.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Attribute or doc comment: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip a `(crate)`-style restriction if present.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut tokens)?;
+                reject_generics(&mut tokens, &name)?;
+                let fields = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream())?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                    other => return Err(format!("unexpected token after struct name: {other:?}")),
+                };
+                return Ok(Item::Struct { name, fields });
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut tokens)?;
+                reject_generics(&mut tokens, &name)?;
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Ok(Item::Enum { name, variants: parse_variants(g.stream())? });
+                    }
+                    other => return Err(format!("expected enum body, found {other:?}")),
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("derive input contained no struct or enum".to_string())
+}
+
+fn expect_ident(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Result<String, String> {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+fn reject_generics(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    name: &str,
+) -> Result<(), String> {
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("cannot derive serde traits for generic type `{name}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes/doc comments and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected field name, found {tt:?}"));
+        };
+        names.push(id.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_type_until_comma(&mut tokens);
+    }
+    Ok(names)
+}
+
+/// Consumes a type, stopping after the angle-bracket-aware top-level comma.
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // `->` in `fn(..) -> T` types must not close an angle bracket.
+                '>' if !prev_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+}
+
+/// Counts top-level comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        count += 1;
+        skip_type_until_comma(&mut tokens);
+    }
+    count
+}
+
+/// Parses enum variants (unit, tuple, or struct-like; discriminants skipped).
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected variant name, found {tt:?}"));
+        };
+        let name = id.to_string();
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())?;
+                tokens.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant and/or the trailing comma.
+        skip_type_until_comma(&mut tokens);
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {payload})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fnames) => {
+                        let entries: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                            fnames.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!(
+                "match v {{\n\
+                     ::serde::Value::Null => Ok({name}),\n\
+                     _ => Err(::serde::Error::custom(\"expected null for unit struct {name}\")),\n\
+                 }}"
+            ),
+            Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                    .collect();
+                format!(
+                    "{{\n\
+                         let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if a.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                         Ok({name}({}))\n\
+                     }}",
+                    elems.join(", ")
+                )
+            }
+            Fields::Named(names) => {
+                let fields_src: Vec<String> =
+                    names.iter().map(|f| format!("{f}: ::serde::de_field(obj, {f:?})?")).collect();
+                format!(
+                    "{{\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         Ok({name} {{ {} }})\n\
+                     }}",
+                    fields_src.join(", ")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| format!("{vname:?} => Ok({name}::{vname}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{vname:?} => {{\n\
+                                 let a = payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload\"))?;\n\
+                                 if a.len() != {n} {{ return Err(::serde::Error::custom(\"wrong payload length\")); }}\n\
+                                 Ok({name}::{vname}({}))\n\
+                             }}",
+                            elems.join(", ")
+                        ))
+                    }
+                    Fields::Named(fnames) => {
+                        let fields_src: Vec<String> = fnames
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(obj, {f:?})?"))
+                            .collect();
+                        Some(format!(
+                            "{vname:?} => {{\n\
+                                 let obj = payload.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object payload\"))?;\n\
+                                 Ok({name}::{vname} {{ {} }})\n\
+                             }}",
+                            fields_src.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, payload) = (&pairs[0].0, &pairs[0].1);\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::Error::custom(\"expected string or single-key object for enum {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
