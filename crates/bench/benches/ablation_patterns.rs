@@ -5,15 +5,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cgra::Fabric;
-use transrec::{System, SystemConfig};
-use uaware::{
-    AllocationPolicy, ColumnMajor, HealthAwarePolicy, PolicyFactory, RandomPolicy, Raster,
-    RotationPolicy, Snake,
-};
+use transrec::System;
+use uaware::PolicySpec;
 
-fn run_once(make: &dyn Fn() -> Box<dyn AllocationPolicy>) -> (f64, f64) {
+fn run_once(spec: &PolicySpec) -> (f64, f64) {
     let w = &mibench::suite(0xDAC2020)[1];
-    let mut sys = System::new(SystemConfig::new(Fabric::be()), make());
+    let mut sys = System::builder(Fabric::be()).policy(*spec).build().unwrap();
     sys.run(w.program()).unwrap();
     w.verify(sys.cpu()).unwrap();
     let grid = sys.tracker().utilization();
@@ -23,18 +20,17 @@ fn run_once(make: &dyn Fn() -> Box<dyn AllocationPolicy>) -> (f64, f64) {
 fn bench_patterns(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_patterns");
     group.sample_size(10);
-    let entries: Vec<(&str, PolicyFactory)> = vec![
-        ("snake", Box::new(|| Box::new(RotationPolicy::new(Snake)))),
-        ("raster", Box::new(|| Box::new(RotationPolicy::new(Raster)))),
-        ("column_major", Box::new(|| Box::new(RotationPolicy::new(ColumnMajor)))),
-        ("random", Box::new(|| Box::new(RandomPolicy::seeded(17)))),
-        ("health_aware", Box::new(|| Box::new(HealthAwarePolicy))),
-    ];
-    for (name, make) in &entries {
-        let (worst, cov) = run_once(make.as_ref());
+    let entries: Vec<PolicySpec> =
+        ["rotation:snake", "rotation:raster", "rotation:column-major", "random:17", "health-aware"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+    for spec in &entries {
+        let name = spec.to_string();
+        let (worst, cov) = run_once(spec);
         eprintln!("[ablation_patterns] {name}: worst-FU {:.1}%, CoV {:.3}", 100.0 * worst, cov);
-        group.bench_with_input(BenchmarkId::from_parameter(*name), name, |b, _| {
-            b.iter(|| run_once(make.as_ref()))
+        group.bench_with_input(BenchmarkId::from_parameter(&name), spec, |b, spec| {
+            b.iter(|| run_once(spec))
         });
     }
     group.finish();

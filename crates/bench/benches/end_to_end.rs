@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use cgra::Fabric;
 use transrec::{run_gpp_only, System, SystemConfig};
-use uaware::{BaselinePolicy, RotationPolicy, Snake};
+use uaware::PolicySpec;
 
 fn bench_end_to_end(c: &mut Criterion) {
     let workloads = mibench::suite(0xDAC2020);
@@ -20,14 +20,15 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
     group.bench_function("system_baseline", |b| {
         b.iter(|| {
-            let mut sys = System::new(cfg.clone(), Box::new(BaselinePolicy));
+            let mut sys = System::builder(Fabric::be()).build().unwrap();
             sys.run(crc.program()).unwrap();
             sys.cpu().cycles()
         })
     });
     group.bench_function("system_rotation", |b| {
         b.iter(|| {
-            let mut sys = System::new(cfg.clone(), Box::new(RotationPolicy::new(Snake)));
+            let mut sys =
+                System::builder(Fabric::be()).policy(PolicySpec::rotation()).build().unwrap();
             sys.run(crc.program()).unwrap();
             sys.cpu().cycles()
         })

@@ -1,11 +1,26 @@
 //! Diagnostic: per-benchmark cycle breakdown on the BE fabric.
+//!
+//! Pass `--policy <spec>` to diagnose a different allocation policy
+//! (default: baseline), e.g. `diag -- --policy rotation:snake@per-load`.
 
+use bench::parse_policy_flags;
 use cgra::Fabric;
 use transrec::{run_gpp_only, System, SystemConfig};
-use uaware::BaselinePolicy;
+use uaware::PolicySpec;
+
+fn policy_from_args() -> PolicySpec {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let specs = parse_policy_flags(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    specs.first().copied().unwrap_or(PolicySpec::Baseline)
+}
 
 fn main() {
+    let spec = policy_from_args();
     let cfg = SystemConfig::new(Fabric::be());
+    println!("policy: {spec}");
     println!(
         "{:<16} {:>9} {:>9} {:>7} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
         "bench",
@@ -23,7 +38,7 @@ fn main() {
     );
     for w in mibench::suite(0xDAC2020) {
         let gpp = run_gpp_only(w.program(), cfg.mem_size, cfg.timing, cfg.max_steps).unwrap();
-        let mut sys = System::new(cfg.clone(), Box::new(BaselinePolicy));
+        let mut sys = System::builder(cfg.fabric).policy(spec).build().unwrap();
         sys.run(w.program()).unwrap();
         w.verify(sys.cpu()).unwrap();
         let s = *sys.stats();

@@ -1,15 +1,22 @@
 //! Regenerates paper Fig. 7: BE (16×2) per-FU utilization heatmaps under
 //! the baseline and the proposed utilization-aware allocation.
+//!
+//! Pass `--policy <spec>` to swap the proposed policy, e.g.
+//! `fig7 -- --policy rotation:column-major@per-load`.
 
-use bench::{fig7, save_json, ExperimentContext};
+use bench::{apply_policy_flags, fig7, save_json, ExperimentContext};
 
 fn main() {
-    let ctx = ExperimentContext::default();
+    let mut ctx = ExperimentContext::default();
+    if let Err(e) = apply_policy_flags(&mut ctx) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let r = fig7(&ctx);
     println!("== Fig. 7: BE (16x2) utilization, baseline vs proposed ==");
     println!("-- baseline --");
     println!("{}", r.baseline_heatmap);
-    println!("-- proposed (snake rotation, per execution) --");
+    println!("-- proposed ({}) --", r.proposed_policy);
     println!("{}", r.proposed_heatmap);
     println!(
         "max utilization: baseline {:.1}% (paper 94.5%) -> proposed {:.1}% (paper 41.2%)",

@@ -1,16 +1,23 @@
 //! Regenerates paper Fig. 8: utilization PDFs (top) and NBTI-induced delay
-//! increase over the years (bottom) for BE/BP/BU × {baseline, proposed}.
+//! increase over the years (bottom) for BE/BP/BU × every policy series.
+//!
+//! Pass `--policy <spec>` (repeatable) to evaluate a custom policy set,
+//! e.g. `fig8 -- --policy rotation:raster --policy health-aware`.
 
-use bench::{fig8, save_json, ExperimentContext};
+use bench::{apply_policy_flags, fig8, save_json, ExperimentContext};
 
 fn main() {
-    let ctx = ExperimentContext::default();
+    let mut ctx = ExperimentContext::default();
+    if let Err(e) = apply_policy_flags(&mut ctx) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let r = fig8(&ctx);
     println!("== Fig. 8 (top): utilization PDFs ==");
     for s in &r.series {
         let peak = s.pdf.iter().cloned().fold((0.0, 0.0), |a, b| if b.1 > a.1 { b } else { a });
         println!(
-            "{:<3} {:<9} worst-util {:>5.1}%  pdf peak at u={:.2} (density {:.1})",
+            "{:<3} {:<26} worst-util {:>5.1}%  pdf peak at u={:.2} (density {:.1})",
             s.scenario,
             s.policy,
             100.0 * s.worst_utilization,
@@ -21,7 +28,7 @@ fn main() {
     println!();
     println!("== Fig. 8 (bottom): delay increase over time (worst FU) ==");
     println!(
-        "{:<3} {:<9} {:>7} {:>7} {:>7} {:>7} {:>7}  years->10%",
+        "{:<3} {:<26} {:>7} {:>7} {:>7} {:>7} {:>7}  years->10%",
         "sc", "policy", "2y", "4y", "6y", "8y", "10y"
     );
     for s in &r.series {
@@ -39,7 +46,7 @@ fn main() {
             .map(|(t, _)| format!("{t:.1}y"))
             .unwrap_or_else(|| "> horizon".into());
         println!(
-            "{:<3} {:<9} {} {} {} {} {}  {}",
+            "{:<3} {:<26} {} {} {} {} {}  {}",
             s.scenario,
             s.policy,
             at(2.0),

@@ -1,10 +1,16 @@
 //! The experiment implementations.
+//!
+//! Every runner is driven by [`PolicySpec`] values: the baseline is always
+//! the reference, and [`ExperimentContext::policies`] is the list of
+//! non-baseline series the ablation figures iterate. Adding a scenario to a
+//! figure means adding a spec to that list (or passing `--policy` to the
+//! binary) — never a new closure or flag.
 
 use cgra::{AreaModel, Fabric};
 use mibench::Workload;
 use nbti::CalibratedAging;
 use transrec::{run_suite, EnergyParams, SuiteRun};
-use uaware::{AllocationPolicy, BaselinePolicy, RotationPolicy, Snake};
+use uaware::{MovementGranularity, PatternSpec, PolicySpec};
 
 use crate::reports::*;
 
@@ -19,6 +25,9 @@ pub struct ExperimentContext {
     pub aging: CalibratedAging,
     /// Fig. 8 time horizon in years.
     pub horizon_years: f64,
+    /// The non-baseline policy series evaluated by [`fig7`], [`fig8`] and
+    /// [`table1`]; the first entry is the headline "proposed" policy.
+    pub policies: Vec<PolicySpec>,
 }
 
 impl Default for ExperimentContext {
@@ -28,6 +37,15 @@ impl Default for ExperimentContext {
             energy: EnergyParams::default(),
             aging: CalibratedAging::default(),
             horizon_years: 10.0,
+            policies: vec![
+                PolicySpec::rotation(),
+                PolicySpec::Rotation {
+                    pattern: PatternSpec::Snake,
+                    granularity: MovementGranularity::PerLoad,
+                },
+                PolicySpec::Random { seed: uaware::DEFAULT_RANDOM_SEED },
+                PolicySpec::HealthAware,
+            ],
         }
     }
 }
@@ -37,33 +55,29 @@ impl ExperimentContext {
     pub fn suite(&self) -> Vec<Workload> {
         mibench::suite(self.seed)
     }
-}
 
-fn baseline_factory() -> Box<dyn AllocationPolicy> {
-    Box::new(BaselinePolicy)
-}
-
-fn rotation_factory() -> Box<dyn AllocationPolicy> {
-    Box::new(RotationPolicy::new(Snake))
+    /// The headline "proposed" policy (the first entry of
+    /// [`Self::policies`]), falling back to the paper's snake rotation.
+    pub fn proposed(&self) -> PolicySpec {
+        self.policies.first().copied().unwrap_or_else(PolicySpec::rotation)
+    }
 }
 
 fn suite_on(
     fabric: Fabric,
     ctx: &ExperimentContext,
     workloads: &[Workload],
-    rotation: bool,
+    spec: &PolicySpec,
 ) -> SuiteRun {
-    let factory: &dyn Fn() -> Box<dyn AllocationPolicy> =
-        if rotation { &rotation_factory } else { &baseline_factory };
-    let run = run_suite(fabric, workloads, &ctx.energy, factory).expect("suite runs");
-    assert!(run.all_verified(), "an oracle failed on {}x{}", fabric.rows, fabric.cols);
+    let run = run_suite(fabric, workloads, &ctx.energy, spec).expect("suite runs");
+    assert!(run.all_verified(), "an oracle failed on {}x{} under {spec}", fabric.rows, fabric.cols);
     run
 }
 
 /// Fig. 1 — FU utilization of a 4×8 fabric under traditional (baseline)
 /// mapping, aggregated over the ten benchmarks.
 pub fn fig1(ctx: &ExperimentContext) -> Fig1Report {
-    let run = suite_on(Fabric::fig1(), ctx, &ctx.suite(), false);
+    let run = suite_on(Fabric::fig1(), ctx, &ctx.suite(), &PolicySpec::Baseline);
     let grid = run.tracker.utilization();
     Fig1Report {
         rows: grid.rows(),
@@ -81,7 +95,7 @@ pub fn fig6(ctx: &ExperimentContext) -> Fig6Report {
     let points = transrec::dse_grid()
         .into_iter()
         .map(|(l, w)| {
-            let run = suite_on(Fabric::new(w, l), ctx, &workloads, false);
+            let run = suite_on(Fabric::new(w, l), ctx, &workloads, &PolicySpec::Baseline);
             Fig6Point {
                 l,
                 w,
@@ -96,16 +110,19 @@ pub fn fig6(ctx: &ExperimentContext) -> Fig6Report {
     Fig6Report { points }
 }
 
-/// Fig. 7 — BE (16×2) utilization heatmaps: baseline vs proposed.
+/// Fig. 7 — BE (16×2) utilization heatmaps: baseline vs the proposed policy
+/// ([`ExperimentContext::proposed`]).
 pub fn fig7(ctx: &ExperimentContext) -> Fig7Report {
     let workloads = ctx.suite();
-    let base = suite_on(Fabric::be(), ctx, &workloads, false);
-    let prop = suite_on(Fabric::be(), ctx, &workloads, true);
+    let proposed = ctx.proposed();
+    let base = suite_on(Fabric::be(), ctx, &workloads, &PolicySpec::Baseline);
+    let prop = suite_on(Fabric::be(), ctx, &workloads, &proposed);
     let bg = base.tracker.utilization();
     let pg = prop.tracker.utilization();
     Fig7Report {
         rows: bg.rows(),
         cols: bg.cols(),
+        proposed_policy: proposed.to_string(),
         baseline: bg.values().to_vec(),
         proposed: pg.values().to_vec(),
         baseline_max: bg.max(),
@@ -115,18 +132,19 @@ pub fn fig7(ctx: &ExperimentContext) -> Fig7Report {
     }
 }
 
-/// Fig. 8 — per-scenario utilization PDFs and worst-FU NBTI delay curves.
+/// Fig. 8 — per-scenario utilization PDFs and worst-FU NBTI delay curves,
+/// one series per scenario × policy (baseline plus every context policy).
 pub fn fig8(ctx: &ExperimentContext) -> Fig8Report {
     let workloads = ctx.suite();
     let mut series = Vec::new();
     for scenario in transrec::SCENARIOS {
-        for rotation in [false, true] {
-            let run = suite_on(scenario.fabric(), ctx, &workloads, rotation);
+        for spec in std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()) {
+            let run = suite_on(scenario.fabric(), ctx, &workloads, &spec);
             let grid = run.tracker.utilization();
             let eval = uaware::evaluate_aging(&ctx.aging, &grid, ctx.horizon_years, 101);
             series.push(Fig8Series {
                 scenario: scenario.name.to_string(),
-                policy: if rotation { "rotation" } else { "baseline" }.to_string(),
+                policy: spec.to_string(),
                 pdf: grid.histogram(20).series(),
                 delay_curve: eval.delay_curve.samples.clone(),
                 worst_utilization: eval.worst_utilization,
@@ -136,29 +154,31 @@ pub fn fig8(ctx: &ExperimentContext) -> Fig8Report {
     Fig8Report { series, eol_delay_frac: ctx.aging.eol_delay_frac }
 }
 
-/// Table I — utilization and lifetime improvements for BE/BP/BU.
+/// Table I — utilization and lifetime improvements for BE/BP/BU, one row
+/// per scenario × context policy (each against the scenario's baseline).
 pub fn table1(ctx: &ExperimentContext) -> Table1Report {
     let workloads = ctx.suite();
-    let rows = transrec::SCENARIOS
-        .iter()
-        .map(|scenario| {
-            let base = suite_on(scenario.fabric(), ctx, &workloads, false);
-            let prop = suite_on(scenario.fabric(), ctx, &workloads, true);
-            let bg = base.tracker.utilization();
-            let pg = prop.tracker.utilization();
-            let base_eval = uaware::evaluate_aging(&ctx.aging, &bg, ctx.horizon_years, 11);
-            let prop_eval = uaware::evaluate_aging(&ctx.aging, &pg, ctx.horizon_years, 11);
-            Table1Row {
+    let mut rows = Vec::new();
+    for scenario in transrec::SCENARIOS.iter() {
+        let base = suite_on(scenario.fabric(), ctx, &workloads, &PolicySpec::Baseline);
+        let bg = base.tracker.utilization();
+        let base_eval = uaware::evaluate_aging(&ctx.aging, &bg, ctx.horizon_years, 11);
+        for spec in &ctx.policies {
+            let run = suite_on(scenario.fabric(), ctx, &workloads, spec);
+            let pg = run.tracker.utilization();
+            let eval = uaware::evaluate_aging(&ctx.aging, &pg, ctx.horizon_years, 11);
+            rows.push(Table1Row {
                 scenario: scenario.name.to_string(),
+                policy: spec.to_string(),
                 avg_util: bg.mean(),
                 baseline_worst: bg.max(),
-                proposed_worst: pg.max(),
-                lifetime_improvement: uaware::lifetime_improvement(&base_eval, &prop_eval),
+                policy_worst: pg.max(),
+                lifetime_improvement: uaware::lifetime_improvement(&base_eval, &eval),
                 baseline_lifetime_years: base_eval.lifetime_years,
-                proposed_lifetime_years: prop_eval.lifetime_years,
-            }
-        })
-        .collect();
+                policy_lifetime_years: eval.lifetime_years,
+            });
+        }
+    }
     Table1Report { rows }
 }
 
@@ -220,6 +240,12 @@ mod tests {
         assert_eq!(ctx.aging.anchor_years, 3.0);
         assert_eq!(ctx.aging.eol_delay_frac, 0.10);
         assert!(ctx.horizon_years >= 10.0);
+        assert_eq!(ctx.proposed(), PolicySpec::rotation());
+        // The default ablation set covers the three required extra series.
+        let names: Vec<String> = ctx.policies.iter().map(PolicySpec::to_string).collect();
+        assert!(names.contains(&"rotation:snake@per-load".to_string()), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("random:")), "{names:?}");
+        assert!(names.contains(&"health-aware".to_string()), "{names:?}");
     }
 
     #[test]
@@ -228,10 +254,37 @@ mod tests {
         // single benchmark, checking report invariants.
         let ctx = ExperimentContext::default();
         let workloads = vec![mibench::kernels::crc32::workload(1)];
-        let run = suite_on(cgra::Fabric::fig1(), &ctx, &workloads, false);
+        let run = suite_on(cgra::Fabric::fig1(), &ctx, &workloads, &PolicySpec::Baseline);
         let grid = run.tracker.utilization();
         assert_eq!((grid.rows(), grid.cols()), (4, 8));
         assert!(grid.value(0, 0) > 0.9, "corner bias");
         assert!(grid.max() <= 1.0 && grid.min() >= 0.0);
+    }
+
+    #[test]
+    fn table1_reports_every_context_policy_per_scenario() {
+        // A reduced context (one benchmark, two policies) keeps this fast
+        // while pinning the row structure the acceptance criteria rely on.
+        let ctx = ExperimentContext {
+            policies: vec![PolicySpec::rotation(), PolicySpec::HealthAware],
+            ..ExperimentContext::default()
+        };
+        let workloads = vec![mibench::kernels::crc32::workload(1)];
+        let mut rows = Vec::new();
+        for scenario in transrec::SCENARIOS.iter().take(1) {
+            let base = suite_on(scenario.fabric(), &ctx, &workloads, &PolicySpec::Baseline);
+            for spec in &ctx.policies {
+                let run = suite_on(scenario.fabric(), &ctx, &workloads, spec);
+                rows.push((
+                    spec.to_string(),
+                    base.tracker.utilization().max(),
+                    run.tracker.utilization().max(),
+                ));
+            }
+        }
+        assert_eq!(rows.len(), 2);
+        for (policy, base_worst, policy_worst) in rows {
+            assert!(policy_worst <= base_worst + 1e-9, "{policy} must not worsen the corner");
+        }
     }
 }

@@ -15,6 +15,66 @@ pub use experiments::{fig1, fig6, fig7, fig8, table1, table2, ExperimentContext}
 
 use std::path::PathBuf;
 
+use uaware::PolicySpec;
+
+/// Applies repeatable `--policy <spec>` / `--policy=<spec>` CLI flags from
+/// the process arguments to `ctx`: when at least one is given, the flags
+/// replace [`ExperimentContext::policies`] wholesale (the first spec becomes
+/// the figure's "proposed" series). Specs are parsed with
+/// [`PolicySpec`]'s [`FromStr`](std::str::FromStr) grammar, e.g.
+/// `--policy rotation:snake@per-load --policy random:7`.
+///
+/// Unknown arguments are ignored so the flag composes with whatever else a
+/// binary accepts.
+///
+/// # Errors
+///
+/// Returns the parse error of the first malformed spec (the binaries report
+/// it and exit non-zero).
+pub fn apply_policy_flags(ctx: &mut ExperimentContext) -> Result<(), uaware::ParseSpecError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let specs = parse_policy_flags(&args)?;
+    if !specs.is_empty() {
+        ctx.policies = specs;
+    }
+    Ok(())
+}
+
+/// Extracts every `--policy <spec>` / `--policy=<spec>` occurrence from
+/// `args`, in order. Other arguments are ignored. This is the single parser
+/// behind [`apply_policy_flags`] and the `diag` binary.
+///
+/// # Errors
+///
+/// Returns the parse error of the first malformed spec, or an error for a
+/// trailing `--policy` with no value.
+pub fn parse_policy_flags(args: &[String]) -> Result<Vec<PolicySpec>, uaware::ParseSpecError> {
+    let mut specs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--policy" {
+            i += 1;
+            match args.get(i) {
+                Some(v) => v.clone(),
+                None => {
+                    return Err(uaware::ParseSpecError::new(
+                        "--policy requires a value (e.g. --policy rotation:snake@per-load)"
+                            .to_string(),
+                    ))
+                }
+            }
+        } else if let Some(v) = args[i].strip_prefix("--policy=") {
+            v.to_string()
+        } else {
+            i += 1;
+            continue;
+        };
+        specs.push(value.parse::<PolicySpec>()?);
+        i += 1;
+    }
+    Ok(specs)
+}
+
 /// Directory where experiment JSON lands (`<workspace>/results`).
 pub fn results_dir() -> PathBuf {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));

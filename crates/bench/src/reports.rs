@@ -52,6 +52,9 @@ pub struct Fig7Report {
     pub rows: u32,
     /// Fabric cols.
     pub cols: u32,
+    /// The proposed policy's spec string (`rotation:snake@per-exec` unless
+    /// overridden via `--policy`).
+    pub proposed_policy: String,
     /// Baseline per-FU utilization (row-major).
     pub baseline: Vec<f64>,
     /// Proposed (rotation) per-FU utilization (row-major).
@@ -71,7 +74,7 @@ pub struct Fig7Report {
 pub struct Fig8Series {
     /// Scenario tag (BE/BP/BU).
     pub scenario: String,
-    /// Policy name (baseline/rotation).
+    /// Policy spec string (`baseline`, `rotation:snake@per-load`, …).
     pub policy: String,
     /// Utilization-PDF points `(bin_center, density)`.
     pub pdf: Vec<(f64, f64)>,
@@ -84,35 +87,40 @@ pub struct Fig8Series {
 /// Fig. 8 — utilization PDFs (top) and NBTI delay curves (bottom).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Fig8Report {
-    /// Six series: three scenarios × two policies.
+    /// One series per scenario × policy (baseline plus every context
+    /// policy: three scenarios × five series by default).
     pub series: Vec<Fig8Series>,
     /// End-of-life delay fraction (the 10% line).
     pub eol_delay_frac: f64,
 }
 
-/// One Table I row.
+/// One Table I row: one policy on one scenario, against that scenario's
+/// baseline.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Table1Row {
     /// Scenario tag.
     pub scenario: String,
-    /// Mean per-FU utilization.
+    /// Policy spec string (`rotation:snake@per-exec`, `health-aware`, …).
+    pub policy: String,
+    /// Mean per-FU utilization (baseline run; policy-invariant workload
+    /// property).
     pub avg_util: f64,
     /// Baseline worst-FU utilization.
     pub baseline_worst: f64,
-    /// Proposed worst-FU utilization.
-    pub proposed_worst: f64,
-    /// Lifetime improvement factor.
+    /// This policy's worst-FU utilization.
+    pub policy_worst: f64,
+    /// Lifetime improvement factor over the baseline.
     pub lifetime_improvement: f64,
     /// Baseline lifetime in years.
     pub baseline_lifetime_years: f64,
-    /// Proposed lifetime in years.
-    pub proposed_lifetime_years: f64,
+    /// This policy's lifetime in years.
+    pub policy_lifetime_years: f64,
 }
 
-/// Table I — utilization and lifetime improvements per scenario.
+/// Table I — utilization and lifetime improvements per scenario × policy.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Table1Report {
-    /// BE/BP/BU rows.
+    /// Scenario × policy rows, scenarios in paper order (BE/BP/BU).
     pub rows: Vec<Table1Row>,
 }
 

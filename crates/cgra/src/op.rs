@@ -27,7 +27,7 @@ pub enum Operand {
     ///
     /// Each FU configuration holds a *single* immediate field, so an
     /// operation may use `Imm` for both operands only with equal values
-    /// (enforced by [`crate::config::Configuration::validate`]).
+    /// (enforced by [`crate::config::Configuration::new`]).
     Imm(u32),
 }
 

@@ -14,6 +14,9 @@
 //! * [`policy`] — allocation policies: [`BaselinePolicy`],
 //!   [`RotationPolicy`] (the contribution), [`RandomPolicy`] and the
 //!   future-work [`HealthAwarePolicy`].
+//! * [`spec`] — policies as data: [`PolicySpec`]/[`PatternSpec`] are the
+//!   serializable, parseable sweep points experiment harnesses iterate
+//!   (`"rotation:snake@per-load".parse()`, [`PolicySpec::all_specs`]).
 //! * [`stats`] — per-FU utilization tracking and distribution statistics
 //!   ([`UtilizationTracker`], [`UtilizationGrid`], [`Histogram`]).
 //! * [`lifetime`] — NBTI lifetime evaluation of utilization maps.
@@ -61,12 +64,14 @@
 pub mod lifetime;
 pub mod pattern;
 pub mod policy;
+pub mod spec;
 pub mod stats;
 
 pub use lifetime::{evaluate_aging, lifetime_improvement, AgingEvaluation};
 pub use pattern::{ColumnMajor, Fixed, MovementPattern, Raster, Snake};
 pub use policy::{
     AllocRequest, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, MovementGranularity,
-    PolicyFactory, RandomPolicy, RotationPolicy,
+    RandomPolicy, RotationPolicy,
 };
+pub use spec::{ParseSpecError, PatternSpec, PolicySpec, DEFAULT_RANDOM_SEED};
 pub use stats::{Histogram, UtilizationGrid, UtilizationTracker};

@@ -28,6 +28,20 @@ pub trait MovementPattern: std::fmt::Debug {
     }
 }
 
+impl MovementPattern for Box<dyn MovementPattern> {
+    fn offset_at(&self, fabric: &Fabric, step: u64) -> Offset {
+        (**self).offset_at(fabric, step)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn period(&self, fabric: &Fabric) -> u64 {
+        (**self).period(fabric)
+    }
+}
+
 /// Boustrophedon scan (the paper's Fig. 3b): sweep the columns left-to-right
 /// on even rows and right-to-left on odd rows, moving one cell per
 /// execution. The pivot never jumps more than one cell, so consecutive

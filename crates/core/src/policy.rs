@@ -8,12 +8,16 @@
 //! policy that realizes the paper's future-work item of steering allocation
 //! with run-time aging information.
 
+use std::fmt;
+use std::str::FromStr;
+
 use cgra::{Fabric, Offset};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::pattern::MovementPattern;
+use crate::spec::ParseSpecError;
 use crate::stats::UtilizationTracker;
 
 /// How often the rotation policy advances the pivot (DESIGN.md §4.4).
@@ -28,6 +32,33 @@ pub enum MovementGranularity {
     PerLoad,
     /// Advance every `n` executions.
     Periodic(u32),
+}
+
+impl fmt::Display for MovementGranularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MovementGranularity::PerExecution => f.write_str("per-exec"),
+            MovementGranularity::PerLoad => f.write_str("per-load"),
+            MovementGranularity::Periodic(n) => write!(f, "every-{n}"),
+        }
+    }
+}
+
+impl FromStr for MovementGranularity {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<MovementGranularity, ParseSpecError> {
+        match s {
+            "per-exec" | "per-execution" => Ok(MovementGranularity::PerExecution),
+            "per-load" => Ok(MovementGranularity::PerLoad),
+            _ => match s.strip_prefix("every-").and_then(|n| n.parse().ok()) {
+                Some(n) => Ok(MovementGranularity::Periodic(n)),
+                None => Err(ParseSpecError::new(format!(
+                    "unknown granularity `{s}` (expected per-exec, per-load or every-<n>)"
+                ))),
+            },
+        }
+    }
 }
 
 /// Context handed to a policy for one upcoming configuration execution.
@@ -45,17 +76,21 @@ pub struct AllocRequest<'a> {
     pub tracker: &'a UtilizationTracker,
 }
 
-/// Boxed constructor for boxed policies — the shape runners and harnesses
-/// take when they need a fresh policy instance per run.
-pub type PolicyFactory = Box<dyn Fn() -> Box<dyn AllocationPolicy>>;
-
 /// A pivot-selection policy.
+///
+/// Runners that need to instantiate policies from data use
+/// [`PolicySpec`](crate::PolicySpec) — a fresh instance per run via
+/// [`PolicySpec::build`](crate::PolicySpec::build) — instead of passing
+/// factory closures around.
 pub trait AllocationPolicy: std::fmt::Debug {
     /// Chooses the pivot for the next execution.
     fn next_offset(&mut self, req: &AllocRequest<'_>) -> Offset;
 
-    /// Short name for reports.
-    fn name(&self) -> &'static str;
+    /// Instance-level name for reports: includes the configured pattern,
+    /// granularity or seed, matching the policy's
+    /// [`PolicySpec`](crate::PolicySpec) string (e.g.
+    /// `rotation:snake@per-load`, `random:42`).
+    fn name(&self) -> String;
 
     /// Whether the policy needs the movement hardware extensions
     /// (§III.B). The baseline runs on the unmodified reconfiguration logic.
@@ -74,8 +109,8 @@ impl AllocationPolicy for BaselinePolicy {
         Offset::ORIGIN
     }
 
-    fn name(&self) -> &'static str {
-        "baseline"
+    fn name(&self) -> String {
+        "baseline".to_string()
     }
 
     fn needs_movement(&self) -> bool {
@@ -152,8 +187,8 @@ impl<P: MovementPattern> AllocationPolicy for RotationPolicy<P> {
         }
     }
 
-    fn name(&self) -> &'static str {
-        "rotation"
+    fn name(&self) -> String {
+        format!("rotation:{}@{}", self.pattern.name(), self.granularity)
     }
 }
 
@@ -162,13 +197,19 @@ impl<P: MovementPattern> AllocationPolicy for RotationPolicy<P> {
 /// determinism; kept as an ablation point.
 #[derive(Clone, Debug)]
 pub struct RandomPolicy {
+    seed: u64,
     rng: SmallRng,
 }
 
 impl RandomPolicy {
     /// Creates a random policy from a seed (deterministic experiments).
     pub fn seeded(seed: u64) -> RandomPolicy {
-        RandomPolicy { rng: SmallRng::seed_from_u64(seed) }
+        RandomPolicy { seed, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The seed this policy was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 }
 
@@ -180,8 +221,8 @@ impl AllocationPolicy for RandomPolicy {
         )
     }
 
-    fn name(&self) -> &'static str {
-        "random"
+    fn name(&self) -> String {
+        format!("random:{}", self.seed)
     }
 }
 
@@ -198,32 +239,40 @@ pub struct HealthAwarePolicy;
 
 impl AllocationPolicy for HealthAwarePolicy {
     fn next_offset(&mut self, req: &AllocRequest<'_>) -> Offset {
+        // The scan runs once per offload, so it must stay allocation-free:
+        // compare raw per-FU execution counts (same ordering as the
+        // normalized utilization), prune a pivot as soon as it matches the
+        // incumbent, and stop outright on a zero-stress pivot — nothing can
+        // beat it, and ties break towards the smallest offset anyway.
         let fabric = req.fabric;
-        let counts = req.tracker.utilization();
+        let tracker = req.tracker;
         let mut best = Offset::ORIGIN;
-        let mut best_cost = f64::INFINITY;
+        let mut best_cost = u64::MAX;
         for row in 0..fabric.rows {
             for col in 0..fabric.cols {
                 let off = Offset::new(row, col);
-                let cost = req
-                    .footprint
-                    .iter()
-                    .map(|&(r, c)| {
-                        let (pr, pc) = off.apply(fabric, r, c);
-                        counts.value(pr, pc)
-                    })
-                    .fold(0.0f64, f64::max);
+                let mut cost = 0u64;
+                for &(r, c) in req.footprint {
+                    let (pr, pc) = off.apply(fabric, r, c);
+                    cost = cost.max(tracker.exec_count(pr, pc));
+                    if cost >= best_cost {
+                        break;
+                    }
+                }
                 if cost < best_cost {
                     best_cost = cost;
                     best = off;
+                    if cost == 0 {
+                        return best;
+                    }
                 }
             }
         }
         best
     }
 
-    fn name(&self) -> &'static str {
-        "health-aware"
+    fn name(&self) -> String {
+        "health-aware".to_string()
     }
 }
 

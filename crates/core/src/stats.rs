@@ -91,6 +91,18 @@ impl UtilizationTracker {
         self.executions
     }
 
+    /// Raw execution count of the FU at `(row, col)` — the numerator of
+    /// [`utilization`](Self::utilization), exposed so per-decision consumers
+    /// (the health-aware scan) can rank cells without materializing a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell lies outside the tracked geometry.
+    pub fn exec_count(&self, row: u32, col: u32) -> u64 {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) outside fabric");
+        self.exec_counts[(row * self.cols + col) as usize]
+    }
+
     /// Execution-weighted utilization grid (the paper's metric).
     pub fn utilization(&self) -> UtilizationGrid {
         let denom = self.executions.max(1) as f64;

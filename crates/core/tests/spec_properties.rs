@@ -1,0 +1,85 @@
+//! Property tests for the declarative spec layer (DESIGN.md §8): every
+//! spec-built policy honours the offset contract on arbitrary fabrics, and
+//! the compact string grammar round-trips losslessly.
+
+use proptest::prelude::*;
+
+use cgra::Fabric;
+use uaware::{AllocRequest, MovementGranularity, PatternSpec, PolicySpec, UtilizationTracker};
+
+fn any_fabric() -> impl Strategy<Value = Fabric> {
+    ((1u32..=8), (4u32..=32)).prop_map(|(r, c)| Fabric::new(r, c))
+}
+
+fn any_granularity() -> impl Strategy<Value = MovementGranularity> {
+    prop_oneof![
+        Just(MovementGranularity::PerExecution),
+        Just(MovementGranularity::PerLoad),
+        (0u32..=512).prop_map(MovementGranularity::Periodic),
+    ]
+}
+
+fn any_pattern() -> impl Strategy<Value = PatternSpec> {
+    prop_oneof![Just(PatternSpec::Snake), Just(PatternSpec::Raster), Just(PatternSpec::ColumnMajor),]
+}
+
+fn any_spec() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::Baseline),
+        Just(PolicySpec::HealthAware),
+        (0u64..=u64::MAX).prop_map(|seed| PolicySpec::Random { seed }),
+        (any_pattern(), any_granularity())
+            .prop_map(|(pattern, granularity)| PolicySpec::Rotation { pattern, granularity }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn spec_strings_round_trip(spec in any_spec()) {
+        let s = spec.to_string();
+        let back: PolicySpec = s.parse().unwrap_or_else(|e| panic!("`{s}`: {e}"));
+        prop_assert_eq!(back, spec, "{}", s);
+        // Display is canonical: re-displaying the parsed value is stable.
+        prop_assert_eq!(back.to_string(), s);
+    }
+
+    #[test]
+    fn spec_built_policies_stay_in_range(
+        (fabric, spec) in (any_fabric(), any_spec()),
+        switches in proptest::collection::vec(0u8..=1, 16..=64),
+    ) {
+        let mut policy = spec.build();
+        prop_assert_eq!(policy.name(), spec.to_string());
+        prop_assert_eq!(policy.needs_movement(), spec.needs_movement());
+        let mut tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32), (0, 1 % fabric.cols), (1 % fabric.rows, 0)];
+        for cs in switches {
+            let off = {
+                let req = AllocRequest {
+                    fabric: &fabric,
+                    config_switch: cs == 1,
+                    footprint: &footprint,
+                    tracker: &tracker,
+                };
+                policy.next_offset(&req)
+            };
+            prop_assert!(off.in_range(&fabric), "{}: offset {} out of range", spec, off);
+            let cells: Vec<(u32, u32)> =
+                footprint.iter().map(|&(r, c)| off.apply(&fabric, r, c)).collect();
+            tracker.record_execution(&cells, 2);
+        }
+    }
+
+    #[test]
+    fn all_specs_are_distinct_and_round_trip(fabric in any_fabric()) {
+        let specs = PolicySpec::all_specs(&fabric);
+        for (i, a) in specs.iter().enumerate() {
+            prop_assert_eq!(a.to_string().parse::<PolicySpec>().unwrap(), *a);
+            for b in &specs[i + 1..] {
+                prop_assert_ne!(a, b, "duplicate sweep point {}", a);
+            }
+        }
+    }
+}

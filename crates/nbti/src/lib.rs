@@ -115,7 +115,7 @@ impl NbtiModel {
 pub struct CalibratedAging {
     /// Delay-degradation fraction that defines end of life (paper: 0.10).
     pub eol_delay_frac: f64,
-    /// Years to reach end of life at u = 1 (paper: 3, per its refs [23], [34]).
+    /// Years to reach end of life at u = 1 (paper: 3, per its refs \[23\], \[34\]).
     pub anchor_years: f64,
     /// Combined time/duty exponent (paper: 1/6).
     pub exponent: f64,

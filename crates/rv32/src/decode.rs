@@ -1,4 +1,4 @@
-//! 32-bit word → instruction decoding (the inverse of [`crate::encode`]).
+//! 32-bit word → instruction decoding (the inverse of [`mod@crate::encode`]).
 
 use std::fmt;
 

@@ -1,4 +1,4 @@
-//! Instruction → 32-bit word encoding (the inverse of [`crate::decode`]).
+//! Instruction → 32-bit word encoding (the inverse of [`mod@crate::decode`]).
 
 use std::fmt;
 

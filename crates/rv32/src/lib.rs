@@ -7,7 +7,7 @@
 //! laptop-scale substrate:
 //!
 //! * [`isa`] — the RV32IM instruction model ([`isa::Instr`], [`isa::Reg`]).
-//! * [`decode`]/[`encode`] — machine-word conversions (lossless round-trip).
+//! * [`mod@decode`]/[`mod@encode`] — machine-word conversions (lossless round-trip).
 //! * [`asm`] — a two-pass text assembler with GNU-style pseudo-instructions,
 //!   used by the `mibench` crate to express whole benchmark kernels.
 //! * [`mem`] — flat little-endian memory.

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use cgra::Fabric;
 use mibench::Workload;
-use uaware::{AllocationPolicy, UtilizationTracker};
+use uaware::{PolicySpec, UtilizationTracker};
 
 use crate::energy::{gpp_only_energy, system_energy, EnergyParams};
 use crate::system::{run_gpp_only, System, SystemConfig, SystemError, SystemStats};
@@ -108,20 +108,35 @@ fn geo_mean(values: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-/// Runs the full suite on `fabric` with policies produced by
-/// `make_policy` (one fresh policy per benchmark; the utilization trackers
-/// are merged across the suite like the paper's aggregated utilization).
+/// Runs the full suite on `fabric` with the policy described by `spec`
+/// (one fresh policy instance per benchmark; the utilization trackers are
+/// merged across the suite like the paper's aggregated utilization).
 ///
 /// # Errors
 ///
-/// Propagates the first [`SystemError`].
+/// Propagates the first [`SystemError`]; rejects a movement spec on a
+/// movement-less configuration before anything runs.
+///
+/// # Examples
+///
+/// ```
+/// use cgra::Fabric;
+/// use transrec::{run_suite, EnergyParams};
+/// use uaware::PolicySpec;
+///
+/// let workloads = &mibench::suite(7)[..1];
+/// let spec: PolicySpec = "rotation:snake@per-load".parse().unwrap();
+/// let run = run_suite(Fabric::be(), workloads, &EnergyParams::default(), &spec).unwrap();
+/// assert!(run.all_verified());
+/// assert_eq!(run.policy, "rotation:snake@per-load");
+/// ```
 pub fn run_suite(
     fabric: Fabric,
     workloads: &[Workload],
     energy: &EnergyParams,
-    make_policy: &dyn Fn() -> Box<dyn AllocationPolicy>,
+    spec: &PolicySpec,
 ) -> Result<SuiteRun, SystemError> {
-    run_suite_with(SystemConfig::new(fabric), workloads, energy, make_policy)
+    run_suite_with(SystemConfig::new(fabric), workloads, energy, spec)
 }
 
 /// [`run_suite`] with an explicit [`SystemConfig`].
@@ -133,15 +148,19 @@ pub fn run_suite_with(
     base_config: SystemConfig,
     workloads: &[Workload],
     energy: &EnergyParams,
-    make_policy: &dyn Fn() -> Box<dyn AllocationPolicy>,
+    spec: &PolicySpec,
 ) -> Result<SuiteRun, SystemError> {
+    if spec.needs_movement() && !base_config.movement_hardware {
+        return Err(
+            crate::system::BuildError::MovementHardwareAbsent { policy: spec.to_string() }.into()
+        );
+    }
     let fabric = base_config.fabric;
     let mut merged = UtilizationTracker::new(&fabric);
     let mut benchmarks = Vec::with_capacity(workloads.len());
-    let mut policy_name = String::new();
+    let policy_name = spec.to_string();
     for w in workloads {
-        let mut system = System::new(base_config.clone(), make_policy());
-        policy_name = system.policy_name().to_string();
+        let mut system = System::new(base_config.clone(), spec.build());
         system.run(w.program())?;
         let verified = w.verify(system.cpu()).is_ok();
         let gpp = run_gpp_only(
@@ -172,7 +191,7 @@ pub fn run_suite_with(
     })
 }
 
-/// Runs the paper's full DSE grid (Fig. 6) with the baseline policy.
+/// Runs the paper's full DSE grid (Fig. 6) with one policy spec.
 ///
 /// # Errors
 ///
@@ -180,10 +199,10 @@ pub fn run_suite_with(
 pub fn run_dse(
     workloads: &[Workload],
     energy: &EnergyParams,
-    make_policy: &dyn Fn() -> Box<dyn AllocationPolicy>,
+    spec: &PolicySpec,
 ) -> Result<Vec<SuiteRun>, SystemError> {
     dse_grid()
         .into_iter()
-        .map(|(l, w)| run_suite(Fabric::new(w, l), workloads, energy, make_policy))
+        .map(|(l, w)| run_suite(Fabric::new(w, l), workloads, energy, spec))
         .collect()
 }

@@ -15,20 +15,21 @@
 //!
 //! # Examples
 //!
-//! Accelerate one benchmark and compare allocation policies:
+//! Accelerate one benchmark and compare allocation policies — specs in,
+//! validated systems out:
 //!
 //! ```
 //! use cgra::Fabric;
-//! use transrec::{System, SystemConfig};
-//! use uaware::{BaselinePolicy, RotationPolicy, Snake};
+//! use transrec::System;
+//! use uaware::PolicySpec;
 //!
 //! let workload = &mibench::suite(7)[0]; // bitcount
-//! let mut baseline = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
+//! let mut baseline = System::builder(Fabric::be()).build().unwrap();
 //! baseline.run(workload.program()).unwrap();
 //! workload.verify(baseline.cpu()).unwrap();
 //!
 //! let mut rotated =
-//!     System::new(SystemConfig::new(Fabric::be()), Box::new(RotationPolicy::new(Snake)));
+//!     System::builder(Fabric::be()).policy(PolicySpec::rotation()).build().unwrap();
 //! rotated.run(workload.program()).unwrap();
 //! workload.verify(rotated.cpu()).unwrap();
 //!
@@ -48,4 +49,6 @@ pub mod system;
 pub use dse::{dse_grid, run_dse, run_suite, run_suite_with, BenchmarkRun, SuiteRun};
 pub use energy::{gpp_only_energy, system_energy, EnergyBreakdown, EnergyParams};
 pub use scenario::{Scenario, ALL as SCENARIOS, BE, BP, BU};
-pub use system::{run_gpp_only, System, SystemConfig, SystemError, SystemStats};
+pub use system::{
+    run_gpp_only, BuildError, System, SystemBuilder, SystemConfig, SystemError, SystemStats,
+};

@@ -19,7 +19,7 @@ use rv32::cpu::{Cpu, CpuError, Exit, TimingModel};
 use rv32::mem::MemError;
 use rv32::Program;
 use serde::{Deserialize, Serialize};
-use uaware::{AllocRequest, AllocationPolicy, UtilizationTracker};
+use uaware::{AllocRequest, AllocationPolicy, PolicySpec, UtilizationTracker};
 
 /// Static system parameters.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -112,6 +112,32 @@ impl SystemStats {
     }
 }
 
+/// A [`SystemBuilder`] configuration that cannot produce a runnable system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The policy spec moves configurations away from the origin, but the
+    /// movement hardware extensions (paper §III.B) are disabled — the run
+    /// would fault on its first non-origin pivot.
+    MovementHardwareAbsent {
+        /// The offending policy spec (canonical string form).
+        policy: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MovementHardwareAbsent { policy } => write!(
+                f,
+                "policy `{policy}` needs the movement hardware extensions, \
+                 but movement_hardware is false"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// Errors from a system run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SystemError {
@@ -131,6 +157,8 @@ pub enum SystemError {
         /// The exhausted budget.
         limit: u64,
     },
+    /// The system could not be constructed in the first place.
+    Build(BuildError),
 }
 
 impl fmt::Display for SystemError {
@@ -143,11 +171,18 @@ impl fmt::Display for SystemError {
                 write!(f, "policy requested offset {offset} but the movement extensions are absent")
             }
             SystemError::StepLimit { limit } => write!(f, "system step limit {limit} exceeded"),
+            SystemError::Build(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for SystemError {}
+
+impl From<BuildError> for SystemError {
+    fn from(e: BuildError) -> SystemError {
+        SystemError::Build(e)
+    }
+}
 
 impl From<CpuError> for SystemError {
     fn from(e: CpuError) -> SystemError {
@@ -214,8 +249,128 @@ impl fmt::Debug for System {
     }
 }
 
+/// Fluent, validating constructor for [`System`] (DESIGN.md §8).
+///
+/// Start from [`System::builder`], override the [`SystemConfig`] knobs you
+/// care about, pick the allocation policy as a [`PolicySpec`] value, and
+/// [`build`](SystemBuilder::build). Construction fails with a typed
+/// [`BuildError`] when the spec and the hardware configuration contradict
+/// each other (a movement policy without the movement extensions), instead
+/// of the run faulting later at the first non-origin pivot.
+///
+/// # Examples
+///
+/// ```
+/// use cgra::Fabric;
+/// use transrec::{BuildError, System};
+/// use uaware::PolicySpec;
+///
+/// let sys = System::builder(Fabric::be())
+///     .policy(PolicySpec::rotation())
+///     .cache_capacity(128)
+///     .build()
+///     .unwrap();
+/// assert_eq!(sys.policy_name(), "rotation:snake@per-exec");
+///
+/// // Rotation without the movement extensions is rejected at build time.
+/// let err = System::builder(Fabric::be())
+///     .policy(PolicySpec::rotation())
+///     .movement_hardware(false)
+///     .build()
+///     .unwrap_err();
+/// assert!(matches!(err, BuildError::MovementHardwareAbsent { .. }));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    config: SystemConfig,
+    spec: PolicySpec,
+}
+
+impl SystemBuilder {
+    /// The allocation policy (defaults to [`PolicySpec::Baseline`]).
+    pub fn policy(mut self, spec: PolicySpec) -> SystemBuilder {
+        self.spec = spec;
+        self
+    }
+
+    /// Configuration-cache capacity in entries.
+    pub fn cache_capacity(mut self, entries: usize) -> SystemBuilder {
+        self.config.cache_capacity = entries;
+        self
+    }
+
+    /// Whether the movement hardware extensions (paper §III.B) are present.
+    pub fn movement_hardware(mut self, present: bool) -> SystemBuilder {
+        self.config.movement_hardware = present;
+        self
+    }
+
+    /// GPP memory size in bytes.
+    pub fn mem_size(mut self, bytes: usize) -> SystemBuilder {
+        self.config.mem_size = bytes;
+        self
+    }
+
+    /// GPP timing model.
+    pub fn timing(mut self, timing: TimingModel) -> SystemBuilder {
+        self.config.timing = timing;
+        self
+    }
+
+    /// Register words transferred to/from the context per cycle.
+    pub fn transfer_words_per_cycle(mut self, words: u32) -> SystemBuilder {
+        self.config.transfer_words_per_cycle = words;
+        self
+    }
+
+    /// Skip offloading when the fabric would be slower than the GPP.
+    pub fn offload_heuristic(mut self, enabled: bool) -> SystemBuilder {
+        self.config.offload_heuristic = enabled;
+        self
+    }
+
+    /// Safety valve for run lengths.
+    pub fn max_steps(mut self, steps: u64) -> SystemBuilder {
+        self.config.max_steps = steps;
+        self
+    }
+
+    /// The policy spec currently selected.
+    pub fn spec(&self) -> &PolicySpec {
+        &self.spec
+    }
+
+    /// The accumulated [`SystemConfig`].
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Validates the spec against the hardware configuration and constructs
+    /// the system.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::MovementHardwareAbsent`] when the policy needs the
+    /// movement extensions but `movement_hardware(false)` was requested.
+    pub fn build(self) -> Result<System, BuildError> {
+        if self.spec.needs_movement() && !self.config.movement_hardware {
+            return Err(BuildError::MovementHardwareAbsent { policy: self.spec.to_string() });
+        }
+        Ok(System::new(self.config, self.spec.build()))
+    }
+}
+
 impl System {
-    /// Builds a system from a configuration and an allocation policy.
+    /// Starts a [`SystemBuilder`] with [`SystemConfig::new`] defaults for
+    /// `fabric` and the baseline policy.
+    pub fn builder(fabric: Fabric) -> SystemBuilder {
+        SystemBuilder { config: SystemConfig::new(fabric), spec: PolicySpec::Baseline }
+    }
+
+    /// Builds a system from a configuration and an already-instantiated
+    /// allocation policy — the unchecked escape hatch for policies that are
+    /// not expressible as a [`PolicySpec`]. Prefer [`System::builder`],
+    /// which validates the spec against the hardware configuration.
     pub fn new(config: SystemConfig, policy: Box<dyn AllocationPolicy>) -> System {
         let reconfig_unit = if config.movement_hardware {
             ReconfigUnit::with_movement()
@@ -257,8 +412,9 @@ impl System {
         self.cache.stats()
     }
 
-    /// The allocation policy's name.
-    pub fn policy_name(&self) -> &'static str {
+    /// The allocation policy's instance-level name (pattern, granularity
+    /// and seed included, e.g. `rotation:snake@per-load`).
+    pub fn policy_name(&self) -> String {
         self.policy.name()
     }
 
@@ -457,7 +613,11 @@ pub fn run_gpp_only(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uaware::{BaselinePolicy, RotationPolicy, Snake};
+    use uaware::{RotationPolicy, Snake};
+
+    fn sys_with(spec: PolicySpec) -> System {
+        System::builder(Fabric::be()).policy(spec).build().expect("valid spec/config")
+    }
 
     fn toy_program() -> Program {
         rv32::asm::assemble(
@@ -493,7 +653,7 @@ mod tests {
 
     #[test]
     fn system_produces_architectural_results() {
-        let mut sys = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
+        let mut sys = sys_with(PolicySpec::Baseline);
         sys.run(&toy_program()).unwrap();
         assert_eq!(sys.cpu().reg(rv32::Reg::A0), reference_result());
         assert!(sys.stats().offloads > 300, "hot loop must offload");
@@ -501,10 +661,9 @@ mod tests {
 
     #[test]
     fn rotation_gives_same_results_as_baseline() {
-        let mut base = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
+        let mut base = sys_with(PolicySpec::Baseline);
         base.run(&toy_program()).unwrap();
-        let mut rot =
-            System::new(SystemConfig::new(Fabric::be()), Box::new(RotationPolicy::new(Snake)));
+        let mut rot = sys_with(PolicySpec::rotation());
         rot.run(&toy_program()).unwrap();
         assert_eq!(base.cpu().reg(rv32::Reg::A0), rot.cpu().reg(rv32::Reg::A0));
         // And it actually moved work around.
@@ -512,7 +671,25 @@ mod tests {
     }
 
     #[test]
-    fn movement_without_hardware_is_rejected() {
+    fn builder_rejects_movement_spec_without_hardware() {
+        // Every movement spec must be refused at construction time, before
+        // any instruction runs.
+        for spec in uaware::PolicySpec::all_specs(&Fabric::be()) {
+            let result =
+                System::builder(Fabric::be()).policy(spec).movement_hardware(false).build();
+            match result {
+                Err(BuildError::MovementHardwareAbsent { policy }) => {
+                    assert!(spec.needs_movement(), "{spec} rejected but needs no movement");
+                    assert_eq!(policy, spec.to_string());
+                }
+                Ok(_) => assert!(!spec.needs_movement(), "{spec} must be rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn movement_without_hardware_still_faults_at_runtime() {
+        // The unchecked System::new escape hatch keeps the runtime guard.
         let config = SystemConfig { movement_hardware: false, ..SystemConfig::new(Fabric::be()) };
         let mut sys = System::new(config, Box::new(RotationPolicy::new(Snake)));
         let err = sys.run(&toy_program()).unwrap_err();
@@ -521,17 +698,36 @@ mod tests {
 
     #[test]
     fn baseline_runs_without_movement_hardware() {
-        let config = SystemConfig { movement_hardware: false, ..SystemConfig::new(Fabric::be()) };
-        let mut sys = System::new(config, Box::new(BaselinePolicy));
+        let mut sys = System::builder(Fabric::be()).movement_hardware(false).build().unwrap();
         sys.run(&toy_program()).unwrap();
         assert_eq!(sys.cpu().reg(rv32::Reg::A0), reference_result());
+    }
+
+    #[test]
+    fn builder_overrides_reach_the_config() {
+        let builder = System::builder(Fabric::bp())
+            .policy(PolicySpec::HealthAware)
+            .cache_capacity(64)
+            .mem_size(1 << 18)
+            .transfer_words_per_cycle(4)
+            .offload_heuristic(false)
+            .max_steps(1234);
+        assert_eq!(builder.spec(), &PolicySpec::HealthAware);
+        let cfg = builder.config();
+        assert_eq!(cfg.cache_capacity, 64);
+        assert_eq!(cfg.mem_size, 1 << 18);
+        assert_eq!(cfg.transfer_words_per_cycle, 4);
+        assert!(!cfg.offload_heuristic);
+        assert_eq!(cfg.max_steps, 1234);
+        let sys = builder.build().unwrap();
+        assert_eq!(sys.policy_name(), "health-aware");
     }
 
     #[test]
     fn offloading_beats_gpp_on_the_hot_loop() {
         let gpp =
             run_gpp_only(&toy_program(), 1 << 20, TimingModel::default(), 10_000_000).unwrap();
-        let mut sys = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
+        let mut sys = sys_with(PolicySpec::Baseline);
         sys.run(&toy_program()).unwrap();
         assert!(
             sys.cpu().cycles() < gpp.cycles(),
@@ -543,15 +739,14 @@ mod tests {
 
     #[test]
     fn stats_account_all_cycles() {
-        let mut sys = System::new(SystemConfig::new(Fabric::be()), Box::new(BaselinePolicy));
+        let mut sys = sys_with(PolicySpec::Baseline);
         sys.run(&toy_program()).unwrap();
         assert_eq!(sys.stats().total_cycles(), sys.cpu().cycles());
     }
 
     #[test]
     fn step_limit_detected() {
-        let config = SystemConfig { max_steps: 100, ..SystemConfig::new(Fabric::be()) };
-        let mut sys = System::new(config, Box::new(BaselinePolicy));
+        let mut sys = System::builder(Fabric::be()).max_steps(100).build().unwrap();
         let err = sys.run(&toy_program()).unwrap_err();
         assert!(matches!(err, SystemError::StepLimit { .. }));
     }

@@ -9,10 +9,7 @@
 use cgra::Fabric;
 use nbti::CalibratedAging;
 use transrec::{run_suite, EnergyParams};
-use uaware::{
-    evaluate_aging, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, PolicyFactory,
-    RandomPolicy, RotationPolicy, Snake,
-};
+use uaware::{evaluate_aging, PolicySpec};
 
 pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fabric = Fabric::be();
@@ -22,29 +19,21 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("deployment forecast, {}x{} fabric, ten-benchmark mix", fabric.rows, fabric.cols);
     println!(
-        "{:<14} {:>10} {:>10} {:>12} {:>14}",
+        "{:<26} {:>10} {:>10} {:>12} {:>14}",
         "policy", "worst-FU", "CoV", "lifetime[y]", "10y delay[%]"
     );
 
-    let policies: Vec<(&str, PolicyFactory)> = vec![
-        ("baseline", Box::new(|| Box::new(BaselinePolicy) as Box<dyn AllocationPolicy>)),
-        (
-            "rotation",
-            Box::new(|| Box::new(RotationPolicy::new(Snake)) as Box<dyn AllocationPolicy>),
-        ),
-        ("random", Box::new(|| Box::new(RandomPolicy::seeded(7)) as Box<dyn AllocationPolicy>)),
-        ("health-aware", Box::new(|| Box::new(HealthAwarePolicy) as Box<dyn AllocationPolicy>)),
-    ];
-
-    for (name, factory) in &policies {
-        let run = run_suite(fabric, &workloads, &energy, factory.as_ref())?;
-        assert!(run.all_verified(), "oracle failure under {name}");
+    // The whole standard sweep, enumerated as data — every policy ×
+    // pattern × granularity point the workspace knows about.
+    for spec in PolicySpec::all_specs(&fabric) {
+        let run = run_suite(fabric, &workloads, &energy, &spec)?;
+        assert!(run.all_verified(), "oracle failure under {spec}");
         let grid = run.tracker.utilization();
         let eval = evaluate_aging(&aging, &grid, 10.0, 101);
         let at_10y = aging.delay_increase(10.0, eval.worst_utilization);
         println!(
-            "{:<14} {:>9.1}% {:>10.3} {:>12.2} {:>13.2}%",
-            name,
+            "{:<26} {:>9.1}% {:>10.3} {:>12.2} {:>13.2}%",
+            spec.to_string(),
             100.0 * eval.worst_utilization,
             grid.cov(),
             eval.lifetime_years,

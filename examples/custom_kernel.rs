@@ -7,8 +7,8 @@
 
 use cgra::Fabric;
 use mibench::Workload;
-use transrec::{System, SystemConfig};
-use uaware::{BaselinePolicy, MovementGranularity, RotationPolicy, Snake};
+use transrec::System;
+use uaware::PolicySpec;
 
 /// A Fibonacci-hash mixer over an array — the "user kernel".
 fn kernel_source(n: usize, values: &[u32]) -> String {
@@ -71,32 +71,29 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     workload.run_and_verify(1 << 20)?;
     println!("kernel verifies on the interpreter");
 
-    // Now on the accelerated system under several movement granularities.
+    // Now on the accelerated system under several movement granularities —
+    // each policy written in the same compact string grammar the `--policy`
+    // CLI flag accepts.
     let fabric = Fabric::be();
-    let configs: Vec<(&str, Box<dyn uaware::AllocationPolicy>)> = vec![
-        ("baseline", Box::new(BaselinePolicy)),
-        ("rotate/execution", Box::new(RotationPolicy::new(Snake))),
-        (
-            "rotate/per-load",
-            Box::new(RotationPolicy::with_granularity(Snake, MovementGranularity::PerLoad)),
-        ),
-        (
-            "rotate/every-8",
-            Box::new(RotationPolicy::with_granularity(Snake, MovementGranularity::Periodic(8))),
-        ),
+    let specs = [
+        "baseline",
+        "rotation:snake@per-exec",
+        "rotation:snake@per-load",
+        "rotation:snake@every-8",
     ];
     println!(
-        "\n{:<18} {:>8} {:>10} {:>10} {:>8}",
+        "\n{:<26} {:>8} {:>10} {:>10} {:>8}",
         "policy", "cycles", "worst-FU", "mean-FU", "rot-cyc"
     );
-    for (name, policy) in configs {
-        let mut sys = System::new(SystemConfig::new(fabric), policy);
+    for s in specs {
+        let spec: PolicySpec = s.parse()?;
+        let mut sys = System::builder(fabric).policy(spec).build()?;
         sys.run(workload.program())?;
         workload.verify(sys.cpu())?;
         let grid = sys.tracker().utilization();
         println!(
-            "{:<18} {:>8} {:>9.1}% {:>9.1}% {:>8}",
-            name,
+            "{:<26} {:>8} {:>9.1}% {:>9.1}% {:>8}",
+            s,
             sys.cpu().cycles(),
             100.0 * grid.max(),
             100.0 * grid.mean(),

@@ -8,7 +8,7 @@
 use cgra::Fabric;
 use nbti::CalibratedAging;
 use transrec::{run_suite, EnergyParams};
-use uaware::{AllocationPolicy, BaselinePolicy, RotationPolicy, Snake};
+use uaware::PolicySpec;
 
 pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     run(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0xDAC2020u64))
@@ -27,14 +27,14 @@ pub fn run(seed: u64) -> Result<(), Box<dyn std::error::Error>> {
         "design", "speedup", "energy[x]", "occupation", "life-base[y]", "life-rot[y]"
     );
 
-    let baseline: &dyn Fn() -> Box<dyn AllocationPolicy> = &|| Box::new(BaselinePolicy);
-    let rotation: &dyn Fn() -> Box<dyn AllocationPolicy> = &|| Box::new(RotationPolicy::new(Snake));
+    let baseline = PolicySpec::Baseline;
+    let rotation = PolicySpec::rotation();
 
     for l in [8u32, 12, 16, 20, 24, 32] {
         for w in [2u32, 4] {
             let fabric = Fabric::new(w, l);
-            let base = run_suite(fabric, &workloads, &energy, baseline)?;
-            let rot = run_suite(fabric, &workloads, &energy, rotation)?;
+            let base = run_suite(fabric, &workloads, &energy, &baseline)?;
+            let rot = run_suite(fabric, &workloads, &energy, &rotation)?;
             assert!(base.all_verified() && rot.all_verified());
             println!(
                 "{:>10} {:>8.2}x {:>10.3} {:>10.1}% {:>13.2} {:>12.2}",

@@ -8,8 +8,8 @@
 use cgra::Fabric;
 use nbti::CalibratedAging;
 use rv32::asm::assemble;
-use transrec::{run_gpp_only, System, SystemConfig};
-use uaware::{BaselinePolicy, RotationPolicy, Snake};
+use transrec::{run_gpp_only, System};
+use uaware::PolicySpec;
 
 pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small fixed-point dot-product kernel, written like compiled -O3
@@ -53,8 +53,9 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's BE design point (16 columns x 2 rows).
     let fabric = Fabric::be();
 
-    // 1. Traditional corner-anchored allocation.
-    let mut baseline = System::new(SystemConfig::new(fabric), Box::new(BaselinePolicy));
+    // 1. Traditional corner-anchored allocation (the builder's default
+    // policy is `baseline`).
+    let mut baseline = System::builder(fabric).build()?;
     baseline.run(&program)?;
     println!(
         "TransRec (baseline):    {:>6} cycles ({:.2}x), {} offloads",
@@ -63,8 +64,9 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
         baseline.stats().offloads,
     );
 
-    // 2. The paper's utilization-aware rotation.
-    let mut rotated = System::new(SystemConfig::new(fabric), Box::new(RotationPolicy::new(Snake)));
+    // 2. The paper's utilization-aware rotation, selected as data — the
+    // same spec could come from a CLI flag or a JSON sweep file.
+    let mut rotated = System::builder(fabric).policy(PolicySpec::rotation()).build()?;
     rotated.run(&program)?;
     println!(
         "TransRec (rotation):    {:>6} cycles ({:.2}x), same result: {}",

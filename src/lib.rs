@@ -14,7 +14,8 @@
 //! * [`dbt`] — the dynamic-binary-translation module.
 //! * [`mibench`] — the MiBench-derived workloads.
 //! * [`transrec`] — the full-system GPP + DBT + CGRA simulator.
-//! * [`bench`] — the experiment harness behind the paper's figures/tables.
+//! * [`bench`](../bench/index.html) — the experiment harness behind the
+//!   paper's figures/tables.
 //!
 //! See `README.md` for the crate map and `DESIGN.md` for the modeling
 //! assumptions.

@@ -4,31 +4,21 @@
 
 use cgra::Fabric;
 use transrec::{System, SystemConfig};
-use uaware::{
-    AllocationPolicy, BaselinePolicy, HealthAwarePolicy, PolicyFactory, RandomPolicy,
-    RotationPolicy, Snake,
-};
+use uaware::PolicySpec;
 
-fn policies() -> Vec<(&'static str, PolicyFactory)> {
-    vec![
-        ("baseline", Box::new(|| Box::new(BaselinePolicy) as Box<dyn AllocationPolicy>)),
-        (
-            "rotation",
-            Box::new(|| Box::new(RotationPolicy::new(Snake)) as Box<dyn AllocationPolicy>),
-        ),
-        ("random", Box::new(|| Box::new(RandomPolicy::seeded(99)) as Box<dyn AllocationPolicy>)),
-    ]
+fn policies() -> Vec<PolicySpec> {
+    vec![PolicySpec::Baseline, PolicySpec::rotation(), PolicySpec::Random { seed: 99 }]
 }
 
 #[test]
 fn suite_verifies_under_every_policy_on_be() {
     let workloads = mibench::suite(2026);
-    for (name, factory) in policies() {
+    for spec in policies() {
         for w in &workloads {
-            let mut sys = System::new(SystemConfig::new(Fabric::be()), factory());
-            sys.run(w.program()).unwrap_or_else(|e| panic!("{}/{name}: {e}", w.name()));
-            w.verify(sys.cpu()).unwrap_or_else(|e| panic!("policy {name}: {e}"));
-            assert!(sys.stats().offloads > 0, "{}/{name}: nothing offloaded", w.name());
+            let mut sys = System::builder(Fabric::be()).policy(spec).build().unwrap();
+            sys.run(w.program()).unwrap_or_else(|e| panic!("{}/{spec}: {e}", w.name()));
+            w.verify(sys.cpu()).unwrap_or_else(|e| panic!("policy {spec}: {e}"));
+            assert!(sys.stats().offloads > 0, "{}/{spec}: nothing offloaded", w.name());
         }
     }
 }
@@ -38,10 +28,8 @@ fn suite_verifies_on_all_scenarios() {
     let workloads = mibench::suite(7);
     for scenario in transrec::SCENARIOS {
         for w in &workloads {
-            let mut sys = System::new(
-                SystemConfig::new(scenario.fabric()),
-                Box::new(RotationPolicy::new(Snake)),
-            );
+            let mut sys =
+                System::builder(scenario.fabric()).policy(PolicySpec::rotation()).build().unwrap();
             sys.run(w.program()).unwrap_or_else(|e| panic!("{}/{}: {e}", w.name(), scenario.name));
             w.verify(sys.cpu()).unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
         }
@@ -50,9 +38,9 @@ fn suite_verifies_on_all_scenarios() {
 
 #[test]
 fn health_aware_policy_is_also_correct() {
-    // The oracle-scanning policy is slow; one benchmark suffices.
+    // The oracle-scanning policy is the slowest; one benchmark suffices.
     let w = &mibench::suite(3)[1]; // crc32
-    let mut sys = System::new(SystemConfig::new(Fabric::be()), Box::new(HealthAwarePolicy));
+    let mut sys = System::builder(Fabric::be()).policy(PolicySpec::HealthAware).build().unwrap();
     sys.run(w.program()).unwrap();
     w.verify(sys.cpu()).unwrap();
 }
@@ -65,7 +53,7 @@ fn system_matches_gpp_architectural_state() {
     for w in mibench::suite(11) {
         let gpp =
             transrec::run_gpp_only(w.program(), cfg.mem_size, cfg.timing, cfg.max_steps).unwrap();
-        let mut sys = System::new(cfg.clone(), Box::new(RotationPolicy::new(Snake)));
+        let mut sys = System::builder(cfg.fabric).policy(PolicySpec::rotation()).build().unwrap();
         sys.run(w.program()).unwrap();
         let base = w.program().data_base;
         let len = (w.program().data.len() as u32).max(4);
@@ -82,8 +70,7 @@ fn system_matches_gpp_architectural_state() {
 fn offload_heuristic_never_changes_results() {
     let w = &mibench::suite(5)[3]; // qsort (branchy: exercises mixed execution)
     let run = |heuristic: bool| {
-        let cfg = SystemConfig { offload_heuristic: heuristic, ..SystemConfig::new(Fabric::be()) };
-        let mut sys = System::new(cfg, Box::new(BaselinePolicy));
+        let mut sys = System::builder(Fabric::be()).offload_heuristic(heuristic).build().unwrap();
         sys.run(w.program()).unwrap();
         w.verify(sys.cpu()).unwrap();
         sys.cpu().retired() + sys.stats().offloaded_instrs

@@ -4,16 +4,12 @@
 use cgra::Fabric;
 use nbti::CalibratedAging;
 use transrec::{run_suite, EnergyParams};
-use uaware::{AllocationPolicy, BaselinePolicy, RotationPolicy, Snake};
+use uaware::PolicySpec;
 
 fn suite_utilization(fabric: Fabric, rotation: bool) -> uaware::UtilizationGrid {
     let workloads = mibench::suite(0xDAC2020);
-    let factory: Box<dyn Fn() -> Box<dyn AllocationPolicy>> = if rotation {
-        Box::new(|| Box::new(RotationPolicy::new(Snake)))
-    } else {
-        Box::new(|| Box::new(BaselinePolicy))
-    };
-    let run = run_suite(fabric, &workloads, &EnergyParams::default(), factory.as_ref()).unwrap();
+    let spec = if rotation { PolicySpec::rotation() } else { PolicySpec::Baseline };
+    let run = run_suite(fabric, &workloads, &EnergyParams::default(), &spec).unwrap();
     assert!(run.all_verified());
     run.tracker.utilization()
 }
