@@ -1,9 +1,18 @@
 //! Regenerates every table and figure in one go (the full evaluation).
+//!
+//! Pass `--jobs <n>` to shard every figure's sweep across n workers
+//! (default: all cores; `--jobs 1` is the sequential path — CI diffs the
+//! two `results/` trees to enforce byte-identical output) and the usual
+//! repeatable `--policy <spec>` to swap the evaluated policy series.
 
 use bench::*;
 
 fn main() {
-    let ctx = ExperimentContext::default();
+    let mut ctx = ExperimentContext::default();
+    if let Err(e) = apply_cli_flags(&mut ctx) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     eprintln!("[fig1]");
     save_json("fig1", &fig1(&ctx));
     eprintln!("[fig6]");

@@ -1,25 +1,31 @@
 //! Diagnostic: per-benchmark cycle breakdown on the BE fabric.
 //!
 //! Pass `--policy <spec>` to diagnose a different allocation policy
-//! (default: baseline), e.g. `diag -- --policy rotation:snake@per-load`.
+//! (default: baseline), e.g. `diag -- --policy rotation:snake@per-load`,
+//! and `--jobs <n>` to size the sweep pool (one cell, so the flag only
+//! matters for the GPP-reference phase).
 
-use bench::parse_policy_flags;
+use bench::{parse_jobs_flag, parse_policy_flags};
 use cgra::Fabric;
-use transrec::{run_gpp_only, System, SystemConfig};
+use transrec::{run_sweep, SweepPlan};
 use uaware::PolicySpec;
 
-fn policy_from_args() -> PolicySpec {
+fn flags_from_args() -> (PolicySpec, usize) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let specs = parse_policy_flags(&args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
-    specs.first().copied().unwrap_or(PolicySpec::Baseline)
+    let jobs = parse_jobs_flag(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    (specs.first().copied().unwrap_or(PolicySpec::Baseline), jobs.unwrap_or(0))
 }
 
 fn main() {
-    let spec = policy_from_args();
-    let cfg = SystemConfig::new(Fabric::be());
+    let (spec, jobs) = flags_from_args();
+    let plan = SweepPlan::new(0xDAC2020).fabric(Fabric::be()).policy(spec);
     println!("policy: {spec}");
     println!(
         "{:<16} {:>9} {:>9} {:>7} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
@@ -36,19 +42,20 @@ fn main() {
         "offl",
         "skip"
     );
-    for w in mibench::suite(0xDAC2020) {
-        let gpp = run_gpp_only(w.program(), cfg.mem_size, cfg.timing, cfg.max_steps).unwrap();
-        let mut sys = System::builder(cfg.fabric).policy(spec).build().unwrap();
-        sys.run(w.program()).unwrap();
-        w.verify(sys.cpu()).unwrap();
-        let s = *sys.stats();
+    let runs = run_sweep(&plan, jobs).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    for b in &runs[0].benchmarks {
+        assert!(b.verified, "oracle failed on {}", b.name);
+        let s = &b.stats;
         let cover = s.offloaded_instrs as f64 / s.total_instrs() as f64;
         println!(
             "{:<16} {:>9} {:>9} {:>7.2} {:>5.1}% {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
-            w.name(),
-            gpp.cycles(),
-            s.total_cycles(),
-            gpp.cycles() as f64 / s.total_cycles() as f64,
+            b.name,
+            b.gpp_cycles,
+            b.system_cycles,
+            b.speedup(),
             100.0 * cover,
             s.gpp_cycles,
             s.cgra_exec_cycles,

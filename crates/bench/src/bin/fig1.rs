@@ -1,10 +1,17 @@
 //! Regenerates paper Fig. 1: FU utilization of a 1D 4×8 CGRA under
 //! traditional (greedy, corner-anchored) mapping.
+//!
+//! Accepts the shared `--jobs <n>` flag for symmetry with the other
+//! runners (a single-cell sweep gains nothing from it).
 
-use bench::{fig1, save_json, ExperimentContext};
+use bench::{apply_cli_flags, fig1, save_json, ExperimentContext};
 
 fn main() {
-    let ctx = ExperimentContext::default();
+    let mut ctx = ExperimentContext::default();
+    if let Err(e) = apply_cli_flags(&mut ctx) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let r = fig1(&ctx);
     println!("== Fig. 1: utilization of a {}x{} fabric, baseline allocation ==", r.rows, r.cols);
     println!("{}", r.heatmap);

@@ -1,10 +1,17 @@
 //! Regenerates paper Fig. 6: the L×W design-space exploration
 //! (execution time ×GPP, energy ×GPP, average occupation).
+//!
+//! Pass `--jobs <n>` to shard the 12 design points across n workers
+//! (default: all cores; `--jobs 1` is sequential, same bytes either way).
 
-use bench::{fig6, save_json, ExperimentContext};
+use bench::{apply_cli_flags, fig6, save_json, ExperimentContext};
 
 fn main() {
-    let ctx = ExperimentContext::default();
+    let mut ctx = ExperimentContext::default();
+    if let Err(e) = apply_cli_flags(&mut ctx) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let r = fig6(&ctx);
     println!("== Fig. 6: design-space exploration (relative to stand-alone GPP) ==");
     println!(

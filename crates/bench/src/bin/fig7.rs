@@ -2,13 +2,14 @@
 //! the baseline and the proposed utilization-aware allocation.
 //!
 //! Pass `--policy <spec>` to swap the proposed policy, e.g.
-//! `fig7 -- --policy rotation:column-major@per-load`.
+//! `fig7 -- --policy rotation:column-major@per-load`, and `--jobs <n>` to
+//! size the sweep pool (default: all cores).
 
-use bench::{apply_policy_flags, fig7, save_json, ExperimentContext};
+use bench::{apply_cli_flags, fig7, save_json, ExperimentContext};
 
 fn main() {
     let mut ctx = ExperimentContext::default();
-    if let Err(e) = apply_policy_flags(&mut ctx) {
+    if let Err(e) = apply_cli_flags(&mut ctx) {
         eprintln!("error: {e}");
         std::process::exit(2);
     }

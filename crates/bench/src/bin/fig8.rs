@@ -2,13 +2,14 @@
 //! increase over the years (bottom) for BE/BP/BU × every policy series.
 //!
 //! Pass `--policy <spec>` (repeatable) to evaluate a custom policy set,
-//! e.g. `fig8 -- --policy rotation:raster --policy health-aware`.
+//! e.g. `fig8 -- --policy rotation:raster --policy health-aware`, and
+//! `--jobs <n>` to shard the scenario x policy grid (default: all cores).
 
-use bench::{apply_policy_flags, fig8, save_json, ExperimentContext};
+use bench::{apply_cli_flags, fig8, save_json, ExperimentContext};
 
 fn main() {
     let mut ctx = ExperimentContext::default();
-    if let Err(e) = apply_policy_flags(&mut ctx) {
+    if let Err(e) = apply_cli_flags(&mut ctx) {
         eprintln!("error: {e}");
         std::process::exit(2);
     }

@@ -2,13 +2,15 @@
 //! BE, BP and BU scenarios, one row per scenario × policy.
 //!
 //! Pass `--policy <spec>` (repeatable) to evaluate a custom policy set,
-//! e.g. `table1 -- --policy rotation:snake@per-load --policy random:7`.
+//! e.g. `table1 -- --policy rotation:snake@per-load --policy random:7`, and
+//! `--jobs <n>` to shard the scenario x policy grid (default: all cores;
+//! `--jobs 1` and `--jobs 4` produce byte-identical JSON).
 
-use bench::{apply_policy_flags, save_json, table1, ExperimentContext};
+use bench::{apply_cli_flags, save_json, table1, ExperimentContext};
 
 fn main() {
     let mut ctx = ExperimentContext::default();
-    if let Err(e) = apply_policy_flags(&mut ctx) {
+    if let Err(e) = apply_cli_flags(&mut ctx) {
         eprintln!("error: {e}");
         std::process::exit(2);
     }

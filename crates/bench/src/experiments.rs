@@ -9,7 +9,7 @@
 use cgra::{AreaModel, Fabric};
 use mibench::Workload;
 use nbti::CalibratedAging;
-use transrec::{run_suite, EnergyParams, SuiteRun};
+use transrec::{run_sweep, EnergyParams, SuiteRun, SweepPlan};
 use uaware::{MovementGranularity, PatternSpec, PolicySpec};
 
 use crate::reports::*;
@@ -28,6 +28,9 @@ pub struct ExperimentContext {
     /// The non-baseline policy series evaluated by [`fig7`], [`fig8`] and
     /// [`table1`]; the first entry is the headline "proposed" policy.
     pub policies: Vec<PolicySpec>,
+    /// Sweep worker count (`0` = all cores, `1` = sequential; the
+    /// `--jobs` CLI flag). Results are byte-identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentContext {
@@ -46,6 +49,7 @@ impl Default for ExperimentContext {
                 PolicySpec::Random { seed: uaware::DEFAULT_RANDOM_SEED },
                 PolicySpec::HealthAware,
             ],
+            jobs: 0,
         }
     }
 }
@@ -63,22 +67,37 @@ impl ExperimentContext {
     }
 }
 
-fn suite_on(
-    fabric: Fabric,
+/// Runs the fabrics × policies cross product through the parallel sweep
+/// engine with the context's `--jobs` setting, asserting every cell's
+/// oracle. Cells come back in [`SweepPlan::cells`] order: fabric-major,
+/// then policy (one workload-suite lane).
+fn sweep_on(
     ctx: &ExperimentContext,
-    workloads: &[Workload],
-    spec: &PolicySpec,
-) -> SuiteRun {
-    let run = run_suite(fabric, workloads, &ctx.energy, spec).expect("suite runs");
-    assert!(run.all_verified(), "an oracle failed on {}x{} under {spec}", fabric.rows, fabric.cols);
-    run
+    fabrics: impl IntoIterator<Item = Fabric>,
+    policies: Vec<PolicySpec>,
+) -> Vec<SuiteRun> {
+    let mut plan = SweepPlan::new(ctx.seed).energy(ctx.energy).policies(policies);
+    for fabric in fabrics {
+        plan = plan.fabric(fabric);
+    }
+    let runs = run_sweep(&plan, ctx.jobs).expect("sweep runs");
+    for run in &runs {
+        assert!(
+            run.all_verified(),
+            "an oracle failed on {}x{} under {}",
+            run.rows,
+            run.cols,
+            run.policy
+        );
+    }
+    runs
 }
 
 /// Fig. 1 — FU utilization of a 4×8 fabric under traditional (baseline)
 /// mapping, aggregated over the ten benchmarks.
 pub fn fig1(ctx: &ExperimentContext) -> Fig1Report {
-    let run = suite_on(Fabric::fig1(), ctx, &ctx.suite(), &PolicySpec::Baseline);
-    let grid = run.tracker.utilization();
+    let runs = sweep_on(ctx, [Fabric::fig1()], vec![PolicySpec::Baseline]);
+    let grid = runs[0].tracker.utilization();
     Fig1Report {
         rows: grid.rows(),
         cols: grid.cols(),
@@ -91,20 +110,20 @@ pub fn fig1(ctx: &ExperimentContext) -> Fig1Report {
 
 /// Fig. 6 — the L×W design-space exploration under the baseline policy.
 pub fn fig6(ctx: &ExperimentContext) -> Fig6Report {
-    let workloads = ctx.suite();
-    let points = transrec::dse_grid()
-        .into_iter()
-        .map(|(l, w)| {
-            let run = suite_on(Fabric::new(w, l), ctx, &workloads, &PolicySpec::Baseline);
-            Fig6Point {
-                l,
-                w,
-                rel_time: run.relative_time(),
-                rel_energy: run.relative_energy(),
-                occupation: run.avg_occupation(),
-                speedup: run.speedup(),
-                verified: run.all_verified(),
-            }
+    let grid = transrec::dse_grid();
+    let runs =
+        sweep_on(ctx, grid.iter().map(|&(l, w)| Fabric::new(w, l)), vec![PolicySpec::Baseline]);
+    let points = grid
+        .iter()
+        .zip(&runs)
+        .map(|(&(l, w), run)| Fig6Point {
+            l,
+            w,
+            rel_time: run.relative_time(),
+            rel_energy: run.relative_energy(),
+            occupation: run.avg_occupation(),
+            speedup: run.speedup(),
+            verified: run.all_verified(),
         })
         .collect();
     Fig6Report { points }
@@ -113,12 +132,10 @@ pub fn fig6(ctx: &ExperimentContext) -> Fig6Report {
 /// Fig. 7 — BE (16×2) utilization heatmaps: baseline vs the proposed policy
 /// ([`ExperimentContext::proposed`]).
 pub fn fig7(ctx: &ExperimentContext) -> Fig7Report {
-    let workloads = ctx.suite();
     let proposed = ctx.proposed();
-    let base = suite_on(Fabric::be(), ctx, &workloads, &PolicySpec::Baseline);
-    let prop = suite_on(Fabric::be(), ctx, &workloads, &proposed);
-    let bg = base.tracker.utilization();
-    let pg = prop.tracker.utilization();
+    let runs = sweep_on(ctx, [Fabric::be()], vec![PolicySpec::Baseline, proposed]);
+    let bg = runs[0].tracker.utilization();
+    let pg = runs[1].tracker.utilization();
     Fig7Report {
         rows: bg.rows(),
         cols: bg.cols(),
@@ -135,11 +152,14 @@ pub fn fig7(ctx: &ExperimentContext) -> Fig7Report {
 /// Fig. 8 — per-scenario utilization PDFs and worst-FU NBTI delay curves,
 /// one series per scenario × policy (baseline plus every context policy).
 pub fn fig8(ctx: &ExperimentContext) -> Fig8Report {
-    let workloads = ctx.suite();
+    let specs: Vec<PolicySpec> =
+        std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()).collect();
+    let runs = sweep_on(ctx, transrec::SCENARIOS.iter().map(|s| s.fabric()), specs.clone());
     let mut series = Vec::new();
+    let mut runs = runs.iter();
     for scenario in transrec::SCENARIOS {
-        for spec in std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()) {
-            let run = suite_on(scenario.fabric(), ctx, &workloads, &spec);
+        for spec in &specs {
+            let run = runs.next().expect("one run per scenario x policy");
             let grid = run.tracker.utilization();
             let eval = uaware::evaluate_aging(&ctx.aging, &grid, ctx.horizon_years, 101);
             series.push(Fig8Series {
@@ -157,14 +177,17 @@ pub fn fig8(ctx: &ExperimentContext) -> Fig8Report {
 /// Table I — utilization and lifetime improvements for BE/BP/BU, one row
 /// per scenario × context policy (each against the scenario's baseline).
 pub fn table1(ctx: &ExperimentContext) -> Table1Report {
-    let workloads = ctx.suite();
+    let specs: Vec<PolicySpec> =
+        std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()).collect();
+    let runs = sweep_on(ctx, transrec::SCENARIOS.iter().map(|s| s.fabric()), specs.clone());
+    let per_scenario = specs.len();
     let mut rows = Vec::new();
-    for scenario in transrec::SCENARIOS.iter() {
-        let base = suite_on(scenario.fabric(), ctx, &workloads, &PolicySpec::Baseline);
+    for (ci, scenario) in transrec::SCENARIOS.iter().enumerate() {
+        let base = &runs[ci * per_scenario];
         let bg = base.tracker.utilization();
         let base_eval = uaware::evaluate_aging(&ctx.aging, &bg, ctx.horizon_years, 11);
-        for spec in &ctx.policies {
-            let run = suite_on(scenario.fabric(), ctx, &workloads, spec);
+        for (pi, spec) in ctx.policies.iter().enumerate() {
+            let run = &runs[ci * per_scenario + 1 + pi];
             let pg = run.tracker.utilization();
             let eval = uaware::evaluate_aging(&ctx.aging, &pg, ctx.horizon_years, 11);
             rows.push(Table1Row {
@@ -221,6 +244,25 @@ pub fn table2(_ctx: &ExperimentContext) -> Table2Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use transrec::run_suite;
+
+    /// Sequential single-cell helper for reduced-suite tests (the figure
+    /// runners themselves go through [`sweep_on`]).
+    fn suite_on(
+        fabric: Fabric,
+        ctx: &ExperimentContext,
+        workloads: &[Workload],
+        spec: &PolicySpec,
+    ) -> SuiteRun {
+        let run = run_suite(fabric, workloads, &ctx.energy, spec).expect("suite runs");
+        assert!(
+            run.all_verified(),
+            "an oracle failed on {}x{} under {spec}",
+            fabric.rows,
+            fabric.cols
+        );
+        run
+    }
 
     #[test]
     fn table2_matches_paper_bands() {

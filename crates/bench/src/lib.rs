@@ -17,32 +17,73 @@ use std::path::PathBuf;
 
 use uaware::PolicySpec;
 
-/// Applies repeatable `--policy <spec>` / `--policy=<spec>` CLI flags from
-/// the process arguments to `ctx`: when at least one is given, the flags
-/// replace [`ExperimentContext::policies`] wholesale (the first spec becomes
-/// the figure's "proposed" series). Specs are parsed with
-/// [`PolicySpec`]'s [`FromStr`](std::str::FromStr) grammar, e.g.
-/// `--policy rotation:snake@per-load --policy random:7`.
+/// Applies the shared experiment CLI flags from the process arguments to
+/// `ctx`:
 ///
-/// Unknown arguments are ignored so the flag composes with whatever else a
+/// * repeatable `--policy <spec>` / `--policy=<spec>` flags replace
+///   [`ExperimentContext::policies`] wholesale when at least one is given
+///   (the first spec becomes the figure's "proposed" series), parsed with
+///   [`PolicySpec`]'s [`FromStr`](std::str::FromStr) grammar, e.g.
+///   `--policy rotation:snake@per-load --policy random:7`;
+/// * `--jobs <n>` / `--jobs=<n>` sets [`ExperimentContext::jobs`], the
+///   sweep worker count (`0` = all cores, `1` = sequential; results are
+///   byte-identical for every value).
+///
+/// Unknown arguments are ignored so the flags compose with whatever else a
 /// binary accepts.
 ///
 /// # Errors
 ///
-/// Returns the parse error of the first malformed spec (the binaries report
+/// Returns a description of the first malformed flag (the binaries report
 /// it and exit non-zero).
-pub fn apply_policy_flags(ctx: &mut ExperimentContext) -> Result<(), uaware::ParseSpecError> {
+pub fn apply_cli_flags(ctx: &mut ExperimentContext) -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let specs = parse_policy_flags(&args)?;
+    let specs = parse_policy_flags(&args).map_err(|e| e.to_string())?;
     if !specs.is_empty() {
         ctx.policies = specs;
+    }
+    if let Some(jobs) = parse_jobs_flag(&args)? {
+        ctx.jobs = jobs;
     }
     Ok(())
 }
 
+/// Extracts the last `--jobs <n>` / `--jobs=<n>` occurrence from `args`
+/// (`None` when the flag is absent). Other arguments are ignored.
+///
+/// # Errors
+///
+/// Returns a description for a malformed count or a trailing `--jobs`
+/// with no value.
+pub fn parse_jobs_flag(args: &[String]) -> Result<Option<usize>, String> {
+    let mut jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--jobs" {
+            i += 1;
+            match args.get(i) {
+                Some(v) => v.clone(),
+                None => return Err("--jobs requires a value (0 = all cores)".to_string()),
+            }
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            v.to_string()
+        } else {
+            i += 1;
+            continue;
+        };
+        jobs = Some(
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("--jobs expects a non-negative integer, got `{value}`"))?,
+        );
+        i += 1;
+    }
+    Ok(jobs)
+}
+
 /// Extracts every `--policy <spec>` / `--policy=<spec>` occurrence from
 /// `args`, in order. Other arguments are ignored. This is the single parser
-/// behind [`apply_policy_flags`] and the `diag` binary.
+/// behind [`apply_cli_flags`] and the `diag` binary.
 ///
 /// # Errors
 ///

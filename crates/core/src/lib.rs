@@ -20,6 +20,8 @@
 //! * [`stats`] — per-FU utilization tracking and distribution statistics
 //!   ([`UtilizationTracker`], [`UtilizationGrid`], [`Histogram`]).
 //! * [`lifetime`] — NBTI lifetime evaluation of utilization maps.
+//! * [`seed`] — deterministic per-cell seed derivation for parallel sweeps
+//!   ([`derive_cell_seed`]).
 //!
 //! # Examples
 //!
@@ -64,6 +66,7 @@
 pub mod lifetime;
 pub mod pattern;
 pub mod policy;
+pub mod seed;
 pub mod spec;
 pub mod stats;
 
@@ -73,5 +76,6 @@ pub use policy::{
     AllocRequest, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, MovementGranularity,
     RandomPolicy, RotationPolicy,
 };
+pub use seed::derive_cell_seed;
 pub use spec::{ParseSpecError, PatternSpec, PolicySpec, DEFAULT_RANDOM_SEED};
 pub use stats::{Histogram, UtilizationGrid, UtilizationTracker};

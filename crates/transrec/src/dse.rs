@@ -150,6 +150,59 @@ pub fn run_suite_with(
     energy: &EnergyParams,
     spec: &PolicySpec,
 ) -> Result<SuiteRun, SystemError> {
+    // Fail fast on an invalid spec/hardware pairing before spending time on
+    // the GPP reference simulations.
+    if spec.needs_movement() && !base_config.movement_hardware {
+        return Err(
+            crate::system::BuildError::MovementHardwareAbsent { policy: spec.to_string() }.into()
+        );
+    }
+    let gpp_cycles = gpp_reference(&base_config, workloads)?;
+    run_suite_with_baseline(&base_config, workloads, energy, spec, &gpp_cycles)
+}
+
+/// The stand-alone GPP reference cycles for `workloads` under `config`'s
+/// memory/timing/step parameters — the policy-independent half of a suite
+/// run, computed once per (GPP parameters × workloads) and reused across
+/// every policy of a sweep (DESIGN.md §9).
+///
+/// # Errors
+///
+/// Propagates the first CPU fault as [`SystemError::Cpu`].
+pub fn gpp_reference(
+    config: &SystemConfig,
+    workloads: &[Workload],
+) -> Result<Vec<u64>, SystemError> {
+    workloads
+        .iter()
+        .map(|w| {
+            run_gpp_only(w.program(), config.mem_size, config.timing, config.max_steps)
+                .map(|cpu| cpu.cycles())
+                .map_err(SystemError::Cpu)
+        })
+        .collect()
+}
+
+/// [`run_suite_with`] against a precomputed [`gpp_reference`] — the hot
+/// path of [`run_sweep`](crate::sweep::run_sweep), where the GPP-only
+/// baseline is policy-independent and must not be recomputed per policy.
+///
+/// # Errors
+///
+/// Propagates the first [`SystemError`]; rejects a movement spec on a
+/// movement-less configuration before anything runs.
+///
+/// # Panics
+///
+/// Panics if `gpp_cycles` and `workloads` have different lengths.
+pub fn run_suite_with_baseline(
+    base_config: &SystemConfig,
+    workloads: &[Workload],
+    energy: &EnergyParams,
+    spec: &PolicySpec,
+    gpp_cycles: &[u64],
+) -> Result<SuiteRun, SystemError> {
+    assert_eq!(gpp_cycles.len(), workloads.len(), "one GPP reference per workload");
     if spec.needs_movement() && !base_config.movement_hardware {
         return Err(
             crate::system::BuildError::MovementHardwareAbsent { policy: spec.to_string() }.into()
@@ -159,24 +212,17 @@ pub fn run_suite_with(
     let mut merged = UtilizationTracker::new(&fabric);
     let mut benchmarks = Vec::with_capacity(workloads.len());
     let policy_name = spec.to_string();
-    for w in workloads {
+    for (w, &gpp_cycles) in workloads.iter().zip(gpp_cycles) {
         let mut system = System::new(base_config.clone(), spec.build());
         system.run(w.program())?;
         let verified = w.verify(system.cpu()).is_ok();
-        let gpp = run_gpp_only(
-            w.program(),
-            base_config.mem_size,
-            base_config.timing,
-            base_config.max_steps,
-        )
-        .map_err(SystemError::Cpu)?;
         let stats = *system.stats();
         benchmarks.push(BenchmarkRun {
             name: w.name().to_string(),
             system_cycles: stats.total_cycles(),
-            gpp_cycles: gpp.cycles(),
+            gpp_cycles,
             system_energy: system_energy(energy, &fabric, &stats).total(),
-            gpp_energy: gpp_only_energy(energy, gpp.cycles()),
+            gpp_energy: gpp_only_energy(energy, gpp_cycles),
             stats,
             verified,
         });
@@ -191,18 +237,24 @@ pub fn run_suite_with(
     })
 }
 
-/// Runs the paper's full DSE grid (Fig. 6) with one policy spec.
+/// Runs the paper's full DSE grid (Fig. 6) with one policy spec, sharded
+/// across `jobs` workers via [`run_sweep`](crate::sweep::run_sweep)
+/// (`jobs = 0` means all cores, `jobs = 1` is the sequential path; the
+/// results are byte-identical either way). Workloads are built from
+/// `seed` exactly as `mibench::suite(seed)` would.
 ///
 /// # Errors
 ///
-/// Propagates the first [`SystemError`].
+/// Propagates the first [`SystemError`] in grid order.
 pub fn run_dse(
-    workloads: &[Workload],
+    seed: u64,
     energy: &EnergyParams,
     spec: &PolicySpec,
+    jobs: usize,
 ) -> Result<Vec<SuiteRun>, SystemError> {
-    dse_grid()
-        .into_iter()
-        .map(|(l, w)| run_suite(Fabric::new(w, l), workloads, energy, spec))
-        .collect()
+    let mut plan = crate::sweep::SweepPlan::new(seed).energy(*energy).policy(*spec);
+    for (l, w) in dse_grid() {
+        plan = plan.fabric(Fabric::new(w, l));
+    }
+    crate::sweep::run_sweep(&plan, jobs)
 }

@@ -11,6 +11,9 @@
 //!   [`SystemStats`], [`run_gpp_only`]).
 //! * [`energy`] — the component energy model behind Fig. 6.
 //! * [`dse`] — suite runs and the L×W design-space sweep.
+//! * [`sweep`] — the parallel sweep engine ([`SweepPlan`], [`run_sweep`]):
+//!   configuration × policy × suite grids sharded across a thread pool
+//!   with byte-identical, worker-count-independent results.
 //! * [`scenario`] — the paper's BE/BP/BU design points.
 //!
 //! # Examples
@@ -44,11 +47,16 @@
 pub mod dse;
 pub mod energy;
 pub mod scenario;
+pub mod sweep;
 pub mod system;
 
-pub use dse::{dse_grid, run_dse, run_suite, run_suite_with, BenchmarkRun, SuiteRun};
+pub use dse::{
+    dse_grid, gpp_reference, run_dse, run_suite, run_suite_with, run_suite_with_baseline,
+    BenchmarkRun, SuiteRun,
+};
 pub use energy::{gpp_only_energy, system_energy, EnergyBreakdown, EnergyParams};
 pub use scenario::{Scenario, ALL as SCENARIOS, BE, BP, BU};
+pub use sweep::{run_sweep, SuiteSpec, SweepCell, SweepPlan};
 pub use system::{
     run_gpp_only, BuildError, System, SystemBuilder, SystemConfig, SystemError, SystemStats,
 };

@@ -1,0 +1,352 @@
+//! The parallel sweep engine (DESIGN.md §9).
+//!
+//! The paper's evaluation — and every scaling experiment on top of it — is
+//! a grid: system configurations × policy specs × workload suites. Each
+//! grid cell is an independent [`SuiteRun`], so a sweep is embarrassingly
+//! parallel; this module shards the cells across a vendored
+//! [`threadpool::ThreadPool`] and merges the results back **in
+//! deterministic cell order**, making the output byte-identical no matter
+//! how many workers ran it (`--jobs 1` vs `--jobs N` is enforced by CI).
+//!
+//! Determinism comes from three rules:
+//!
+//! 1. every cell derives its inputs from the plan's base seed with
+//!    [`uaware::derive_cell_seed`] — a pure function of the cell's lane,
+//!    never of scheduling order;
+//! 2. no state is shared between in-flight cells (each builds its own
+//!    [`System`](crate::System) and policy instance);
+//! 3. results are collected by input index, not completion order.
+//!
+//! The policy-independent GPP-only reference is hoisted out of the cells:
+//! it is computed once per (GPP-parameter class × suite lane) block and
+//! reused by every policy, so an N-policy sweep does not redo it N times.
+
+use cgra::Fabric;
+use mibench::Workload;
+use serde::{Deserialize, Serialize};
+use threadpool::ThreadPool;
+use uaware::{derive_cell_seed, PolicySpec};
+
+use crate::dse::{gpp_reference, run_suite_with_baseline, SuiteRun};
+use crate::energy::EnergyParams;
+use crate::system::{BuildError, SystemConfig, SystemError};
+
+/// A named selection of the mibench workload suite — one cell of the
+/// sweep's workload axis.
+///
+/// `members` are indices into the full [`mibench::suite`] (see
+/// [`mibench::NAMES`] for the ordering); the workloads themselves are
+/// rebuilt from the lane's derived seed at sweep time, so a `SuiteSpec` is
+/// pure data and can be sent across threads or serialized into a report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuiteSpec {
+    /// Label for reports (`mibench` for the full suite).
+    pub name: String,
+    /// Indices into the full suite, in run order (must be unique and in
+    /// range).
+    pub members: Vec<usize>,
+}
+
+impl SuiteSpec {
+    /// The full ten-benchmark mibench suite.
+    pub fn full() -> SuiteSpec {
+        SuiteSpec { name: "mibench".to_string(), members: (0..mibench::NAMES.len()).collect() }
+    }
+
+    /// A named subset of the suite by index into [`mibench::NAMES`].
+    pub fn subset(name: impl Into<String>, members: Vec<usize>) -> SuiteSpec {
+        SuiteSpec { name: name.into(), members }
+    }
+
+    /// Builds this selection's workloads with input `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member index is out of range or repeated — both are
+    /// plan-construction bugs, not runtime conditions.
+    pub fn workloads(&self, seed: u64) -> Vec<Workload> {
+        let mut all: Vec<Option<Workload>> = mibench::suite(seed).into_iter().map(Some).collect();
+        self.members
+            .iter()
+            .map(|&i| {
+                all.get_mut(i)
+                    .unwrap_or_else(|| panic!("suite `{}`: member {i} out of range", self.name))
+                    .take()
+                    .unwrap_or_else(|| panic!("suite `{}`: member {i} repeated", self.name))
+            })
+            .collect()
+    }
+}
+
+/// One cell of a sweep: indices into the plan's three axes plus the cell's
+/// flat index (the deterministic merge order).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Flat cell index (the order [`run_sweep`] returns results in).
+    pub index: usize,
+    /// Index into [`SweepPlan::configs`].
+    pub config: usize,
+    /// Index into [`SweepPlan::suites`].
+    pub suite: usize,
+    /// Index into [`SweepPlan::policies`].
+    pub policy: usize,
+}
+
+/// The cross product of system configurations × policy specs × workload
+/// suites — everything [`run_sweep`] needs, as plain data.
+///
+/// Cells are enumerated configuration-major, then suite, then policy
+/// (see [`SweepPlan::cells`]); [`SweepPlan::index_of`] maps axis indices
+/// back to the flat result index.
+///
+/// # Examples
+///
+/// ```
+/// use cgra::Fabric;
+/// use transrec::sweep::{run_sweep, SuiteSpec, SweepPlan};
+/// use uaware::PolicySpec;
+///
+/// let plan = SweepPlan::new(0xDAC2020)
+///     .fabric(Fabric::be())
+///     .policy(PolicySpec::Baseline)
+///     .policy(PolicySpec::rotation())
+///     .suites(vec![SuiteSpec::subset("mini", vec![1])]); // crc32 only
+/// let runs = run_sweep(&plan, 2).unwrap();
+/// assert_eq!(runs.len(), 2);
+/// assert!(runs.iter().all(|r| r.all_verified()));
+/// assert_eq!(runs[plan.index_of(0, 0, 1)].policy, "rotation:snake@per-exec");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SweepPlan {
+    /// Base experiment seed; suite lane `l` builds its workloads from
+    /// [`derive_cell_seed`]`(base_seed, l)` (lane 0 keeps the base seed).
+    pub base_seed: u64,
+    /// Energy model shared by every cell.
+    pub energy: EnergyParams,
+    /// The system-configuration axis.
+    pub configs: Vec<SystemConfig>,
+    /// The policy axis.
+    pub policies: Vec<PolicySpec>,
+    /// The workload-suite axis (defaults to the single full suite).
+    pub suites: Vec<SuiteSpec>,
+}
+
+impl SweepPlan {
+    /// An empty plan over the full mibench suite with default energy
+    /// parameters. Add configurations and policies with the chainable
+    /// builders.
+    pub fn new(base_seed: u64) -> SweepPlan {
+        SweepPlan {
+            base_seed,
+            energy: EnergyParams::default(),
+            configs: Vec::new(),
+            policies: Vec::new(),
+            suites: vec![SuiteSpec::full()],
+        }
+    }
+
+    /// Adds a system configuration to the configuration axis.
+    pub fn config(mut self, config: SystemConfig) -> SweepPlan {
+        self.configs.push(config);
+        self
+    }
+
+    /// Adds [`SystemConfig::new`]`(fabric)` to the configuration axis.
+    pub fn fabric(self, fabric: Fabric) -> SweepPlan {
+        self.config(SystemConfig::new(fabric))
+    }
+
+    /// Adds a policy to the policy axis.
+    pub fn policy(mut self, spec: PolicySpec) -> SweepPlan {
+        self.policies.push(spec);
+        self
+    }
+
+    /// Adds several policies to the policy axis.
+    pub fn policies(mut self, specs: impl IntoIterator<Item = PolicySpec>) -> SweepPlan {
+        self.policies.extend(specs);
+        self
+    }
+
+    /// Replaces the workload-suite axis (the default is the full suite).
+    pub fn suites(mut self, suites: Vec<SuiteSpec>) -> SweepPlan {
+        self.suites = suites;
+        self
+    }
+
+    /// Replaces the energy model.
+    pub fn energy(mut self, energy: EnergyParams) -> SweepPlan {
+        self.energy = energy;
+        self
+    }
+
+    /// The number of cells in the cross product.
+    pub fn len(&self) -> usize {
+        self.configs.len() * self.suites.len() * self.policies.len()
+    }
+
+    /// `true` if any axis is empty (nothing to run).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every cell, in deterministic order: configuration-major, then
+    /// suite, then policy.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for config in 0..self.configs.len() {
+            for suite in 0..self.suites.len() {
+                for policy in 0..self.policies.len() {
+                    cells.push(SweepCell { index: cells.len(), config, suite, policy });
+                }
+            }
+        }
+        cells
+    }
+
+    /// The flat result index of cell (`config`, `suite`, `policy`).
+    pub fn index_of(&self, config: usize, suite: usize, policy: usize) -> usize {
+        (config * self.suites.len() + suite) * self.policies.len() + policy
+    }
+
+    /// The derived workload seed of suite lane `lane` (DESIGN.md §9).
+    pub fn suite_seed(&self, lane: usize) -> u64 {
+        derive_cell_seed(self.base_seed, lane as u64)
+    }
+}
+
+/// Runs every cell of `plan`, sharded across `jobs` workers, and returns
+/// the [`SuiteRun`]s in [`SweepPlan::cells`] order.
+///
+/// `jobs = 0` sizes the pool with [`threadpool::default_workers`] (all
+/// cores, overridable via [`threadpool::NUM_THREADS_ENV`]); `jobs = 1`
+/// runs everything inline on the calling thread — the old sequential
+/// behaviour. The results are byte-identical for every worker count.
+///
+/// # Errors
+///
+/// If any cell fails, the error of the *lowest-indexed* failing cell is
+/// returned (so error reporting is as deterministic as success); a
+/// movement spec on a movement-less configuration is rejected before
+/// anything runs.
+pub fn run_sweep(plan: &SweepPlan, jobs: usize) -> Result<Vec<SuiteRun>, SystemError> {
+    // Validate the whole grid up front: cheap, and it keeps the "rejected
+    // before anything runs" contract of the sequential path.
+    for spec in &plan.policies {
+        if spec.needs_movement() && !plan.configs.iter().all(|c| c.movement_hardware) {
+            return Err(BuildError::MovementHardwareAbsent { policy: spec.to_string() }.into());
+        }
+    }
+    if plan.is_empty() {
+        return Ok(Vec::new());
+    }
+    let pool = if jobs == 0 { ThreadPool::with_default_workers() } else { ThreadPool::new(jobs) };
+
+    // Phase 1: build each suite lane's workloads from its derived seed,
+    // once, and share them immutably across cells.
+    let suites: Vec<Vec<Workload>> = pool.par_map((0..plan.suites.len()).collect(), |_, lane| {
+        plan.suites[lane].workloads(plan.suite_seed(lane))
+    });
+
+    // Phase 2: the GPP-only reference is policy-independent *and*
+    // fabric-independent — it only depends on a configuration's memory,
+    // timing and step parameters — so compute it once per (GPP-parameter
+    // class × suite lane) block and let every cell look it up.
+    let same_gpp = |a: &SystemConfig, b: &SystemConfig| {
+        a.mem_size == b.mem_size && a.timing == b.timing && a.max_steps == b.max_steps
+    };
+    let rep: Vec<usize> = plan
+        .configs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| plan.configs[..i].iter().position(|prev| same_gpp(prev, c)).unwrap_or(i))
+        .collect();
+    let classes: Vec<usize> = (0..plan.configs.len()).filter(|&i| rep[i] == i).collect();
+    let class_of: Vec<usize> =
+        rep.iter().map(|r| classes.iter().position(|c| c == r).expect("rep is a class")).collect();
+    let blocks: Vec<(usize, usize)> = (0..classes.len())
+        .flat_map(|class| (0..plan.suites.len()).map(move |lane| (class, lane)))
+        .collect();
+    let gpp_blocks: Vec<Result<Vec<u64>, SystemError>> = pool
+        .par_map(blocks, |_, (class, lane)| {
+            gpp_reference(&plan.configs[classes[class]], &suites[lane])
+        });
+    let mut gpp: Vec<Vec<u64>> = Vec::with_capacity(gpp_blocks.len());
+    for block in gpp_blocks {
+        gpp.push(block?);
+    }
+
+    // Phase 3: the cells themselves, merged back in index order.
+    let runs: Vec<Result<SuiteRun, SystemError>> = pool.par_map(plan.cells(), |_, cell| {
+        run_suite_with_baseline(
+            &plan.configs[cell.config],
+            &suites[cell.suite],
+            &plan.energy,
+            &plan.policies[cell.policy],
+            &gpp[class_of[cell.config] * plan.suites.len() + cell.suite],
+        )
+    });
+    runs.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_enumerate_config_major_and_index_of_agrees() {
+        let plan = SweepPlan::new(7)
+            .fabric(Fabric::be())
+            .fabric(Fabric::bp())
+            .policy(PolicySpec::Baseline)
+            .policy(PolicySpec::rotation())
+            .policy(PolicySpec::HealthAware)
+            .suites(vec![SuiteSpec::subset("a", vec![0]), SuiteSpec::subset("b", vec![1])]);
+        assert_eq!(plan.len(), 12);
+        let cells = plan.cells();
+        assert_eq!(cells.len(), 12);
+        for cell in &cells {
+            assert_eq!(plan.index_of(cell.config, cell.suite, cell.policy), cell.index);
+        }
+        assert_eq!((cells[0].config, cells[0].suite, cells[0].policy), (0, 0, 0));
+        assert_eq!((cells[1].config, cells[1].suite, cells[1].policy), (0, 0, 1));
+        assert_eq!((cells[3].config, cells[3].suite, cells[3].policy), (0, 1, 0));
+        assert_eq!((cells[6].config, cells[6].suite, cells[6].policy), (1, 0, 0));
+    }
+
+    #[test]
+    fn suite_lane_zero_reproduces_the_historical_stream() {
+        let plan = SweepPlan::new(0xDAC2020);
+        assert_eq!(plan.suite_seed(0), 0xDAC2020);
+        assert_ne!(plan.suite_seed(1), 0xDAC2020);
+    }
+
+    #[test]
+    fn full_suite_spec_selects_everything_in_order() {
+        let spec = SuiteSpec::full();
+        assert_eq!(spec.members.len(), mibench::NAMES.len());
+        let workloads = spec.workloads(7);
+        let names: Vec<&str> = workloads.iter().map(|w| w.name()).collect();
+        assert_eq!(names, mibench::NAMES);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn suite_spec_rejects_bad_member() {
+        SuiteSpec::subset("bad", vec![99]).workloads(7);
+    }
+
+    #[test]
+    fn empty_plan_runs_no_cells() {
+        let runs = run_sweep(&SweepPlan::new(7), 4).unwrap();
+        assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn movement_spec_rejected_before_anything_runs() {
+        let config = SystemConfig { movement_hardware: false, ..SystemConfig::new(Fabric::be()) };
+        let plan = SweepPlan::new(7).config(config).policy(PolicySpec::rotation());
+        let err = run_sweep(&plan, 4).unwrap_err();
+        assert!(matches!(err, SystemError::Build(BuildError::MovementHardwareAbsent { .. })));
+    }
+}

@@ -1,0 +1,77 @@
+//! The sweep engine's determinism contract: results must be byte-identical
+//! regardless of worker count, and identical to the sequential
+//! [`run_suite_with`] path cell by cell.
+
+use cgra::Fabric;
+use transrec::{
+    run_dse, run_suite_with, run_sweep, EnergyParams, SuiteSpec, SweepPlan, SystemConfig,
+};
+use uaware::PolicySpec;
+
+/// A 2-policy × 2-workload × 2-fabric plan — small enough for a debug-mode
+/// test, wide enough (8 cells) that a 4-worker pool actually interleaves.
+fn mini_plan() -> SweepPlan {
+    SweepPlan::new(0xDAC2020)
+        .fabric(Fabric::be())
+        .fabric(Fabric::bp())
+        .policy(PolicySpec::Baseline)
+        .policy(PolicySpec::rotation())
+        .suites(vec![SuiteSpec::subset("mini", vec![0, 1])]) // bitcount, crc32
+}
+
+#[test]
+fn sweep_json_is_identical_across_worker_counts() {
+    let plan = mini_plan();
+    let sequential = run_sweep(&plan, 1).expect("jobs=1 sweep runs");
+    let parallel = run_sweep(&plan, 4).expect("jobs=4 sweep runs");
+    assert_eq!(sequential.len(), plan.len());
+    assert!(sequential.iter().all(|r| r.all_verified()));
+    let a = serde_json::to_string_pretty(&sequential).expect("serialize");
+    let b = serde_json::to_string_pretty(&parallel).expect("serialize");
+    assert_eq!(a, b, "jobs=1 and jobs=4 must produce byte-identical JSON");
+}
+
+#[test]
+fn sweep_cells_match_the_sequential_suite_path() {
+    // The sweep's memoized GPP baseline and derived lane-0 seed must not
+    // change what a cell computes: each cell equals run_suite_with on the
+    // same inputs.
+    let plan = mini_plan();
+    let runs = run_sweep(&plan, 4).expect("sweep runs");
+    let workloads = plan.suites[0].workloads(plan.suite_seed(0));
+    for (ci, config) in plan.configs.iter().enumerate() {
+        for (pi, spec) in plan.policies.iter().enumerate() {
+            let reference = run_suite_with(config.clone(), &workloads, &plan.energy, spec)
+                .expect("sequential suite runs");
+            let cell = &runs[plan.index_of(ci, 0, pi)];
+            assert_eq!(cell, &reference, "cell ({ci}, 0, {pi}) diverged");
+        }
+    }
+}
+
+#[test]
+fn run_dse_covers_the_paper_grid_in_order() {
+    // run_dse is a thin SweepPlan wrapper now; pin its geometry mapping
+    // ((l, w) -> Fabric::new(w, l): rows = W, cols = L) and grid order.
+    let runs =
+        run_dse(0xDAC2020, &EnergyParams::default(), &PolicySpec::Baseline, 2).expect("dse runs");
+    let grid = transrec::dse_grid();
+    assert_eq!(runs.len(), grid.len());
+    for ((l, w), run) in grid.into_iter().zip(&runs) {
+        assert_eq!((run.cols, run.rows), (l, w), "grid point (L{l},W{w}) out of place");
+        assert_eq!(run.policy, "baseline");
+        assert!(run.all_verified());
+    }
+}
+
+#[test]
+fn default_jobs_zero_resolves_to_all_cores() {
+    // jobs = 0 must behave like any other worker count: same bytes.
+    let plan = SweepPlan::new(0xDAC2020)
+        .config(SystemConfig::new(Fabric::be()))
+        .policy(PolicySpec::HealthAware)
+        .suites(vec![SuiteSpec::subset("one", vec![1])]);
+    let auto = run_sweep(&plan, 0).expect("auto-sized sweep runs");
+    let one = run_sweep(&plan, 1).expect("sequential sweep runs");
+    assert_eq!(serde_json::to_string(&auto).unwrap(), serde_json::to_string(&one).unwrap());
+}

@@ -1,13 +1,17 @@
 //! Design-space explorer: sweep fabric geometries beyond the paper's grid
 //! and print the speedup / energy / lifetime trade-off per design point.
 //!
+//! The whole grid — 12 geometries × {baseline, rotation} — is one
+//! `SweepPlan`, sharded across all cores by `run_sweep` (DESIGN.md §9);
+//! the printed table is byte-identical to a sequential run.
+//!
 //! ```sh
-//! cargo run --release -p transrec --example dse_explorer [seed]
+//! cargo run --release --example dse_explorer [seed]
 //! ```
 
 use cgra::Fabric;
 use nbti::CalibratedAging;
-use transrec::{run_suite, EnergyParams};
+use transrec::{run_sweep, SweepPlan};
 use uaware::PolicySpec;
 
 pub fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,9 +21,17 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// Runs the sweep with an explicit seed (the smoke test enters here, so
 /// libtest's own CLI arguments can never leak in as a seed).
 pub fn run(seed: u64) -> Result<(), Box<dyn std::error::Error>> {
-    let workloads = mibench::suite(seed);
-    let energy = EnergyParams::default();
     let aging = CalibratedAging::default();
+
+    let mut plan = SweepPlan::new(seed).policy(PolicySpec::Baseline).policy(PolicySpec::rotation());
+    let mut grid = Vec::new();
+    for l in [8u32, 12, 16, 20, 24, 32] {
+        for w in [2u32, 4] {
+            grid.push((l, w));
+            plan = plan.fabric(Fabric::new(w, l));
+        }
+    }
+    let runs = run_sweep(&plan, 0)?; // 0 = all cores
 
     println!("seed {seed}; lifetime improvement = baseline worst-FU / rotated worst-FU");
     println!(
@@ -27,25 +39,19 @@ pub fn run(seed: u64) -> Result<(), Box<dyn std::error::Error>> {
         "design", "speedup", "energy[x]", "occupation", "life-base[y]", "life-rot[y]"
     );
 
-    let baseline = PolicySpec::Baseline;
-    let rotation = PolicySpec::rotation();
-
-    for l in [8u32, 12, 16, 20, 24, 32] {
-        for w in [2u32, 4] {
-            let fabric = Fabric::new(w, l);
-            let base = run_suite(fabric, &workloads, &energy, &baseline)?;
-            let rot = run_suite(fabric, &workloads, &energy, &rotation)?;
-            assert!(base.all_verified() && rot.all_verified());
-            println!(
-                "{:>10} {:>8.2}x {:>10.3} {:>10.1}% {:>13.2} {:>12.2}",
-                format!("(L{l},W{w})"),
-                base.speedup(),
-                base.relative_energy(),
-                100.0 * base.avg_occupation(),
-                aging.lifetime_years(base.tracker.utilization().max()),
-                aging.lifetime_years(rot.tracker.utilization().max()),
-            );
-        }
+    for (ci, &(l, w)) in grid.iter().enumerate() {
+        let base = &runs[plan.index_of(ci, 0, 0)];
+        let rot = &runs[plan.index_of(ci, 0, 1)];
+        assert!(base.all_verified() && rot.all_verified());
+        println!(
+            "{:>10} {:>8.2}x {:>10.3} {:>10.1}% {:>13.2} {:>12.2}",
+            format!("(L{l},W{w})"),
+            base.speedup(),
+            base.relative_energy(),
+            100.0 * base.avg_occupation(),
+            aging.lifetime_years(base.tracker.utilization().max()),
+            aging.lifetime_years(rot.tracker.utilization().max()),
+        );
     }
     Ok(())
 }
