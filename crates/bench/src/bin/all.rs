@@ -20,7 +20,10 @@ fn main() {
     eprintln!("[fig7]");
     save_json("fig7", &fig7(&ctx));
     eprintln!("[fig8]");
-    save_json("fig8", &fig8(&ctx));
+    let f8 = fig8(&ctx);
+    save_json("fig8", &f8);
+    eprintln!("[convergence]");
+    save_json("convergence", &convergence(&f8));
     eprintln!("[table1]");
     save_json("table1", &table1(&ctx));
     eprintln!("[table2]");

@@ -1,11 +1,14 @@
 //! Regenerates paper Fig. 8: utilization PDFs (top) and NBTI-induced delay
 //! increase over the years (bottom) for BE/BP/BU × every policy series.
+//! The delay curves come from true in-run epoch snapshots (`util-trace`
+//! probes riding the sweep, DESIGN.md §10); the utilization-convergence
+//! report derived from the same series lands in `results/convergence.json`.
 //!
 //! Pass `--policy <spec>` (repeatable) to evaluate a custom policy set,
 //! e.g. `fig8 -- --policy rotation:raster --policy health-aware`, and
 //! `--jobs <n>` to shard the scenario x policy grid (default: all cores).
 
-use bench::{apply_cli_flags, fig8, save_json, ExperimentContext};
+use bench::{apply_cli_flags, convergence, fig8, save_json, ExperimentContext};
 
 fn main() {
     let mut ctx = ExperimentContext::default();
@@ -58,5 +61,22 @@ fn main() {
             eol
         );
     }
+    let conv = convergence(&r);
+    println!();
+    println!(
+        "== utilization convergence (worst FU settles within {:.0}%) ==",
+        100.0 * conv.tolerance
+    );
+    for row in &conv.rows {
+        println!(
+            "{:<3} {:<26} settles at {:>5.1}% of run ({:>9} of {:>9} cycles)",
+            row.scenario,
+            row.policy,
+            100.0 * row.settle_fraction,
+            row.settle_cycle,
+            row.total_cycles,
+        );
+    }
     save_json("fig8", &r);
+    save_json("convergence", &conv);
 }

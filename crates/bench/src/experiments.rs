@@ -9,6 +9,7 @@
 use cgra::{AreaModel, Fabric};
 use mibench::Workload;
 use nbti::CalibratedAging;
+use transrec::telemetry::{settle_cycle, ProbeSpec, UtilTrace, DEFAULT_EPOCH_CYCLES};
 use transrec::{run_sweep, EnergyParams, SuiteRun, SweepPlan};
 use uaware::{MovementGranularity, PatternSpec, PolicySpec};
 
@@ -31,6 +32,9 @@ pub struct ExperimentContext {
     /// Sweep worker count (`0` = all cores, `1` = sequential; the
     /// `--jobs` CLI flag). Results are byte-identical for every value.
     pub jobs: usize,
+    /// Epoch length (system cycles) of the utilization-trace probe behind
+    /// [`fig8`]'s in-run series (DESIGN.md §10).
+    pub epoch_cycles: u64,
 }
 
 impl Default for ExperimentContext {
@@ -50,6 +54,7 @@ impl Default for ExperimentContext {
                 PolicySpec::HealthAware,
             ],
             jobs: 0,
+            epoch_cycles: DEFAULT_EPOCH_CYCLES,
         }
     }
 }
@@ -70,13 +75,18 @@ impl ExperimentContext {
 /// Runs the fabrics × policies cross product through the parallel sweep
 /// engine with the context's `--jobs` setting, asserting every cell's
 /// oracle. Cells come back in [`SweepPlan::cells`] order: fabric-major,
-/// then policy (one workload-suite lane).
+/// then policy (one workload-suite lane). Probes ride the plan as data,
+/// so the output stays byte-identical for every worker count.
 fn sweep_on(
     ctx: &ExperimentContext,
     fabrics: impl IntoIterator<Item = Fabric>,
     policies: Vec<PolicySpec>,
+    probes: &[ProbeSpec],
 ) -> Vec<SuiteRun> {
-    let mut plan = SweepPlan::new(ctx.seed).energy(ctx.energy).policies(policies);
+    let mut plan = SweepPlan::new(ctx.seed)
+        .energy(ctx.energy)
+        .policies(policies)
+        .probes(probes.iter().copied());
     for fabric in fabrics {
         plan = plan.fabric(fabric);
     }
@@ -96,7 +106,7 @@ fn sweep_on(
 /// Fig. 1 — FU utilization of a 4×8 fabric under traditional (baseline)
 /// mapping, aggregated over the ten benchmarks.
 pub fn fig1(ctx: &ExperimentContext) -> Fig1Report {
-    let runs = sweep_on(ctx, [Fabric::fig1()], vec![PolicySpec::Baseline]);
+    let runs = sweep_on(ctx, [Fabric::fig1()], vec![PolicySpec::Baseline], &[]);
     let grid = runs[0].tracker.utilization();
     Fig1Report {
         rows: grid.rows(),
@@ -111,8 +121,12 @@ pub fn fig1(ctx: &ExperimentContext) -> Fig1Report {
 /// Fig. 6 — the L×W design-space exploration under the baseline policy.
 pub fn fig6(ctx: &ExperimentContext) -> Fig6Report {
     let grid = transrec::dse_grid();
-    let runs =
-        sweep_on(ctx, grid.iter().map(|&(l, w)| Fabric::new(w, l)), vec![PolicySpec::Baseline]);
+    let runs = sweep_on(
+        ctx,
+        grid.iter().map(|&(l, w)| Fabric::new(w, l)),
+        vec![PolicySpec::Baseline],
+        &[],
+    );
     let points = grid
         .iter()
         .zip(&runs)
@@ -133,7 +147,7 @@ pub fn fig6(ctx: &ExperimentContext) -> Fig6Report {
 /// ([`ExperimentContext::proposed`]).
 pub fn fig7(ctx: &ExperimentContext) -> Fig7Report {
     let proposed = ctx.proposed();
-    let runs = sweep_on(ctx, [Fabric::be()], vec![PolicySpec::Baseline, proposed]);
+    let runs = sweep_on(ctx, [Fabric::be()], vec![PolicySpec::Baseline, proposed], &[]);
     let bg = runs[0].tracker.utilization();
     let pg = runs[1].tracker.utilization();
     Fig7Report {
@@ -149,12 +163,41 @@ pub fn fig7(ctx: &ExperimentContext) -> Fig7Report {
     }
 }
 
+/// Builds Fig. 8's delay-over-time curve from an in-run epoch series:
+/// deployment time `t` (the workload mix repeating for years) corresponds
+/// to the cumulative worst-FU utilization observed after the matching
+/// fraction `t / horizon` of the run, so early samples reflect the
+/// not-yet-flattened stress distribution and the curve converges to the
+/// analytic (final-utilization) one as the epochs do (DESIGN.md §10).
+fn epoch_delay_curve(
+    aging: &CalibratedAging,
+    trace: &UtilTrace,
+    horizon_years: f64,
+    points: usize,
+) -> Vec<(f64, f64)> {
+    let total = trace.total_cycles();
+    (0..points)
+        .map(|i| {
+            let frac = i as f64 / (points - 1) as f64;
+            let t = horizon_years * frac;
+            let target = (frac * total as f64).round() as u64;
+            let worst = trace.at_cycle(target).map_or(0.0, |s| s.worst());
+            (t, aging.delay_increase(t, worst))
+        })
+        .collect()
+}
+
 /// Fig. 8 — per-scenario utilization PDFs and worst-FU NBTI delay curves,
 /// one series per scenario × policy (baseline plus every context policy).
+/// The delay curves are built from true in-run epoch snapshots
+/// (`util-trace` probes riding the sweep); the analytic extrapolation
+/// from the final utilization is kept per series as a cross-check.
 pub fn fig8(ctx: &ExperimentContext) -> Fig8Report {
     let specs: Vec<PolicySpec> =
         std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()).collect();
-    let runs = sweep_on(ctx, transrec::SCENARIOS.iter().map(|s| s.fabric()), specs.clone());
+    let probes = [ProbeSpec::util_trace(ctx.epoch_cycles)];
+    let runs =
+        sweep_on(ctx, transrec::SCENARIOS.iter().map(|s| s.fabric()), specs.clone(), &probes);
     let mut series = Vec::new();
     let mut runs = runs.iter();
     for scenario in transrec::SCENARIOS {
@@ -162,16 +205,53 @@ pub fn fig8(ctx: &ExperimentContext) -> Fig8Report {
             let run = runs.next().expect("one run per scenario x policy");
             let grid = run.tracker.utilization();
             let eval = uaware::evaluate_aging(&ctx.aging, &grid, ctx.horizon_years, 101);
+            let trace = run.util_trace().expect("fig8 sweep cells carry a util-trace probe");
             series.push(Fig8Series {
                 scenario: scenario.name.to_string(),
                 policy: spec.to_string(),
                 pdf: grid.histogram(20).series(),
-                delay_curve: eval.delay_curve.samples.clone(),
+                delay_curve: epoch_delay_curve(&ctx.aging, &trace, ctx.horizon_years, 101),
+                analytic_delay_curve: eval.delay_curve.samples.clone(),
+                epoch_worst: trace.worst_series(),
                 worst_utilization: eval.worst_utilization,
             });
         }
     }
-    Fig8Report { series, eol_delay_frac: ctx.aging.eol_delay_frac }
+    Fig8Report { series, eol_delay_frac: ctx.aging.eol_delay_frac, epoch_cycles: ctx.epoch_cycles }
+}
+
+/// Relative tolerance around the final worst utilization that counts as
+/// "settled" in [`convergence`].
+pub const CONVERGENCE_TOLERANCE: f64 = 0.05;
+
+/// Derives the utilization-convergence report from [`fig8`]'s epoch
+/// series: per scenario × policy, the first sampled cycle from which the
+/// cumulative worst-FU utilization stays within
+/// [`CONVERGENCE_TOLERANCE`] (relative) of its final value — how fast
+/// each policy flattens stress (DESIGN.md §10).
+pub fn convergence(report: &Fig8Report) -> ConvergenceReport {
+    let rows = report
+        .series
+        .iter()
+        .map(|s| {
+            let total_cycles = s.epoch_worst.last().map_or(0, |(c, _)| *c);
+            let final_worst = s.epoch_worst.last().map_or(0.0, |(_, w)| *w);
+            let settle_cycle = settle_cycle(&s.epoch_worst, CONVERGENCE_TOLERANCE);
+            ConvergenceRow {
+                scenario: s.scenario.clone(),
+                policy: s.policy.clone(),
+                total_cycles,
+                final_worst,
+                settle_cycle,
+                settle_fraction: if total_cycles == 0 {
+                    0.0
+                } else {
+                    settle_cycle as f64 / total_cycles as f64
+                },
+            }
+        })
+        .collect();
+    ConvergenceReport { tolerance: CONVERGENCE_TOLERANCE, rows }
 }
 
 /// Table I — utilization and lifetime improvements for BE/BP/BU, one row
@@ -179,7 +259,7 @@ pub fn fig8(ctx: &ExperimentContext) -> Fig8Report {
 pub fn table1(ctx: &ExperimentContext) -> Table1Report {
     let specs: Vec<PolicySpec> =
         std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()).collect();
-    let runs = sweep_on(ctx, transrec::SCENARIOS.iter().map(|s| s.fabric()), specs.clone());
+    let runs = sweep_on(ctx, transrec::SCENARIOS.iter().map(|s| s.fabric()), specs.clone(), &[]);
     let per_scenario = specs.len();
     let mut rows = Vec::new();
     for (ci, scenario) in transrec::SCENARIOS.iter().enumerate() {

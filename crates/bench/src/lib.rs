@@ -11,7 +11,9 @@
 pub mod experiments;
 pub mod reports;
 
-pub use experiments::{fig1, fig6, fig7, fig8, table1, table2, ExperimentContext};
+pub use experiments::{
+    convergence, fig1, fig6, fig7, fig8, table1, table2, ExperimentContext, CONVERGENCE_TOLERANCE,
+};
 
 use std::path::PathBuf;
 

@@ -78,9 +78,18 @@ pub struct Fig8Series {
     pub policy: String,
     /// Utilization-PDF points `(bin_center, density)`.
     pub pdf: Vec<(f64, f64)>,
-    /// Worst-FU delay-degradation curve `(years, delay_fraction)`.
+    /// Worst-FU delay-degradation curve `(years, delay_fraction)` built
+    /// from the **in-run epoch series**: deployment time `t` maps to the
+    /// cumulative worst-FU utilization observed after the matching
+    /// fraction of the run (DESIGN.md §10).
     pub delay_curve: Vec<(f64, f64)>,
-    /// Worst-FU utilization.
+    /// The analytic curve extrapolated from the final utilization alone —
+    /// kept as a cross-check series; both curves agree at the horizon.
+    pub analytic_delay_curve: Vec<(f64, f64)>,
+    /// The suite-level epoch series `(system_cycle, cumulative worst-FU
+    /// utilization)` the in-run curve was built from.
+    pub epoch_worst: Vec<(u64, f64)>,
+    /// Worst-FU utilization (end of run).
     pub worst_utilization: f64,
 }
 
@@ -92,6 +101,40 @@ pub struct Fig8Report {
     pub series: Vec<Fig8Series>,
     /// End-of-life delay fraction (the 10% line).
     pub eol_delay_frac: f64,
+    /// Epoch-sampling interval (system cycles) of the in-run series.
+    pub epoch_cycles: u64,
+}
+
+/// One utilization-convergence row: how fast a policy's cumulative
+/// worst-FU utilization settles to its final value.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConvergenceRow {
+    /// Scenario tag (BE/BP/BU).
+    pub scenario: String,
+    /// Policy spec string.
+    pub policy: String,
+    /// Total suite cycles behind the series.
+    pub total_cycles: u64,
+    /// Final cumulative worst-FU utilization.
+    pub final_worst: f64,
+    /// First sampled cycle from which the worst-FU utilization stays
+    /// within the report's tolerance of the final value.
+    pub settle_cycle: u64,
+    /// `settle_cycle / total_cycles` — how early the stress distribution
+    /// flattened (lower is faster).
+    pub settle_fraction: f64,
+}
+
+/// Utilization-convergence report: per scenario × policy, the speed at
+/// which cumulative worst-FU stress flattens during the run — the
+/// temporal complement of Table I's end-state numbers (DESIGN.md §10).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// Relative tolerance around the final worst utilization that counts
+    /// as "settled".
+    pub tolerance: f64,
+    /// Scenario × policy rows, in Fig. 8 series order.
+    pub rows: Vec<ConvergenceRow>,
 }
 
 /// One Table I row: one policy on one scenario, against that scenario's

@@ -91,6 +91,24 @@ impl UtilizationTracker {
         self.executions
     }
 
+    /// Tracked fabric rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Tracked fabric columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// The raw per-FU execution counters in row-major order — the
+    /// numerators of [`utilization`](Self::utilization). Epoch-sampling
+    /// observers snapshot this slice (integer state, exactly mergeable)
+    /// instead of the derived `f64` grid (DESIGN.md §10).
+    pub fn exec_counts(&self) -> &[u64] {
+        &self.exec_counts
+    }
+
     /// Raw execution count of the FU at `(row, col)` — the numerator of
     /// [`utilization`](Self::utilization), exposed so per-decision consumers
     /// (the health-aware scan) can rank cells without materializing a grid.
@@ -143,6 +161,29 @@ impl UtilizationGrid {
         assert_eq!(values.len(), (rows * cols) as usize, "value count mismatch");
         assert!(values.iter().all(|v| (0.0..=1.0).contains(v)), "utilization outside [0, 1]");
         UtilizationGrid { rows, cols, values }
+    }
+
+    /// Builds an execution-weighted grid from raw per-FU execution counters
+    /// (a [`UtilizationTracker::exec_counts`] snapshot) and the execution
+    /// total they were taken at. With `executions == 0` every cell is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != rows * cols` or any count exceeds
+    /// `executions`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uaware::UtilizationGrid;
+    ///
+    /// let g = UtilizationGrid::from_counts(1, 2, &[3, 1], 4);
+    /// assert_eq!(g.value(0, 0), 0.75);
+    /// assert_eq!(g.value(0, 1), 0.25);
+    /// ```
+    pub fn from_counts(rows: u32, cols: u32, counts: &[u64], executions: u64) -> UtilizationGrid {
+        let denom = executions.max(1) as f64;
+        UtilizationGrid::from_values(rows, cols, counts.iter().map(|c| *c as f64 / denom).collect())
     }
 
     /// Grid height.

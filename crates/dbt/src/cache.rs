@@ -99,17 +99,32 @@ impl ConfigCache {
 
     /// Inserts a configuration, evicting the least recently used entry if
     /// the cache is full. Replaces any existing entry with the same PC.
-    pub fn insert(&mut self, config: CachedConfig) {
+    ///
+    /// Returns the start PC of the evicted entry, if one was displaced —
+    /// event-stream consumers (`transrec`'s telemetry layer) turn it into a
+    /// `CacheEvicted` event.
+    pub fn insert(&mut self, config: CachedConfig) -> Option<u32> {
         self.tick += 1;
         let pc = config.start_pc;
+        let mut evicted = None;
         if !self.entries.contains_key(&pc) && self.entries.len() >= self.capacity {
             if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
+                evicted = Some(victim);
             }
         }
         self.stats.insertions += 1;
         self.entries.insert(pc, Entry { config, last_used: self.tick });
+        evicted
+    }
+
+    /// Drops every cached configuration — the DBT flush on a program
+    /// switch (translations are PC-indexed, so entries from a previous
+    /// program would alias the new one). Hit/miss/insertion counters keep
+    /// accumulating across the flush.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 
     /// Iterates over the cached configurations in unspecified order.
@@ -173,10 +188,10 @@ mod tests {
     #[test]
     fn lru_eviction_order() {
         let mut c = ConfigCache::new(2);
-        c.insert(dummy(0x100));
-        c.insert(dummy(0x200));
+        assert_eq!(c.insert(dummy(0x100)), None);
+        assert_eq!(c.insert(dummy(0x200)), None);
         c.lookup(0x100); // 0x200 becomes LRU
-        c.insert(dummy(0x300));
+        assert_eq!(c.insert(dummy(0x300)), Some(0x200), "victim PC reported");
         assert!(c.contains(0x100));
         assert!(!c.contains(0x200), "LRU entry evicted");
         assert!(c.contains(0x300));
@@ -187,7 +202,7 @@ mod tests {
     fn reinsert_same_pc_replaces() {
         let mut c = ConfigCache::new(2);
         c.insert(dummy(0x100));
-        c.insert(dummy(0x100));
+        assert_eq!(c.insert(dummy(0x100)), None, "replacement is not an eviction");
         assert_eq!(c.len(), 1);
         assert_eq!(c.stats().evictions, 0);
     }

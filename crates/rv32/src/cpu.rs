@@ -213,7 +213,9 @@ impl Cpu {
     }
 
     /// Loads `program` into memory, sets the entry PC and the stack pointer
-    /// (top of memory, 16-byte aligned).
+    /// (top of memory, 16-byte aligned), and clears any previous program's
+    /// exit so the core can run again (cycle and retire counters keep
+    /// accumulating, like hardware counters across a reset vector).
     ///
     /// # Errors
     ///
@@ -226,6 +228,7 @@ impl Cpu {
         self.pc = program.entry;
         let sp = (self.mem.size() as u32 - 16) & !0xf;
         self.set_reg(Reg::SP, sp);
+        self.exit = None;
         Ok(())
     }
 

@@ -9,6 +9,7 @@ use uaware::{PolicySpec, UtilizationTracker};
 
 use crate::energy::{gpp_only_energy, system_energy, EnergyParams};
 use crate::system::{run_gpp_only, System, SystemConfig, SystemError, SystemStats};
+use crate::telemetry::{ProbeReport, ProbeSpec, UtilTrace};
 
 /// The paper's exploration grid: length L ∈ {8,16,24,32} columns ×
 /// width W ∈ {2,4,8} rows.
@@ -39,6 +40,9 @@ pub struct BenchmarkRun {
     pub stats: SystemStats,
     /// Whether the workload's oracle verified the run.
     pub verified: bool,
+    /// Telemetry-probe reports, in probe-spec order (empty when the run
+    /// carried no probes).
+    pub probes: Vec<ProbeReport>,
 }
 
 impl BenchmarkRun {
@@ -92,6 +96,19 @@ impl SuiteRun {
     /// `true` if every benchmark verified.
     pub fn all_verified(&self) -> bool {
         self.benchmarks.iter().all(|b| b.verified)
+    }
+
+    /// The suite-level utilization trace: every benchmark's `util-trace`
+    /// probe report chained with [`UtilTrace::concat`] into the series a
+    /// suite-shared tracker would have produced (DESIGN.md §10). `None`
+    /// if any benchmark lacks a trace (no such probe attached).
+    pub fn util_trace(&self) -> Option<UtilTrace> {
+        let traces: Option<Vec<&UtilTrace>> = self
+            .benchmarks
+            .iter()
+            .map(|b| b.probes.iter().find_map(|p| p.as_util_trace()))
+            .collect();
+        Some(UtilTrace::concat(traces?))
     }
 }
 
@@ -158,7 +175,7 @@ pub fn run_suite_with(
         );
     }
     let gpp_cycles = gpp_reference(&base_config, workloads)?;
-    run_suite_with_baseline(&base_config, workloads, energy, spec, &gpp_cycles)
+    run_suite_with_baseline(&base_config, workloads, energy, spec, &gpp_cycles, &[])
 }
 
 /// The stand-alone GPP reference cycles for `workloads` under `config`'s
@@ -187,6 +204,10 @@ pub fn gpp_reference(
 /// path of [`run_sweep`](crate::sweep::run_sweep), where the GPP-only
 /// baseline is policy-independent and must not be recomputed per policy.
 ///
+/// `probes` are instantiated fresh for every benchmark (telemetry as
+/// data, DESIGN.md §10); each probe's report lands in the corresponding
+/// [`BenchmarkRun::probes`] slot, in spec order.
+///
 /// # Errors
 ///
 /// Propagates the first [`SystemError`]; rejects a movement spec on a
@@ -201,6 +222,7 @@ pub fn run_suite_with_baseline(
     energy: &EnergyParams,
     spec: &PolicySpec,
     gpp_cycles: &[u64],
+    probes: &[ProbeSpec],
 ) -> Result<SuiteRun, SystemError> {
     assert_eq!(gpp_cycles.len(), workloads.len(), "one GPP reference per workload");
     if spec.needs_movement() && !base_config.movement_hardware {
@@ -214,6 +236,9 @@ pub fn run_suite_with_baseline(
     let policy_name = spec.to_string();
     for (w, &gpp_cycles) in workloads.iter().zip(gpp_cycles) {
         let mut system = System::new(base_config.clone(), spec.build());
+        for probe in probes {
+            system.attach_observer(probe.build());
+        }
         system.run(w.program())?;
         let verified = w.verify(system.cpu()).is_ok();
         let stats = *system.stats();
@@ -225,6 +250,7 @@ pub fn run_suite_with_baseline(
             gpp_energy: gpp_only_energy(energy, gpp_cycles),
             stats,
             verified,
+            probes: system.probe_reports(),
         });
         merged.merge(system.tracker());
     }

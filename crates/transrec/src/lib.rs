@@ -7,8 +7,12 @@
 //! allocation policy, per-FU utilization tracking, and the system-level
 //! timing and energy models used for the design-space exploration.
 //!
-//! * [`system`] — the execution loop ([`System`], [`SystemConfig`],
-//!   [`SystemStats`], [`run_gpp_only`]).
+//! * [`system`] — the execution loop as observable, resumable sessions
+//!   ([`System`], [`Session`], [`SystemConfig`], [`SystemStats`],
+//!   [`run_gpp_only`]).
+//! * [`telemetry`] — the typed event stream ([`telemetry::SimEvent`]),
+//!   observers ([`telemetry::Observer`]) and probes-as-data
+//!   ([`telemetry::ProbeSpec`], e.g. `util-trace@every-50000`).
 //! * [`energy`] — the component energy model behind Fig. 6.
 //! * [`dse`] — suite runs and the L×W design-space sweep.
 //! * [`sweep`] — the parallel sweep engine ([`SweepPlan`], [`run_sweep`]):
@@ -49,6 +53,7 @@ pub mod energy;
 pub mod scenario;
 pub mod sweep;
 pub mod system;
+pub mod telemetry;
 
 pub use dse::{
     dse_grid, gpp_reference, run_dse, run_suite, run_suite_with, run_suite_with_baseline,
@@ -58,5 +63,7 @@ pub use energy::{gpp_only_energy, system_energy, EnergyBreakdown, EnergyParams};
 pub use scenario::{Scenario, ALL as SCENARIOS, BE, BP, BU};
 pub use sweep::{run_sweep, SuiteSpec, SweepCell, SweepPlan};
 pub use system::{
-    run_gpp_only, BuildError, System, SystemBuilder, SystemConfig, SystemError, SystemStats,
+    run_gpp_only, BuildError, Session, SessionStatus, System, SystemBuilder, SystemConfig,
+    SystemError, SystemStats,
 };
+pub use telemetry::{Observer, ProbeReport, ProbeSpec, SimEvent};

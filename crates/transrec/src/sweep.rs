@@ -30,6 +30,7 @@ use uaware::{derive_cell_seed, PolicySpec};
 use crate::dse::{gpp_reference, run_suite_with_baseline, SuiteRun};
 use crate::energy::EnergyParams;
 use crate::system::{BuildError, SystemConfig, SystemError};
+use crate::telemetry::ProbeSpec;
 
 /// A named selection of the mibench workload suite — one cell of the
 /// sweep's workload axis.
@@ -129,6 +130,10 @@ pub struct SweepPlan {
     pub policies: Vec<PolicySpec>,
     /// The workload-suite axis (defaults to the single full suite).
     pub suites: Vec<SuiteSpec>,
+    /// Telemetry probes attached to every cell (fresh observer instances
+    /// per benchmark, DESIGN.md §10). Probes are data, so the plan stays
+    /// `Send` and the results stay byte-identical for every worker count.
+    pub probes: Vec<ProbeSpec>,
 }
 
 impl SweepPlan {
@@ -142,6 +147,7 @@ impl SweepPlan {
             configs: Vec::new(),
             policies: Vec::new(),
             suites: vec![SuiteSpec::full()],
+            probes: Vec::new(),
         }
     }
 
@@ -177,6 +183,18 @@ impl SweepPlan {
     /// Replaces the energy model.
     pub fn energy(mut self, energy: EnergyParams) -> SweepPlan {
         self.energy = energy;
+        self
+    }
+
+    /// Attaches a telemetry probe to every cell (repeatable).
+    pub fn probe(mut self, spec: ProbeSpec) -> SweepPlan {
+        self.probes.push(spec);
+        self
+    }
+
+    /// Attaches several telemetry probes to every cell.
+    pub fn probes(mut self, specs: impl IntoIterator<Item = ProbeSpec>) -> SweepPlan {
+        self.probes.extend(specs);
         self
     }
 
@@ -284,6 +302,7 @@ pub fn run_sweep(plan: &SweepPlan, jobs: usize) -> Result<Vec<SuiteRun>, SystemE
             &plan.energy,
             &plan.policies[cell.policy],
             &gpp[class_of[cell.config] * plan.suites.len() + cell.suite],
+            &plan.probes,
         )
     });
     runs.into_iter().collect()

@@ -7,6 +7,15 @@
 //! cache (4); on a hit the input context is transferred (5), the CGRA
 //! executes the configuration at the pivot the policy chose (6), and the
 //! outputs commit back to the register file (7).
+//!
+//! Execution is organized as observable, resumable [`Session`]s
+//! (DESIGN.md §10): [`System::session`] loads a program and hands back a
+//! handle that advances the machine one scheduling decision at a time
+//! ([`Session::step`]), by cycle budget ([`Session::run_for`]) or to
+//! completion ([`Session::finish`]); [`System::run`] is the run-to-exit
+//! convenience wrapper. Every decision is published to the attached
+//! [`Observer`]s as [`SimEvent`]s — the built-in counters are themselves
+//! one observer over that stream ([`telemetry::StatsObserver`](crate::telemetry::StatsObserver)).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -20,6 +29,10 @@ use rv32::mem::MemError;
 use rv32::Program;
 use serde::{Deserialize, Serialize};
 use uaware::{AllocRequest, AllocationPolicy, PolicySpec, UtilizationTracker};
+
+use crate::telemetry::{
+    EventCtx, Observer, OffloadOverheads, ProbeReport, ProbeSpec, SimEvent, StatsObserver,
+};
 
 /// Static system parameters.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -202,23 +215,21 @@ impl From<MemError> for SystemError {
     }
 }
 
-/// Cycle components of one offload after overlap.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
-struct Overheads {
-    /// Input-context transfer cycles.
-    input: u64,
-    /// Output drain cycles not hidden behind execution.
-    out_drain: u64,
-    /// Configuration-load cycles not hidden behind the input transfer.
-    reconfig_extra: u64,
-    /// Resident-rotation cycles.
-    rotate: u64,
-}
-
-impl Overheads {
-    fn total(&self) -> u64 {
-        self.input + self.out_drain + self.reconfig_extra + self.rotate
-    }
+/// How an offload changed the resident configuration (drives the
+/// [`SimEvent::ConfigLoaded`]/[`SimEvent::Rotated`] emissions).
+enum ResidentTransition {
+    /// Same configuration at the same pivot (or a warm re-execution).
+    None,
+    /// The resident configuration moved to a new pivot.
+    Rotated {
+        /// The pivot it moved away from.
+        from: Offset,
+    },
+    /// A different configuration was streamed in.
+    Loaded {
+        /// Raw streaming cost over the configuration-bus lines.
+        stream_cycles: u64,
+    },
 }
 
 /// The TransRec system simulator.
@@ -236,7 +247,12 @@ pub struct System {
     /// still valid and skips the transfer).
     gpp_dirty: bool,
     gpp_estimates: HashMap<u32, u64>,
-    stats: SystemStats,
+    /// The built-in stats fold over the event stream (DESIGN.md §10).
+    stats: StatsObserver,
+    /// Attached telemetry probes; each sees the identical stream.
+    probes: Vec<Box<dyn Observer>>,
+    /// Ensures `on_finish` fires exactly once per session.
+    finish_notified: bool,
 }
 
 impl fmt::Debug for System {
@@ -244,7 +260,7 @@ impl fmt::Debug for System {
         f.debug_struct("System")
             .field("fabric", &self.config.fabric)
             .field("policy", &self.policy.name())
-            .field("stats", &self.stats)
+            .field("stats", self.stats.stats())
             .finish()
     }
 }
@@ -284,12 +300,21 @@ impl fmt::Debug for System {
 pub struct SystemBuilder {
     config: SystemConfig,
     spec: PolicySpec,
+    probes: Vec<ProbeSpec>,
 }
 
 impl SystemBuilder {
     /// The allocation policy (defaults to [`PolicySpec::Baseline`]).
     pub fn policy(mut self, spec: PolicySpec) -> SystemBuilder {
         self.spec = spec;
+        self
+    }
+
+    /// Attaches a telemetry probe, selected as data (repeatable). The
+    /// observer is instantiated at [`build`](SystemBuilder::build) time;
+    /// its output comes back through [`System::probe_reports`].
+    pub fn probe(mut self, spec: ProbeSpec) -> SystemBuilder {
+        self.probes.push(spec);
         self
     }
 
@@ -356,7 +381,11 @@ impl SystemBuilder {
         if self.spec.needs_movement() && !self.config.movement_hardware {
             return Err(BuildError::MovementHardwareAbsent { policy: self.spec.to_string() });
         }
-        Ok(System::new(self.config, self.spec.build()))
+        let mut system = System::new(self.config, self.spec.build());
+        for probe in &self.probes {
+            system.attach_observer(probe.build());
+        }
+        Ok(system)
     }
 }
 
@@ -364,7 +393,11 @@ impl System {
     /// Starts a [`SystemBuilder`] with [`SystemConfig::new`] defaults for
     /// `fabric` and the baseline policy.
     pub fn builder(fabric: Fabric) -> SystemBuilder {
-        SystemBuilder { config: SystemConfig::new(fabric), spec: PolicySpec::Baseline }
+        SystemBuilder {
+            config: SystemConfig::new(fabric),
+            spec: PolicySpec::Baseline,
+            probes: Vec::new(),
+        }
     }
 
     /// Builds a system from a configuration and an already-instantiated
@@ -387,9 +420,24 @@ impl System {
             resident: None,
             gpp_dirty: true,
             gpp_estimates: HashMap::new(),
-            stats: SystemStats::default(),
+            stats: StatsObserver::new(),
+            probes: Vec::new(),
+            finish_notified: false,
             config,
         }
+    }
+
+    /// Attaches an arbitrary observer to the event stream. Prefer
+    /// [`SystemBuilder::probe`] for the built-in probes (they stay data);
+    /// this is the escape hatch for custom instrumentation.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.probes.push(observer);
+    }
+
+    /// Collects the serializable reports of every attached probe, in
+    /// attachment order (observers without a report are skipped).
+    pub fn probe_reports(&self) -> Vec<ProbeReport> {
+        self.probes.iter().filter_map(|p| p.report()).collect()
     }
 
     /// The GPP (for inspecting architectural state after a run).
@@ -397,9 +445,10 @@ impl System {
         &self.cpu
     }
 
-    /// Run statistics so far.
+    /// Run statistics so far — the fold of the built-in
+    /// [`StatsObserver`] over the event stream.
     pub fn stats(&self) -> &SystemStats {
-        &self.stats
+        self.stats.stats()
     }
 
     /// The utilization tracker (per-FU stress observations).
@@ -439,14 +488,43 @@ impl System {
             .sum::<u64>()
     }
 
-    /// Offload cost components for `cc` at the current resident state.
+    /// Publishes one event to the built-in stats fold and every attached
+    /// probe (identical stream, attachment order).
+    fn emit(&mut self, event: SimEvent) {
+        let ctx = EventCtx { cycle: self.cpu.cycles(), tracker: &self.tracker };
+        self.stats.on_event(&ctx, &event);
+        for probe in &mut self.probes {
+            probe.on_event(&ctx, &event);
+        }
+    }
+
+    /// Fires `on_finish` exactly once per session, the first time the
+    /// program's exit is observed.
+    fn notify_finish(&mut self) {
+        if self.finish_notified {
+            return;
+        }
+        self.finish_notified = true;
+        let ctx = EventCtx { cycle: self.cpu.cycles(), tracker: &self.tracker };
+        self.stats.on_finish(&ctx);
+        for probe in &mut self.probes {
+            probe.on_finish(&ctx);
+        }
+    }
+
+    /// Offload cost components for `cc` at the current resident state,
+    /// plus how the offload changes the resident configuration.
     ///
     /// Overlap model (DESIGN.md §4): the input-context transfer overlaps
     /// with configuration streaming (both happen before execution, on
     /// independent paths), and outputs drain through the ROB *during*
     /// execution — only the residual beyond the execution time stalls the
     /// commit (paper Fig. 4, "To ROB").
-    fn offload_overheads(&self, cc: &CachedConfig, offset: Offset) -> Overheads {
+    fn offload_overheads(
+        &self,
+        cc: &CachedConfig,
+        offset: Offset,
+    ) -> (OffloadOverheads, ResidentTransition) {
         let wpc = self.config.transfer_words_per_cycle as u64;
         let same_config = matches!(self.resident, Some((pc, _)) if pc == cc.start_pc);
         // A back-to-back re-execution of the resident configuration with no
@@ -459,23 +537,26 @@ impl System {
         };
         let exec = self.config.fabric.exec_cycles(cc.config.cols_used());
         let out_drain = (cc.output_regs.len() as u64).div_ceil(wpc).saturating_sub(exec);
-        let (reconfig_extra, rotate) = match self.resident {
-            Some((pc, old)) if pc == cc.start_pc && old == offset => (0, 0),
-            Some((pc, _)) if pc == cc.start_pc => {
+        let (reconfig_extra, rotate, transition) = match self.resident {
+            Some((pc, old)) if pc == cc.start_pc && old == offset => {
+                (0, 0, ResidentTransition::None)
+            }
+            Some((pc, old)) if pc == cc.start_pc => {
                 // Rotating the resident configuration: the per-column barrel
                 // shift proceeds behind the previous execution's
                 // left-to-right wave, so back-to-back executions hide it
                 // completely (the paper's "no significant performance
                 // overhead"). It is only exposed after GPP activity.
-                (0, if self.gpp_dirty { RESIDENT_ROTATE_CYCLES } else { 0 })
+                let rotate = if self.gpp_dirty { RESIDENT_ROTATE_CYCLES } else { 0 };
+                (0, rotate, ResidentTransition::Rotated { from: old })
             }
             _ => {
                 let load =
                     self.reconfig_unit.load_cycles(&self.config.fabric, cc.config.cols_used());
-                (load.saturating_sub(input), 0)
+                (load.saturating_sub(input), 0, ResidentTransition::Loaded { stream_cycles: load })
             }
         };
-        Overheads { input, out_drain, reconfig_extra, rotate }
+        (OffloadOverheads { input, out_drain, reconfig_extra, rotate }, transition)
     }
 
     /// Executes one offload (paper steps 5–7).
@@ -492,7 +573,8 @@ impl System {
         if offset != Offset::ORIGIN && !self.config.movement_hardware {
             return Err(SystemError::MovementUnsupported { offset });
         }
-        let ov = self.offload_overheads(cc, offset);
+        let (ov, transition) = self.offload_overheads(cc, offset);
+        self.emit(SimEvent::OffloadStarted { pc: cc.start_pc, offset, config_switch });
 
         let inputs: Vec<u32> = cc.input_regs.iter().map(|r| self.cpu.reg(*r)).collect();
         let outcome = Executor::new(&fabric).execute(
@@ -520,75 +602,267 @@ impl System {
 
         self.tracker.record_execution(&outcome.active_cells, cc.config.cols_used());
         self.cpu.add_cycles(outcome.cycles + ov.total());
-        self.stats.cgra_exec_cycles += outcome.cycles;
-        self.stats.reconfig_cycles += ov.reconfig_extra;
-        self.stats.rotate_cycles += ov.rotate;
-        self.stats.transfer_cycles += ov.input + ov.out_drain;
-        self.stats.offloads += 1;
-        self.stats.offloaded_instrs += cc.instr_count as u64;
-        self.stats.cgra_loads += outcome.loads as u64;
-        self.stats.cgra_stores += outcome.stores as u64;
-        self.stats.cgra_active_fu_slots += outcome.active_cells.len() as u64;
-        self.stats.cgra_columns += cc.config.cols_used() as u64;
+        match transition {
+            ResidentTransition::None => {}
+            ResidentTransition::Rotated { from } => self.emit(SimEvent::Rotated {
+                pc: cc.start_pc,
+                from,
+                to: offset,
+                cycles: ov.rotate,
+            }),
+            ResidentTransition::Loaded { stream_cycles } => self.emit(SimEvent::ConfigLoaded {
+                pc: cc.start_pc,
+                cols_used: cc.config.cols_used(),
+                stream_cycles,
+                exposed_cycles: ov.reconfig_extra,
+            }),
+        }
+        self.emit(SimEvent::OffloadCompleted {
+            pc: cc.start_pc,
+            offset,
+            instr_count: cc.instr_count,
+            exec_cycles: outcome.cycles,
+            overheads: ov,
+            loads: outcome.loads as u64,
+            stores: outcome.stores as u64,
+            active_fus: outcome.active_cells.len() as u64,
+            cols_used: cc.config.cols_used(),
+        });
         self.gpp_dirty = false;
         Ok(())
     }
 
-    /// Loads and runs `program` to completion.
+    /// Loads `program` and returns a resumable [`Session`] over it with a
+    /// fresh step budget.
+    ///
+    /// Loading a program is a context switch for the DBT: the PC-indexed
+    /// configuration cache, the in-flight trace and the profitability
+    /// estimates are flushed (translations of a previous program at
+    /// overlapping addresses must never execute against the new one), and
+    /// the fabric's resident configuration is dropped. *Wear* state —
+    /// statistics, per-FU utilization and attached probes — persists
+    /// across sessions on the same system (it accumulates, like the
+    /// hardware's counters and the silicon's stress would).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Mem`] if the program image does not fit.
+    pub fn session(&mut self, program: &Program) -> Result<Session<'_>, SystemError> {
+        self.cpu.load_program(program)?;
+        self.cache.clear();
+        self.translator = Translator::with_params(self.config.fabric, self.config.translator);
+        self.gpp_estimates.clear();
+        self.resident = None;
+        self.gpp_dirty = true;
+        self.finish_notified = false;
+        Ok(Session { steps_left: self.config.max_steps, system: self })
+    }
+
+    /// Re-opens a session on the already-loaded program *without*
+    /// resetting architectural state: the execution resumes exactly where
+    /// the previous session handle left off (the handle can be dropped at
+    /// any pause point and the system inspected in between). Only the
+    /// step budget is fresh.
+    pub fn session_resume(&mut self) -> Session<'_> {
+        Session { steps_left: self.config.max_steps, system: self }
+    }
+
+    /// Loads and runs `program` to completion — the thin convenience
+    /// wrapper over [`System::session`] + [`Session::finish`].
     ///
     /// # Errors
     ///
     /// Propagates GPP/fabric faults; returns [`SystemError::StepLimit`] if
     /// the program does not halt within the configured budget.
     pub fn run(&mut self, program: &Program) -> Result<Exit, SystemError> {
-        self.cpu.load_program(program)?;
-        let mut budget = self.config.max_steps;
+        self.session(program)?.finish()
+    }
+}
+
+/// Outcome of advancing a [`Session`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The program has not halted yet; the session can keep stepping.
+    Running,
+    /// The program halted with this exit.
+    Exited(Exit),
+}
+
+impl SessionStatus {
+    /// `true` while the program has not halted.
+    pub fn is_running(&self) -> bool {
+        matches!(self, SessionStatus::Running)
+    }
+}
+
+/// A resumable execution of one program on a [`System`] (DESIGN.md §10).
+///
+/// A session advances the machine one *scheduling decision* at a time —
+/// either one offloaded configuration execution or one GPP instruction —
+/// and can pause between decisions: step with [`step`](Session::step),
+/// advance a cycle budget with [`run_for`](Session::run_for), inspect the
+/// system through [`system`](Session::system), resume, and
+/// [`finish`](Session::finish) when done. Attached observers see the
+/// event stream live, whichever way the session is driven.
+///
+/// # Examples
+///
+/// ```
+/// use cgra::Fabric;
+/// use transrec::{SessionStatus, System};
+///
+/// let program = rv32::asm::assemble(
+///     "
+///     li   a0, 0
+///     li   a1, 200
+/// loop:
+///     addi t0, a1, 3
+///     slli t1, t0, 2
+///     xor  t2, t1, a1
+///     add  a0, a0, t2
+///     addi a1, a1, -1
+///     bnez a1, loop
+///     ebreak
+/// ",
+/// )
+/// .unwrap();
+/// let mut sys = System::builder(Fabric::be()).build().unwrap();
+/// let mut session = sys.session(&program).unwrap();
+/// // Pause mid-run, look at the machine, resume.
+/// while session.system().stats().offloads < 5 {
+///     assert!(session.step().unwrap().is_running());
+/// }
+/// assert!(sys.cpu().reg(rv32::Reg::A1) > 0, "paused mid-loop");
+/// let mut session = sys.session_resume();
+/// let exit = session.finish().unwrap();
+/// assert!(matches!(exit, rv32::cpu::Exit::Break { .. }));
+/// assert_eq!(sys.cpu().reg(rv32::Reg::A1), 0);
+/// ```
+pub struct Session<'a> {
+    system: &'a mut System,
+    steps_left: u64,
+}
+
+impl Session<'_> {
+    /// The underlying system (live statistics, tracker, CPU state).
+    pub fn system(&self) -> &System {
+        self.system
+    }
+
+    /// Remaining step budget (dynamic instructions, offloaded or retired).
+    pub fn steps_left(&self) -> u64 {
+        self.steps_left
+    }
+
+    /// Advances one scheduling decision: checks the configuration cache at
+    /// the current PC (step 4) and either executes one offload (steps
+    /// 5–7) or retires one GPP instruction and feeds the DBT (steps 1–3).
+    /// Calling `step` on a halted program is a no-op returning
+    /// [`SessionStatus::Exited`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates GPP/fabric faults; returns [`SystemError::StepLimit`]
+    /// once the session's budget is exhausted.
+    pub fn step(&mut self) -> Result<SessionStatus, SystemError> {
+        let sys = &mut *self.system;
+        if let Some(exit) = sys.cpu.exit() {
+            sys.notify_finish();
+            return Ok(SessionStatus::Exited(exit));
+        }
+        if self.steps_left == 0 {
+            return Err(SystemError::StepLimit { limit: sys.config.max_steps });
+        }
+        let pc = sys.cpu.pc();
+        // Step 4: check the configuration cache for this PC.
+        if let Some(cc) = sys.cache.lookup(pc) {
+            let cc = cc.clone();
+            // Steady-state estimate (resident configuration with a warm
+            // input context): the regime that matters for hot code.
+            let mut skip = None;
+            if sys.config.offload_heuristic {
+                let gpp_est = *sys.gpp_estimates.get(&pc).expect("estimate recorded at insertion");
+                let wpc = sys.config.transfer_words_per_cycle as u64;
+                let exec = sys.config.fabric.exec_cycles(cc.config.cols_used());
+                let out_drain = (cc.output_regs.len() as u64).div_ceil(wpc).saturating_sub(exec);
+                if exec + out_drain > gpp_est {
+                    skip = Some((gpp_est, exec + out_drain));
+                }
+            }
+            match skip {
+                None => {
+                    self.steps_left = self.steps_left.saturating_sub(cc.instr_count as u64);
+                    sys.offload(&cc)?;
+                    return Ok(self.status());
+                }
+                Some((gpp_cycles, cgra_cycles)) => {
+                    sys.emit(SimEvent::OffloadSkipped { pc, gpp_cycles, cgra_cycles })
+                }
+            }
+        }
+        // Step 1/2: execute on the GPP, feed the DBT.
+        let before = sys.cpu.cycles();
+        let retired = sys.cpu.step()?;
+        let cycles = sys.cpu.cycles() - before;
+        self.steps_left -= 1;
+        sys.gpp_dirty = true;
+        sys.emit(SimEvent::GppRetired { pc: retired.pc, cycles });
+        let cached = sys.cache.contains(retired.pc);
+        for built in sys.translator.observe(&retired, cached) {
+            // Step 3: install into the configuration cache.
+            sys.gpp_estimates.insert(built.start_pc, sys.estimate_gpp_cycles(&built));
+            let (insert_pc, instr_count) = (built.start_pc, built.instr_count);
+            if let Some(evicted) = sys.cache.insert(built) {
+                sys.emit(SimEvent::CacheEvicted { pc: evicted });
+            }
+            sys.emit(SimEvent::CacheInserted { pc: insert_pc, instr_count });
+        }
+        Ok(self.status())
+    }
+
+    /// Runs until at least `cycles` more system cycles have elapsed (or
+    /// the program halts). Simulation time advances in whole scheduling
+    /// decisions, so the session may overshoot the target by one
+    /// decision's cycle cost; `run_for(0)` reports the current status
+    /// without advancing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Session::step).
+    pub fn run_for(&mut self, cycles: u64) -> Result<SessionStatus, SystemError> {
+        let target = self.system.cpu.cycles().saturating_add(cycles);
+        while self.system.cpu.cycles() < target {
+            if let SessionStatus::Exited(exit) = self.step()? {
+                return Ok(SessionStatus::Exited(exit));
+            }
+        }
+        // A halted program reports Exited even when the cycle target is
+        // already met (`run_for(0)`), so status polling can never spin.
+        Ok(self.status())
+    }
+
+    /// Runs to completion and returns the program's exit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Session::step).
+    pub fn finish(&mut self) -> Result<Exit, SystemError> {
         loop {
-            if let Some(exit) = self.cpu.exit() {
+            if let SessionStatus::Exited(exit) = self.step()? {
                 return Ok(exit);
             }
-            if budget == 0 {
-                return Err(SystemError::StepLimit { limit: self.config.max_steps });
+        }
+    }
+
+    /// Current status without advancing, notifying observers if the halt
+    /// is being observed for the first time.
+    fn status(&mut self) -> SessionStatus {
+        match self.system.cpu.exit() {
+            Some(exit) => {
+                self.system.notify_finish();
+                SessionStatus::Exited(exit)
             }
-            let pc = self.cpu.pc();
-            // Step 4: check the configuration cache for this PC.
-            self.stats.cache_lookups += 1;
-            if let Some(cc) = self.cache.lookup(pc) {
-                let cc = cc.clone();
-                let profitable = if self.config.offload_heuristic {
-                    let gpp_est =
-                        *self.gpp_estimates.get(&pc).expect("estimate recorded at insertion");
-                    // Steady-state estimate (resident configuration with a
-                    // warm input context): the regime that matters for hot
-                    // code.
-                    let wpc = self.config.transfer_words_per_cycle as u64;
-                    let exec = self.config.fabric.exec_cycles(cc.config.cols_used());
-                    let out_drain =
-                        (cc.output_regs.len() as u64).div_ceil(wpc).saturating_sub(exec);
-                    exec + out_drain <= gpp_est
-                } else {
-                    true
-                };
-                if profitable {
-                    budget = budget.saturating_sub(cc.instr_count as u64);
-                    self.offload(&cc)?;
-                    continue;
-                }
-                self.stats.offloads_skipped += 1;
-            }
-            // Step 1/2: execute on the GPP, feed the DBT.
-            let before = self.cpu.cycles();
-            let retired = self.cpu.step()?;
-            self.stats.gpp_cycles += self.cpu.cycles() - before;
-            self.stats.gpp_retired += 1;
-            self.gpp_dirty = true;
-            budget -= 1;
-            let cached = self.cache.contains(retired.pc);
-            for built in self.translator.observe(&retired, cached) {
-                // Step 3: install into the configuration cache.
-                self.gpp_estimates.insert(built.start_pc, self.estimate_gpp_cycles(&built));
-                self.cache.insert(built);
-            }
+            None => SessionStatus::Running,
         }
     }
 }

@@ -3,6 +3,7 @@
 //! [`run_suite_with`] path cell by cell.
 
 use cgra::Fabric;
+use transrec::telemetry::{ProbeReport, ProbeSpec};
 use transrec::{
     run_dse, run_suite_with, run_sweep, EnergyParams, SuiteSpec, SweepPlan, SystemConfig,
 };
@@ -61,6 +62,29 @@ fn run_dse_covers_the_paper_grid_in_order() {
         assert_eq!((run.cols, run.rows), (l, w), "grid point (L{l},W{w}) out of place");
         assert_eq!(run.policy, "baseline");
         assert!(run.all_verified());
+    }
+}
+
+#[test]
+fn sweep_with_probes_is_identical_across_worker_counts() {
+    // Telemetry rides the plan as data (fresh observers per cell), so the
+    // probe-bearing output must stay byte-identical for every worker
+    // count, exactly like the counters.
+    let plan = mini_plan().probe(ProbeSpec::util_trace(10_000)).probe(ProbeSpec::EventCounts);
+    let sequential = run_sweep(&plan, 1).expect("jobs=1 sweep runs");
+    let parallel = run_sweep(&plan, 4).expect("jobs=4 sweep runs");
+    let a = serde_json::to_string_pretty(&sequential).expect("serialize");
+    let b = serde_json::to_string_pretty(&parallel).expect("serialize");
+    assert_eq!(a, b, "probed sweeps must produce byte-identical JSON");
+    // Every benchmark of every cell carries both probe reports, in order.
+    for run in &sequential {
+        for bench in &run.benchmarks {
+            assert_eq!(bench.probes.len(), 2, "{}/{}", run.policy, bench.name);
+            assert!(matches!(bench.probes[0], ProbeReport::UtilTrace(_)));
+            assert!(matches!(bench.probes[1], ProbeReport::EventCounts(_)));
+            let trace = bench.probes[0].as_util_trace().unwrap();
+            assert_eq!(trace.total_cycles(), bench.stats.total_cycles());
+        }
     }
 }
 

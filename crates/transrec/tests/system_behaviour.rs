@@ -4,7 +4,9 @@
 use cgra::Fabric;
 use rv32::asm::assemble;
 use rv32::Reg;
-use transrec::{gpp_only_energy, run_gpp_only, system_energy, EnergyParams, System, SystemConfig};
+use transrec::{
+    gpp_only_energy, run_gpp_only, system_energy, EnergyParams, System, SystemConfig, SystemError,
+};
 use uaware::{BaselinePolicy, RotationPolicy, Snake};
 
 fn run_sys(src: &str) -> System {
@@ -163,6 +165,32 @@ fn rotation_visits_many_distinct_offsets() {
     // With per-execution snake movement over a 32-FU fabric and hundreds of
     // executions, every FU must have been touched.
     assert!(grid.min() > 0.0, "rotation should reach every FU");
+}
+
+#[test]
+fn unchecked_system_surfaces_movement_unsupported_at_offload_time() {
+    // The System::new escape hatch skips the builder's spec/hardware
+    // validation, so a movement policy on a movement-less configuration
+    // must still be caught by the runtime guard — at the first non-origin
+    // offload, not before. Driving the session step by step pins *when*
+    // the error surfaces: translation and GPP execution proceed normally
+    // until the policy first asks for a non-origin pivot.
+    let w = &mibench::suite(4)[1]; // crc32
+    let config = SystemConfig { movement_hardware: false, ..SystemConfig::new(Fabric::be()) };
+    let mut sys = System::new(config, Box::new(RotationPolicy::new(Snake)));
+    let mut session = sys.session(w.program()).unwrap();
+    let err = loop {
+        match session.step() {
+            Ok(status) => assert!(status.is_running(), "must fault before completing"),
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(err, SystemError::MovementUnsupported { .. }), "got {err}");
+    // The run made real progress on the GPP before the guard fired…
+    assert!(sys.stats().gpp_retired > 0, "GPP ran before the first offload");
+    // …and the snake's first move away from the origin is what tripped it:
+    // at most one (origin-anchored) offload can have completed.
+    assert!(sys.stats().offloads <= 1, "faulted on the first non-origin pivot");
 }
 
 #[test]

@@ -1,6 +1,14 @@
 //! Aging forecast: plan the deployment lifetime of a CGRA product running a
 //! known workload mix, comparing allocation policies — the decision the
-//! paper's Table I supports.
+//! paper's Table I supports, extended with the *temporal* view: a
+//! `util-trace` probe samples the stress map during each run, so the
+//! forecast also reports how fast every policy flattens worst-FU stress
+//! (DESIGN.md §10).
+//!
+//! The policy loop shares one precomputed GPP reference
+//! ([`transrec::gpp_reference`] + [`transrec::run_suite_with_baseline`]):
+//! the stand-alone GPP baseline is policy-independent, so it is simulated
+//! once, not once per policy.
 //!
 //! ```sh
 //! cargo run --release -p transrec --example aging_forecast
@@ -8,42 +16,59 @@
 
 use cgra::Fabric;
 use nbti::CalibratedAging;
-use transrec::{run_suite, EnergyParams};
+use transrec::telemetry::ProbeSpec;
+use transrec::{gpp_reference, run_suite_with_baseline, EnergyParams, SystemConfig};
 use uaware::{evaluate_aging, PolicySpec};
 
 pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fabric = Fabric::be();
+    let config = SystemConfig::new(fabric);
     let workloads = mibench::suite(42);
     let energy = EnergyParams::default();
     let aging = CalibratedAging::default();
+    let probes = [ProbeSpec::util_trace(50_000)];
+
+    // The policy-independent half of every run, computed exactly once.
+    let gpp_cycles = gpp_reference(&config, &workloads)?;
 
     println!("deployment forecast, {}x{} fabric, ten-benchmark mix", fabric.rows, fabric.cols);
     println!(
-        "{:<26} {:>10} {:>10} {:>12} {:>14}",
-        "policy", "worst-FU", "CoV", "lifetime[y]", "10y delay[%]"
+        "{:<26} {:>10} {:>10} {:>12} {:>14} {:>10}",
+        "policy", "worst-FU", "CoV", "lifetime[y]", "10y delay[%]", "settle[%]"
     );
 
     // The whole standard sweep, enumerated as data — every policy ×
     // pattern × granularity point the workspace knows about.
     for spec in PolicySpec::all_specs(&fabric) {
-        let run = run_suite(fabric, &workloads, &energy, &spec)?;
+        let run =
+            run_suite_with_baseline(&config, &workloads, &energy, &spec, &gpp_cycles, &probes)?;
         assert!(run.all_verified(), "oracle failure under {spec}");
         let grid = run.tracker.utilization();
         let eval = evaluate_aging(&aging, &grid, 10.0, 101);
         let at_10y = aging.delay_increase(10.0, eval.worst_utilization);
+
+        // The temporal view: the suite-level epoch series, and where the
+        // worst-FU stress settles to within 5% of its final value.
+        let trace = run.util_trace().expect("util-trace probe attached");
+        let total = trace.total_cycles();
+        let settle = trace.settle_cycle(0.05);
+        let settle_pct = if total == 0 { 0.0 } else { 100.0 * settle as f64 / total as f64 };
+
         println!(
-            "{:<26} {:>9.1}% {:>10.3} {:>12.2} {:>13.2}%",
+            "{:<26} {:>9.1}% {:>10.3} {:>12.2} {:>13.2}% {:>9.1}%",
             spec.to_string(),
             100.0 * eval.worst_utilization,
             grid.cov(),
             eval.lifetime_years,
             100.0 * at_10y,
+            settle_pct,
         );
     }
 
     println!();
     println!(
-        "(end of life = {:.0}% delay degradation; paper anchor: u=100% dies in 3 years)",
+        "(end of life = {:.0}% delay degradation; paper anchor: u=100% dies in 3 years; \
+         settle = fraction of the run after which worst-FU stress stays within 5% of final)",
         100.0 * aging.eol_delay_frac
     );
     Ok(())
