@@ -28,6 +28,7 @@ fn bench_policies(c: &mut Criterion) {
                     config_switch: false,
                     footprint: black_box(&footprint),
                     tracker: &tracker,
+                    faults: None,
                 };
                 policy.next_offset(&req)
             })

@@ -1,0 +1,71 @@
+//! Hot paths of the closed-loop lifetime engine (DESIGN.md §11): the
+//! per-mission wear update (equivalent-age composition across every FU)
+//! and the fault-masked allocation decision policies pay once dead FUs
+//! constrain placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cgra::{Fabric, FaultMask};
+use lifetime::WearGrid;
+use nbti::CalibratedAging;
+use uaware::{
+    AllocRequest, AllocationPolicy, HealthAwarePolicy, RotationPolicy, Snake, UtilizationGrid,
+    UtilizationTracker,
+};
+
+fn bench_wear_update(c: &mut Criterion) {
+    let fabric = Fabric::bu(); // 256 FUs: the largest paper scenario
+    let aging = CalibratedAging::default();
+    let n = fabric.fu_count() as usize;
+    let duty = UtilizationGrid::from_values(
+        fabric.rows,
+        fabric.cols,
+        (0..n).map(|i| (i % 97) as f64 / 96.0).collect(),
+    );
+    let mut group = c.benchmark_group("wear_update");
+    group.bench_function("advance_256fu_mission", |b| {
+        let mut grid = WearGrid::new(&fabric, aging);
+        b.iter(|| {
+            grid.advance(black_box(&duty), 0.25);
+            black_box(grid.worst_delay_frac())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fault_masked_allocation(c: &mut Criterion) {
+    let fabric = Fabric::bu();
+    let mut tracker = UtilizationTracker::new(&fabric);
+    let footprint: Vec<(u32, u32)> = (0..16u32).map(|i| (i % 8, i)).collect();
+    for i in 0..1000u32 {
+        tracker.record_execution(&[(i % 8, i % 32)], 4);
+    }
+    // A part-worn fabric: every seventh FU has failed.
+    let mut mask = FaultMask::healthy(&fabric);
+    for i in (0..fabric.fu_count()).step_by(7) {
+        mask.mark_dead(i / fabric.cols, i % fabric.cols);
+    }
+
+    let mut group = c.benchmark_group("fault_masked_allocation");
+    let mut bench_one = |name: &str, policy: &mut dyn AllocationPolicy| {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let req = AllocRequest {
+                    fabric: &fabric,
+                    config_switch: false,
+                    footprint: black_box(&footprint),
+                    tracker: &tracker,
+                    faults: Some(&mask),
+                };
+                policy.next_offset(&req)
+            })
+        });
+    };
+    bench_one("rotation_snake_masked", &mut RotationPolicy::new(Snake));
+    bench_one("health_aware_masked", &mut HealthAwarePolicy);
+    group.finish();
+}
+
+criterion_group!(benches, bench_wear_update, bench_fault_masked_allocation);
+criterion_main!(benches);

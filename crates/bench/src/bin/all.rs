@@ -2,8 +2,9 @@
 //!
 //! Pass `--jobs <n>` to shard every figure's sweep across n workers
 //! (default: all cores; `--jobs 1` is the sequential path — CI diffs the
-//! two `results/` trees to enforce byte-identical output) and the usual
-//! repeatable `--policy <spec>` to swap the evaluated policy series.
+//! two `results/` trees to enforce byte-identical output), the usual
+//! repeatable `--policy <spec>` to swap the evaluated policy series, and
+//! `--devices <n>` to size the fleet behind `results/survival.json`.
 
 use bench::*;
 
@@ -13,6 +14,14 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let devices = match parse_devices_flag(&args) {
+        Ok(d) => d.unwrap_or(8),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     eprintln!("[fig1]");
     save_json("fig1", &fig1(&ctx));
     eprintln!("[fig6]");
@@ -28,5 +37,7 @@ fn main() {
     save_json("table1", &table1(&ctx));
     eprintln!("[table2]");
     save_json("table2", &table2(&ctx));
+    eprintln!("[survival]");
+    save_json("survival", &fig_lifetime(&ctx, devices));
     eprintln!("done: results/*.json");
 }

@@ -9,6 +9,7 @@
 use cgra::{AreaModel, Fabric};
 use mibench::Workload;
 use nbti::CalibratedAging;
+use transrec::fleet::{run_fleet, FleetPlan, FleetReport};
 use transrec::telemetry::{settle_cycle, ProbeSpec, UtilTrace, DEFAULT_EPOCH_CYCLES};
 use transrec::{run_sweep, EnergyParams, SuiteRun, SweepPlan};
 use uaware::{MovementGranularity, PatternSpec, PolicySpec};
@@ -283,6 +284,23 @@ pub fn table1(ctx: &ExperimentContext) -> Table1Report {
         }
     }
     Table1Report { rows }
+}
+
+/// The closed-loop fleet lifetime experiment behind
+/// `results/survival.json` (DESIGN.md §11): `devices` instances of the BE
+/// scenario per policy (baseline plus every context policy), each running
+/// its seed-derived mibench mix mission after mission while per-FU wear
+/// accumulates, end-of-life FUs drop out of the allocatable fabric, and
+/// the device dies when no legal placement remains. The report carries
+/// per-policy survival curves, (horizon-censored) MTTF and first-failure
+/// histograms; like every sweep it is byte-identical for every `--jobs`
+/// value.
+pub fn fig_lifetime(ctx: &ExperimentContext, devices: usize) -> FleetReport {
+    let specs: Vec<PolicySpec> =
+        std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()).collect();
+    let plan =
+        FleetPlan::new(ctx.seed, Fabric::be()).policies(specs).devices(devices).aging(ctx.aging);
+    run_fleet(&plan, ctx.jobs).expect("fleet runs")
 }
 
 /// Table II — area/cells of the BE fabric, baseline vs modified, plus the

@@ -12,7 +12,8 @@ pub mod experiments;
 pub mod reports;
 
 pub use experiments::{
-    convergence, fig1, fig6, fig7, fig8, table1, table2, ExperimentContext, CONVERGENCE_TOLERANCE,
+    convergence, fig1, fig6, fig7, fig8, fig_lifetime, table1, table2, ExperimentContext,
+    CONVERGENCE_TOLERANCE,
 };
 
 use std::path::PathBuf;
@@ -58,29 +59,49 @@ pub fn apply_cli_flags(ctx: &mut ExperimentContext) -> Result<(), String> {
 /// Returns a description for a malformed count or a trailing `--jobs`
 /// with no value.
 pub fn parse_jobs_flag(args: &[String]) -> Result<Option<usize>, String> {
-    let mut jobs = None;
+    parse_count_flag(args, "--jobs", "0 = all cores")
+}
+
+/// Extracts the last `--devices <n>` / `--devices=<n>` occurrence from
+/// `args` (`None` when the flag is absent) — the fleet-size knob of the
+/// `fig_lifetime` binary.
+///
+/// # Errors
+///
+/// Returns a description for a malformed count or a trailing `--devices`
+/// with no value.
+pub fn parse_devices_flag(args: &[String]) -> Result<Option<usize>, String> {
+    parse_count_flag(args, "--devices", "device instances per policy")
+}
+
+/// The shared `--<flag> <n>` / `--<flag>=<n>` parser behind
+/// [`parse_jobs_flag`] and [`parse_devices_flag`]: the last occurrence
+/// wins, other arguments are ignored.
+fn parse_count_flag(args: &[String], flag: &str, hint: &str) -> Result<Option<usize>, String> {
+    let prefix = format!("{flag}=");
+    let mut count = None;
     let mut i = 0;
     while i < args.len() {
-        let value = if args[i] == "--jobs" {
+        let value = if args[i] == flag {
             i += 1;
             match args.get(i) {
                 Some(v) => v.clone(),
-                None => return Err("--jobs requires a value (0 = all cores)".to_string()),
+                None => return Err(format!("{flag} requires a value ({hint})")),
             }
-        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+        } else if let Some(v) = args[i].strip_prefix(&prefix) {
             v.to_string()
         } else {
             i += 1;
             continue;
         };
-        jobs = Some(
+        count = Some(
             value
                 .parse::<usize>()
-                .map_err(|_| format!("--jobs expects a non-negative integer, got `{value}`"))?,
+                .map_err(|_| format!("{flag} expects a non-negative integer, got `{value}`"))?,
         );
         i += 1;
     }
-    Ok(jobs)
+    Ok(count)
 }
 
 /// Extracts every `--policy <spec>` / `--policy=<spec>` occurrence from

@@ -1,0 +1,206 @@
+//! Permanent FU failures as data: the [`FaultMask`] (DESIGN.md §11).
+//!
+//! The closed-loop lifetime engine marks a functional unit *dead* once its
+//! NBTI delay degradation crosses the end-of-life limit. Allocation then has
+//! to route around the dead cells: a `FaultMask` is the per-cell health map
+//! that threads from the wear model through the allocation policies — a
+//! placement is legal only if every cell of its (offset-applied, wrapped)
+//! footprint is alive. The mask is monotone: cells die, they never heal.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Offset;
+use crate::fabric::Fabric;
+
+/// Per-cell permanent-failure map of a fabric (DESIGN.md §11).
+///
+/// # Examples
+///
+/// ```
+/// use cgra::{Fabric, FaultMask, Offset};
+///
+/// let fabric = Fabric::be();
+/// let mut mask = FaultMask::healthy(&fabric);
+/// assert!(mask.mark_dead(0, 0));
+/// assert!(!mask.mark_dead(0, 0), "already dead");
+/// let footprint = [(0u32, 0u32), (0, 1)];
+/// // The corner placement now straddles a dead FU …
+/// assert!(!mask.placement_ok(&fabric, &footprint, Offset::ORIGIN));
+/// // … but a shifted placement (and hence the device) survives.
+/// assert!(mask.placement_ok(&fabric, &footprint, Offset::new(1, 0)));
+/// assert!(mask.any_placement(&fabric, &footprint));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMask {
+    rows: u32,
+    cols: u32,
+    dead: Vec<bool>,
+    dead_count: u32,
+}
+
+impl FaultMask {
+    /// An all-alive mask matching `fabric`'s geometry.
+    pub fn healthy(fabric: &Fabric) -> FaultMask {
+        FaultMask {
+            rows: fabric.rows,
+            cols: fabric.cols,
+            dead: vec![false; fabric.fu_count() as usize],
+            dead_count: 0,
+        }
+    }
+
+    /// Mask height.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Mask width.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// `true` if the FU at `(row, col)` has failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell lies outside the mask geometry.
+    pub fn is_dead(&self, row: u32, col: u32) -> bool {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) outside mask");
+        self.dead[(row * self.cols + col) as usize]
+    }
+
+    /// Marks the FU at `(row, col)` as permanently failed. Returns `true`
+    /// if the cell was alive (a *new* failure), `false` if it was already
+    /// dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell lies outside the mask geometry.
+    pub fn mark_dead(&mut self, row: u32, col: u32) -> bool {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) outside mask");
+        let cell = &mut self.dead[(row * self.cols + col) as usize];
+        let newly = !*cell;
+        *cell = true;
+        self.dead_count += newly as u32;
+        newly
+    }
+
+    /// Number of failed FUs.
+    pub fn dead_count(&self) -> u32 {
+        self.dead_count
+    }
+
+    /// `true` if no FU has failed (the pristine-fabric fast path policies
+    /// use to keep fault-free behaviour bit-identical to the mask-less one).
+    pub fn is_pristine(&self) -> bool {
+        self.dead_count == 0
+    }
+
+    /// The failed cells, row-major.
+    pub fn dead_cells(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let cols = self.cols;
+        self.dead
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d)
+            .map(move |(i, _)| (i as u32 / cols, i as u32 % cols))
+    }
+
+    /// `true` if anchoring `footprint` at `offset` (with wrap-around, like
+    /// [`Offset::apply`]) touches only live FUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask geometry does not match `fabric`.
+    pub fn placement_ok(&self, fabric: &Fabric, footprint: &[(u32, u32)], offset: Offset) -> bool {
+        assert_eq!((self.rows, self.cols), (fabric.rows, fabric.cols), "geometry mismatch");
+        footprint.iter().all(|&(r, c)| {
+            let (pr, pc) = offset.apply(fabric, r, c);
+            !self.dead[(pr * self.cols + pc) as usize]
+        })
+    }
+
+    /// `true` if *some* pivot offset yields an all-alive placement of
+    /// `footprint` — the device-is-still-allocatable check of the lifetime
+    /// engine (movement hardware permitting; the baseline policy can only
+    /// ever use the origin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask geometry does not match `fabric`.
+    pub fn any_placement(&self, fabric: &Fabric, footprint: &[(u32, u32)]) -> bool {
+        (0..fabric.rows).any(|row| {
+            (0..fabric.cols).any(|col| self.placement_ok(fabric, footprint, Offset::new(row, col)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_mask_is_pristine() {
+        let fabric = Fabric::be();
+        let mask = FaultMask::healthy(&fabric);
+        assert!(mask.is_pristine());
+        assert_eq!(mask.dead_count(), 0);
+        assert_eq!(mask.dead_cells().count(), 0);
+        assert!(!mask.is_dead(1, 15));
+        assert!(mask.placement_ok(&fabric, &[(0, 0), (1, 15)], Offset::ORIGIN));
+    }
+
+    #[test]
+    fn failures_accumulate_monotonically() {
+        let fabric = Fabric::be();
+        let mut mask = FaultMask::healthy(&fabric);
+        assert!(mask.mark_dead(0, 3));
+        assert!(mask.mark_dead(1, 7));
+        assert!(!mask.mark_dead(0, 3), "second failure of the same cell is not new");
+        assert_eq!(mask.dead_count(), 2);
+        assert!(!mask.is_pristine());
+        assert_eq!(mask.dead_cells().collect::<Vec<_>>(), vec![(0, 3), (1, 7)]);
+    }
+
+    #[test]
+    fn placement_respects_wraparound() {
+        let fabric = Fabric::be();
+        let mut mask = FaultMask::healthy(&fabric);
+        mask.mark_dead(0, 0);
+        // A footprint whose wrapped image lands on the dead corner.
+        let footprint = [(1u32, 1u32)];
+        assert!(!mask.placement_ok(&fabric, &footprint, Offset::new(1, 15)), "wraps onto (0,0)");
+        assert!(mask.placement_ok(&fabric, &footprint, Offset::new(0, 0)));
+    }
+
+    #[test]
+    fn any_placement_detects_exhaustion() {
+        let fabric = Fabric::new(2, 4);
+        let mut mask = FaultMask::healthy(&fabric);
+        let footprint = [(0u32, 0u32)];
+        // Kill everything except one cell: still allocatable.
+        for (r, c) in [(0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (1, 1), (1, 2)] {
+            mask.mark_dead(r, c);
+        }
+        assert!(mask.any_placement(&fabric, &footprint));
+        mask.mark_dead(1, 3);
+        assert!(!mask.any_placement(&fabric, &footprint), "all FUs dead");
+        assert_eq!(mask.dead_count(), fabric.fu_count());
+    }
+
+    #[test]
+    fn mask_survives_json() {
+        let fabric = Fabric::new(2, 4);
+        let mut mask = FaultMask::healthy(&fabric);
+        mask.mark_dead(1, 2);
+        let json = serde_json::to_string(&mask).unwrap();
+        let back: FaultMask = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, mask);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mask")]
+    fn out_of_range_cell_rejected() {
+        FaultMask::healthy(&Fabric::be()).is_dead(2, 0);
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`reconfig`] — the reconfiguration unit (paper Fig. 5), baseline and
 //!   with the movement extensions (column-select muxes, barrel shifters,
 //!   wrap-around).
+//! * [`fault`] — permanent per-FU failure maps ([`FaultMask`]) the
+//!   closed-loop lifetime engine feeds back into allocation.
 //! * [`area`] — the structural area/delay model behind paper Table II.
 //!
 //! # Examples
@@ -59,6 +61,7 @@ pub mod bitstream;
 pub mod config;
 pub mod exec;
 pub mod fabric;
+pub mod fault;
 pub mod op;
 pub mod reconfig;
 pub mod sram;
@@ -68,5 +71,6 @@ pub use bitstream::{Bitstream, BitstreamError};
 pub use config::{ConfigError, Configuration, Offset};
 pub use exec::{ArrayMem, ExecError, ExecOutcome, Executor, MemBus, MemFault};
 pub use fabric::{Fabric, OpLatencies};
+pub use fault::FaultMask;
 pub use reconfig::{LoadedFabric, ReconfigError, ReconfigUnit, RESIDENT_ROTATE_CYCLES};
 pub use sram::{config_cache_macro, SramMacro, SramTech};

@@ -46,8 +46,9 @@
 //!             config_switch: false,
 //!             footprint: &footprint,
 //!             tracker: &tracker,
+//!             faults: None,
 //!         };
-//!         let off = policy.next_offset(&req);
+//!         let off = policy.next_offset(&req).expect("pristine fabric always allocates");
 //!         let cells: Vec<_> =
 //!             footprint.iter().map(|&(r, c)| off.apply(&fabric, r, c)).collect();
 //!         tracker.record_execution(&cells, 2);

@@ -11,7 +11,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use cgra::{Fabric, Offset};
+use cgra::{Fabric, FaultMask, Offset};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -74,6 +74,30 @@ pub struct AllocRequest<'a> {
     pub footprint: &'a [(u32, u32)],
     /// Live utilization state (for health-aware policies).
     pub tracker: &'a UtilizationTracker,
+    /// Permanent-failure map of the fabric, if the deployment has one
+    /// (DESIGN.md §11). `None` means a pristine fabric; policies must never
+    /// place a footprint cell on a dead FU.
+    pub faults: Option<&'a FaultMask>,
+}
+
+impl AllocRequest<'_> {
+    /// `true` if anchoring the request's footprint at `offset` touches only
+    /// live FUs (trivially true on a pristine fabric).
+    pub fn placement_ok(&self, offset: Offset) -> bool {
+        match self.faults {
+            Some(mask) if !mask.is_pristine() => {
+                mask.placement_ok(self.fabric, self.footprint, offset)
+            }
+            _ => true,
+        }
+    }
+
+    /// `true` if the request carries a mask with at least one dead FU —
+    /// the slow-path guard every policy uses to keep its pristine-fabric
+    /// decision stream bit-identical to the historical (mask-less) one.
+    fn degraded(&self) -> bool {
+        self.faults.is_some_and(|mask| !mask.is_pristine())
+    }
 }
 
 /// A pivot-selection policy.
@@ -83,8 +107,11 @@ pub struct AllocRequest<'a> {
 /// [`PolicySpec::build`](crate::PolicySpec::build) — instead of passing
 /// factory closures around.
 pub trait AllocationPolicy: std::fmt::Debug {
-    /// Chooses the pivot for the next execution.
-    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Offset;
+    /// Chooses the pivot for the next execution, or `None` when every
+    /// placement the policy can express touches a dead FU
+    /// ([`AllocRequest::faults`]) — the device's end of life (DESIGN.md
+    /// §11).
+    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset>;
 
     /// Instance-level name for reports: includes the configured pattern,
     /// granularity or seed, matching the policy's
@@ -100,13 +127,15 @@ pub trait AllocationPolicy: std::fmt::Debug {
 }
 
 /// The aging-unaware baseline: every configuration anchors at the top-left
-/// corner, exactly like traditional greedy mappers.
+/// corner, exactly like traditional greedy mappers. With no movement
+/// hardware the origin is also its *only* legal placement, so the first
+/// corner-FU failure kills the device (DESIGN.md §11).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BaselinePolicy;
 
 impl AllocationPolicy for BaselinePolicy {
-    fn next_offset(&mut self, _req: &AllocRequest<'_>) -> Offset {
-        Offset::ORIGIN
+    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset> {
+        req.placement_ok(Offset::ORIGIN).then_some(Offset::ORIGIN)
     }
 
     fn name(&self) -> String {
@@ -130,9 +159,15 @@ impl AllocationPolicy for BaselinePolicy {
 /// let fabric = Fabric::be();
 /// let tracker = UtilizationTracker::new(&fabric);
 /// let mut policy = RotationPolicy::new(Snake);
-/// let req = AllocRequest { fabric: &fabric, config_switch: false, footprint: &[], tracker: &tracker };
-/// assert_eq!(policy.next_offset(&req), Offset::new(0, 0));
-/// assert_eq!(policy.next_offset(&req), Offset::new(0, 1));
+/// let req = AllocRequest {
+///     fabric: &fabric,
+///     config_switch: false,
+///     footprint: &[],
+///     tracker: &tracker,
+///     faults: None,
+/// };
+/// assert_eq!(policy.next_offset(&req), Some(Offset::new(0, 0)));
+/// assert_eq!(policy.next_offset(&req), Some(Offset::new(0, 1)));
 /// ```
 #[derive(Clone, Debug)]
 pub struct RotationPolicy<P> {
@@ -166,24 +201,36 @@ impl<P: MovementPattern> RotationPolicy<P> {
 }
 
 impl<P: MovementPattern> AllocationPolicy for RotationPolicy<P> {
-    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Offset {
+    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset> {
+        // A dead FU under the resident pivot forces a move even at coarse
+        // granularities — staying put would execute on failed silicon.
+        let resident_ok = self.current.is_some_and(|o| req.placement_ok(o));
         let advance = match self.granularity {
             MovementGranularity::PerExecution => true,
-            MovementGranularity::PerLoad => req.config_switch || self.current.is_none(),
+            MovementGranularity::PerLoad => req.config_switch || !resident_ok,
             MovementGranularity::Periodic(n) => {
                 self.execs_since_move += 1;
-                self.current.is_none() || self.execs_since_move >= n.max(1)
+                !resident_ok || self.execs_since_move >= n.max(1)
             }
         };
 
         if advance {
-            let o = self.pattern.offset_at(req.fabric, self.step);
-            self.step += 1;
-            self.execs_since_move = 0;
-            self.current = Some(o);
-            o
+            // Walk the pattern past any pivot whose placement straddles a
+            // dead FU (the movement hardware skips failed columns the same
+            // way it wraps edges). One full period with no legal pivot
+            // means the device is out of placements.
+            for _ in 0..self.pattern.period(req.fabric).max(1) {
+                let o = self.pattern.offset_at(req.fabric, self.step);
+                self.step += 1;
+                if req.placement_ok(o) {
+                    self.execs_since_move = 0;
+                    self.current = Some(o);
+                    return Some(o);
+                }
+            }
+            None
         } else {
-            self.current.expect("current set when not advancing")
+            Some(self.current.expect("resident pivot set when not advancing"))
         }
     }
 
@@ -214,11 +261,30 @@ impl RandomPolicy {
 }
 
 impl AllocationPolicy for RandomPolicy {
-    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Offset {
-        Offset::new(
-            self.rng.random_range(0..req.fabric.rows),
-            self.rng.random_range(0..req.fabric.cols),
-        )
+    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset> {
+        if !req.degraded() {
+            // Pristine fast path: two draws, bit-identical to the
+            // historical mask-less stream.
+            return Some(Offset::new(
+                self.rng.random_range(0..req.fabric.rows),
+                self.rng.random_range(0..req.fabric.cols),
+            ));
+        }
+        // Degraded fabric: draw uniformly among the legal pivots —
+        // complete (never misses a surviving placement) and still a pure
+        // function of the seed. Like the health-aware scan, this runs once
+        // per offload, so it stays allocation-free: count the legal pivots
+        // in one row-major pass, draw an index, and walk to it in a second.
+        let pivots = |req: &AllocRequest<'_>| {
+            let cols = req.fabric.cols;
+            (0..req.fabric.rows).flat_map(move |r| (0..cols).map(move |c| Offset::new(r, c)))
+        };
+        let legal = pivots(req).filter(|o| req.placement_ok(*o)).count();
+        if legal == 0 {
+            return None;
+        }
+        let pick = self.rng.random_range(0..legal);
+        pivots(req).filter(|o| req.placement_ok(*o)).nth(pick)
     }
 
     fn name(&self) -> String {
@@ -238,19 +304,25 @@ impl AllocationPolicy for RandomPolicy {
 pub struct HealthAwarePolicy;
 
 impl AllocationPolicy for HealthAwarePolicy {
-    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Offset {
+    fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset> {
         // The scan runs once per offload, so it must stay allocation-free:
         // compare raw per-FU execution counts (same ordering as the
         // normalized utilization), prune a pivot as soon as it matches the
         // incumbent, and stop outright on a zero-stress pivot — nothing can
         // beat it, and ties break towards the smallest offset anyway.
+        // Pivots whose placement straddles a dead FU are skipped outright
+        // (DESIGN.md §11); with every pivot dead the scan reports `None`.
         let fabric = req.fabric;
         let tracker = req.tracker;
-        let mut best = Offset::ORIGIN;
+        let degraded = req.degraded();
+        let mut best = None;
         let mut best_cost = u64::MAX;
         for row in 0..fabric.rows {
             for col in 0..fabric.cols {
                 let off = Offset::new(row, col);
+                if degraded && !req.placement_ok(off) {
+                    continue;
+                }
                 let mut cost = 0u64;
                 for &(r, c) in req.footprint {
                     let (pr, pc) = off.apply(fabric, r, c);
@@ -259,9 +331,9 @@ impl AllocationPolicy for HealthAwarePolicy {
                         break;
                     }
                 }
-                if cost < best_cost {
+                if cost < best_cost || best.is_none() {
                     best_cost = cost;
-                    best = off;
+                    best = Some(off);
                     if cost == 0 {
                         return best;
                     }
@@ -279,7 +351,7 @@ impl AllocationPolicy for HealthAwarePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pattern::Raster;
+    use crate::pattern::{Raster, Snake};
 
     fn req<'a>(
         fabric: &'a Fabric,
@@ -287,7 +359,11 @@ mod tests {
         footprint: &'a [(u32, u32)],
         config_switch: bool,
     ) -> AllocRequest<'a> {
-        AllocRequest { fabric, config_switch, footprint, tracker }
+        AllocRequest { fabric, config_switch, footprint, tracker, faults: None }
+    }
+
+    fn masked<'a>(base: &AllocRequest<'a>, mask: &'a FaultMask) -> AllocRequest<'a> {
+        AllocRequest { faults: Some(mask), ..*base }
     }
 
     #[test]
@@ -296,7 +372,7 @@ mod tests {
         let tracker = UtilizationTracker::new(&fabric);
         let mut p = BaselinePolicy;
         for _ in 0..5 {
-            assert_eq!(p.next_offset(&req(&fabric, &tracker, &[], false)), Offset::ORIGIN);
+            assert_eq!(p.next_offset(&req(&fabric, &tracker, &[], false)), Some(Offset::ORIGIN));
         }
         assert!(!p.needs_movement());
     }
@@ -307,9 +383,9 @@ mod tests {
         let tracker = UtilizationTracker::new(&fabric);
         let mut p = RotationPolicy::new(Raster);
         let r = req(&fabric, &tracker, &[], false);
-        assert_eq!(p.next_offset(&r), Offset::new(0, 0));
-        assert_eq!(p.next_offset(&r), Offset::new(0, 1));
-        assert_eq!(p.next_offset(&r), Offset::new(0, 2));
+        assert_eq!(p.next_offset(&r), Some(Offset::new(0, 0)));
+        assert_eq!(p.next_offset(&r), Some(Offset::new(0, 1)));
+        assert_eq!(p.next_offset(&r), Some(Offset::new(0, 2)));
         assert!(p.needs_movement());
     }
 
@@ -333,7 +409,7 @@ mod tests {
         let tracker = UtilizationTracker::new(&fabric);
         let mut p = RotationPolicy::with_granularity(Raster, MovementGranularity::Periodic(3));
         let r = req(&fabric, &tracker, &[], false);
-        let offsets: Vec<Offset> = (0..7).map(|_| p.next_offset(&r)).collect();
+        let offsets: Vec<Option<Offset>> = (0..7).map(|_| p.next_offset(&r)).collect();
         assert_eq!(offsets[0], offsets[1]);
         assert_eq!(offsets[1], offsets[2]);
         assert_ne!(offsets[2], offsets[3]);
@@ -348,9 +424,9 @@ mod tests {
         let mut a = RandomPolicy::seeded(42);
         let mut b = RandomPolicy::seeded(42);
         let mut c = RandomPolicy::seeded(7);
-        let seq_a: Vec<Offset> = (0..50).map(|_| a.next_offset(&r)).collect();
-        let seq_b: Vec<Offset> = (0..50).map(|_| b.next_offset(&r)).collect();
-        let seq_c: Vec<Offset> = (0..50).map(|_| c.next_offset(&r)).collect();
+        let seq_a: Vec<Offset> = (0..50).map(|_| a.next_offset(&r).unwrap()).collect();
+        let seq_b: Vec<Offset> = (0..50).map(|_| b.next_offset(&r).unwrap()).collect();
+        let seq_c: Vec<Offset> = (0..50).map(|_| c.next_offset(&r).unwrap()).collect();
         assert_eq!(seq_a, seq_b, "same seed, same sequence");
         assert_ne!(seq_a, seq_c, "different seed, different sequence");
         assert!(seq_a.iter().all(|o| o.in_range(&fabric)));
@@ -366,7 +442,139 @@ mod tests {
         }
         let footprint = [(0u32, 0u32)];
         let mut p = HealthAwarePolicy;
-        let o = p.next_offset(&req(&fabric, &tracker, &footprint, false));
+        let o = p.next_offset(&req(&fabric, &tracker, &footprint, false)).unwrap();
         assert_ne!(o, Offset::ORIGIN, "must dodge the stressed corner");
+    }
+
+    #[test]
+    fn pristine_mask_leaves_decision_streams_untouched() {
+        // A mask with no dead cells must be indistinguishable from no mask
+        // at all — including the random policy's draw count.
+        let fabric = Fabric::be();
+        let tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32), (0, 1)];
+        let mask = FaultMask::healthy(&fabric);
+        let bare = req(&fabric, &tracker, &footprint, false);
+        let with_mask = masked(&bare, &mask);
+        let mut a = RandomPolicy::seeded(42);
+        let mut b = RandomPolicy::seeded(42);
+        for _ in 0..50 {
+            assert_eq!(a.next_offset(&bare), b.next_offset(&with_mask));
+        }
+        let mut ra = RotationPolicy::new(Snake);
+        let mut rb = RotationPolicy::new(Snake);
+        for _ in 0..50 {
+            assert_eq!(ra.next_offset(&bare), rb.next_offset(&with_mask));
+        }
+    }
+
+    #[test]
+    fn baseline_dies_with_its_corner() {
+        let fabric = Fabric::be();
+        let tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32)];
+        let mut mask = FaultMask::healthy(&fabric);
+        mask.mark_dead(0, 0);
+        let r = req(&fabric, &tracker, &footprint, false);
+        assert_eq!(BaselinePolicy.next_offset(&masked(&r, &mask)), None);
+        // A failure elsewhere leaves the baseline untouched.
+        let mut elsewhere = FaultMask::healthy(&fabric);
+        elsewhere.mark_dead(1, 9);
+        assert_eq!(BaselinePolicy.next_offset(&masked(&r, &elsewhere)), Some(Offset::ORIGIN));
+    }
+
+    #[test]
+    fn rotation_skips_dead_pivots_and_reports_exhaustion() {
+        let fabric = Fabric::be();
+        let tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32)];
+        let mut mask = FaultMask::healthy(&fabric);
+        mask.mark_dead(0, 1); // the raster pattern's second stop
+        let mut p = RotationPolicy::new(Raster);
+        let r = req(&fabric, &tracker, &footprint, false);
+        let m = masked(&r, &mask);
+        assert_eq!(p.next_offset(&m), Some(Offset::new(0, 0)));
+        assert_eq!(p.next_offset(&m), Some(Offset::new(0, 2)), "skips the dead pivot");
+        // Kill everything: the walk exhausts a full period and gives up.
+        let mut all_dead = FaultMask::healthy(&fabric);
+        for row in 0..fabric.rows {
+            for col in 0..fabric.cols {
+                all_dead.mark_dead(row, col);
+            }
+        }
+        assert_eq!(p.next_offset(&masked(&r, &all_dead)), None);
+    }
+
+    #[test]
+    fn coarse_rotation_vacates_a_freshly_dead_resident_pivot() {
+        let fabric = Fabric::be();
+        let tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32)];
+        let mut p = RotationPolicy::with_granularity(Raster, MovementGranularity::PerLoad);
+        let stay = req(&fabric, &tracker, &footprint, false);
+        let resident = p.next_offset(&stay).unwrap();
+        assert_eq!(p.next_offset(&stay), Some(resident), "no switch, stays put");
+        // The FU under the resident pivot fails: the next request must move
+        // even without a configuration switch.
+        let mut mask = FaultMask::healthy(&fabric);
+        mask.mark_dead(resident.row, resident.col);
+        let moved = p.next_offset(&masked(&stay, &mask)).unwrap();
+        assert_ne!(moved, resident, "dead resident pivot forces a move");
+    }
+
+    #[test]
+    fn random_only_draws_legal_placements() {
+        let fabric = Fabric::new(2, 4);
+        let tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32)];
+        let mut mask = FaultMask::healthy(&fabric);
+        // Leave exactly two cells alive.
+        for (r, c) in [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)] {
+            mask.mark_dead(r, c);
+        }
+        let mut p = RandomPolicy::seeded(7);
+        let r = req(&fabric, &tracker, &footprint, false);
+        let m = masked(&r, &mask);
+        for _ in 0..100 {
+            let o = p.next_offset(&m).unwrap();
+            assert!(!mask.is_dead(o.apply(&fabric, 0, 0).0, o.apply(&fabric, 0, 0).1));
+        }
+        mask.mark_dead(0, 3);
+        mask.mark_dead(1, 3);
+        assert_eq!(p.next_offset(&masked(&r, &mask)), None, "no legal placement left");
+    }
+
+    #[test]
+    fn health_aware_skips_dead_cells() {
+        let fabric = Fabric::new(2, 4);
+        let mut tracker = UtilizationTracker::new(&fabric);
+        // (1,3) is the coolest cell, but it is dead; (1,2) is next-coolest.
+        for (cell, n) in [
+            ((0, 0), 9),
+            ((0, 1), 8),
+            ((0, 2), 7),
+            ((0, 3), 6),
+            ((1, 0), 5),
+            ((1, 1), 4),
+            ((1, 2), 3),
+        ] {
+            for _ in 0..n {
+                tracker.record_execution(&[cell], 1);
+            }
+        }
+        let mut mask = FaultMask::healthy(&fabric);
+        mask.mark_dead(1, 3);
+        let footprint = [(0u32, 0u32)];
+        let r = req(&fabric, &tracker, &footprint, false);
+        let o = HealthAwarePolicy.next_offset(&masked(&r, &mask)).unwrap();
+        assert_eq!(o.apply(&fabric, 0, 0), (1, 2), "coolest *live* cell wins");
+        // All cells dead: even the oracle is out of options.
+        let mut all_dead = FaultMask::healthy(&fabric);
+        for row in 0..fabric.rows {
+            for col in 0..fabric.cols {
+                all_dead.mark_dead(row, col);
+            }
+        }
+        assert_eq!(HealthAwarePolicy.next_offset(&masked(&r, &all_dead)), None);
     }
 }

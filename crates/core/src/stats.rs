@@ -131,6 +131,38 @@ impl UtilizationTracker {
         }
     }
 
+    /// The per-FU NBTI duty cycles of a run that spanned `elapsed_cycles`
+    /// system cycles (DESIGN.md §11): under the paper's model a unit's
+    /// stress duty *is* its execution-weighted utilization, but a raw
+    /// `exec_counts / executions` division is hazardous at the edges —
+    /// an empty run (`executions == 0`) or a zero-length one
+    /// (`elapsed_cycles == 0`, e.g. a mission that never got to execute)
+    /// exerted no stress at all, so both must yield the all-zero grid
+    /// instead of a division callers would have to guard by hand.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cgra::Fabric;
+    /// use uaware::UtilizationTracker;
+    ///
+    /// let mut t = UtilizationTracker::new(&Fabric::be());
+    /// assert_eq!(t.duty_cycles(0).max(), 0.0);      // zero-length run
+    /// assert_eq!(t.duty_cycles(1_000).max(), 0.0);  // no executions yet
+    /// t.record_execution(&[(0, 0)], 2);
+    /// assert_eq!(t.duty_cycles(1_000).value(0, 0), 1.0);
+    /// ```
+    pub fn duty_cycles(&self, elapsed_cycles: u64) -> UtilizationGrid {
+        if elapsed_cycles == 0 || self.executions == 0 {
+            return UtilizationGrid {
+                rows: self.rows,
+                cols: self.cols,
+                values: vec![0.0; self.exec_counts.len()],
+            };
+        }
+        self.utilization()
+    }
+
     /// Column-time-weighted utilization grid.
     pub fn time_utilization(&self) -> UtilizationGrid {
         let denom = self.total_col_slots.max(1) as f64;
@@ -338,6 +370,23 @@ mod tests {
         assert_eq!(exec.value(0, 1), 0.5);
         let time = t.time_utilization();
         assert!((time.value(0, 0) - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycles_guard_degenerate_runs() {
+        let fabric = Fabric::be();
+        let mut t = UtilizationTracker::new(&fabric);
+        // Zero-length and empty runs both exert zero stress.
+        assert!(t.duty_cycles(0).values().iter().all(|&v| v == 0.0));
+        assert!(t.duty_cycles(500).values().iter().all(|&v| v == 0.0));
+        t.record_execution(&[(0, 0), (1, 1)], 2);
+        t.record_execution(&[(0, 0)], 2);
+        let duty = t.duty_cycles(1_000);
+        assert_eq!(duty.value(0, 0), 1.0);
+        assert_eq!(duty.value(1, 1), 0.5);
+        assert_eq!(duty, t.utilization(), "a non-degenerate run matches the paper metric");
+        // A recorded run of zero elapsed cycles is still degenerate.
+        assert!(t.duty_cycles(0).values().iter().all(|&v| v == 0.0));
     }
 
     #[test]

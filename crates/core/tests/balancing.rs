@@ -31,8 +31,14 @@ fn drive(
     let mut tracker = UtilizationTracker::new(fabric);
     for _ in 0..executions {
         let off = {
-            let req = AllocRequest { fabric, config_switch: false, footprint, tracker: &tracker };
-            policy.next_offset(&req)
+            let req = AllocRequest {
+                fabric,
+                config_switch: false,
+                footprint,
+                tracker: &tracker,
+                faults: None,
+            };
+            policy.next_offset(&req).expect("pristine fabric always allocates")
         };
         assert!(off.in_range(fabric), "{}: offset out of range", policy.name());
         let cells: Vec<(u32, u32)> =
@@ -118,8 +124,9 @@ proptest! {
             config_switch: false,
             footprint: &footprint,
             tracker: &tracker,
+            faults: None,
         };
-        let off = HealthAwarePolicy.next_offset(&req);
+        let off = HealthAwarePolicy.next_offset(&req).unwrap();
         prop_assert_ne!(off.apply(&fabric, 0, 0), hot,
             "oracle must avoid the stressed cell");
     }
@@ -148,8 +155,9 @@ proptest! {
                 config_switch: true,
                 footprint: &[],
                 tracker: &tracker,
+                faults: None,
             };
-            prop_assert_eq!(p.next_offset(&req), Offset::ORIGIN);
+            prop_assert_eq!(p.next_offset(&req), Some(Offset::ORIGIN));
         }
     }
 }

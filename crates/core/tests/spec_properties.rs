@@ -62,13 +62,66 @@ proptest! {
                     config_switch: cs == 1,
                     footprint: &footprint,
                     tracker: &tracker,
+                    faults: None,
                 };
-                policy.next_offset(&req)
+                policy.next_offset(&req).expect("pristine fabric always allocates")
             };
             prop_assert!(off.in_range(&fabric), "{}: offset {} out of range", spec, off);
             let cells: Vec<(u32, u32)> =
                 footprint.iter().map(|&(r, c)| off.apply(&fabric, r, c)).collect();
             tracker.record_execution(&cells, 2);
+        }
+    }
+
+    #[test]
+    fn spec_built_policies_respect_fault_masks(
+        (fabric, spec) in (any_fabric(), any_spec()),
+        dead in proptest::collection::vec((0u32..8, 0u32..32), 0..=12),
+        switches in proptest::collection::vec(0u8..=1, 8..=24),
+    ) {
+        // Whatever the mask, a policy either returns a placement that only
+        // touches live FUs or reports allocation exhaustion — it never
+        // silently lands work on dead silicon (DESIGN.md §11).
+        let mut mask = cgra::FaultMask::healthy(&fabric);
+        for (r, c) in dead {
+            mask.mark_dead(r % fabric.rows, c % fabric.cols);
+        }
+        let mut policy = spec.build();
+        let mut tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32), (0, 1 % fabric.cols)];
+        for cs in switches {
+            let off = {
+                let req = AllocRequest {
+                    fabric: &fabric,
+                    config_switch: cs == 1,
+                    footprint: &footprint,
+                    tracker: &tracker,
+                    faults: Some(&mask),
+                };
+                policy.next_offset(&req)
+            };
+            match off {
+                Some(off) => {
+                    prop_assert!(off.in_range(&fabric));
+                    let cells: Vec<(u32, u32)> =
+                        footprint.iter().map(|&(r, c)| off.apply(&fabric, r, c)).collect();
+                    for &(r, c) in &cells {
+                        prop_assert!(!mask.is_dead(r, c),
+                            "{}: placed on dead FU ({r},{c})", spec);
+                    }
+                    tracker.record_execution(&cells, 2);
+                }
+                None => {
+                    // Exhaustion must be real for movement policies: no
+                    // offset anywhere fits the footprint. (The baseline is
+                    // pinned to the origin, so its only option is the one
+                    // that just failed.)
+                    if spec.needs_movement() {
+                        prop_assert!(!mask.any_placement(&fabric, &footprint),
+                            "{}: gave up although a legal placement exists", spec);
+                    }
+                }
+            }
         }
     }
 

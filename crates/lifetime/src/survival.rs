@@ -1,0 +1,183 @@
+//! Fleet-scale lifetime statistics (DESIGN.md §11): survival curves, MTTF
+//! and first-failure histograms over many simulated device histories.
+
+use serde::{Deserialize, Serialize};
+
+/// A fleet survival curve: the fraction of devices still alive at each
+/// death time, in a Kaplan-Meier-style step form (no censoring model —
+/// every device is observed to the common horizon).
+///
+/// # Examples
+///
+/// ```
+/// use lifetime::SurvivalCurve;
+///
+/// // Three deaths, one survivor at the 10-year horizon.
+/// let deaths = [Some(3.2), Some(3.0), None, Some(7.5)];
+/// let curve = SurvivalCurve::from_deaths(&deaths, 10.0);
+/// assert_eq!(curve.points.first(), Some(&(0.0, 1.0)));
+/// assert_eq!(curve.points.last(), Some(&(10.0, 0.25)));
+/// assert_eq!(curve.alive_at(5.0), 0.5);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SurvivalCurve {
+    /// `(years, fraction_alive)` steps: the curve starts at `(0, 1)`,
+    /// drops at each death time, and ends with a point at the horizon.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl SurvivalCurve {
+    /// Builds the curve from per-device death times (`None` = still alive
+    /// at `horizon_years`). An empty fleet yields the flat all-alive curve.
+    pub fn from_deaths(deaths: &[Option<f64>], horizon_years: f64) -> SurvivalCurve {
+        let n = deaths.len().max(1) as f64;
+        let mut times: Vec<f64> = deaths.iter().filter_map(|d| *d).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN death times"));
+        let mut points = vec![(0.0, 1.0)];
+        let mut dead = 0usize;
+        let mut i = 0;
+        while i < times.len() {
+            // Simultaneous deaths collapse into one step.
+            let t = times[i];
+            while i < times.len() && times[i] == t {
+                dead += 1;
+                i += 1;
+            }
+            points.push((t, 1.0 - dead as f64 / n));
+        }
+        if points.last().map(|(t, _)| *t) != Some(horizon_years) {
+            let tail = points.last().map(|(_, a)| *a).unwrap_or(1.0);
+            points.push((horizon_years, tail));
+        }
+        SurvivalCurve { points }
+    }
+
+    /// The fraction of the fleet alive at `years` (step interpolation).
+    pub fn alive_at(&self, years: f64) -> f64 {
+        self.points.iter().rev().find(|(t, _)| *t <= years).map(|(_, a)| *a).unwrap_or(1.0)
+    }
+}
+
+/// Aggregate lifetime statistics of one fleet cell (one policy across N
+/// device instances).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Devices simulated.
+    pub devices: usize,
+    /// Devices dead by the horizon.
+    pub deaths: usize,
+    /// Mean time to failure in years. Devices alive at the horizon enter
+    /// at the horizon value, so with survivors this is a *lower bound* on
+    /// the true MTTF (censored mean).
+    pub mttf_years: f64,
+    /// Deployment time of the earliest device death, if any died.
+    pub earliest_death_years: Option<f64>,
+    /// First-FU-failure histogram: `counts[i]` devices saw their first FU
+    /// cross end of life inside bin `i` of `[0, horizon]`; devices whose
+    /// FUs all survived are not counted.
+    pub first_failure_counts: Vec<u64>,
+    /// Width of one histogram bin, in years.
+    pub bin_years: f64,
+}
+
+impl FleetStats {
+    /// Folds per-device `(death_time, first_fu_failure)` observations into
+    /// the aggregate (`None` = did not happen by the horizon).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `horizon_years` is not positive.
+    pub fn from_observations(
+        deaths: &[Option<f64>],
+        first_failures: &[Option<f64>],
+        horizon_years: f64,
+        bins: usize,
+    ) -> FleetStats {
+        assert!(bins > 0, "need at least one histogram bin");
+        assert!(horizon_years > 0.0, "horizon must be positive");
+        let devices = deaths.len();
+        let dead: Vec<f64> = deaths.iter().filter_map(|d| *d).collect();
+        let mttf_years = if devices == 0 {
+            0.0
+        } else {
+            deaths.iter().map(|d| d.unwrap_or(horizon_years)).sum::<f64>() / devices as f64
+        };
+        let earliest_death_years =
+            dead.iter().copied().fold(None, |acc: Option<f64>, t| match acc {
+                Some(best) => Some(best.min(t)),
+                None => Some(t),
+            });
+        let mut first_failure_counts = vec![0u64; bins];
+        for t in first_failures.iter().filter_map(|f| *f) {
+            let bin = ((t / horizon_years) * bins as f64) as usize;
+            first_failure_counts[bin.min(bins - 1)] += 1;
+        }
+        FleetStats {
+            devices,
+            deaths: dead.len(),
+            mttf_years,
+            earliest_death_years,
+            first_failure_counts,
+            bin_years: horizon_years / bins as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_curve_steps_down_at_deaths() {
+        let deaths = [Some(2.0), Some(4.0), None, None];
+        let curve = SurvivalCurve::from_deaths(&deaths, 10.0);
+        assert_eq!(curve.points, vec![(0.0, 1.0), (2.0, 0.75), (4.0, 0.5), (10.0, 0.5)]);
+        assert_eq!(curve.alive_at(0.0), 1.0);
+        assert_eq!(curve.alive_at(1.9), 1.0);
+        assert_eq!(curve.alive_at(2.0), 0.75);
+        assert_eq!(curve.alive_at(100.0), 0.5);
+    }
+
+    #[test]
+    fn simultaneous_deaths_collapse_into_one_step() {
+        let deaths = [Some(3.0), Some(3.0), Some(3.0), Some(5.0)];
+        let curve = SurvivalCurve::from_deaths(&deaths, 6.0);
+        assert_eq!(curve.points, vec![(0.0, 1.0), (3.0, 0.25), (5.0, 0.0), (6.0, 0.0)]);
+    }
+
+    #[test]
+    fn empty_fleet_stays_alive() {
+        let curve = SurvivalCurve::from_deaths(&[], 5.0);
+        assert_eq!(curve.points, vec![(0.0, 1.0), (5.0, 1.0)]);
+        assert_eq!(curve.alive_at(2.0), 1.0);
+    }
+
+    #[test]
+    fn stats_censor_survivors_at_the_horizon() {
+        let deaths = [Some(2.0), None];
+        let firsts = [Some(1.5), Some(9.5)];
+        let stats = FleetStats::from_observations(&deaths, &firsts, 10.0, 10);
+        assert_eq!(stats.devices, 2);
+        assert_eq!(stats.deaths, 1);
+        assert!((stats.mttf_years - 6.0).abs() < 1e-12, "mean of 2.0 and the 10.0 horizon");
+        assert_eq!(stats.earliest_death_years, Some(2.0));
+        assert_eq!(stats.first_failure_counts[1], 1, "1.5 lands in bin 1");
+        assert_eq!(stats.first_failure_counts[9], 1, "9.5 lands in the last bin");
+        assert_eq!(stats.first_failure_counts.iter().sum::<u64>(), 2);
+        assert!((stats.bin_years - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_horizon_failures_clamp_into_the_last_bin() {
+        let stats = FleetStats::from_observations(&[None], &[Some(42.0)], 10.0, 4);
+        assert_eq!(stats.first_failure_counts, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn stats_survive_json() {
+        let stats = FleetStats::from_observations(&[Some(1.0), None], &[Some(0.5), None], 4.0, 4);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: FleetStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

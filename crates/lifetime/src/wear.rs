@@ -1,0 +1,156 @@
+//! Fabric-level wear state: one [`WearState`] per FU (DESIGN.md §11).
+
+use cgra::Fabric;
+use nbti::{CalibratedAging, WearState};
+use serde::{Deserialize, Serialize};
+use uaware::UtilizationGrid;
+
+/// Per-FU NBTI wear of a whole fabric, advanced epoch by epoch.
+///
+/// Each cell composes its epochs with [`WearState::advance`]'s
+/// equivalent-age transform, so a grid advanced through any sequence of
+/// duty maps carries exactly the wear of the equivalent single-shot
+/// stress history — the property the no-fault regression test pins against
+/// [`CalibratedAging::lifetime_years`].
+///
+/// # Examples
+///
+/// ```
+/// use cgra::Fabric;
+/// use lifetime::WearGrid;
+/// use nbti::CalibratedAging;
+/// use uaware::UtilizationGrid;
+///
+/// let fabric = Fabric::new(1, 4);
+/// let mut wear = WearGrid::new(&fabric, CalibratedAging::default());
+/// let duty = UtilizationGrid::from_values(1, 4, vec![1.0, 0.5, 0.1, 0.0]);
+/// wear.advance(&duty, 1.5);
+/// wear.advance(&duty, 1.5);
+/// // Three years at full duty: the first FU sits exactly at end of life.
+/// assert!((wear.state(0, 0).delay_frac() - 0.10).abs() < 1e-9);
+/// assert!((wear.worst_delay_frac() - 0.10).abs() < 1e-9);
+/// assert_eq!(wear.state(0, 3).delay_frac(), 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WearGrid {
+    rows: u32,
+    cols: u32,
+    cells: Vec<WearState>,
+}
+
+impl WearGrid {
+    /// A pristine grid matching `fabric`'s geometry, aging under `aging`.
+    pub fn new(fabric: &Fabric, aging: CalibratedAging) -> WearGrid {
+        WearGrid {
+            rows: fabric.rows,
+            cols: fabric.cols,
+            cells: vec![WearState::new(aging); fabric.fu_count() as usize],
+        }
+    }
+
+    /// Grid height.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Grid width.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// The wear of the FU at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell lies outside the grid.
+    pub fn state(&self, row: u32, col: u32) -> &WearState {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) outside grid");
+        &self.cells[(row * self.cols + col) as usize]
+    }
+
+    /// Row-major per-FU wear states.
+    pub fn states(&self) -> &[WearState] {
+        &self.cells
+    }
+
+    /// Advances every FU by one epoch of `dt_years` at its duty from
+    /// `duty` (equivalent-age composition per cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a geometry mismatch or a negative epoch.
+    pub fn advance(&mut self, duty: &UtilizationGrid, dt_years: f64) {
+        assert_eq!((self.rows, self.cols), (duty.rows(), duty.cols()), "geometry mismatch");
+        for (cell, &u) in self.cells.iter_mut().zip(duty.values()) {
+            cell.advance(dt_years, u);
+        }
+    }
+
+    /// The highest delay degradation on the grid (the FU closest to — or
+    /// past — its end of life).
+    pub fn worst_delay_frac(&self) -> f64 {
+        self.cells.iter().map(WearState::delay_frac).fold(0.0, f64::max)
+    }
+
+    /// Per-FU delay degradation as a grid (values are fractions, clamped
+    /// at 1 — a 100 % slowdown is far past any end-of-life limit).
+    pub fn delay_grid(&self) -> UtilizationGrid {
+        UtilizationGrid::from_values(
+            self.rows,
+            self.cols,
+            self.cells.iter().map(|c| c.delay_frac().min(1.0)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_composes_per_cell() {
+        let fabric = Fabric::new(2, 4);
+        let aging = CalibratedAging::default();
+        let mut grid = WearGrid::new(&fabric, aging);
+        let duty =
+            UtilizationGrid::from_values(2, 4, vec![1.0, 0.8, 0.6, 0.4, 0.2, 0.1, 0.05, 0.0]);
+        for _ in 0..10 {
+            grid.advance(&duty, 0.3);
+        }
+        for (i, &u) in duty.values().iter().enumerate() {
+            let direct = aging.delay_increase(3.0, u);
+            let got = grid.states()[i].delay_frac();
+            assert!((got - direct).abs() < 1e-9, "cell {i}: {got} vs {direct}");
+        }
+        assert!((grid.worst_delay_frac() - aging.delay_increase(3.0, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_grid_mirrors_states() {
+        let fabric = Fabric::new(1, 4);
+        let mut grid = WearGrid::new(&fabric, CalibratedAging::default());
+        let duty = UtilizationGrid::from_values(1, 4, vec![1.0, 0.5, 0.0, 0.25]);
+        grid.advance(&duty, 2.0);
+        let delays = grid.delay_grid();
+        for (i, s) in grid.states().iter().enumerate() {
+            assert_eq!(delays.values()[i], s.delay_frac());
+        }
+        assert_eq!(delays.value(0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn geometry_mismatch_rejected() {
+        let mut grid = WearGrid::new(&Fabric::new(2, 4), CalibratedAging::default());
+        grid.advance(&UtilizationGrid::from_values(1, 4, vec![0.0; 4]), 1.0);
+    }
+
+    #[test]
+    fn wear_grid_survives_json() {
+        let mut grid = WearGrid::new(&Fabric::new(1, 4), CalibratedAging::default());
+        grid.advance(&UtilizationGrid::from_values(1, 4, vec![0.9, 0.1, 0.0, 0.4]), 1.0);
+        let json = serde_json::to_string(&grid).unwrap();
+        let back: WearGrid = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, grid);
+    }
+}

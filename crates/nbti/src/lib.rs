@@ -190,6 +190,122 @@ impl CalibratedAging {
     }
 }
 
+/// Persistent NBTI wear of one functional unit (DESIGN.md §11).
+///
+/// [`CalibratedAging`] answers "how degraded is a unit after `t` years at
+/// constant duty `u`?" — a single analytic shot. A real deployment is a
+/// *sequence* of epochs at different duty cycles, and because degradation
+/// follows `(t·u)^(1/6)`, per-epoch delay increments must **not** be added:
+/// the curve flattens with age, so the same epoch contributes less delay to
+/// an old unit than to a fresh one. `WearState` composes epochs with the
+/// standard *equivalent-age transform* instead: before each epoch, convert
+/// the accumulated degradation into the time `t_eq` at which a unit running
+/// at the epoch's duty would show that degradation, then advance the curve
+/// from `t_eq` to `t_eq + dt`.
+///
+/// For this model the transform has a closed form — the state collapses to
+/// an *effective age* `a = Σ dtᵢ·uᵢ` (equivalent years of continuous full
+/// stress), with `Δd = eol·(a/anchor)^(1/6)` — which the property tests use
+/// as a cross-check: [`advance`](WearState::advance) at constant duty must
+/// match [`CalibratedAging::delay_increase`] to 1e-9, and slice order must
+/// not matter.
+///
+/// # Examples
+///
+/// ```
+/// use nbti::{CalibratedAging, WearState};
+///
+/// let aging = CalibratedAging::default();
+/// let mut wear = WearState::new(aging);
+/// // Two years at 50% duty, then one year at full stress …
+/// wear.advance(2.0, 0.5);
+/// wear.advance(1.0, 1.0);
+/// // … is the same wear as two years of continuous full stress.
+/// assert!((wear.effective_age() - 2.0).abs() < 1e-9);
+/// assert!((wear.delay_frac() - aging.delay_increase(2.0, 1.0)).abs() < 1e-9);
+/// assert!(!wear.is_end_of_life());
+/// wear.advance(1.5, 1.0); // past the 3-year anchor
+/// assert!(wear.is_end_of_life());
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WearState {
+    aging: CalibratedAging,
+    /// Equivalent years of continuous full stress (`u = 1`).
+    effective_age: f64,
+}
+
+impl WearState {
+    /// A pristine unit aging under `aging`'s calibration.
+    pub fn new(aging: CalibratedAging) -> WearState {
+        WearState { aging, effective_age: 0.0 }
+    }
+
+    /// The calibration this wear accumulates under.
+    pub fn aging(&self) -> &CalibratedAging {
+        &self.aging
+    }
+
+    /// Equivalent years of continuous full stress (`u = 1`) accumulated so
+    /// far. A unit at constant duty `u` for `t` years has effective age
+    /// `t·u`.
+    pub fn effective_age(&self) -> f64 {
+        self.effective_age
+    }
+
+    /// Advances the wear by one epoch of `dt_years` at duty cycle `duty`,
+    /// composing with the accumulated degradation via the equivalent-age
+    /// transform (DESIGN.md §11): solve
+    /// `delay_increase(t_eq, duty) = delay_frac()` for `t_eq`, then move the
+    /// constant-duty curve from `t_eq` to `t_eq + dt_years`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `[0, 1]` or `dt_years` is negative.
+    pub fn advance(&mut self, dt_years: f64, duty: f64) {
+        assert!((0.0..=1.0).contains(&duty), "duty cycle {duty} outside [0, 1]");
+        assert!(dt_years >= 0.0, "negative epoch {dt_years}");
+        if duty == 0.0 || dt_years == 0.0 {
+            return; // an unstressed (or zero-length) epoch leaves no trace
+        }
+        // Equivalent age at this epoch's duty: the time at which a unit
+        // running at `duty` would show the current degradation.
+        let t_eq = self.effective_age / duty;
+        let d_new = self.aging.delay_increase(t_eq + dt_years, duty);
+        // Fold the new degradation back into the effective-age state by
+        // inverting Δd = eol·(a/anchor)^k.
+        self.effective_age = self.aging.anchor_years
+            * (d_new / self.aging.eol_delay_frac).powf(1.0 / self.aging.exponent);
+    }
+
+    /// Relative delay degradation accumulated so far.
+    pub fn delay_frac(&self) -> f64 {
+        self.aging.delay_increase(self.effective_age, 1.0)
+    }
+
+    /// `true` once the degradation has reached the end-of-life limit.
+    pub fn is_end_of_life(&self) -> bool {
+        self.delay_frac() >= self.aging.eol_delay_frac
+    }
+
+    /// Years of further operation at constant `duty` until end of life
+    /// (0 if already past it, `f64::INFINITY` for `duty = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `[0, 1]`.
+    pub fn remaining_years(&self, duty: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&duty), "duty cycle {duty} outside [0, 1]");
+        let headroom = (self.aging.anchor_years - self.effective_age).max(0.0);
+        if headroom == 0.0 {
+            0.0
+        } else if duty == 0.0 {
+            f64::INFINITY
+        } else {
+            headroom / duty
+        }
+    }
+}
+
 /// A sampled delay-degradation-over-time series (one curve of Fig. 8).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DelayCurve {
@@ -288,6 +404,51 @@ mod tests {
         let t = c.time_to_reach(0.10).expect("reaches EOL inside horizon");
         assert!((t - a.lifetime_years(0.5)).abs() < 0.2, "t={t}");
         assert!(c.time_to_reach(0.5).is_none());
+    }
+
+    #[test]
+    fn wear_state_constant_duty_matches_closed_form() {
+        let aging = CalibratedAging::default();
+        for duty in [0.05, 0.3, 0.7, 1.0] {
+            let mut wear = WearState::new(aging);
+            // 40 quarter-year epochs at constant duty …
+            for _ in 0..40 {
+                wear.advance(0.25, duty);
+            }
+            // … equal one 10-year analytic shot.
+            let direct = aging.delay_increase(10.0, duty);
+            assert!((wear.delay_frac() - direct).abs() < 1e-9, "duty {duty}");
+            assert!((wear.effective_age() - 10.0 * duty).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wear_state_eol_at_the_anchor() {
+        let aging = CalibratedAging::default();
+        let mut wear = WearState::new(aging);
+        wear.advance(aging.anchor_years - 0.01, 1.0);
+        assert!(!wear.is_end_of_life());
+        assert!((wear.remaining_years(1.0) - 0.01).abs() < 1e-9);
+        assert!((wear.remaining_years(0.5) - 0.02).abs() < 1e-9);
+        wear.advance(0.01, 1.0);
+        assert!(wear.is_end_of_life());
+        assert_eq!(wear.remaining_years(1.0), 0.0);
+        assert_eq!(wear.remaining_years(0.0), 0.0, "a dead unit has no headroom left");
+    }
+
+    #[test]
+    fn wear_state_zero_duty_never_ages() {
+        let mut wear = WearState::new(CalibratedAging::default());
+        wear.advance(100.0, 0.0);
+        assert_eq!(wear.effective_age(), 0.0);
+        assert_eq!(wear.delay_frac(), 0.0);
+        assert_eq!(wear.remaining_years(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn wear_state_rejects_bad_duty() {
+        WearState::new(CalibratedAging::default()).advance(1.0, 1.5);
     }
 
     #[test]

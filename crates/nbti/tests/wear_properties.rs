@@ -1,0 +1,116 @@
+//! Property tests for [`nbti::WearState`] (DESIGN.md §11): the
+//! equivalent-age composition must be order-invariant, monotone in both
+//! time and duty, and collapse to the closed-form [`CalibratedAging`]
+//! curve at constant duty.
+
+use proptest::prelude::*;
+
+use nbti::{CalibratedAging, WearState};
+
+fn any_aging() -> impl Strategy<Value = CalibratedAging> {
+    // Sweep the calibration too: EOL limit, anchor and exponent all vary.
+    ((0.05f64..=0.2), (1.0f64..=5.0), (4u32..=8)).prop_map(|(eol, anchor, inv_exp)| {
+        CalibratedAging {
+            eol_delay_frac: eol,
+            anchor_years: anchor,
+            exponent: 1.0 / inv_exp as f64,
+        }
+    })
+}
+
+/// `(dt_years, duty)` epochs, the raw material of every property below.
+fn any_epochs() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(((0.01f64..=2.0), (0.0f64..=1.0)), 1..=24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn constant_duty_matches_the_closed_form(
+        aging in any_aging(),
+        duty in 0.01f64..=1.0,
+        slices in proptest::collection::vec(0.01f64..=1.5, 1..=32),
+    ) {
+        // Advancing slice by slice at one duty must land exactly on the
+        // analytic curve evaluated at the total time.
+        let mut wear = WearState::new(aging);
+        let mut total = 0.0;
+        for dt in slices {
+            wear.advance(dt, duty);
+            total += dt;
+        }
+        let direct = aging.delay_increase(total, duty);
+        prop_assert!((wear.delay_frac() - direct).abs() < 1e-9,
+            "composed {} vs closed-form {}", wear.delay_frac(), direct);
+        prop_assert!((wear.effective_age() - total * duty).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_is_order_invariant(
+        aging in any_aging(),
+        epochs in any_epochs(),
+    ) {
+        // Wear is a function of the epoch *multiset*, not the schedule:
+        // replaying the epochs in reverse gives the same state.
+        let mut forward = WearState::new(aging);
+        for &(dt, u) in &epochs {
+            forward.advance(dt, u);
+        }
+        let mut backward = WearState::new(aging);
+        for &(dt, u) in epochs.iter().rev() {
+            backward.advance(dt, u);
+        }
+        prop_assert!((forward.effective_age() - backward.effective_age()).abs() < 1e-9,
+            "forward {} vs backward {}", forward.effective_age(), backward.effective_age());
+        prop_assert!((forward.delay_frac() - backward.delay_frac()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wear_is_monotone_in_time_and_duty(
+        aging in any_aging(),
+        epochs in any_epochs(),
+        dt in 0.01f64..=2.0,
+        (u_lo, u_hi) in (0.0f64..=1.0, 0.0f64..=1.0),
+    ) {
+        // From any reachable state, more time never reduces wear …
+        let mut base = WearState::new(aging);
+        for &(e_dt, e_u) in &epochs {
+            base.advance(e_dt, e_u);
+        }
+        let mut later = base;
+        later.advance(dt, 0.5);
+        prop_assert!(later.delay_frac() >= base.delay_frac());
+        prop_assert!(later.effective_age() >= base.effective_age());
+        // … and a higher duty over the same epoch never ages less.
+        let (u_lo, u_hi) = if u_lo <= u_hi { (u_lo, u_hi) } else { (u_hi, u_lo) };
+        let mut gentle = base;
+        gentle.advance(dt, u_lo);
+        let mut harsh = base;
+        harsh.advance(dt, u_hi);
+        prop_assert!(harsh.delay_frac() >= gentle.delay_frac() - 1e-12,
+            "duty {} aged less than duty {}", u_hi, u_lo);
+    }
+
+    #[test]
+    fn remaining_years_is_consistent_with_advance(
+        aging in any_aging(),
+        epochs in any_epochs(),
+        duty in 0.01f64..=1.0,
+    ) {
+        // Running out the predicted remaining time at `duty` lands exactly
+        // on end of life.
+        let mut wear = WearState::new(aging);
+        for &(dt, u) in &epochs {
+            wear.advance(dt, u);
+        }
+        let remaining = wear.remaining_years(duty);
+        if remaining == 0.0 {
+            prop_assert!(wear.is_end_of_life());
+        } else {
+            wear.advance(remaining, duty);
+            prop_assert!(wear.is_end_of_life());
+            prop_assert!((wear.delay_frac() - aging.eol_delay_frac).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Fleet-scale closed-loop lifetime simulation (DESIGN.md §11).
+//!
+//! One *device* is a [`System`] deployed for years: its workload mix runs
+//! as a sequence of *missions* (one pass of the suite, modeling
+//! [`FleetPlan::mission_years`] of deployment), each mission's per-FU
+//! stress folds into a persistent [`lifetime::DeviceLifetime`], FUs that
+//! cross end of life flip dead in the [`cgra::FaultMask`] the next
+//! mission's allocation must route around, and the device retires when the
+//! policy reports [`SystemError::AllocationExhausted`]. A *fleet* fans N
+//! such devices (per-device workload seeds via [`uaware::derive_cell_seed`])
+//! × M policies across the same thread pool the sweep engine uses, with
+//! the same guarantee: [`run_fleet`]'s report is byte-identical for every
+//! `jobs` value.
+//!
+//! Missions are deterministic given (configuration, policy, workloads,
+//! fault mask), so the engine simulates a mission **once per fault-mask
+//! state** and replays its duty grid until the next failure changes the
+//! mask — a device's cost is `1 + #mask-changes` suite simulations, not
+//! `#missions` (DESIGN.md §11).
+//!
+//! # Examples
+//!
+//! ```
+//! use cgra::Fabric;
+//! use transrec::fleet::{run_fleet, FleetPlan};
+//! use transrec::sweep::SuiteSpec;
+//! use uaware::PolicySpec;
+//!
+//! let plan = FleetPlan::new(0xDAC2020, Fabric::be())
+//!     .policy(PolicySpec::Baseline)
+//!     .policy(PolicySpec::HealthAware)
+//!     .devices(2)
+//!     .suite(SuiteSpec::subset("bitcount", vec![0]))
+//!     .mission_years(0.5)
+//!     .horizon_years(20.0);
+//! let report = run_fleet(&plan, 1).unwrap();
+//! let base = report.policy("baseline").unwrap();
+//! let oracle = report.policy("health-aware").unwrap();
+//! // Reallocation around failures outlives the corner-pinned baseline.
+//! assert!(oracle.stats.mttf_years > base.stats.mttf_years);
+//! ```
+
+use lifetime::{DeviceLifetime, FleetStats, FuFailed, SurvivalCurve};
+use mibench::Workload;
+use nbti::CalibratedAging;
+use serde::{Deserialize, Serialize};
+use threadpool::ThreadPool;
+use uaware::{derive_cell_seed, PolicySpec, UtilizationGrid, UtilizationTracker};
+
+use crate::sweep::SuiteSpec;
+use crate::system::{BuildError, System, SystemConfig, SystemError};
+
+/// Default deployment time one mission (one pass of the suite) models.
+pub const DEFAULT_MISSION_YEARS: f64 = 0.5;
+
+/// Default fleet observation horizon in years (long enough that every
+/// policy's cascade completes on the paper's BE scenario).
+pub const DEFAULT_HORIZON_YEARS: f64 = 40.0;
+
+/// A fleet experiment as data: N device instances × M policies, each
+/// device running its own seed-derived workload mix mission after mission
+/// until death or the horizon (DESIGN.md §11).
+#[derive(Clone, Debug)]
+pub struct FleetPlan {
+    /// Base experiment seed; device `d` builds its workloads from
+    /// [`derive_cell_seed`]`(base_seed, d)` (device 0 keeps the base seed).
+    pub base_seed: u64,
+    /// The system configuration every device ships with.
+    pub config: SystemConfig,
+    /// The policy axis (each policy sees the same device population).
+    pub policies: Vec<PolicySpec>,
+    /// Device instances per policy.
+    pub devices: usize,
+    /// The workload mix of one mission.
+    pub suite: SuiteSpec,
+    /// Deployment years one mission models.
+    pub mission_years: f64,
+    /// Observation horizon: devices alive at this time are censored.
+    pub horizon_years: f64,
+    /// The aging calibration wear accumulates under.
+    pub aging: CalibratedAging,
+    /// `true` (the closed loop): end-of-life FUs go dead in the fault mask
+    /// and allocation must route around them. `false` (open loop): wear
+    /// accumulates and failures are recorded, but placement never changes
+    /// — the mode the analytic cross-check runs in.
+    pub inject_faults: bool,
+    /// First-failure histogram bins over `[0, horizon_years]`.
+    pub histogram_bins: usize,
+}
+
+impl FleetPlan {
+    /// A fleet of 8 devices on `fabric` running the full mibench mix, with
+    /// the closed loop on and the default mission/horizon. Add policies
+    /// with the chainable builders.
+    pub fn new(base_seed: u64, fabric: cgra::Fabric) -> FleetPlan {
+        FleetPlan {
+            base_seed,
+            config: SystemConfig::new(fabric),
+            policies: Vec::new(),
+            devices: 8,
+            suite: SuiteSpec::full(),
+            mission_years: DEFAULT_MISSION_YEARS,
+            horizon_years: DEFAULT_HORIZON_YEARS,
+            aging: CalibratedAging::default(),
+            inject_faults: true,
+            histogram_bins: 20,
+        }
+    }
+
+    /// Replaces the system configuration.
+    pub fn config(mut self, config: SystemConfig) -> FleetPlan {
+        self.config = config;
+        self
+    }
+
+    /// Adds a policy to the policy axis.
+    pub fn policy(mut self, spec: PolicySpec) -> FleetPlan {
+        self.policies.push(spec);
+        self
+    }
+
+    /// Adds several policies to the policy axis.
+    pub fn policies(mut self, specs: impl IntoIterator<Item = PolicySpec>) -> FleetPlan {
+        self.policies.extend(specs);
+        self
+    }
+
+    /// Sets the number of device instances per policy.
+    pub fn devices(mut self, devices: usize) -> FleetPlan {
+        self.devices = devices;
+        self
+    }
+
+    /// Replaces the per-mission workload mix.
+    pub fn suite(mut self, suite: SuiteSpec) -> FleetPlan {
+        self.suite = suite;
+        self
+    }
+
+    /// Sets the deployment years one mission models.
+    pub fn mission_years(mut self, years: f64) -> FleetPlan {
+        self.mission_years = years;
+        self
+    }
+
+    /// Sets the observation horizon.
+    pub fn horizon_years(mut self, years: f64) -> FleetPlan {
+        self.horizon_years = years;
+        self
+    }
+
+    /// Replaces the aging calibration.
+    pub fn aging(mut self, aging: CalibratedAging) -> FleetPlan {
+        self.aging = aging;
+        self
+    }
+
+    /// Enables or disables the failure→allocation feedback loop.
+    pub fn inject_faults(mut self, inject: bool) -> FleetPlan {
+        self.inject_faults = inject;
+        self
+    }
+
+    /// The derived workload seed of device `device`.
+    pub fn device_seed(&self, device: usize) -> u64 {
+        derive_cell_seed(self.base_seed, device as u64)
+    }
+}
+
+/// One device's full deployment history inside a fleet report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceOutcome {
+    /// Device index inside the fleet (also its seed lane).
+    pub device: usize,
+    /// The workload-input seed the device ran.
+    pub seed: u64,
+    /// Deployment time of death, `None` if alive at the horizon.
+    pub death_years: Option<f64>,
+    /// Deployment time of the first FU failure, if any FU failed.
+    pub first_failure_years: Option<f64>,
+    /// Missions completed before death/horizon.
+    pub missions: u64,
+    /// Missions that were actually simulated (the rest replayed a cached
+    /// duty grid — the closed loop only re-runs after a mask change).
+    pub simulated_missions: u64,
+    /// Every end-of-life crossing, in event order.
+    pub failures: Vec<FuFailed>,
+}
+
+/// One policy's aggregated fleet results.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicyFleet {
+    /// Policy spec string.
+    pub policy: String,
+    /// MTTF, death counts and the first-failure histogram.
+    pub stats: FleetStats,
+    /// The fleet survival curve.
+    pub survival: SurvivalCurve,
+    /// Per-device histories, in device order.
+    pub devices: Vec<DeviceOutcome>,
+}
+
+/// The serializable result of [`run_fleet`] (`results/survival.json`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Base experiment seed.
+    pub base_seed: u64,
+    /// Fabric rows.
+    pub rows: u32,
+    /// Fabric columns.
+    pub cols: u32,
+    /// Workload-suite label.
+    pub suite: String,
+    /// Devices per policy.
+    pub devices: usize,
+    /// Deployment years one mission models.
+    pub mission_years: f64,
+    /// Observation horizon in years.
+    pub horizon_years: f64,
+    /// Whether failures fed back into allocation.
+    pub inject_faults: bool,
+    /// Per-policy aggregates, in plan order.
+    pub policies: Vec<PolicyFleet>,
+}
+
+impl FleetReport {
+    /// The aggregate for the policy whose spec string is `policy`.
+    pub fn policy(&self, policy: &str) -> Option<&PolicyFleet> {
+        self.policies.iter().find(|p| p.policy == policy)
+    }
+}
+
+/// Runs the suite once against the device's current fault mask and
+/// returns the duty-cycle grid its executions exerted. `Ok(None)` means
+/// the allocation is exhausted — the device is dead.
+fn run_mission(
+    config: &SystemConfig,
+    spec: &PolicySpec,
+    workloads: &[Workload],
+    mask: &cgra::FaultMask,
+) -> Result<Option<UtilizationGrid>, SystemError> {
+    let mut merged = UtilizationTracker::new(&config.fabric);
+    let mut cycles = 0u64;
+    for w in workloads {
+        let mut system = System::new(config.clone(), spec.build());
+        system.set_fault_mask(Some(mask.clone()));
+        match system.run(w.program()) {
+            Ok(_) => {}
+            Err(SystemError::AllocationExhausted { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        assert!(
+            w.verify(system.cpu()).is_ok(),
+            "oracle failure under {spec} with {} dead FUs",
+            mask.dead_count()
+        );
+        cycles += system.stats().total_cycles();
+        merged.merge(system.tracker());
+    }
+    Ok(Some(merged.duty_cycles(cycles)))
+}
+
+/// Simulates one device's whole deployment: run a mission, fold its duty
+/// into the wear state, inject failures, repeat — re-simulating only when
+/// the fault mask changed (DESIGN.md §11).
+fn simulate_device(
+    plan: &FleetPlan,
+    spec: &PolicySpec,
+    device: usize,
+    workloads: &[Workload],
+) -> Result<DeviceOutcome, SystemError> {
+    let mut life = DeviceLifetime::new(&plan.config.fabric, plan.aging, plan.inject_faults);
+    let mut cached: Option<(u32, UtilizationGrid)> = None;
+    let mut simulated = 0u64;
+    while life.elapsed_years() < plan.horizon_years {
+        // The mask is monotone, so its dead count keys the cached mission.
+        let key = life.fault_mask().dead_count();
+        if cached.as_ref().is_none_or(|(k, _)| *k != key) {
+            simulated += 1;
+            match run_mission(&plan.config, spec, workloads, life.fault_mask())? {
+                Some(duty) => cached = Some((key, duty)),
+                None => {
+                    life.retire();
+                    break;
+                }
+            }
+        }
+        let (_, duty) = cached.as_ref().expect("mission cached above");
+        life.advance_mission(duty, plan.mission_years);
+    }
+    Ok(DeviceOutcome {
+        device,
+        seed: plan.device_seed(device),
+        death_years: life.death_years(),
+        first_failure_years: life.first_failure_years(),
+        missions: life.missions(),
+        simulated_missions: simulated,
+        failures: life.failures().to_vec(),
+    })
+}
+
+/// Runs every (policy × device) cell of `plan`, sharded across `jobs`
+/// workers (`0` = all cores, `1` = sequential), and aggregates per-policy
+/// survival curves, MTTF and first-failure histograms. Like
+/// [`run_sweep`](crate::sweep::run_sweep), the report is **byte-identical
+/// for every worker count**: device seeds are derived, cells share no
+/// state, and results merge in plan order.
+///
+/// # Errors
+///
+/// A movement policy on a movement-less configuration is rejected before
+/// anything runs; otherwise the error of the lowest-indexed failing cell
+/// is returned. ([`SystemError::AllocationExhausted`] is *not* an error
+/// here — it is a device death, part of the result.)
+///
+/// # Panics
+///
+/// Panics on a non-positive (or non-finite) `mission_years` or
+/// `horizon_years` — like a malformed [`SuiteSpec`], a plan-construction
+/// bug, not a runtime condition (a zero-length mission would never
+/// advance the deployment clock).
+pub fn run_fleet(plan: &FleetPlan, jobs: usize) -> Result<FleetReport, SystemError> {
+    assert!(
+        plan.mission_years > 0.0 && plan.mission_years.is_finite(),
+        "mission_years must be positive and finite, got {}",
+        plan.mission_years
+    );
+    assert!(
+        plan.horizon_years > 0.0 && plan.horizon_years.is_finite(),
+        "horizon_years must be positive and finite, got {}",
+        plan.horizon_years
+    );
+    for spec in &plan.policies {
+        if spec.needs_movement() && !plan.config.movement_hardware {
+            return Err(BuildError::MovementHardwareAbsent { policy: spec.to_string() }.into());
+        }
+    }
+    let pool = if jobs == 0 { ThreadPool::with_default_workers() } else { ThreadPool::new(jobs) };
+
+    // Each device's workload mix is built once and shared across policies,
+    // so every policy faces the identical population.
+    let fleets: Vec<Vec<Workload>> = pool.par_map((0..plan.devices).collect(), |_, device| {
+        plan.suite.workloads(plan.device_seed(device))
+    });
+
+    let cells: Vec<(usize, usize)> =
+        (0..plan.policies.len()).flat_map(|p| (0..plan.devices).map(move |d| (p, d))).collect();
+    let outcomes: Vec<Result<DeviceOutcome, SystemError>> =
+        pool.par_map(cells, |_, (p, d)| simulate_device(plan, &plan.policies[p], d, &fleets[d]));
+    let mut results: Vec<DeviceOutcome> = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        results.push(outcome?);
+    }
+
+    let policies = plan
+        .policies
+        .iter()
+        .enumerate()
+        .map(|(p, spec)| {
+            let devices: Vec<DeviceOutcome> =
+                results[p * plan.devices..(p + 1) * plan.devices].to_vec();
+            let deaths: Vec<Option<f64>> = devices.iter().map(|d| d.death_years).collect();
+            let firsts: Vec<Option<f64>> = devices.iter().map(|d| d.first_failure_years).collect();
+            PolicyFleet {
+                policy: spec.to_string(),
+                stats: FleetStats::from_observations(
+                    &deaths,
+                    &firsts,
+                    plan.horizon_years,
+                    plan.histogram_bins,
+                ),
+                survival: SurvivalCurve::from_deaths(&deaths, plan.horizon_years),
+                devices,
+            }
+        })
+        .collect();
+
+    Ok(FleetReport {
+        base_seed: plan.base_seed,
+        rows: plan.config.fabric.rows,
+        cols: plan.config.fabric.cols,
+        suite: plan.suite.name.clone(),
+        devices: plan.devices,
+        mission_years: plan.mission_years,
+        horizon_years: plan.horizon_years,
+        inject_faults: plan.inject_faults,
+        policies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra::Fabric;
+
+    /// A one-benchmark mix keeps the closed loop fast in debug builds.
+    fn mini_plan() -> FleetPlan {
+        FleetPlan::new(7, Fabric::be())
+            .suite(SuiteSpec::subset("crc", vec![1]))
+            .devices(2)
+            .mission_years(1.0)
+            .horizon_years(30.0)
+    }
+
+    #[test]
+    fn baseline_dies_at_its_analytic_lifetime() {
+        let plan = mini_plan().policy(PolicySpec::Baseline);
+        let report = run_fleet(&plan, 1).unwrap();
+        let fleet = report.policy("baseline").unwrap();
+        assert_eq!(fleet.devices.len(), 2);
+        for device in &fleet.devices {
+            // The corner FU runs in ~every execution, so the first failure
+            // lands near the 3-year anchor and death follows within one
+            // mission (the baseline has no second placement).
+            let first = device.first_failure_years.expect("corner FU must fail");
+            let death = device.death_years.expect("baseline cannot survive its corner");
+            assert!((2.9..=3.5).contains(&first), "first failure at {first}");
+            assert!(death >= first && death <= first + plan.mission_years + 1e-9);
+            assert!(!device.failures.is_empty());
+            assert!(
+                device.simulated_missions < device.missions,
+                "unchanged-mask missions must replay, not re-simulate"
+            );
+        }
+        assert_eq!(fleet.stats.deaths, 2);
+        assert_eq!(fleet.survival.points.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn open_loop_never_retires_anyone() {
+        let plan = mini_plan().policy(PolicySpec::Baseline).inject_faults(false);
+        let report = run_fleet(&plan, 1).unwrap();
+        let fleet = report.policy("baseline").unwrap();
+        for device in &fleet.devices {
+            assert_eq!(device.death_years, None, "open loop records failures only");
+            assert!(device.first_failure_years.is_some());
+        }
+        assert_eq!(fleet.stats.deaths, 0);
+        assert_eq!(fleet.stats.mttf_years, plan.horizon_years, "all censored at the horizon");
+    }
+
+    #[test]
+    fn fleet_rejects_movement_specs_without_hardware() {
+        let mut plan = mini_plan().policy(PolicySpec::rotation());
+        plan.config.movement_hardware = false;
+        let err = run_fleet(&plan, 1).unwrap_err();
+        assert!(matches!(err, SystemError::Build(BuildError::MovementHardwareAbsent { .. })));
+    }
+
+    #[test]
+    fn device_seeds_vary_but_device_zero_keeps_the_base() {
+        let plan = mini_plan();
+        assert_eq!(plan.device_seed(0), 7);
+        assert_ne!(plan.device_seed(1), plan.device_seed(0));
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`sweep`] — the parallel sweep engine ([`SweepPlan`], [`run_sweep`]):
 //!   configuration × policy × suite grids sharded across a thread pool
 //!   with byte-identical, worker-count-independent results.
+//! * [`fleet`] — the closed-loop lifetime engine's driver
+//!   ([`FleetPlan`], [`run_fleet`]): multi-year mission sequences with
+//!   wear accumulation, end-of-life fault injection and failure-aware
+//!   reallocation, fanned out over N-device fleets (DESIGN.md §11).
 //! * [`scenario`] — the paper's BE/BP/BU design points.
 //!
 //! # Examples
@@ -50,6 +54,7 @@
 
 pub mod dse;
 pub mod energy;
+pub mod fleet;
 pub mod scenario;
 pub mod sweep;
 pub mod system;
@@ -60,6 +65,7 @@ pub use dse::{
     BenchmarkRun, SuiteRun,
 };
 pub use energy::{gpp_only_energy, system_energy, EnergyBreakdown, EnergyParams};
+pub use fleet::{run_fleet, DeviceOutcome, FleetPlan, FleetReport, PolicyFleet};
 pub use scenario::{Scenario, ALL as SCENARIOS, BE, BP, BU};
 pub use sweep::{run_sweep, SuiteSpec, SweepCell, SweepPlan};
 pub use system::{

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use cgra::op::OpKind;
-use cgra::{ExecError, Executor, Fabric, Offset, ReconfigUnit, RESIDENT_ROTATE_CYCLES};
+use cgra::{ExecError, Executor, Fabric, FaultMask, Offset, ReconfigUnit, RESIDENT_ROTATE_CYCLES};
 use dbt::membus::MemoryBus;
 use dbt::{CachedConfig, ConfigCache, Translator, TranslatorParams};
 use rv32::cpu::{Cpu, CpuError, Exit, TimingModel};
@@ -165,6 +165,12 @@ pub enum SystemError {
         /// The offending offset.
         offset: Offset,
     },
+    /// The allocation policy found no placement avoiding the fault mask's
+    /// dead FUs — the device's end of life (DESIGN.md §11).
+    AllocationExhausted {
+        /// Start PC of the configuration that could not be placed.
+        pc: u32,
+    },
     /// The run exceeded `max_steps`.
     StepLimit {
         /// The exhausted budget.
@@ -182,6 +188,9 @@ impl fmt::Display for SystemError {
             SystemError::Mem(e) => write!(f, "{e}"),
             SystemError::MovementUnsupported { offset } => {
                 write!(f, "policy requested offset {offset} but the movement extensions are absent")
+            }
+            SystemError::AllocationExhausted { pc } => {
+                write!(f, "no fault-free placement remains for configuration at pc {pc:#x}")
             }
             SystemError::StepLimit { limit } => write!(f, "system step limit {limit} exceeded"),
             SystemError::Build(e) => write!(f, "{e}"),
@@ -240,6 +249,9 @@ pub struct System {
     cache: ConfigCache,
     policy: Box<dyn AllocationPolicy>,
     tracker: UtilizationTracker,
+    /// Permanent FU failures the allocation must route around
+    /// (DESIGN.md §11). `None` models a pristine fabric.
+    faults: Option<FaultMask>,
     reconfig_unit: ReconfigUnit,
     resident: Option<(u32, Offset)>,
     /// Whether the GPP has retired anything since the last offload (if not,
@@ -301,12 +313,21 @@ pub struct SystemBuilder {
     config: SystemConfig,
     spec: PolicySpec,
     probes: Vec<ProbeSpec>,
+    faults: Option<FaultMask>,
 }
 
 impl SystemBuilder {
     /// The allocation policy (defaults to [`PolicySpec::Baseline`]).
     pub fn policy(mut self, spec: PolicySpec) -> SystemBuilder {
         self.spec = spec;
+        self
+    }
+
+    /// Starts the system with permanent FU failures already present
+    /// (DESIGN.md §11) — e.g. resuming a part-worn device. The mask can
+    /// also be swapped later via [`System::set_fault_mask`].
+    pub fn fault_mask(mut self, mask: FaultMask) -> SystemBuilder {
+        self.faults = Some(mask);
         self
     }
 
@@ -382,6 +403,7 @@ impl SystemBuilder {
             return Err(BuildError::MovementHardwareAbsent { policy: self.spec.to_string() });
         }
         let mut system = System::new(self.config, self.spec.build());
+        system.set_fault_mask(self.faults);
         for probe in &self.probes {
             system.attach_observer(probe.build());
         }
@@ -397,6 +419,7 @@ impl System {
             config: SystemConfig::new(fabric),
             spec: PolicySpec::Baseline,
             probes: Vec::new(),
+            faults: None,
         }
     }
 
@@ -416,6 +439,7 @@ impl System {
             cache: ConfigCache::new(config.cache_capacity),
             policy,
             tracker: UtilizationTracker::new(&config.fabric),
+            faults: None,
             reconfig_unit,
             resident: None,
             gpp_dirty: true,
@@ -454,6 +478,31 @@ impl System {
     /// The utilization tracker (per-FU stress observations).
     pub fn tracker(&self) -> &UtilizationTracker {
         &self.tracker
+    }
+
+    /// Installs (or clears) the permanent-failure map the allocation policy
+    /// must route around (DESIGN.md §11). The lifetime engine updates the
+    /// mask between missions as FUs cross their end of life; once no legal
+    /// placement remains, runs fail with
+    /// [`SystemError::AllocationExhausted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask geometry does not match the system's fabric.
+    pub fn set_fault_mask(&mut self, mask: Option<FaultMask>) {
+        if let Some(mask) = &mask {
+            assert_eq!(
+                (mask.rows(), mask.cols()),
+                (self.config.fabric.rows, self.config.fabric.cols),
+                "fault mask geometry must match the fabric"
+            );
+        }
+        self.faults = mask;
+    }
+
+    /// The installed permanent-failure map, if any.
+    pub fn fault_mask(&self) -> Option<&FaultMask> {
+        self.faults.as_ref()
     }
 
     /// Configuration-cache statistics.
@@ -564,12 +613,16 @@ impl System {
         let fabric = self.config.fabric;
         let footprint: Vec<(u32, u32)> = cc.config.cells().collect();
         let config_switch = !matches!(self.resident, Some((pc, _)) if pc == cc.start_pc);
-        let offset = self.policy.next_offset(&AllocRequest {
-            fabric: &fabric,
-            config_switch,
-            footprint: &footprint,
-            tracker: &self.tracker,
-        });
+        let offset = self
+            .policy
+            .next_offset(&AllocRequest {
+                fabric: &fabric,
+                config_switch,
+                footprint: &footprint,
+                tracker: &self.tracker,
+                faults: self.faults.as_ref(),
+            })
+            .ok_or(SystemError::AllocationExhausted { pc: cc.start_pc })?;
         if offset != Offset::ORIGIN && !self.config.movement_hardware {
             return Err(SystemError::MovementUnsupported { offset });
         }
@@ -995,6 +1048,43 @@ mod tests {
         assert_eq!(cfg.max_steps, 1234);
         let sys = builder.build().unwrap();
         assert_eq!(sys.policy_name(), "health-aware");
+    }
+
+    #[test]
+    fn corner_failure_kills_a_baseline_run() {
+        let mut mask = FaultMask::healthy(&Fabric::be());
+        mask.mark_dead(0, 0);
+        let mut sys = System::builder(Fabric::be())
+            .policy(PolicySpec::Baseline)
+            .fault_mask(mask)
+            .build()
+            .unwrap();
+        let err = sys.run(&toy_program()).unwrap_err();
+        assert!(matches!(err, SystemError::AllocationExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn rotation_routes_around_a_dead_corner() {
+        let mut mask = FaultMask::healthy(&Fabric::be());
+        mask.mark_dead(0, 0);
+        let mut sys = System::builder(Fabric::be())
+            .policy(PolicySpec::rotation())
+            .fault_mask(mask.clone())
+            .build()
+            .unwrap();
+        sys.run(&toy_program()).unwrap();
+        assert_eq!(sys.cpu().reg(rv32::Reg::A0), reference_result());
+        assert_eq!(sys.fault_mask(), Some(&mask));
+        // No execution ever touched the dead FU.
+        assert_eq!(sys.tracker().exec_count(0, 0), 0, "dead corner must stay idle");
+        assert!(sys.stats().offloads > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry must match")]
+    fn fault_mask_geometry_is_validated() {
+        let mut sys = System::builder(Fabric::be()).build().unwrap();
+        sys.set_fault_mask(Some(FaultMask::healthy(&Fabric::bp())));
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Acceptance regression tests for the closed-loop lifetime engine
+//! (DESIGN.md §11):
+//!
+//! 1. open loop (faults disabled): the wear-state lifetime of the worst FU
+//!    on the **full mibench suite** matches the analytic
+//!    `CalibratedAging::lifetime_years(worst_u)` within 1e-6;
+//! 2. closed loop (faults injected): health-aware reallocation outlives
+//!    the corner-pinned baseline's MTTF;
+//! 3. `run_fleet` is byte-identical for every worker count.
+
+use cgra::Fabric;
+use lifetime::DeviceLifetime;
+use nbti::CalibratedAging;
+use transrec::fleet::{run_fleet, FleetPlan};
+use transrec::sweep::SuiteSpec;
+use transrec::{System, SystemConfig};
+use uaware::{PolicySpec, UtilizationTracker};
+
+/// Runs the full ten-benchmark suite once and returns the merged tracker
+/// plus the total system cycles — one "mission" of the fleet engine.
+fn full_suite_mission(config: &SystemConfig, spec: &PolicySpec) -> (UtilizationTracker, u64) {
+    let mut merged = UtilizationTracker::new(&config.fabric);
+    let mut cycles = 0u64;
+    for w in mibench::suite(0xDAC2020) {
+        let mut system = System::new(config.clone(), spec.build());
+        system.run(w.program()).expect("suite runs");
+        w.verify(system.cpu()).expect("oracle");
+        cycles += system.stats().total_cycles();
+        merged.merge(system.tracker());
+    }
+    (merged, cycles)
+}
+
+#[test]
+fn open_loop_wear_lifetime_matches_the_analytic_projection() {
+    // Acceptance criterion: with faults disabled, the wear-state lifetime
+    // of the worst FU equals CalibratedAging::lifetime_years(worst_u)
+    // within 1e-6 on the full mibench suite.
+    let config = SystemConfig::new(Fabric::be());
+    let aging = CalibratedAging::default();
+    let spec = PolicySpec::rotation();
+    let (tracker, cycles) = full_suite_mission(&config, &spec);
+    let duty = tracker.duty_cycles(cycles);
+    let worst_u = duty.max();
+    assert!(worst_u > 0.3, "rotation's worst duty on BE should be ~0.42, got {worst_u}");
+    assert_eq!(duty, tracker.utilization(), "duty is the paper's utilization metric");
+
+    // Drive the wear state through unevenly sized missions; composition
+    // must land exactly on the analytic curve.
+    let mut device = DeviceLifetime::new(&config.fabric, aging, false);
+    for dt in [0.25, 1.0, 0.125, 2.0, 0.5] {
+        device.advance_mission(&duty, dt);
+    }
+    let analytic = aging.lifetime_years(worst_u);
+    let wear_state = device.projected_first_failure(&duty);
+    assert!(
+        (wear_state - analytic).abs() < 1e-6,
+        "wear-state lifetime {wear_state} vs analytic {analytic}"
+    );
+
+    // And the interpolated FuFailed event of the worst FU lands on the
+    // same instant when the missions actually cross it.
+    let mut device = DeviceLifetime::new(&config.fabric, aging, false);
+    let mut first = None;
+    while first.is_none() && device.elapsed_years() < 2.0 * analytic {
+        first = device.advance_mission(&duty, 0.5).first().map(|f| f.at_years);
+    }
+    let first = first.expect("worst FU must cross EOL within twice its lifetime");
+    assert!((first - analytic).abs() < 1e-6, "event at {first} vs analytic {analytic}");
+}
+
+#[test]
+fn closed_loop_health_aware_outlives_baseline_mttf() {
+    // Acceptance criterion: a fault-injected run shows health-aware
+    // outliving baseline MTTF. bitcount's small footprints let the oracle
+    // spread stress (worst duty ~0.22 vs the baseline's pinned 1.0).
+    let plan = FleetPlan::new(0xDAC2020, Fabric::be())
+        .policy(PolicySpec::Baseline)
+        .policy(PolicySpec::HealthAware)
+        .devices(2)
+        .suite(SuiteSpec::subset("bitcount", vec![0]))
+        .mission_years(0.5)
+        .horizon_years(16.0);
+    let report = run_fleet(&plan, 1).expect("fleet runs");
+    assert!(report.inject_faults);
+    let base = report.policy("baseline").expect("baseline fleet");
+    let oracle = report.policy("health-aware").expect("health-aware fleet");
+    // Every baseline device dies with its corner, shortly after 3 years.
+    assert_eq!(base.stats.deaths, plan.devices);
+    for device in &base.devices {
+        let death = device.death_years.expect("baseline corner death");
+        assert!((2.9..=4.0).contains(&death), "baseline died at {death}");
+    }
+    assert!(
+        oracle.stats.mttf_years > base.stats.mttf_years,
+        "health-aware MTTF {} must exceed baseline {}",
+        oracle.stats.mttf_years,
+        base.stats.mttf_years
+    );
+    // The oracle's first failures land far beyond the baseline's.
+    for device in &oracle.devices {
+        if let Some(first) = device.first_failure_years {
+            assert!(first > 10.0, "health-aware first failure at {first}");
+        }
+    }
+    // Survival: at 5 years the baseline fleet is gone, the oracle's is not.
+    assert_eq!(base.survival.alive_at(5.0), 0.0);
+    assert_eq!(oracle.survival.alive_at(5.0), 1.0);
+}
+
+#[test]
+fn fleet_reports_are_identical_for_every_worker_count() {
+    let plan = FleetPlan::new(0xDAC2020, Fabric::be())
+        .policy(PolicySpec::Baseline)
+        .policy(PolicySpec::rotation())
+        .devices(3)
+        .suite(SuiteSpec::subset("crc", vec![1]))
+        .mission_years(1.0)
+        .horizon_years(12.0);
+    let sequential = run_fleet(&plan, 1).expect("sequential fleet");
+    let sharded = run_fleet(&plan, 4).expect("sharded fleet");
+    let inline = run_fleet(&plan, 0).expect("default-pool fleet");
+    assert_eq!(sequential, sharded);
+    assert_eq!(sequential, inline);
+    // Byte-identical all the way into the serialized artefact.
+    let a = serde_json::to_string(&sequential).unwrap();
+    let b = serde_json::to_string(&sharded).unwrap();
+    assert_eq!(a, b);
+}

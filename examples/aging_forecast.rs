@@ -5,6 +5,12 @@
 //! forecast also reports how fast every policy flattens worst-FU stress
 //! (DESIGN.md §10).
 //!
+//! Two lifetime columns cross-check each other: `life[y]` is the one-shot
+//! analytic projection from the final utilization grid, `wear[y]` replays
+//! the same duty cycles through the persistent per-FU wear state
+//! (DESIGN.md §11) — equivalent-age composition across missions must land
+//! on the same worst-FU lifetime.
+//!
 //! The policy loop shares one precomputed GPP reference
 //! ([`transrec::gpp_reference`] + [`transrec::run_suite_with_baseline`]):
 //! the stand-alone GPP baseline is policy-independent, so it is simulated
@@ -15,6 +21,7 @@
 //! ```
 
 use cgra::Fabric;
+use lifetime::DeviceLifetime;
 use nbti::CalibratedAging;
 use transrec::telemetry::ProbeSpec;
 use transrec::{gpp_reference, run_suite_with_baseline, EnergyParams, SystemConfig};
@@ -33,8 +40,8 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("deployment forecast, {}x{} fabric, ten-benchmark mix", fabric.rows, fabric.cols);
     println!(
-        "{:<26} {:>10} {:>10} {:>12} {:>14} {:>10}",
-        "policy", "worst-FU", "CoV", "lifetime[y]", "10y delay[%]", "settle[%]"
+        "{:<26} {:>10} {:>10} {:>9} {:>9} {:>14} {:>10}",
+        "policy", "worst-FU", "CoV", "life[y]", "wear[y]", "10y delay[%]", "settle[%]"
     );
 
     // The whole standard sweep, enumerated as data — every policy ×
@@ -47,6 +54,23 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
         let eval = evaluate_aging(&aging, &grid, 10.0, 101);
         let at_10y = aging.delay_increase(10.0, eval.worst_utilization);
 
+        // The wear-state lifetime (DESIGN.md §11): fold the run's duty
+        // cycles into a persistent per-FU wear grid, mission by mission,
+        // and project the first end-of-life crossing. Equivalent-age
+        // composition makes this agree with the analytic column.
+        let total_cycles: u64 = run.benchmarks.iter().map(|b| b.stats.total_cycles()).sum();
+        let duty = run.tracker.duty_cycles(total_cycles);
+        let mut device = DeviceLifetime::new(&fabric, aging, false);
+        for _ in 0..4 {
+            device.advance_mission(&duty, 0.5); // two deployment years …
+        }
+        let wear_life = device.projected_first_failure(&duty);
+        assert!(
+            (wear_life - eval.lifetime_years).abs() < 1e-6,
+            "wear-state and analytic lifetimes must agree ({wear_life} vs {})",
+            eval.lifetime_years
+        );
+
         // The temporal view: the suite-level epoch series, and where the
         // worst-FU stress settles to within 5% of its final value.
         let trace = run.util_trace().expect("util-trace probe attached");
@@ -55,11 +79,12 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
         let settle_pct = if total == 0 { 0.0 } else { 100.0 * settle as f64 / total as f64 };
 
         println!(
-            "{:<26} {:>9.1}% {:>10.3} {:>12.2} {:>13.2}% {:>9.1}%",
+            "{:<26} {:>9.1}% {:>10.3} {:>9.2} {:>9.2} {:>13.2}% {:>9.1}%",
             spec.to_string(),
             100.0 * eval.worst_utilization,
             grid.cov(),
             eval.lifetime_years,
+            wear_life,
             100.0 * at_10y,
             settle_pct,
         );

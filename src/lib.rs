@@ -10,7 +10,10 @@
 //! * [`cgra`] — the reconfigurable fabric, bitstreams and area model.
 //! * [`uaware`] — the paper's contribution: rotation policies, movement
 //!   patterns, utilization tracking, lifetime evaluation.
-//! * [`nbti`] — the NBTI aging model (paper Eq. 1).
+//! * [`nbti`] — the NBTI aging model (paper Eq. 1) and persistent
+//!   per-unit wear state.
+//! * [`lifetime`] — the closed-loop lifetime engine: fabric wear grids,
+//!   end-of-life events, fleet survival statistics (DESIGN.md §11).
 //! * [`dbt`] — the dynamic-binary-translation module.
 //! * [`mibench`] — the MiBench-derived workloads.
 //! * [`transrec`] — the full-system GPP + DBT + CGRA simulator.
@@ -28,6 +31,7 @@
 pub extern crate bench;
 pub use cgra;
 pub use dbt;
+pub use lifetime;
 pub use mibench;
 pub use nbti;
 pub use rv32;

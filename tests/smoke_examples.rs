@@ -12,6 +12,9 @@ mod custom_kernel;
 #[path = "../examples/aging_forecast.rs"]
 mod aging_forecast;
 
+#[path = "../examples/fleet_mttf.rs"]
+mod fleet_mttf;
+
 // The smoke test enters via run(seed), so the arg-parsing main is unused
 // in this compilation unit.
 #[allow(dead_code)]
@@ -31,6 +34,11 @@ fn custom_kernel_runs() {
 #[test]
 fn aging_forecast_runs() {
     aging_forecast::main().expect("aging_forecast example failed");
+}
+
+#[test]
+fn fleet_mttf_runs() {
+    fleet_mttf::main().expect("fleet_mttf example failed");
 }
 
 #[test]

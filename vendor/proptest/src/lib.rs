@@ -204,6 +204,9 @@ pub mod strategy {
     }
 
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    // Float ranges sample uniformly over the interval (upstream proptest's
+    // default f32/f64 range behaviour, minus the special-value corners).
+    impl_range_strategy!(f32, f64);
 
     macro_rules! impl_tuple_strategy {
         ($(($($s:ident . $idx:tt),+))*) => {$(
@@ -640,6 +643,12 @@ mod tests {
         fn ranges_respect_bounds(x in 3u32..10, y in -5i32..=5) {
             prop_assert!((3..10).contains(&x));
             prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn float_ranges_respect_bounds(x in 0.5f64..2.5, y in -1.0f32..=1.0) {
+            prop_assert!((0.5..2.5).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
         }
 
         #[test]

@@ -92,6 +92,43 @@ impl_sample_range!(
     i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
 );
 
+/// Draws a uniform `f64` in `[0, 1)` from the top 53 bits of one draw (the
+/// standard mantissa construction upstream `rand` uses).
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                // The interpolation can round up onto the excluded end
+                // (the f64→f32 cast of a unit sample just below 1, or the
+                // final add rounding to `end`); rejection keeps the
+                // half-open contract upstream rand guarantees.
+                loop {
+                    let v = self.start + (self.end - self.start) * unit_f64(rng) as $t;
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                // Linear interpolation over the closed interval; both ends
+                // are reachable (u = 0 exactly, u → 1 up to rounding).
+                start + (end - start) * unit_f64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);
+
 /// A generator that can be constructed from a seed.
 pub trait SeedableRng: Sized {
     /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
@@ -177,6 +214,24 @@ mod tests {
         }
         assert_eq!(rng.random_range(3..4u32), 3, "singleton range");
         let _ = rng.random_range(0..=u32::MAX);
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for _ in 0..1000 {
+            let v = rng.random_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(hi - lo > 0.5, "draws spread over the interval ({lo}..{hi})");
+        for _ in 0..100 {
+            let v = rng.random_range(-1.0f32..=1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+        assert_eq!(rng.random_range(4.0f64..=4.0), 4.0, "degenerate closed range");
     }
 
     #[test]
