@@ -1,13 +1,14 @@
-//! Hot paths of the closed-loop lifetime engine (DESIGN.md §11): the
-//! per-mission wear update (equivalent-age composition across every FU)
-//! and the fault-masked allocation decision policies pay once dead FUs
-//! constrain placement.
+//! Hot paths of the closed-loop lifetime engine (DESIGN.md §11, §12): the
+//! per-mission wear update (equivalent-age composition across every FU),
+//! the columnar fleet-batch advance the shard replay runs on, and the
+//! fault-masked allocation decision policies pay once dead FUs constrain
+//! placement.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cgra::{Fabric, FaultMask};
-use lifetime::WearGrid;
+use lifetime::{WearBatch, WearGrid};
 use nbti::CalibratedAging;
 use uaware::{
     AllocRequest, AllocationPolicy, HealthAwarePolicy, RotationPolicy, Snake, UtilizationGrid,
@@ -30,6 +31,14 @@ fn bench_wear_update(c: &mut Criterion) {
             grid.advance(black_box(&duty), 0.25);
             black_box(grid.worst_delay_frac())
         })
+    });
+    // The columnar fleet path (DESIGN.md §12): one mission folded into a
+    // 256-device class on the contiguous slab — per-device cost is what
+    // `fig_lifetime --devices 100000` pays per replayed mission.
+    group.bench_function("batch_advance_256dev_class", |b| {
+        let mut batch = WearBatch::new(&fabric, aging, 256);
+        let lanes: Vec<usize> = (0..256).collect();
+        b.iter(|| black_box(batch.advance_class(black_box(&lanes), &duty, 0.25)))
     });
     group.finish();
 }

@@ -1,16 +1,26 @@
-//! Fleet-scale closed-loop lifetime simulation (DESIGN.md §11): N devices
-//! per policy run their seed-derived mibench mixes for years on the BE
-//! scenario while NBTI wear accumulates, end-of-life FUs drop out of the
-//! fault mask, allocation routes around them, and devices die when no
-//! legal placement remains. Emits `results/survival.json` with per-policy
-//! survival curves, MTTF and first-failure histograms.
+//! Fleet-scale closed-loop lifetime simulation (DESIGN.md §11, §12): N
+//! devices per policy run their lane's seed-derived mibench mix for years
+//! on the BE scenario while NBTI wear accumulates, end-of-life FUs drop
+//! out of the fault mask, allocation routes around them, and devices die
+//! when no legal placement remains. Emits `results/survival.json` with
+//! per-policy survival curves, MTTF and first-failure histograms.
 //!
-//! Flags: `--devices <n>` sizes the fleet (default 8), the usual
-//! repeatable `--policy <spec>` swaps the policy series, and `--jobs <n>`
-//! shards the device simulations (results are byte-identical for every
-//! worker count — CI diffs `--jobs 1` against `--jobs 4`).
+//! Flags: `--devices <n>` sizes the fleet (default 8), `--lanes <n>` sets
+//! the distinct workload seeds (default `min(devices, 8)` — fleets beyond
+//! 8 devices share trajectories through equivalence classes), `--shard
+//! <n>` the streaming shard size, and the usual repeatable `--policy
+//! <spec>` / `--jobs <n>` apply. Campaign control: `--checkpoint <path>`
+//! persists (and resumes) progress, `--checkpoint-every <n>` sets the wave
+//! width, `--stop-after <n>` pauses after n shards. The report is
+//! byte-identical for every worker count, shard split and kill/resume
+//! point — CI diffs them all.
 
-use bench::{apply_cli_flags, fig_lifetime, parse_devices_flag, save_json, ExperimentContext};
+use bench::{
+    apply_cli_flags, default_lanes, fig_lifetime_campaign, parse_checkpoint_every_flag,
+    parse_checkpoint_flag, parse_devices_flag, parse_lanes_flag, parse_shard_flag,
+    parse_stop_after_flag, save_json, ExperimentContext,
+};
+use transrec::{CampaignOptions, CampaignStatus, FleetReport};
 
 /// Default device instances per policy.
 const DEFAULT_DEVICES: usize = 8;
@@ -22,22 +32,50 @@ fn main() {
         std::process::exit(2);
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let devices = match parse_devices_flag(&args) {
-        Ok(d) => d.unwrap_or(DEFAULT_DEVICES),
+    let parsed = parse_devices_flag(&args).and_then(|devices| {
+        Ok((
+            devices.unwrap_or(DEFAULT_DEVICES),
+            parse_lanes_flag(&args)?,
+            parse_shard_flag(&args)?,
+            CampaignOptions {
+                checkpoint: parse_checkpoint_flag(&args)?,
+                checkpoint_every_shards: parse_checkpoint_every_flag(&args)?.unwrap_or(0),
+                stop_after_shards: parse_stop_after_flag(&args)?,
+            },
+        ))
+    });
+    let (devices, lanes, shard, options) = match parsed {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
     };
+    let lanes = lanes.unwrap_or_else(|| default_lanes(devices));
 
-    let r = fig_lifetime(&ctx, devices);
+    match fig_lifetime_campaign(&ctx, devices, lanes, shard, &options) {
+        CampaignStatus::Complete(report) => {
+            print_report(&report);
+            save_json("survival", &*report);
+        }
+        CampaignStatus::Paused { completed_shards, total_shards } => {
+            println!(
+                "== fleet campaign paused: {completed_shards}/{total_shards} shards complete \
+                 (resume with the same --checkpoint) =="
+            );
+        }
+    }
+}
+
+fn print_report(r: &FleetReport) {
     println!(
-        "== fleet lifetime: {} devices/policy, {}x{} fabric, {} mix, {}y missions, {}y horizon ==",
-        r.devices, r.rows, r.cols, r.suite, r.mission_years, r.horizon_years
+        "== fleet lifetime: {} devices/policy over {} lane(s), {}x{} fabric, {} mix, {}y \
+         missions, {}y horizon ==",
+        r.devices, r.lanes, r.rows, r.cols, r.suite, r.mission_years, r.horizon_years
     );
     println!(
-        "{:<26} {:>8} {:>10} {:>13} {:>13} {:>12}",
-        "policy", "deaths", "MTTF[y]", "1st death[y]", "1st fail[y]", "alive@10y"
+        "{:<26} {:>8} {:>10} {:>13} {:>13} {:>12} {:>10}",
+        "policy", "deaths", "MTTF[y]", "1st death[y]", "1st fail[y]", "alive@10y", "sims"
     );
     let baseline_mttf = r.policy("baseline").map(|p| p.stats.mttf_years);
     for fleet in &r.policies {
@@ -47,7 +85,7 @@ fn main() {
             .filter_map(|d| d.first_failure_years)
             .fold(f64::INFINITY, f64::min);
         println!(
-            "{:<26} {:>5}/{:<2} {:>10.2} {:>13} {:>13} {:>11.0}%",
+            "{:<26} {:>5}/{:<2} {:>10.2} {:>13} {:>13} {:>11.0}% {:>10}",
             fleet.policy,
             fleet.stats.deaths,
             fleet.stats.devices,
@@ -59,6 +97,7 @@ fn main() {
                 .unwrap_or_else(|| "-".into()),
             if first_fail.is_finite() { format!("{first_fail:.2}") } else { "-".into() },
             100.0 * fleet.survival.alive_at(10.0),
+            fleet.simulated_missions,
         );
     }
     if let Some(base) = baseline_mttf {
@@ -71,5 +110,4 @@ fn main() {
             );
         }
     }
-    save_json("survival", &r);
 }

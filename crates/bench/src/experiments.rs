@@ -9,7 +9,9 @@
 use cgra::{AreaModel, Fabric};
 use mibench::Workload;
 use nbti::CalibratedAging;
-use transrec::fleet::{run_fleet, FleetPlan, FleetReport};
+use transrec::fleet::{
+    run_fleet_campaign, CampaignOptions, CampaignStatus, FleetPlan, FleetReport,
+};
 use transrec::telemetry::{settle_cycle, ProbeSpec, UtilTrace, DEFAULT_EPOCH_CYCLES};
 use transrec::{run_sweep, EnergyParams, SuiteRun, SweepPlan};
 use uaware::{MovementGranularity, PatternSpec, PolicySpec};
@@ -296,11 +298,49 @@ pub fn table1(ctx: &ExperimentContext) -> Table1Report {
 /// histograms; like every sweep it is byte-identical for every `--jobs`
 /// value.
 pub fn fig_lifetime(ctx: &ExperimentContext, devices: usize) -> FleetReport {
+    match fig_lifetime_campaign(
+        ctx,
+        devices,
+        default_lanes(devices),
+        None,
+        &CampaignOptions::default(),
+    ) {
+        CampaignStatus::Complete(report) => *report,
+        CampaignStatus::Paused { .. } => unreachable!("no stop was requested"),
+    }
+}
+
+/// The workload lanes `fig_lifetime` uses when `--lanes` is absent: one
+/// lane per device up to 8 devices (the legacy per-device-seed population),
+/// 8 shared lanes beyond — so `--devices 100000` costs ~8 reference
+/// trajectories per policy plus the columnar replay, not 100 000 suite
+/// simulations (DESIGN.md §12).
+pub fn default_lanes(devices: usize) -> usize {
+    devices.min(8)
+}
+
+/// [`fig_lifetime`] with the fleet-scale knobs exposed: explicit workload
+/// `lanes`, an optional shard-size override, and campaign
+/// checkpoint/early-stop `options` (the `fig_lifetime` binary's
+/// `--lanes/--shard/--checkpoint/--checkpoint-every/--stop-after` flags).
+pub fn fig_lifetime_campaign(
+    ctx: &ExperimentContext,
+    devices: usize,
+    lanes: usize,
+    shard_devices: Option<usize>,
+    options: &CampaignOptions,
+) -> CampaignStatus {
     let specs: Vec<PolicySpec> =
         std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()).collect();
-    let plan =
-        FleetPlan::new(ctx.seed, Fabric::be()).policies(specs).devices(devices).aging(ctx.aging);
-    run_fleet(&plan, ctx.jobs).expect("fleet runs")
+    let mut plan = FleetPlan::new(ctx.seed, Fabric::be())
+        .policies(specs)
+        .devices(devices)
+        .aging(ctx.aging)
+        .lanes(lanes);
+    if let Some(shard) = shard_devices {
+        plan = plan.shard_devices(shard);
+    }
+    run_fleet_campaign(&plan, ctx.jobs, options).expect("fleet runs")
 }
 
 /// Table II — area/cells of the BE fabric, baseline vs modified, plus the

@@ -12,8 +12,8 @@ pub mod experiments;
 pub mod reports;
 
 pub use experiments::{
-    convergence, fig1, fig6, fig7, fig8, fig_lifetime, table1, table2, ExperimentContext,
-    CONVERGENCE_TOLERANCE,
+    convergence, default_lanes, fig1, fig6, fig7, fig8, fig_lifetime, fig_lifetime_campaign,
+    table1, table2, ExperimentContext, CONVERGENCE_TOLERANCE,
 };
 
 use std::path::PathBuf;
@@ -72,6 +72,79 @@ pub fn parse_jobs_flag(args: &[String]) -> Result<Option<usize>, String> {
 /// with no value.
 pub fn parse_devices_flag(args: &[String]) -> Result<Option<usize>, String> {
     parse_count_flag(args, "--devices", "device instances per policy")
+}
+
+/// Extracts the last `--lanes <n>` / `--lanes=<n>` occurrence from `args`
+/// (`None` when the flag is absent) — how many distinct workload seeds the
+/// `fig_lifetime` fleet is drawn from (DESIGN.md §12).
+///
+/// # Errors
+///
+/// Returns a description for a malformed count or a trailing `--lanes`
+/// with no value.
+pub fn parse_lanes_flag(args: &[String]) -> Result<Option<usize>, String> {
+    parse_count_flag(args, "--lanes", "distinct workload-seed lanes")
+}
+
+/// Extracts the last `--shard <n>` / `--shard=<n>` occurrence from `args`
+/// (`None` when the flag is absent) — the fleet campaign's streaming shard
+/// size. Never changes results, only memory and checkpoint granularity.
+///
+/// # Errors
+///
+/// Returns a description for a malformed count or a trailing `--shard`
+/// with no value.
+pub fn parse_shard_flag(args: &[String]) -> Result<Option<usize>, String> {
+    parse_count_flag(args, "--shard", "devices per streaming shard")
+}
+
+/// Extracts the last `--stop-after <n>` / `--stop-after=<n>` occurrence
+/// from `args` (`None` when the flag is absent) — pause the fleet campaign
+/// after that many shards (the CI resume leg's kill stand-in).
+///
+/// # Errors
+///
+/// Returns a description for a malformed count or a trailing
+/// `--stop-after` with no value.
+pub fn parse_stop_after_flag(args: &[String]) -> Result<Option<usize>, String> {
+    parse_count_flag(args, "--stop-after", "shards to complete before pausing")
+}
+
+/// Extracts the last `--checkpoint-every <n>` / `--checkpoint-every=<n>`
+/// occurrence from `args` (`None` when the flag is absent) — shards per
+/// checkpointed wave.
+///
+/// # Errors
+///
+/// Returns a description for a malformed count or a trailing
+/// `--checkpoint-every` with no value.
+pub fn parse_checkpoint_every_flag(args: &[String]) -> Result<Option<usize>, String> {
+    parse_count_flag(args, "--checkpoint-every", "shards per checkpointed wave")
+}
+
+/// Extracts the last `--checkpoint <path>` / `--checkpoint=<path>`
+/// occurrence from `args` (`None` when the flag is absent) — where the
+/// fleet campaign persists (and resumes) its progress.
+///
+/// # Errors
+///
+/// Returns a description for a trailing `--checkpoint` with no value.
+pub fn parse_checkpoint_flag(args: &[String]) -> Result<Option<PathBuf>, String> {
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--checkpoint" {
+            i += 1;
+            match args.get(i) {
+                Some(v) => path = Some(PathBuf::from(v)),
+                None => return Err("--checkpoint requires a path".to_string()),
+            }
+        } else if let Some(v) = args[i].strip_prefix("--checkpoint=") {
+            path = Some(PathBuf::from(v));
+        }
+        i += 1;
+    }
+    Ok(path)
 }
 
 /// The shared `--<flag> <n>` / `--<flag>=<n>` parser behind

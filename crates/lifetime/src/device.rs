@@ -161,6 +161,23 @@ impl DeviceLifetime {
         new_failures
     }
 
+    /// Marks the FU at `(row, col)` dead before it ever fails from aging —
+    /// a manufacturing defect (DESIGN.md §12). Unlike an aging failure this
+    /// emits no [`FuFailed`] event and leaves the wear state untouched: the
+    /// unit simply never receives work, because allocation routes around
+    /// the fault mask from the first mission on. The fleet engine uses
+    /// seeded faults to fork equivalence classes of otherwise identical
+    /// devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell lies outside the fabric or the device is already
+    /// retired.
+    pub fn seed_fault(&mut self, row: u32, col: u32) {
+        assert!(!self.is_dead(), "cannot seed a fault into a retired device");
+        self.mask.mark_dead(row, col);
+    }
+
     /// Retires the device at the current deployment time — called by the
     /// driver when the allocation policy reports that no legal placement
     /// remains (DESIGN.md §11).
@@ -266,6 +283,20 @@ mod tests {
         assert!((device.projected_first_failure(&d) - aging.lifetime_years(0.6)).abs() < 1e-9);
         // An all-idle future never fails.
         assert_eq!(device.projected_first_failure(&duty(vec![0.0; 4])), f64::INFINITY);
+    }
+
+    #[test]
+    fn seeded_faults_mask_without_failing() {
+        let fabric = Fabric::new(1, 4);
+        let mut device = DeviceLifetime::new(&fabric, CalibratedAging::default(), true);
+        device.seed_fault(0, 2);
+        assert!(device.fault_mask().is_dead(0, 2));
+        assert!(device.failures().is_empty(), "a defect is not an aging failure");
+        // The defective FU never gets work, so it never emits a crossing.
+        let failures = device.advance_mission(&duty(vec![1.0, 0.0, 0.0, 0.0]), 4.0);
+        assert_eq!(failures.len(), 1);
+        assert_eq!((failures[0].row, failures[0].col), (0, 0));
+        assert_eq!(device.wear().state(0, 2).effective_age(), 0.0);
     }
 
     #[test]

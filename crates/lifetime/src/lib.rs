@@ -51,10 +51,12 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod device;
 pub mod survival;
 pub mod wear;
 
+pub use batch::WearBatch;
 pub use device::{DeviceLifetime, FuFailed};
-pub use survival::{FleetStats, SurvivalCurve};
+pub use survival::{FleetAccum, FleetStats, SurvivalCurve};
 pub use wear::WearGrid;

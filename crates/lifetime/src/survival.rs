@@ -1,5 +1,7 @@
 //! Fleet-scale lifetime statistics (DESIGN.md §11): survival curves, MTTF
-//! and first-failure histograms over many simulated device histories.
+//! and first-failure histograms over many simulated device histories, plus
+//! the streaming [`FleetAccum`] merge monoid the sharded fleet engine
+//! aggregates through (DESIGN.md §12).
 
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +125,197 @@ impl FleetStats {
     }
 }
 
+/// Streaming aggregation of per-device lifetime observations — the merge
+/// monoid the sharded fleet engine folds shard results through
+/// (DESIGN.md §12).
+///
+/// The accumulator keeps death and first-FU-failure times as **sorted
+/// multisets** (exact `f64` keys with `u64` counts), so any sequence of
+/// [`FleetAccum::observe`]/[`FleetAccum::merge`] calls that feeds in the
+/// same observations produces the same canonical value: `merge` is
+/// associative and commutative, [`FleetAccum::new`] is its identity, and
+/// the [`SurvivalCurve`]/[`FleetStats`] finalized from the merged
+/// accumulator are therefore invariant under every shard split and worker
+/// count — the byte-identity guarantee `results/survival.json` rides on.
+///
+/// Keys are compared with [`f64::total_cmp`]; observation times must be
+/// finite and non-negative.
+///
+/// # Examples
+///
+/// Two shards merge to the same curve as the unsharded fold:
+///
+/// ```
+/// use lifetime::{FleetAccum, SurvivalCurve};
+///
+/// let deaths = [Some(3.0), Some(2.0), None, Some(2.0)];
+/// let mut whole = FleetAccum::new();
+/// let mut left = FleetAccum::new();
+/// let mut right = FleetAccum::new();
+/// for (i, d) in deaths.iter().enumerate() {
+///     whole.observe(*d, None);
+///     if i < 2 { left.observe(*d, None) } else { right.observe(*d, None) }
+/// }
+/// left.merge(&right);
+/// assert_eq!(left, whole);
+/// assert_eq!(whole.survival(10.0), SurvivalCurve::from_deaths(&deaths, 10.0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetAccum {
+    /// Devices observed (dead or alive).
+    devices: u64,
+    /// Death times as a sorted multiset: strictly increasing keys
+    /// (`total_cmp` order) with positive counts.
+    deaths: Vec<(f64, u64)>,
+    /// First-FU-failure times, same canonical multiset form.
+    first_failures: Vec<(f64, u64)>,
+}
+
+/// Inserts `count` occurrences of `t` into a canonical sorted multiset.
+fn multiset_add(set: &mut Vec<(f64, u64)>, t: f64, count: u64) {
+    assert!(t.is_finite() && t >= 0.0, "observation time {t} must be finite and non-negative");
+    match set.binary_search_by(|(k, _)| k.total_cmp(&t)) {
+        Ok(i) => set[i].1 += count,
+        Err(i) => set.insert(i, (t, count)),
+    }
+}
+
+/// Merges two canonical sorted multisets (merge-join summing counts).
+fn multiset_merge(a: &[(f64, u64)], b: &[(f64, u64)]) -> Vec<(f64, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.total_cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl FleetAccum {
+    /// The empty accumulator — the identity of [`FleetAccum::merge`].
+    pub fn new() -> FleetAccum {
+        FleetAccum::default()
+    }
+
+    /// Devices observed so far.
+    pub fn devices(&self) -> u64 {
+        self.devices
+    }
+
+    /// Devices observed dead so far.
+    pub fn deaths(&self) -> u64 {
+        self.deaths.iter().map(|(_, c)| *c).sum()
+    }
+
+    /// Folds one device's `(death_time, first_fu_failure)` observation in
+    /// (`None` = did not happen by the horizon).
+    pub fn observe(&mut self, death_years: Option<f64>, first_failure_years: Option<f64>) {
+        self.observe_weighted(death_years, first_failure_years, 1);
+    }
+
+    /// Folds `count` devices that share one observation — the equivalence
+    /// class fast path (DESIGN.md §12). A zero `count` is a no-op.
+    pub fn observe_weighted(
+        &mut self,
+        death_years: Option<f64>,
+        first_failure_years: Option<f64>,
+        count: u64,
+    ) {
+        if count == 0 {
+            return;
+        }
+        self.devices += count;
+        if let Some(t) = death_years {
+            multiset_add(&mut self.deaths, t, count);
+        }
+        if let Some(t) = first_failure_years {
+            multiset_add(&mut self.first_failures, t, count);
+        }
+    }
+
+    /// Absorbs `other`: the monoid operation. Associative and commutative
+    /// (counts add exactly in `u64`, keys merge into one canonical sorted
+    /// multiset), with [`FleetAccum::new`] as identity — the properties
+    /// `crates/lifetime/tests/survival_monoid.rs` pins.
+    pub fn merge(&mut self, other: &FleetAccum) {
+        self.devices += other.devices;
+        self.deaths = multiset_merge(&self.deaths, &other.deaths);
+        self.first_failures = multiset_merge(&self.first_failures, &other.first_failures);
+    }
+
+    /// Finalizes the survival curve — exactly the value
+    /// [`SurvivalCurve::from_deaths`] computes from the equivalent
+    /// per-device observation list (same arithmetic over the same sorted
+    /// death times).
+    pub fn survival(&self, horizon_years: f64) -> SurvivalCurve {
+        let n = self.devices.max(1) as f64;
+        let mut points = vec![(0.0, 1.0)];
+        let mut dead = 0u64;
+        for &(t, c) in &self.deaths {
+            dead += c;
+            points.push((t, 1.0 - dead as f64 / n));
+        }
+        if points.last().map(|(t, _)| *t) != Some(horizon_years) {
+            let tail = points.last().map(|(_, a)| *a).unwrap_or(1.0);
+            points.push((horizon_years, tail));
+        }
+        SurvivalCurve { points }
+    }
+
+    /// Finalizes the aggregate statistics. The MTTF sum runs over the
+    /// canonical multiset (time order, one `t·count` term per distinct
+    /// time) instead of device order, so it is split-invariant; against
+    /// [`FleetStats::from_observations`]'s device-order sum it agrees to
+    /// rounding (≤ a few ulps), not necessarily bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `horizon_years` is not positive.
+    pub fn stats(&self, horizon_years: f64, bins: usize) -> FleetStats {
+        assert!(bins > 0, "need at least one histogram bin");
+        assert!(horizon_years > 0.0, "horizon must be positive");
+        let deaths = self.deaths();
+        let mttf_years = if self.devices == 0 {
+            0.0
+        } else {
+            let mut sum = 0.0;
+            for &(t, c) in &self.deaths {
+                sum += t * c as f64;
+            }
+            sum += (self.devices - deaths) as f64 * horizon_years;
+            sum / self.devices as f64
+        };
+        let mut first_failure_counts = vec![0u64; bins];
+        for &(t, c) in &self.first_failures {
+            let bin = ((t / horizon_years) * bins as f64) as usize;
+            first_failure_counts[bin.min(bins - 1)] += c;
+        }
+        FleetStats {
+            devices: self.devices as usize,
+            deaths: deaths as usize,
+            mttf_years,
+            earliest_death_years: self.deaths.first().map(|&(t, _)| t),
+            first_failure_counts,
+            bin_years: horizon_years / bins as f64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +372,85 @@ mod tests {
         let json = serde_json::to_string(&stats).unwrap();
         let back: FleetStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn accum_finalizes_like_the_batch_constructors() {
+        let deaths = [Some(2.0), Some(4.0), Some(2.0), None];
+        let firsts = [Some(1.5), Some(3.0), Some(1.5), None];
+        let mut accum = FleetAccum::new();
+        for (d, f) in deaths.iter().zip(&firsts) {
+            accum.observe(*d, *f);
+        }
+        assert_eq!(accum.devices(), 4);
+        assert_eq!(accum.deaths(), 3);
+        assert_eq!(accum.survival(10.0), SurvivalCurve::from_deaths(&deaths, 10.0));
+        let stats = accum.stats(10.0, 5);
+        let reference = FleetStats::from_observations(&deaths, &firsts, 10.0, 5);
+        assert_eq!(stats.devices, reference.devices);
+        assert_eq!(stats.deaths, reference.deaths);
+        assert_eq!(stats.earliest_death_years, reference.earliest_death_years);
+        assert_eq!(stats.first_failure_counts, reference.first_failure_counts);
+        assert!((stats.mttf_years - reference.mttf_years).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_associative_with_identity() {
+        let mut a = FleetAccum::new();
+        a.observe(Some(1.0), Some(0.5));
+        let mut b = FleetAccum::new();
+        b.observe(Some(1.0), None);
+        b.observe(None, Some(2.0));
+        let mut c = FleetAccum::new();
+        c.observe_weighted(Some(3.0), Some(0.5), 5);
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        let mut with_identity = a.clone();
+        with_identity.merge(&FleetAccum::new());
+        assert_eq!(with_identity, a);
+        let mut identity_first = FleetAccum::new();
+        identity_first.merge(&a);
+        assert_eq!(identity_first, a);
+    }
+
+    #[test]
+    fn weighted_observations_match_repeated_ones() {
+        let mut weighted = FleetAccum::new();
+        weighted.observe_weighted(Some(2.5), Some(1.0), 3);
+        let mut repeated = FleetAccum::new();
+        for _ in 0..3 {
+            repeated.observe(Some(2.5), Some(1.0));
+        }
+        assert_eq!(weighted, repeated);
+        weighted.observe_weighted(None, None, 0);
+        assert_eq!(weighted, repeated, "zero-count observations are no-ops");
+    }
+
+    #[test]
+    fn empty_accum_matches_the_empty_fleet() {
+        let accum = FleetAccum::new();
+        assert_eq!(accum.survival(5.0), SurvivalCurve::from_deaths(&[], 5.0));
+        let stats = accum.stats(5.0, 4);
+        assert_eq!(stats.devices, 0);
+        assert_eq!(stats.mttf_years, 0.0);
+        assert_eq!(stats.earliest_death_years, None);
+    }
+
+    #[test]
+    fn accum_survives_json() {
+        let mut accum = FleetAccum::new();
+        accum.observe_weighted(Some(1.25), Some(0.75), 7);
+        accum.observe(None, Some(4.0));
+        let json = serde_json::to_string(&accum).unwrap();
+        let back: FleetAccum = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, accum);
     }
 }

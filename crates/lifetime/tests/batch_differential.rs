@@ -1,0 +1,173 @@
+//! Differential property tests for the columnar fleet batch
+//! (DESIGN.md §12): a [`WearBatch`] lane driven through any randomized
+//! mission schedule must be **bit-identical** to a [`DeviceLifetime`]
+//! driven through the same schedule — per-FU effective ages, elapsed
+//! time, mission counters, and every reported end-of-life crossing
+//! including its interpolated `at_years` instant. The batch is only
+//! allowed to be a faster layout, never a different model.
+
+use proptest::prelude::*;
+
+use cgra::Fabric;
+use lifetime::{DeviceLifetime, FuFailed, WearBatch};
+use nbti::CalibratedAging;
+use uaware::UtilizationGrid;
+
+/// One randomized fleet scenario: fabric geometry, aging calibration and a
+/// mission schedule of `(per-FU duty values, mission years)` epochs.
+#[derive(Clone, Debug)]
+struct Scenario {
+    rows: u32,
+    cols: u32,
+    aging: CalibratedAging,
+    missions: Vec<(Vec<f64>, f64)>,
+}
+
+impl Scenario {
+    fn fabric(&self) -> Fabric {
+        Fabric::new(self.rows, self.cols)
+    }
+
+    fn duty(&self, values: &[f64]) -> UtilizationGrid {
+        UtilizationGrid::from_values(self.rows, self.cols, values.to_vec())
+    }
+}
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    // Geometry sweeps small fabrics (Fabric::new needs ≥ 4 columns for the
+    // memory-op footprint); the calibration sweeps EOL limit, anchor and
+    // exponent like the nbti property tests. Anchors of 1–5 years against
+    // schedules of up to 24 × 2-year missions make end-of-life crossings —
+    // and therefore the interpolated failure times — common, not rare.
+    ((1u32..=3), (4u32..=8), (0.05f64..=0.2), (1.0f64..=5.0), (4u32..=8)).prop_flat_map(
+        |(rows, cols, eol, anchor, inv_exp)| {
+            let fus = (rows * cols) as usize;
+            proptest::collection::vec(
+                (proptest::collection::vec(0.0f64..=1.0, fus..=fus), 0.05f64..=2.0),
+                1..=24,
+            )
+            .prop_map(move |missions| Scenario {
+                rows,
+                cols,
+                aging: CalibratedAging {
+                    eol_delay_frac: eol,
+                    anchor_years: anchor,
+                    exponent: 1.0 / inv_exp as f64,
+                },
+                missions,
+            })
+        },
+    )
+}
+
+/// Asserts the two failure reports are the same events with bit-identical
+/// crossing times (`assert_eq!` alone would accept `-0.0 == 0.0` etc.).
+fn assert_failures_bit_identical(reference: &[FuFailed], batched: &[FuFailed]) {
+    assert_eq!(reference.len(), batched.len(), "failure counts diverge");
+    for (r, b) in reference.iter().zip(batched) {
+        assert_eq!((r.row, r.col, r.mission), (b.row, b.col, b.mission));
+        assert_eq!(
+            r.at_years.to_bits(),
+            b.at_years.to_bits(),
+            "crossing time diverged: reference {} vs batched {}",
+            r.at_years,
+            b.at_years
+        );
+    }
+}
+
+/// Asserts lane `lane` of `batch` mirrors `device` bit for bit.
+fn assert_lane_mirrors_device(batch: &WearBatch, lane: usize, device: &DeviceLifetime) {
+    assert_eq!(batch.missions(lane), device.missions());
+    assert_eq!(batch.elapsed_years(lane).to_bits(), device.elapsed_years().to_bits());
+    for (i, state) in device.wear().states().iter().enumerate() {
+        assert_eq!(
+            state.effective_age().to_bits(),
+            batch.lane_ages(lane)[i].to_bits(),
+            "FU {i} age diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn batched_lane_is_bit_identical_to_the_device_path(scenario in any_scenario()) {
+        let fabric = scenario.fabric();
+        let mut device = DeviceLifetime::new(&fabric, scenario.aging, false);
+        let mut batch = WearBatch::new(&fabric, scenario.aging, 1);
+        for (values, years) in &scenario.missions {
+            let duty = scenario.duty(values);
+            let reference = device.advance_mission(&duty, *years);
+            let batched = batch.advance(0, &duty, *years);
+            assert_failures_bit_identical(&reference, &batched);
+        }
+        assert_lane_mirrors_device(&batch, 0, &device);
+    }
+
+    #[test]
+    fn class_advance_matches_every_member_running_solo(
+        scenario in any_scenario(),
+        lanes in 2usize..=5,
+    ) {
+        // One advance_class call per mission versus a lone DeviceLifetime:
+        // the shared failure scan and the per-lane columnar update must
+        // leave every member exactly where the solo device lands.
+        let fabric = scenario.fabric();
+        let mut device = DeviceLifetime::new(&fabric, scenario.aging, false);
+        let mut batch = WearBatch::new(&fabric, scenario.aging, lanes);
+        let members: Vec<usize> = (0..lanes).collect();
+        for (values, years) in &scenario.missions {
+            let duty = scenario.duty(values);
+            let reference = device.advance_mission(&duty, *years);
+            let shared = batch.advance_class(&members, &duty, *years);
+            assert_failures_bit_identical(&reference, &shared);
+        }
+        for lane in 0..lanes {
+            assert_lane_mirrors_device(&batch, lane, &device);
+        }
+    }
+
+    #[test]
+    fn interleaved_lanes_stay_independent(
+        scenario in any_scenario(),
+        other in any_scenario(),
+    ) {
+        // Two lanes with different schedules, advanced in interleaved
+        // order on one slab, each track their own reference device — the
+        // slab layout must not leak wear across lane boundaries. Lane 1
+        // replays `other`'s schedule re-shaped onto `scenario`'s fabric.
+        let fabric = scenario.fabric();
+        let fus = (scenario.rows * scenario.cols) as usize;
+        let mut devices =
+            [false, false].map(|_| DeviceLifetime::new(&fabric, scenario.aging, false));
+        let mut batch = WearBatch::new(&fabric, scenario.aging, 2);
+        let schedules: [Vec<(Vec<f64>, f64)>; 2] = [
+            scenario.missions.clone(),
+            other
+                .missions
+                .iter()
+                .map(|(values, years)| {
+                    let mut v = values.clone();
+                    v.resize(fus, 0.5);
+                    (v, *years)
+                })
+                .collect(),
+        ];
+        let longest = schedules[0].len().max(schedules[1].len());
+        for i in 0..longest {
+            for (lane, schedule) in schedules.iter().enumerate() {
+                if let Some((values, years)) = schedule.get(i) {
+                    let duty = scenario.duty(values);
+                    let reference = devices[lane].advance_mission(&duty, *years);
+                    let batched = batch.advance(lane, &duty, *years);
+                    assert_failures_bit_identical(&reference, &batched);
+                }
+            }
+        }
+        for (lane, device) in devices.iter().enumerate() {
+            assert_lane_mirrors_device(&batch, lane, device);
+        }
+    }
+}

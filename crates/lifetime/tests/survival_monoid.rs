@@ -1,0 +1,154 @@
+//! Property tests for the [`FleetAccum`] merge monoid (DESIGN.md §12):
+//! `merge` must be associative and commutative with [`FleetAccum::new`] as
+//! identity, any shard split of an observation list must finalize to the
+//! byte-identical [`SurvivalCurve`]/[`FleetStats`], and the finalized curve
+//! must equal [`SurvivalCurve::from_deaths`] exactly. These are the
+//! algebraic facts the sharded fleet engine's split-invariance rides on.
+
+use proptest::prelude::*;
+
+use lifetime::{FleetAccum, FleetStats, SurvivalCurve};
+
+const HORIZON: f64 = 20.0;
+const BINS: usize = 8;
+
+/// Per-device `(death_time, first_fu_failure)` observations. The 2-bit tag
+/// picks which of the two happened; duplicated times (quantized to a
+/// 0.25-year grid half the time) exercise the multiset count paths.
+fn any_observations() -> impl Strategy<Value = Vec<(Option<f64>, Option<f64>)>> {
+    proptest::collection::vec(
+        ((0u32..=3), (0.0f64..=HORIZON), (0.0f64..=HORIZON), (0u32..=1)),
+        0..=48,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(tag, death, first, snap)| {
+                let quantize = |t: f64| if snap == 1 { (t * 4.0).floor() / 4.0 } else { t };
+                (
+                    ((tag & 1) == 1).then(|| quantize(death)),
+                    ((tag & 2) == 2).then(|| quantize(first)),
+                )
+            })
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Folds a slice of observations into a fresh accumulator.
+fn fold(observations: &[(Option<f64>, Option<f64>)]) -> FleetAccum {
+    let mut accum = FleetAccum::new();
+    for &(death, first) in observations {
+        accum.observe(death, first);
+    }
+    accum
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn merge_is_associative_and_commutative_with_identity(
+        a in any_observations(),
+        b in any_observations(),
+        c in any_observations(),
+    ) {
+        let (a, b, c) = (fold(&a), fold(&b), fold(&c));
+        // (a · b) · c == a · (b · c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // a · b == b · a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        // a · e == e · a == a
+        let mut with_identity = a.clone();
+        with_identity.merge(&FleetAccum::new());
+        prop_assert_eq!(&with_identity, &a);
+        let mut identity_first = FleetAccum::new();
+        identity_first.merge(&a);
+        prop_assert_eq!(&identity_first, &a);
+    }
+
+    #[test]
+    fn every_shard_split_finalizes_byte_identically(
+        observations in any_observations(),
+        cuts in proptest::collection::vec(0usize..=48, 0..=4),
+    ) {
+        // Fold the whole list at once, then fold it shard by shard at the
+        // randomized cut points and merge — the accumulators, the curve and
+        // the stats must agree not just in value but in serialized bytes
+        // (the survival.json guarantee).
+        let whole = fold(&observations);
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(observations.len())).collect();
+        cuts.sort_unstable();
+        let mut sharded = FleetAccum::new();
+        let mut start = 0;
+        for cut in cuts.into_iter().chain([observations.len()]) {
+            sharded.merge(&fold(&observations[start..cut]));
+            start = cut;
+        }
+        prop_assert_eq!(&sharded, &whole);
+        let whole_curve = serde_json::to_string(&whole.survival(HORIZON)).unwrap();
+        let sharded_curve = serde_json::to_string(&sharded.survival(HORIZON)).unwrap();
+        prop_assert_eq!(whole_curve, sharded_curve);
+        let whole_stats = serde_json::to_string(&whole.stats(HORIZON, BINS)).unwrap();
+        let sharded_stats = serde_json::to_string(&sharded.stats(HORIZON, BINS)).unwrap();
+        prop_assert_eq!(whole_stats, sharded_stats);
+    }
+
+    #[test]
+    fn finalized_curve_equals_the_reference_constructors(
+        observations in any_observations(),
+    ) {
+        let accum = fold(&observations);
+        let deaths: Vec<Option<f64>> = observations.iter().map(|(d, _)| *d).collect();
+        let firsts: Vec<Option<f64>> = observations.iter().map(|(_, f)| *f).collect();
+        // The survival curve is the exact same arithmetic as from_deaths:
+        // equal in every point bit (PartialEq on f64 pairs) and in bytes.
+        let curve = accum.survival(HORIZON);
+        let reference = SurvivalCurve::from_deaths(&deaths, HORIZON);
+        prop_assert_eq!(&curve, &reference);
+        prop_assert_eq!(
+            serde_json::to_string(&curve).unwrap(),
+            serde_json::to_string(&reference).unwrap()
+        );
+        // Stats agree exactly on every count; the MTTF sum runs in multiset
+        // order rather than device order, so it agrees to rounding only.
+        let stats = accum.stats(HORIZON, BINS);
+        let reference = FleetStats::from_observations(&deaths, &firsts, HORIZON, BINS);
+        prop_assert_eq!(stats.devices, reference.devices);
+        prop_assert_eq!(stats.deaths, reference.deaths);
+        prop_assert_eq!(stats.earliest_death_years, reference.earliest_death_years);
+        prop_assert_eq!(&stats.first_failure_counts, &reference.first_failure_counts);
+        prop_assert!((stats.mttf_years - reference.mttf_years).abs() <= 1e-9,
+            "mttf {} vs reference {}", stats.mttf_years, reference.mttf_years);
+    }
+
+    #[test]
+    fn weighted_classes_match_their_expanded_fleets(
+        death in 0.0f64..=HORIZON,
+        first in 0.0f64..=HORIZON,
+        count in 1u64..=64,
+    ) {
+        // The equivalence-class fast path: one weighted observation is the
+        // same monoid element as `count` devices observed one by one.
+        let mut weighted = FleetAccum::new();
+        weighted.observe_weighted(Some(death), Some(first), count);
+        let mut expanded = FleetAccum::new();
+        for _ in 0..count {
+            expanded.observe(Some(death), Some(first));
+        }
+        prop_assert_eq!(&weighted, &expanded);
+        prop_assert_eq!(
+            serde_json::to_string(&weighted.survival(HORIZON)).unwrap(),
+            serde_json::to_string(&expanded.survival(HORIZON)).unwrap()
+        );
+    }
+}

@@ -252,11 +252,32 @@ impl WearState {
         self.effective_age
     }
 
+    /// Reconstructs a wear state from a previously observed
+    /// [`effective_age`](WearState::effective_age) — the inverse of reading
+    /// the state out. This is how the columnar `WearBatch` slab
+    /// (DESIGN.md §12) converts a raw `f64` cell back into a typed state
+    /// for reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `effective_age` is negative or not finite.
+    pub fn from_effective_age(aging: CalibratedAging, effective_age: f64) -> WearState {
+        assert!(
+            effective_age >= 0.0 && effective_age.is_finite(),
+            "effective age {effective_age} must be non-negative and finite"
+        );
+        WearState { aging, effective_age }
+    }
+
     /// Advances the wear by one epoch of `dt_years` at duty cycle `duty`,
     /// composing with the accumulated degradation via the equivalent-age
     /// transform (DESIGN.md §11): solve
     /// `delay_increase(t_eq, duty) = delay_frac()` for `t_eq`, then move the
-    /// constant-duty curve from `t_eq` to `t_eq + dt_years`.
+    /// constant-duty curve from `t_eq` to `t_eq + dt_years`. For this
+    /// separable model the transform has a closed form — the effective age
+    /// is simply `Σ dtᵢ·uᵢ` — so the composition is one multiply-add, the
+    /// exact arithmetic the columnar `WearBatch` slab performs per cell
+    /// (bit-identical by construction, DESIGN.md §12).
     ///
     /// # Panics
     ///
@@ -264,17 +285,11 @@ impl WearState {
     pub fn advance(&mut self, dt_years: f64, duty: f64) {
         assert!((0.0..=1.0).contains(&duty), "duty cycle {duty} outside [0, 1]");
         assert!(dt_years >= 0.0, "negative epoch {dt_years}");
-        if duty == 0.0 || dt_years == 0.0 {
-            return; // an unstressed (or zero-length) epoch leaves no trace
-        }
-        // Equivalent age at this epoch's duty: the time at which a unit
-        // running at `duty` would show the current degradation.
-        let t_eq = self.effective_age / duty;
-        let d_new = self.aging.delay_increase(t_eq + dt_years, duty);
-        // Fold the new degradation back into the effective-age state by
-        // inverting Δd = eol·(a/anchor)^k.
-        self.effective_age = self.aging.anchor_years
-            * (d_new / self.aging.eol_delay_frac).powf(1.0 / self.aging.exponent);
+        // Closed form of the equivalent-age transform: inverting
+        // Δd = eol·(a/anchor)^k around the constant-duty curve collapses to
+        // a += dt·u (adding 0.0 for idle/zero-length epochs is exact, since
+        // the age is never negative zero).
+        self.effective_age += dt_years * duty;
     }
 
     /// Relative delay degradation accumulated so far.
@@ -283,8 +298,13 @@ impl WearState {
     }
 
     /// `true` once the degradation has reached the end-of-life limit.
+    ///
+    /// Because `Δd = eol·(a/anchor)^k` is strictly monotone in the
+    /// effective age `a`, the limit is crossed exactly when `a` reaches the
+    /// anchor — an exact comparison with no `powf` on the hot path
+    /// (DESIGN.md §12).
     pub fn is_end_of_life(&self) -> bool {
-        self.delay_frac() >= self.aging.eol_delay_frac
+        self.effective_age >= self.aging.anchor_years
     }
 
     /// Years of further operation at constant `duty` until end of life

@@ -1,22 +1,41 @@
-//! Fleet-scale closed-loop lifetime simulation (DESIGN.md §11).
+//! Fleet-scale closed-loop lifetime simulation (DESIGN.md §11, §12).
 //!
 //! One *device* is a [`System`] deployed for years: its workload mix runs
 //! as a sequence of *missions* (one pass of the suite, modeling
 //! [`FleetPlan::mission_years`] of deployment), each mission's per-FU
-//! stress folds into a persistent [`lifetime::DeviceLifetime`], FUs that
-//! cross end of life flip dead in the [`cgra::FaultMask`] the next
-//! mission's allocation must route around, and the device retires when the
-//! policy reports [`SystemError::AllocationExhausted`]. A *fleet* fans N
-//! such devices (per-device workload seeds via [`uaware::derive_cell_seed`])
+//! stress folds into persistent wear, FUs that cross end of life flip dead
+//! in the [`cgra::FaultMask`] the next mission's allocation must route
+//! around, and the device retires when the policy reports
+//! [`SystemError::AllocationExhausted`]. A *fleet* fans N such devices
 //! × M policies across the same thread pool the sweep engine uses, with
 //! the same guarantee: [`run_fleet`]'s report is byte-identical for every
-//! `jobs` value.
+//! `jobs` value — and, at fleet scale, for every shard split and every
+//! kill/resume point of a checkpointed campaign.
 //!
-//! Missions are deterministic given (configuration, policy, workloads,
-//! fault mask), so the engine simulates a mission **once per fault-mask
-//! state** and replays its duty grid until the next failure changes the
-//! mask — a device's cost is `1 + #mask-changes` suite simulations, not
-//! `#missions` (DESIGN.md §11).
+//! The engine runs in two phases (DESIGN.md §12):
+//!
+//! 1. **Trajectories.** Missions are deterministic given (configuration,
+//!    policy, workloads, fault mask), so devices in the same *equivalence
+//!    class* — same workload-seed lane ([`FleetPlan::lanes`]), same
+//!    manufacturing [`Defect`]s — share one closed-loop simulation. Each
+//!    (policy × class) cell is simulated once on the reference
+//!    [`lifetime::DeviceLifetime`] path, re-running the suite only when
+//!    the fault mask changes and recording a replay script of (duty grid,
+//!    mission count) segments: a homogeneous fleet costs one suite run per
+//!    distinct failure trajectory, not per device.
+//! 2. **Columnar replay.** Devices stream through contiguous shards of
+//!    [`FleetPlan::shard_devices`]; each shard replays its classes'
+//!    scripts on a [`lifetime::WearBatch`] slab (one contiguous `f64` row
+//!    per device, advanced by the tight `age += dt·u` loop) that is
+//!    bit-identical to the per-device path, and folds per-device death and
+//!    first-failure times into a per-policy [`lifetime::FleetAccum`] — a
+//!    merge monoid, so shard partials aggregate exactly regardless of the
+//!    split. Memory stays bounded by one shard, never the population.
+//!
+//! A campaign with a checkpoint path ([`CampaignOptions`]) persists a
+//! versioned [`run_fleet_campaign`] checkpoint after phase 1 and after
+//! every wave of shards, so a killed run resumes where it stopped and
+//! still produces byte-identical `results/survival.json`.
 //!
 //! # Examples
 //!
@@ -40,7 +59,10 @@
 //! assert!(oracle.stats.mttf_years > base.stats.mttf_years);
 //! ```
 
-use lifetime::{DeviceLifetime, FleetStats, FuFailed, SurvivalCurve};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use lifetime::{DeviceLifetime, FleetAccum, FleetStats, FuFailed, SurvivalCurve, WearBatch};
 use mibench::Workload;
 use nbti::CalibratedAging;
 use serde::{Deserialize, Serialize};
@@ -57,13 +79,35 @@ pub const DEFAULT_MISSION_YEARS: f64 = 0.5;
 /// policy's cascade completes on the paper's BE scenario).
 pub const DEFAULT_HORIZON_YEARS: f64 = 40.0;
 
+/// Default devices per streaming shard: bounds phase-2 memory at one
+/// `shard × fu_count` wear slab (a few MB) regardless of fleet size.
+pub const DEFAULT_SHARD_DEVICES: usize = 4096;
+
+/// Default number of leading devices whose full per-device histories are
+/// retained in the report (the rest only enter the aggregates).
+pub const DEFAULT_DETAIL_DEVICES: usize = 32;
+
+/// A manufacturing defect: one FU of one device is dead from the first
+/// mission on (DESIGN.md §12). Defects fork a device out of its workload
+/// lane's equivalence class into its own failure trajectory.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Defect {
+    /// The affected device index.
+    pub device: usize,
+    /// Fabric row of the dead FU.
+    pub row: u32,
+    /// Fabric column of the dead FU.
+    pub col: u32,
+}
+
 /// A fleet experiment as data: N device instances × M policies, each
-/// device running its own seed-derived workload mix mission after mission
-/// until death or the horizon (DESIGN.md §11).
+/// device running its seed lane's workload mix mission after mission until
+/// death or the horizon (DESIGN.md §11, §12).
 #[derive(Clone, Debug)]
 pub struct FleetPlan {
     /// Base experiment seed; device `d` builds its workloads from
-    /// [`derive_cell_seed`]`(base_seed, d)` (device 0 keeps the base seed).
+    /// [`derive_cell_seed`]`(base_seed, lane_of(d))` (lane 0 keeps the
+    /// base seed).
     pub base_seed: u64,
     /// The system configuration every device ships with.
     pub config: SystemConfig,
@@ -86,6 +130,18 @@ pub struct FleetPlan {
     pub inject_faults: bool,
     /// First-failure histogram bins over `[0, horizon_years]`.
     pub histogram_bins: usize,
+    /// Distinct workload-seed lanes. Device `d` runs lane `d % lanes`, so
+    /// a fleet of 1M devices over 8 lanes shares 8 equivalence classes per
+    /// policy. `None` (the default) gives every device its own lane — the
+    /// legacy per-device-seed population.
+    pub lanes: Option<usize>,
+    /// Devices per streaming shard of the columnar replay phase. Never
+    /// affects results (pinned by tests) — only memory and scheduling.
+    pub shard_devices: usize,
+    /// How many leading devices keep full [`DeviceOutcome`] detail.
+    pub detail_devices: usize,
+    /// Manufacturing defects seeded before the first mission.
+    pub defects: Vec<Defect>,
 }
 
 impl FleetPlan {
@@ -104,6 +160,10 @@ impl FleetPlan {
             aging: CalibratedAging::default(),
             inject_faults: true,
             histogram_bins: 20,
+            lanes: None,
+            shard_devices: DEFAULT_SHARD_DEVICES,
+            detail_devices: DEFAULT_DETAIL_DEVICES,
+            defects: Vec::new(),
         }
     }
 
@@ -161,18 +221,55 @@ impl FleetPlan {
         self
     }
 
-    /// The derived workload seed of device `device`.
+    /// Sets the number of workload-seed lanes (DESIGN.md §12).
+    pub fn lanes(mut self, lanes: usize) -> FleetPlan {
+        self.lanes = Some(lanes);
+        self
+    }
+
+    /// Sets the streaming shard size of the columnar replay phase.
+    pub fn shard_devices(mut self, shard: usize) -> FleetPlan {
+        self.shard_devices = shard;
+        self
+    }
+
+    /// Sets how many leading devices keep full per-device detail.
+    pub fn detail_devices(mut self, detail: usize) -> FleetPlan {
+        self.detail_devices = detail;
+        self
+    }
+
+    /// Seeds a manufacturing defect: `device`'s FU at `(row, col)` is dead
+    /// from the first mission on.
+    pub fn defect(mut self, device: usize, row: u32, col: u32) -> FleetPlan {
+        self.defects.push(Defect { device, row, col });
+        self
+    }
+
+    /// The number of distinct workload lanes the plan resolves to:
+    /// [`FleetPlan::lanes`] clamped to the device count, or one lane per
+    /// device when unset.
+    pub fn effective_lanes(&self) -> usize {
+        self.lanes.unwrap_or(self.devices).min(self.devices)
+    }
+
+    /// The workload lane of device `device`.
+    pub fn lane_of(&self, device: usize) -> usize {
+        device % self.effective_lanes().max(1)
+    }
+
+    /// The derived workload seed of device `device` (its lane's seed).
     pub fn device_seed(&self, device: usize) -> u64 {
-        derive_cell_seed(self.base_seed, device as u64)
+        derive_cell_seed(self.base_seed, self.lane_of(device) as u64)
     }
 }
 
 /// One device's full deployment history inside a fleet report.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DeviceOutcome {
-    /// Device index inside the fleet (also its seed lane).
+    /// Device index inside the fleet.
     pub device: usize,
-    /// The workload-input seed the device ran.
+    /// The workload-input seed the device ran (its lane's seed).
     pub seed: u64,
     /// Deployment time of death, `None` if alive at the horizon.
     pub death_years: Option<f64>,
@@ -180,8 +277,10 @@ pub struct DeviceOutcome {
     pub first_failure_years: Option<f64>,
     /// Missions completed before death/horizon.
     pub missions: u64,
-    /// Missions that were actually simulated (the rest replayed a cached
-    /// duty grid — the closed loop only re-runs after a mask change).
+    /// Suite simulations this device's equivalence class charged to it:
+    /// the class representative (its lowest device index) carries the
+    /// class's full count, every other member reports 0 — missions beyond
+    /// those replayed a recorded duty grid (DESIGN.md §12).
     pub simulated_missions: u64,
     /// Every end-of-life crossing, in event order.
     pub failures: Vec<FuFailed>,
@@ -196,7 +295,15 @@ pub struct PolicyFleet {
     pub stats: FleetStats,
     /// The fleet survival curve.
     pub survival: SurvivalCurve,
-    /// Per-device histories, in device order.
+    /// Distinct equivalence classes the population collapsed into.
+    pub classes: usize,
+    /// Suite simulations actually run across all classes (the cost the
+    /// class sharing amortizes over the whole fleet).
+    pub simulated_missions: u64,
+    /// Missions lived across the whole fleet (simulated or replayed).
+    pub total_missions: u64,
+    /// Per-device histories of the first
+    /// [`FleetReport::detail_devices`] devices, in device order.
     pub devices: Vec<DeviceOutcome>,
 }
 
@@ -213,6 +320,10 @@ pub struct FleetReport {
     pub suite: String,
     /// Devices per policy.
     pub devices: usize,
+    /// Distinct workload lanes the population was drawn from.
+    pub lanes: usize,
+    /// How many leading devices carry full per-device detail.
+    pub detail_devices: usize,
     /// Deployment years one mission models.
     pub mission_years: f64,
     /// Observation horizon in years.
@@ -260,66 +371,344 @@ fn run_mission(
     Ok(Some(merged.duty_cycles(cycles)))
 }
 
-/// Simulates one device's whole deployment: run a mission, fold its duty
-/// into the wear state, inject failures, repeat — re-simulating only when
-/// the fault mask changed (DESIGN.md §11).
-fn simulate_device(
+/// One equivalence class's recorded deployment: the closed loop as a
+/// replay script of `(duty grid, missions)` segments, simulated once on
+/// the reference [`DeviceLifetime`] path and replayed on the columnar
+/// [`WearBatch`] for every class member (DESIGN.md §12).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ClassTrajectory {
+    /// Each segment replays one simulated mission's duty grid for `count`
+    /// consecutive missions (until the fault mask changed).
+    segments: Vec<(UtilizationGrid, u64)>,
+    /// The device retired (allocation exhausted) after the last segment.
+    died: bool,
+    /// Suite simulations actually run for this class.
+    simulated_missions: u64,
+}
+
+/// The fleet's partition into `(lane, defects)` equivalence classes —
+/// identical for every policy, built once per campaign.
+struct ClassMap {
+    /// Class index of every device.
+    class_of: Vec<u32>,
+    /// Per class: the workload lane and the (sorted, deduplicated) defect
+    /// cells its members share.
+    keys: Vec<(usize, Vec<(u32, u32)>)>,
+    /// Per class: its representative — the lowest member device index,
+    /// which carries the class's `simulated_missions` in the report.
+    representatives: Vec<usize>,
+}
+
+impl ClassMap {
+    /// Partitions `plan`'s population. Classes are numbered in order of
+    /// first appearance (by device index), so the map is deterministic.
+    fn build(plan: &FleetPlan) -> ClassMap {
+        let lanes = plan.effective_lanes().max(1);
+        let mut defects: BTreeMap<usize, Vec<(u32, u32)>> = BTreeMap::new();
+        for d in &plan.defects {
+            defects.entry(d.device).or_default().push((d.row, d.col));
+        }
+        for cells in defects.values_mut() {
+            cells.sort_unstable();
+            cells.dedup();
+        }
+        let mut class_of = Vec::with_capacity(plan.devices);
+        let mut keys: Vec<(usize, Vec<(u32, u32)>)> = Vec::new();
+        let mut representatives = Vec::new();
+        // Fast path for the (vast) defect-free majority: one class per lane,
+        // resolved without touching the key map.
+        let mut lane_class: Vec<Option<u32>> = vec![None; lanes];
+        let mut keyed: BTreeMap<(usize, Vec<(u32, u32)>), u32> = BTreeMap::new();
+        for device in 0..plan.devices {
+            let lane = device % lanes;
+            let class = match defects.get(&device) {
+                None => *lane_class[lane].get_or_insert_with(|| {
+                    keys.push((lane, Vec::new()));
+                    representatives.push(device);
+                    (keys.len() - 1) as u32
+                }),
+                Some(cells) => *keyed.entry((lane, cells.clone())).or_insert_with(|| {
+                    keys.push((lane, cells.clone()));
+                    representatives.push(device);
+                    (keys.len() - 1) as u32
+                }),
+            };
+            class_of.push(class);
+        }
+        ClassMap { class_of, keys, representatives }
+    }
+
+    /// Number of distinct classes.
+    fn count(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Simulates one (policy × class) cell's whole deployment on the reference
+/// path: run a mission, fold its duty into the wear state, inject
+/// failures, repeat — re-simulating only when the fault mask changed — and
+/// record the replay script (DESIGN.md §11, §12).
+fn simulate_trajectory(
     plan: &FleetPlan,
     spec: &PolicySpec,
-    device: usize,
     workloads: &[Workload],
-) -> Result<DeviceOutcome, SystemError> {
+    defects: &[(u32, u32)],
+) -> Result<ClassTrajectory, SystemError> {
     let mut life = DeviceLifetime::new(&plan.config.fabric, plan.aging, plan.inject_faults);
+    for &(row, col) in defects {
+        life.seed_fault(row, col);
+    }
     let mut cached: Option<(u32, UtilizationGrid)> = None;
+    let mut segments: Vec<(UtilizationGrid, u64)> = Vec::new();
     let mut simulated = 0u64;
+    let mut died = false;
     while life.elapsed_years() < plan.horizon_years {
         // The mask is monotone, so its dead count keys the cached mission.
         let key = life.fault_mask().dead_count();
         if cached.as_ref().is_none_or(|(k, _)| *k != key) {
             simulated += 1;
             match run_mission(&plan.config, spec, workloads, life.fault_mask())? {
-                Some(duty) => cached = Some((key, duty)),
+                Some(duty) => {
+                    segments.push((duty.clone(), 0));
+                    cached = Some((key, duty));
+                }
                 None => {
-                    life.retire();
+                    died = true;
                     break;
                 }
             }
         }
         let (_, duty) = cached.as_ref().expect("mission cached above");
         life.advance_mission(duty, plan.mission_years);
+        segments.last_mut().expect("segment pushed above").1 += 1;
     }
-    Ok(DeviceOutcome {
-        device,
-        seed: plan.device_seed(device),
-        death_years: life.death_years(),
-        first_failure_years: life.first_failure_years(),
-        missions: life.missions(),
-        simulated_missions: simulated,
-        failures: life.failures().to_vec(),
-    })
+    Ok(ClassTrajectory { segments, died, simulated_missions: simulated })
 }
 
-/// Runs every (policy × device) cell of `plan`, sharded across `jobs`
-/// workers (`0` = all cores, `1` = sequential), and aggregates per-policy
-/// survival curves, MTTF and first-failure histograms. Like
-/// [`run_sweep`](crate::sweep::run_sweep), the report is **byte-identical
-/// for every worker count**: device seeds are derived, cells share no
-/// state, and results merge in plan order.
+/// One (policy × shard) cell's partial result, ready to merge in shard
+/// order.
+struct ShardCell {
+    accum: FleetAccum,
+    total_missions: u64,
+    details: Vec<DeviceOutcome>,
+}
+
+/// Replays one shard of devices for one policy on the columnar wear slab
+/// (DESIGN.md §12): group the shard's devices by class, advance each class
+/// through its trajectory with [`WearBatch::advance_class`], and fold the
+/// per-device observations into a shard-local [`FleetAccum`].
+fn run_shard_cell(
+    plan: &FleetPlan,
+    classes: &ClassMap,
+    trajectories: &[ClassTrajectory],
+    policy: usize,
+    shard: usize,
+) -> ShardCell {
+    let start = shard * plan.shard_devices;
+    let end = ((shard + 1) * plan.shard_devices).min(plan.devices);
+    let mut batch = WearBatch::new(&plan.config.fabric, plan.aging, end - start);
+    let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for device in start..end {
+        groups.entry(classes.class_of[device]).or_default().push(device - start);
+    }
+    let mut accum = FleetAccum::new();
+    let mut total_missions = 0u64;
+    let mut details = Vec::new();
+    for (&class, lanes) in &groups {
+        let trajectory = &trajectories[policy * classes.count() + class as usize];
+        let mut failures: Vec<FuFailed> = Vec::new();
+        for (duty, count) in &trajectory.segments {
+            for _ in 0..*count {
+                failures.extend(batch.advance_class(lanes, duty, plan.mission_years));
+            }
+        }
+        let rep_lane = lanes[0];
+        let death_years = trajectory.died.then(|| batch.elapsed_years(rep_lane));
+        let first_failure_years = failures.first().map(|f| f.at_years);
+        accum.observe_weighted(death_years, first_failure_years, lanes.len() as u64);
+        total_missions += batch.missions(rep_lane) * lanes.len() as u64;
+        for &lane in lanes {
+            let device = start + lane;
+            if device < plan.detail_devices {
+                details.push(DeviceOutcome {
+                    device,
+                    seed: plan.device_seed(device),
+                    death_years,
+                    first_failure_years,
+                    missions: batch.missions(lane),
+                    simulated_missions: if classes.representatives[class as usize] == device {
+                        trajectory.simulated_missions
+                    } else {
+                        0
+                    },
+                    failures: failures.clone(),
+                });
+            }
+        }
+    }
+    details.sort_by_key(|d| d.device);
+    ShardCell { accum, total_missions, details }
+}
+
+/// Checkpoint format version; bumped on any layout change so stale files
+/// are rejected instead of misread (DESIGN.md §12).
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Checkpoint file magic.
+const CHECKPOINT_MAGIC: &str = "uaware-fleet-checkpoint";
+
+/// A campaign's persisted mid-run state: the phase-1 trajectories plus
+/// every completed shard's merged partials (DESIGN.md §12). Shards are
+/// deterministic functions of (plan, trajectories), so an interrupted
+/// shard simply re-runs on resume — the checkpoint only ever stores
+/// *completed* work, which is what makes resume byte-identical.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct FleetCheckpoint {
+    /// File magic: [`CHECKPOINT_MAGIC`].
+    magic: String,
+    /// Format version: [`CHECKPOINT_VERSION`].
+    version: u32,
+    /// FNV-1a hash of the plan's debug form; a resume under a different
+    /// plan (or shard split) is rejected.
+    fingerprint: u64,
+    /// Phase-1 replay scripts, policy-major (`p * classes + c`).
+    trajectories: Vec<ClassTrajectory>,
+    /// Completed shard indices, always the prefix `0..k`.
+    completed_shards: Vec<usize>,
+    /// Per-policy streaming aggregates over the completed shards.
+    accums: Vec<FleetAccum>,
+    /// Per-policy fleet-wide mission totals over the completed shards.
+    total_missions: Vec<u64>,
+    /// Per-policy detailed outcomes collected so far, in device order.
+    details: Vec<Vec<DeviceOutcome>>,
+}
+
+/// FNV-1a 64-bit over `bytes`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// The plan fingerprint a checkpoint is bound to. `f64` debug formatting
+/// is shortest-roundtrip, so two plans fingerprint equal iff every knob
+/// (including the shard split) is bit-identical.
+fn plan_fingerprint(plan: &FleetPlan) -> u64 {
+    fnv1a64(format!("v{CHECKPOINT_VERSION}:{plan:?}").as_bytes())
+}
+
+/// Atomically persists `checkpoint` (write-then-rename, so a kill mid-save
+/// leaves the previous checkpoint intact).
+///
+/// # Panics
+///
+/// Panics on IO failure — checkpoints exist to make kills safe; silently
+/// losing one would defeat them.
+fn save_checkpoint(path: &Path, checkpoint: &FleetCheckpoint) {
+    let json = serde_json::to_string(checkpoint).expect("checkpoint serializes");
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json).unwrap_or_else(|e| panic!("write {}: {e}", tmp.display()));
+    std::fs::rename(&tmp, path).unwrap_or_else(|e| panic!("rename to {}: {e}", path.display()));
+}
+
+/// Loads and validates a checkpoint, if one exists at `path`.
+///
+/// # Panics
+///
+/// Panics on unreadable/corrupt files, version mismatches, or a
+/// fingerprint that does not match `plan` — resuming someone else's
+/// campaign must fail loudly, not produce silently different numbers.
+fn load_checkpoint(path: &Path, plan: &FleetPlan) -> Option<FleetCheckpoint> {
+    if !path.exists() {
+        return None;
+    }
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read checkpoint {}: {e}", path.display()));
+    let checkpoint: FleetCheckpoint = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("corrupt checkpoint {}: {e:?}", path.display()));
+    assert_eq!(checkpoint.magic, CHECKPOINT_MAGIC, "not a fleet checkpoint: {}", path.display());
+    assert_eq!(
+        checkpoint.version,
+        CHECKPOINT_VERSION,
+        "checkpoint {} has unsupported version",
+        path.display()
+    );
+    assert_eq!(
+        checkpoint.fingerprint,
+        plan_fingerprint(plan),
+        "checkpoint {} belongs to a different plan",
+        path.display()
+    );
+    assert!(
+        checkpoint.completed_shards.iter().copied().eq(0..checkpoint.completed_shards.len()),
+        "checkpoint {} has a non-prefix shard set",
+        path.display()
+    );
+    Some(checkpoint)
+}
+
+/// Campaign-level controls of [`run_fleet_campaign`]: checkpointing and
+/// cooperative early stop (DESIGN.md §12).
+#[derive(Clone, Debug, Default)]
+pub struct CampaignOptions {
+    /// Persist progress to this path (and resume from it if it exists).
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint after every wave of this many shards (`0` acts as `1`).
+    /// Only meaningful with a checkpoint path; also the parallel wave
+    /// width, so raise it to at least the worker count on big campaigns.
+    pub checkpoint_every_shards: usize,
+    /// Stop (with a checkpoint, if configured) once this many shards have
+    /// completed, returning [`CampaignStatus::Paused`] — the hook the
+    /// kill/resume regression tests and the CI resume leg drive.
+    pub stop_after_shards: Option<usize>,
+}
+
+/// What [`run_fleet_campaign`] came back with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignStatus {
+    /// The campaign ran to the horizon; here is the full report.
+    Complete(Box<FleetReport>),
+    /// The campaign stopped early at a shard boundary
+    /// ([`CampaignOptions::stop_after_shards`]); re-run with the same
+    /// checkpoint path to continue.
+    Paused {
+        /// Shards completed so far (also the resume point).
+        completed_shards: usize,
+        /// Total shards in the campaign.
+        total_shards: usize,
+    },
+}
+
+/// Runs every (policy × device) cell of `plan` — [`run_fleet`] with
+/// checkpoint/resume and early-stop control. Sharded across `jobs` workers
+/// (`0` = all cores, `1` = sequential); the report is **byte-identical for
+/// every worker count, every shard split, and every kill/resume point**:
+/// trajectories are deterministic per class, shard replay is a pure
+/// function of (plan, trajectories), and the per-policy aggregates merge
+/// through [`FleetAccum`]'s canonical monoid in shard order.
 ///
 /// # Errors
 ///
 /// A movement policy on a movement-less configuration is rejected before
-/// anything runs; otherwise the error of the lowest-indexed failing cell
-/// is returned. ([`SystemError::AllocationExhausted`] is *not* an error
-/// here — it is a device death, part of the result.)
+/// anything runs; otherwise the error of the lowest-indexed failing
+/// (policy × class) cell is returned.
+/// ([`SystemError::AllocationExhausted`] is *not* an error here — it is a
+/// device death, part of the result.)
 ///
 /// # Panics
 ///
 /// Panics on a non-positive (or non-finite) `mission_years` or
-/// `horizon_years` — like a malformed [`SuiteSpec`], a plan-construction
-/// bug, not a runtime condition (a zero-length mission would never
-/// advance the deployment clock).
-pub fn run_fleet(plan: &FleetPlan, jobs: usize) -> Result<FleetReport, SystemError> {
+/// `horizon_years`, a zero `shard_devices` or `lanes`, an out-of-range
+/// [`Defect`] — plan-construction bugs — and on checkpoint IO failures or
+/// a checkpoint that does not match the plan.
+pub fn run_fleet_campaign(
+    plan: &FleetPlan,
+    jobs: usize,
+    options: &CampaignOptions,
+) -> Result<CampaignStatus, SystemError> {
     assert!(
         plan.mission_years > 0.0 && plan.mission_years.is_finite(),
         "mission_years must be positive and finite, got {}",
@@ -330,26 +719,124 @@ pub fn run_fleet(plan: &FleetPlan, jobs: usize) -> Result<FleetReport, SystemErr
         "horizon_years must be positive and finite, got {}",
         plan.horizon_years
     );
+    assert!(plan.shard_devices > 0, "shard_devices must be positive");
+    assert!(
+        plan.devices == 0 || plan.effective_lanes() > 0,
+        "a populated fleet needs at least one workload lane"
+    );
+    for d in &plan.defects {
+        assert!(
+            d.device < plan.devices
+                && d.row < plan.config.fabric.rows
+                && d.col < plan.config.fabric.cols,
+            "defect {d:?} outside the fleet"
+        );
+    }
     for spec in &plan.policies {
         if spec.needs_movement() && !plan.config.movement_hardware {
             return Err(BuildError::MovementHardwareAbsent { policy: spec.to_string() }.into());
         }
     }
     let pool = if jobs == 0 { ThreadPool::with_default_workers() } else { ThreadPool::new(jobs) };
+    let classes = ClassMap::build(plan);
+    let total_shards = plan.devices.div_ceil(plan.shard_devices);
 
-    // Each device's workload mix is built once and shared across policies,
-    // so every policy faces the identical population.
-    let fleets: Vec<Vec<Workload>> = pool.par_map((0..plan.devices).collect(), |_, device| {
-        plan.suite.workloads(plan.device_seed(device))
-    });
+    // Phase 1 (or resume): one reference simulation per (policy × class).
+    let resumed = options.checkpoint.as_deref().and_then(|path| load_checkpoint(path, plan));
+    let (trajectories, mut completed, mut accums, mut total_missions, mut details) = match resumed {
+        Some(ck) => {
+            (ck.trajectories, ck.completed_shards.len(), ck.accums, ck.total_missions, ck.details)
+        }
+        None => {
+            // Each lane's workload mix is built once and shared across
+            // policies, so every policy faces the identical population.
+            let lanes = plan.effective_lanes();
+            let lane_workloads: Vec<Vec<Workload>> = pool
+                .par_map((0..lanes).collect(), |_, lane| {
+                    plan.suite.workloads(derive_cell_seed(plan.base_seed, lane as u64))
+                });
+            let cells: Vec<(usize, usize)> = (0..plan.policies.len())
+                .flat_map(|p| (0..classes.count()).map(move |c| (p, c)))
+                .collect();
+            let outcomes: Vec<Result<ClassTrajectory, SystemError>> =
+                pool.par_map(cells, |_, (p, c)| {
+                    let (lane, defects) = &classes.keys[c];
+                    simulate_trajectory(plan, &plan.policies[p], &lane_workloads[*lane], defects)
+                });
+            let mut trajectories = Vec::with_capacity(outcomes.len());
+            for outcome in outcomes {
+                trajectories.push(outcome?);
+            }
+            let fresh = (
+                trajectories,
+                0,
+                vec![FleetAccum::new(); plan.policies.len()],
+                vec![0u64; plan.policies.len()],
+                vec![Vec::new(); plan.policies.len()],
+            );
+            if let Some(path) = options.checkpoint.as_deref() {
+                save_checkpoint(
+                    path,
+                    &FleetCheckpoint {
+                        magic: CHECKPOINT_MAGIC.to_string(),
+                        version: CHECKPOINT_VERSION,
+                        fingerprint: plan_fingerprint(plan),
+                        trajectories: fresh.0.clone(),
+                        completed_shards: Vec::new(),
+                        accums: fresh.2.clone(),
+                        total_missions: fresh.3.clone(),
+                        details: fresh.4.clone(),
+                    },
+                );
+            }
+            fresh
+        }
+    };
 
-    let cells: Vec<(usize, usize)> =
-        (0..plan.policies.len()).flat_map(|p| (0..plan.devices).map(move |d| (p, d))).collect();
-    let outcomes: Vec<Result<DeviceOutcome, SystemError>> =
-        pool.par_map(cells, |_, (p, d)| simulate_device(plan, &plan.policies[p], d, &fleets[d]));
-    let mut results: Vec<DeviceOutcome> = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        results.push(outcome?);
+    // Phase 2: stream device shards through the columnar replay, merging
+    // each wave's partials in (shard, policy) order.
+    let wave_shards = if options.checkpoint.is_some() {
+        options.checkpoint_every_shards.max(1)
+    } else {
+        usize::MAX
+    };
+    while completed < total_shards {
+        if options.stop_after_shards.is_some_and(|stop| completed >= stop) {
+            return Ok(CampaignStatus::Paused { completed_shards: completed, total_shards });
+        }
+        let mut wave_end = completed.saturating_add(wave_shards).min(total_shards);
+        if let Some(stop) = options.stop_after_shards {
+            wave_end = wave_end.min(stop.max(completed + 1));
+        }
+        let cells: Vec<(usize, usize)> = (completed..wave_end)
+            .flat_map(|s| (0..plan.policies.len()).map(move |p| (s, p)))
+            .collect();
+        let results: Vec<ShardCell> =
+            pool.par_map(cells, |_, (s, p)| run_shard_cell(plan, &classes, &trajectories, p, s));
+        for (cell, (_, p)) in results
+            .into_iter()
+            .zip((completed..wave_end).flat_map(|s| (0..plan.policies.len()).map(move |p| (s, p))))
+        {
+            accums[p].merge(&cell.accum);
+            total_missions[p] += cell.total_missions;
+            details[p].extend(cell.details);
+        }
+        completed = wave_end;
+        if let Some(path) = options.checkpoint.as_deref() {
+            save_checkpoint(
+                path,
+                &FleetCheckpoint {
+                    magic: CHECKPOINT_MAGIC.to_string(),
+                    version: CHECKPOINT_VERSION,
+                    fingerprint: plan_fingerprint(plan),
+                    trajectories: trajectories.clone(),
+                    completed_shards: (0..completed).collect(),
+                    accums: accums.clone(),
+                    total_missions: total_missions.clone(),
+                    details: details.clone(),
+                },
+            );
+        }
     }
 
     let policies = plan
@@ -357,35 +844,55 @@ pub fn run_fleet(plan: &FleetPlan, jobs: usize) -> Result<FleetReport, SystemErr
         .iter()
         .enumerate()
         .map(|(p, spec)| {
-            let devices: Vec<DeviceOutcome> =
-                results[p * plan.devices..(p + 1) * plan.devices].to_vec();
-            let deaths: Vec<Option<f64>> = devices.iter().map(|d| d.death_years).collect();
-            let firsts: Vec<Option<f64>> = devices.iter().map(|d| d.first_failure_years).collect();
+            let count = classes.count();
+            let simulated_missions =
+                trajectories[p * count..(p + 1) * count].iter().map(|t| t.simulated_missions).sum();
             PolicyFleet {
                 policy: spec.to_string(),
-                stats: FleetStats::from_observations(
-                    &deaths,
-                    &firsts,
-                    plan.horizon_years,
-                    plan.histogram_bins,
-                ),
-                survival: SurvivalCurve::from_deaths(&deaths, plan.horizon_years),
-                devices,
+                stats: accums[p].stats(plan.horizon_years, plan.histogram_bins),
+                survival: accums[p].survival(plan.horizon_years),
+                classes: count,
+                simulated_missions,
+                total_missions: total_missions[p],
+                devices: details[p].clone(),
             }
         })
         .collect();
 
-    Ok(FleetReport {
+    Ok(CampaignStatus::Complete(Box::new(FleetReport {
         base_seed: plan.base_seed,
         rows: plan.config.fabric.rows,
         cols: plan.config.fabric.cols,
         suite: plan.suite.name.clone(),
         devices: plan.devices,
+        lanes: plan.effective_lanes(),
+        detail_devices: plan.detail_devices,
         mission_years: plan.mission_years,
         horizon_years: plan.horizon_years,
         inject_faults: plan.inject_faults,
         policies,
-    })
+    })))
+}
+
+/// Runs every (policy × device) cell of `plan`, sharded across `jobs`
+/// workers (`0` = all cores, `1` = sequential), and aggregates per-policy
+/// survival curves, MTTF and first-failure histograms. Like
+/// [`run_sweep`](crate::sweep::run_sweep), the report is **byte-identical
+/// for every worker count** (and every shard split — see
+/// [`run_fleet_campaign`] for checkpoint/resume control).
+///
+/// # Errors
+///
+/// See [`run_fleet_campaign`].
+///
+/// # Panics
+///
+/// See [`run_fleet_campaign`].
+pub fn run_fleet(plan: &FleetPlan, jobs: usize) -> Result<FleetReport, SystemError> {
+    match run_fleet_campaign(plan, jobs, &CampaignOptions::default())? {
+        CampaignStatus::Complete(report) => Ok(*report),
+        CampaignStatus::Paused { .. } => unreachable!("no stop was requested"),
+    }
 }
 
 #[cfg(test)]
@@ -424,6 +931,7 @@ mod tests {
         }
         assert_eq!(fleet.stats.deaths, 2);
         assert_eq!(fleet.survival.points.last().unwrap().1, 0.0);
+        assert_eq!(fleet.classes, 2, "per-device lanes mean per-device classes");
     }
 
     #[test]
@@ -452,5 +960,56 @@ mod tests {
         let plan = mini_plan();
         assert_eq!(plan.device_seed(0), 7);
         assert_ne!(plan.device_seed(1), plan.device_seed(0));
+    }
+
+    #[test]
+    fn shard_splits_never_change_the_report() {
+        let plan = mini_plan().policy(PolicySpec::Baseline);
+        let whole = run_fleet(&plan.clone().shard_devices(64), 1).unwrap();
+        let singles = run_fleet(&plan.clone().shard_devices(1), 1).unwrap();
+        // The split is not part of the artefact, so compare the bytes.
+        assert_eq!(
+            serde_json::to_string(&whole).unwrap(),
+            serde_json::to_string(&singles).unwrap()
+        );
+    }
+
+    #[test]
+    fn lanes_collapse_devices_into_shared_classes() {
+        let plan = mini_plan().policy(PolicySpec::Baseline).devices(4).lanes(1);
+        let report = run_fleet(&plan, 1).unwrap();
+        let fleet = report.policy("baseline").unwrap();
+        assert_eq!(report.lanes, 1);
+        assert_eq!(fleet.classes, 1);
+        // One trajectory serves all four devices: only the representative
+        // carries the simulation bill …
+        assert!(fleet.devices[0].simulated_missions > 0);
+        for device in &fleet.devices[1..] {
+            assert_eq!(device.simulated_missions, 0);
+            // … and every member reproduces its history exactly.
+            assert_eq!(device.death_years, fleet.devices[0].death_years);
+            assert_eq!(device.failures, fleet.devices[0].failures);
+            assert_eq!(device.seed, fleet.devices[0].seed);
+        }
+        assert_eq!(fleet.simulated_missions, fleet.devices[0].simulated_missions);
+    }
+
+    #[test]
+    fn class_map_forks_on_defects() {
+        let plan = mini_plan().devices(4).lanes(1).defect(2, 0, 0).defect(2, 0, 0);
+        let classes = ClassMap::build(&plan);
+        assert_eq!(classes.count(), 2);
+        assert_eq!(classes.class_of, vec![0, 0, 1, 0]);
+        assert_eq!(classes.representatives, vec![0, 2]);
+        assert_eq!(classes.keys[1].1, vec![(0, 0)], "duplicate defects deduplicate");
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_plan_knob() {
+        let plan = mini_plan();
+        assert_eq!(plan_fingerprint(&plan), plan_fingerprint(&plan.clone()));
+        assert_ne!(plan_fingerprint(&plan), plan_fingerprint(&plan.clone().devices(3)));
+        assert_ne!(plan_fingerprint(&plan), plan_fingerprint(&plan.clone().shard_devices(1)));
+        assert_ne!(plan_fingerprint(&plan), plan_fingerprint(&plan.clone().defect(0, 0, 0)));
     }
 }

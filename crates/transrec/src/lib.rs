@@ -65,7 +65,10 @@ pub use dse::{
     BenchmarkRun, SuiteRun,
 };
 pub use energy::{gpp_only_energy, system_energy, EnergyBreakdown, EnergyParams};
-pub use fleet::{run_fleet, DeviceOutcome, FleetPlan, FleetReport, PolicyFleet};
+pub use fleet::{
+    run_fleet, run_fleet_campaign, CampaignOptions, CampaignStatus, Defect, DeviceOutcome,
+    FleetPlan, FleetReport, PolicyFleet,
+};
 pub use scenario::{Scenario, ALL as SCENARIOS, BE, BP, BU};
 pub use sweep::{run_sweep, SuiteSpec, SweepCell, SweepPlan};
 pub use system::{

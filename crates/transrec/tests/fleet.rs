@@ -6,7 +6,10 @@
 //!    `CalibratedAging::lifetime_years(worst_u)` within 1e-6;
 //! 2. closed loop (faults injected): health-aware reallocation outlives
 //!    the corner-pinned baseline's MTTF;
-//! 3. `run_fleet` is byte-identical for every worker count.
+//! 3. `run_fleet` is byte-identical for every worker count;
+//! 4. equivalence classes (DESIGN.md §12): a fleet of identical devices
+//!    shares exactly one simulation per policy, and seeded defects fork
+//!    classes without changing any per-device result versus a solo run.
 
 use cgra::Fabric;
 use lifetime::DeviceLifetime;
@@ -126,4 +129,97 @@ fn fleet_reports_are_identical_for_every_worker_count() {
     let a = serde_json::to_string(&sequential).unwrap();
     let b = serde_json::to_string(&sharded).unwrap();
     assert_eq!(a, b);
+}
+
+/// The solo fleet the class tests compare against: one device on one lane,
+/// optionally with one seeded manufacturing defect.
+fn solo_plan(defect: Option<(u32, u32)>) -> FleetPlan {
+    let plan = FleetPlan::new(0xDAC2020, Fabric::be())
+        .policy(PolicySpec::Baseline)
+        .policy(PolicySpec::rotation())
+        .devices(1)
+        .lanes(1)
+        .suite(SuiteSpec::subset("crc", vec![1]))
+        .mission_years(1.0)
+        .horizon_years(12.0);
+    match defect {
+        Some((row, col)) => plan.defect(0, row, col),
+        None => plan,
+    }
+}
+
+#[test]
+fn identical_devices_share_exactly_one_simulation_per_policy() {
+    // 40 identical devices on one workload lane collapse into one
+    // equivalence class: one reference simulation per policy, with the
+    // simulation count pinned *exactly* — not "at most" — in the report,
+    // and every replayed device landing where the solo device lands.
+    let solo = run_fleet(&solo_plan(None), 1).expect("solo fleet");
+    let fleet_plan = solo_plan(None).devices(40).detail_devices(40);
+    let fleet = run_fleet(&fleet_plan, 4).expect("shared-class fleet");
+    for (shared, alone) in fleet.policies.iter().zip(&solo.policies) {
+        assert_eq!(shared.classes, 1, "{}: one lane, no defects, one class", shared.policy);
+        let reference = &alone.devices[0];
+        assert_eq!(
+            shared.simulated_missions, reference.simulated_missions,
+            "{}: the class re-simulates exactly as often as the solo device",
+            shared.policy
+        );
+        assert_eq!(shared.total_missions, 40 * reference.missions);
+        assert_eq!(shared.devices.len(), 40);
+        for device in &shared.devices {
+            assert_eq!(device.seed, reference.seed, "one lane, one workload seed");
+            assert_eq!(device.death_years, reference.death_years);
+            assert_eq!(device.first_failure_years, reference.first_failure_years);
+            assert_eq!(device.missions, reference.missions);
+            assert_eq!(device.failures, reference.failures);
+            // Only the class representative (device 0) carries the
+            // simulation count; every other member reports zero.
+            let expected = if device.device == 0 { reference.simulated_missions } else { 0 };
+            assert_eq!(device.simulated_missions, expected);
+        }
+        assert_eq!(shared.stats.devices, 40);
+        assert_eq!(shared.survival.alive_at(0.0), 1.0);
+    }
+}
+
+#[test]
+fn seeded_defects_fork_classes_without_changing_per_device_results() {
+    // Device 1 of three otherwise identical devices ships with a dead
+    // corner FU. The fleet must fork it into its own class — and both
+    // classes must reproduce their solo-simulated twins exactly.
+    let healthy = run_fleet(&solo_plan(None), 1).expect("healthy solo");
+    let defective = run_fleet(&solo_plan(Some((0, 0))), 1).expect("defective solo");
+    let fleet_plan = solo_plan(None).devices(3).defect(1, 0, 0);
+    let fleet = run_fleet(&fleet_plan, 1).expect("forked fleet");
+    for ((forked, clean), broken) in
+        fleet.policies.iter().zip(&healthy.policies).zip(&defective.policies)
+    {
+        assert_eq!(forked.classes, 2, "{}: the defect forks one extra class", forked.policy);
+        assert_eq!(
+            forked.simulated_missions,
+            clean.simulated_missions + broken.simulated_missions,
+            "{}: one simulation per class, nothing more",
+            forked.policy
+        );
+        let outcomes = &forked.devices;
+        assert_eq!(outcomes.len(), 3);
+        for (device, reference) in
+            [(&outcomes[0], clean), (&outcomes[1], broken), (&outcomes[2], clean)]
+        {
+            let reference = &reference.devices[0];
+            assert_eq!(device.death_years, reference.death_years);
+            assert_eq!(device.first_failure_years, reference.first_failure_years);
+            assert_eq!(device.missions, reference.missions);
+            assert_eq!(device.failures, reference.failures);
+        }
+        // The defect actually mattered: the corner-dead device diverges
+        // from its healthy siblings under the corner-pinned baseline.
+        if forked.policy == "baseline" {
+            assert_ne!(
+                outcomes[1].death_years, outcomes[0].death_years,
+                "a dead corner must change the baseline's fate"
+            );
+        }
+    }
 }

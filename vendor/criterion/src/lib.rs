@@ -10,10 +10,23 @@
 //!
 //! Bench binaries accept the flags cargo passes (`--bench`) plus an
 //! optional positional substring filter, like real criterion.
+//!
+//! Setting the `CRITERION_SNAPSHOT` environment variable to a file path
+//! additionally records every benchmark's timings as machine-readable
+//! JSON (merged into whatever the file already holds, so several bench
+//! targets can share one snapshot) — the `results/BENCH_*.json` perf
+//! trajectory CI emits.
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
+
 pub use std::hint::black_box;
+
+/// The environment variable naming the JSON snapshot file.
+pub const SNAPSHOT_ENV: &str = "CRITERION_SNAPSHOT";
 
 /// Collects one timing sample by running the routine repeatedly.
 pub struct Bencher {
@@ -68,17 +81,40 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// One benchmark's recorded timings inside a snapshot file (all times in
+/// nanoseconds per iteration).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Median per-iteration time.
+    pub median_ns: u64,
+    /// Fastest sample.
+    pub low_ns: u64,
+    /// Slowest sample.
+    pub high_ns: u64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
+}
+
 /// The benchmark driver: owns the filter and measurement settings.
 pub struct Criterion {
     filter: Option<String>,
     sample_size: usize,
     /// Wall-clock budget per benchmark (all samples together).
     target_time: Duration,
+    /// Where recorded timings merge-write on drop, when snapshotting.
+    snapshot: Option<(PathBuf, BTreeMap<String, SnapshotEntry>)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { filter: None, sample_size: 20, target_time: Duration::from_millis(500) }
+        Criterion {
+            filter: None,
+            sample_size: 20,
+            target_time: Duration::from_millis(500),
+            snapshot: std::env::var_os(SNAPSHOT_ENV).map(|p| (PathBuf::from(p), BTreeMap::new())),
+        }
     }
 }
 
@@ -96,15 +132,55 @@ impl Criterion {
         self
     }
 
+    /// Records timings into the JSON file at `path` when this driver
+    /// drops, regardless of the `CRITERION_SNAPSHOT` environment variable
+    /// (which [`Criterion::default`] consults).
+    pub fn with_snapshot_path<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.snapshot = Some((path.into(), BTreeMap::new()));
+        self
+    }
+
     /// Runs a single named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_bench(&self.filter.clone(), id, self.sample_size, self.target_time, f);
+        let recorded = run_bench(&self.filter.clone(), id, self.sample_size, self.target_time, f);
+        self.record(id, recorded);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
         BenchmarkGroup { criterion: self, name: group_name.into(), sample_size: None }
+    }
+
+    fn record(&mut self, id: &str, entry: Option<SnapshotEntry>) {
+        if let (Some((_, entries)), Some(entry)) = (self.snapshot.as_mut(), entry) {
+            entries.insert(id.to_string(), entry);
+        }
+    }
+}
+
+impl Drop for Criterion {
+    /// Merge-writes the recorded timings into the snapshot file: existing
+    /// entries from other bench targets survive, entries re-measured in
+    /// this run are replaced.
+    fn drop(&mut self) {
+        let Some((path, entries)) = self.snapshot.take() else { return };
+        if entries.is_empty() {
+            return;
+        }
+        let mut merged: BTreeMap<String, SnapshotEntry> = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|json| serde_json::from_str(&json).ok())
+            .unwrap_or_default();
+        merged.extend(entries);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let json = serde_json::to_string_pretty(&merged).expect("snapshot serializes");
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("[criterion snapshot -> {}]", path.display()),
+            Err(e) => eprintln!("[criterion snapshot write failed for {}: {e}]", path.display()),
+        }
     }
 }
 
@@ -129,13 +205,14 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into().id);
-        run_bench(
+        let recorded = run_bench(
             &self.criterion.filter.clone(),
             &full,
             self.sample_size.unwrap_or(self.criterion.sample_size),
             self.criterion.target_time,
             f,
         );
+        self.criterion.record(&full, recorded);
         self
     }
 
@@ -158,10 +235,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     sample_size: usize,
     target_time: Duration,
     mut f: F,
-) {
+) -> Option<SnapshotEntry> {
     if let Some(needle) = filter {
         if !id.contains(needle.as_str()) {
-            return;
+            return None;
         }
     }
     // Calibration pass: one iteration, to size the batches.
@@ -181,7 +258,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let mut samples = bencher.samples;
     if samples.is_empty() {
         println!("{id:<50} (no samples: routine never called Bencher::iter)");
-        return;
+        return None;
     }
     samples.sort();
     let median = samples[samples.len() / 2];
@@ -194,6 +271,13 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         samples.len(),
         iters,
     );
+    Some(SnapshotEntry {
+        median_ns: median.as_nanos() as u64,
+        low_ns: lo.as_nanos() as u64,
+        high_ns: hi.as_nanos() as u64,
+        samples: samples.len(),
+        iters_per_sample: iters,
+    })
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -304,6 +388,33 @@ mod tests {
         let args = ["--bench", "--warm-up-time", "3", "my_filter"];
         let c = criterion_from_arg_list(args.iter().map(|s| s.to_string()));
         assert_eq!(c.filter.as_deref(), Some("my_filter"));
+    }
+
+    #[test]
+    fn snapshots_merge_write_on_drop() {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/criterion_snapshot_test.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut c = Criterion::default().sample_size(2).with_snapshot_path(&path);
+        c.target_time = Duration::from_millis(2);
+        c.bench_function("snap/a", |b| b.iter(|| black_box(1u64 + 1)));
+        drop(c);
+        let first: BTreeMap<String, SnapshotEntry> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(first.contains_key("snap/a"));
+        assert!(first["snap/a"].samples >= 2);
+
+        // A second run measuring a different id merges, not overwrites.
+        let mut c = Criterion::default().sample_size(2).with_snapshot_path(&path);
+        c.target_time = Duration::from_millis(2);
+        c.benchmark_group("snap").bench_function("b", |b| b.iter(|| black_box(2u64 * 2)));
+        drop(c);
+        let merged: BTreeMap<String, SnapshotEntry> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(merged.contains_key("snap/a") && merged.contains_key("snap/b"));
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
