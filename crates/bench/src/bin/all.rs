@@ -39,5 +39,7 @@ fn main() {
     save_json("table2", &table2(&ctx));
     eprintln!("[survival]");
     save_json("survival", &fig_lifetime(&ctx, devices));
+    eprintln!("[serving]");
+    save_json("serving", &fleet_serve(&ctx, devices, 30));
     eprintln!("done: results/*.json");
 }

@@ -13,6 +13,7 @@ use transrec::fleet::{
     run_fleet_campaign, CampaignOptions, CampaignStatus, FleetPlan, FleetReport,
 };
 use transrec::telemetry::{settle_cycle, ProbeSpec, UtilTrace, DEFAULT_EPOCH_CYCLES};
+use transrec::traffic::{run_serving_campaign, ServePlan, ServeReport, ServeStatus, TrafficSpec};
 use transrec::{run_sweep, EnergyParams, SuiteRun, SweepPlan};
 use uaware::{MovementGranularity, PatternSpec, PolicySpec};
 
@@ -341,6 +342,64 @@ pub fn fig_lifetime_campaign(
         plan = plan.shard_devices(shard);
     }
     run_fleet_campaign(&plan, ctx.jobs, options).expect("fleet runs")
+}
+
+/// The workload/traffic lanes `fleet_serve` uses when `--lanes` is
+/// absent: one lane per device up to 4 — serving trajectories are heavier
+/// than mission trajectories (every distinct fault mask re-measures the
+/// whole suite), so the default reference pool is half the fleet one's
+/// (DESIGN.md §13).
+pub fn default_serve_lanes(devices: usize) -> usize {
+    devices.min(4)
+}
+
+/// The live-serving fleet experiment behind `results/serving.json`
+/// (DESIGN.md §13): baseline plus the context's policy series, each
+/// serving the same seeded request streams (diurnal and heavy-tailed by
+/// default) over `horizon_days` days with utilization-aware backpressure,
+/// death-triggered replacement and cost accounting.
+pub fn fleet_serve(ctx: &ExperimentContext, devices: usize, horizon_days: u64) -> ServeReport {
+    match fleet_serve_campaign(
+        ctx,
+        devices,
+        default_serve_lanes(devices),
+        horizon_days,
+        None,
+        None,
+        &CampaignOptions::default(),
+    ) {
+        ServeStatus::Complete(report) => *report,
+        ServeStatus::Paused { .. } => unreachable!("no stop was requested"),
+    }
+}
+
+/// [`fleet_serve`] with the campaign knobs exposed: explicit lanes, an
+/// optional traffic mix and shard-size override, and checkpoint/early-stop
+/// `options` (the `fleet_serve` binary's flags).
+pub fn fleet_serve_campaign(
+    ctx: &ExperimentContext,
+    devices: usize,
+    lanes: usize,
+    horizon_days: u64,
+    traffic: Option<Vec<TrafficSpec>>,
+    shard_devices: Option<usize>,
+    options: &CampaignOptions,
+) -> ServeStatus {
+    let specs: Vec<PolicySpec> =
+        std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()).collect();
+    let mut plan = ServePlan::new(ctx.seed, Fabric::be())
+        .policies(specs)
+        .devices(devices)
+        .aging(ctx.aging)
+        .lanes(lanes)
+        .horizon_days(horizon_days);
+    if let Some(traffic) = traffic {
+        plan = plan.traffic_mix(traffic);
+    }
+    if let Some(shard) = shard_devices {
+        plan = plan.shard_devices(shard);
+    }
+    run_serving_campaign(&plan, ctx.jobs, options).expect("serving runs")
 }
 
 /// Table II — area/cells of the BE fabric, baseline vs modified, plus the

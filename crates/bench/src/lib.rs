@@ -12,12 +12,14 @@ pub mod experiments;
 pub mod reports;
 
 pub use experiments::{
-    convergence, default_lanes, fig1, fig6, fig7, fig8, fig_lifetime, fig_lifetime_campaign,
-    table1, table2, ExperimentContext, CONVERGENCE_TOLERANCE,
+    convergence, default_lanes, default_serve_lanes, fig1, fig6, fig7, fig8, fig_lifetime,
+    fig_lifetime_campaign, fleet_serve, fleet_serve_campaign, table1, table2, ExperimentContext,
+    CONVERGENCE_TOLERANCE,
 };
 
 use std::path::PathBuf;
 
+use transrec::TrafficSpec;
 use uaware::PolicySpec;
 
 /// Applies the shared experiment CLI flags from the process arguments to
@@ -108,6 +110,55 @@ pub fn parse_shard_flag(args: &[String]) -> Result<Option<usize>, String> {
 /// `--stop-after` with no value.
 pub fn parse_stop_after_flag(args: &[String]) -> Result<Option<usize>, String> {
     parse_count_flag(args, "--stop-after", "shards to complete before pausing")
+}
+
+/// Extracts the last `--horizon-days <n>` / `--horizon-days=<n>`
+/// occurrence from `args` (`None` when the flag is absent) — the serving
+/// horizon of the `fleet_serve` binary (DESIGN.md §13).
+///
+/// # Errors
+///
+/// Returns a description for a malformed count or a trailing
+/// `--horizon-days` with no value.
+pub fn parse_horizon_days_flag(args: &[String]) -> Result<Option<usize>, String> {
+    parse_count_flag(args, "--horizon-days", "serving days")
+}
+
+/// Extracts every `--traffic <spec>` / `--traffic=<spec>` occurrence from
+/// `args`, in order, parsed with [`TrafficSpec`]'s
+/// [`FromStr`](std::str::FromStr) grammar (e.g. `--traffic
+/// diurnal@rph-6000+swing-80 --traffic heavy`). Other arguments are
+/// ignored; an empty vec means the flag was absent.
+///
+/// # Errors
+///
+/// Returns the parse error of the first malformed spec, or an error for a
+/// trailing `--traffic` with no value.
+pub fn parse_traffic_flags(args: &[String]) -> Result<Vec<TrafficSpec>, String> {
+    let mut specs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--traffic" {
+            i += 1;
+            match args.get(i) {
+                Some(v) => v.clone(),
+                None => {
+                    return Err(
+                        "--traffic requires a value (e.g. --traffic diurnal@rph-6000+swing-80)"
+                            .to_string(),
+                    )
+                }
+            }
+        } else if let Some(v) = args[i].strip_prefix("--traffic=") {
+            v.to_string()
+        } else {
+            i += 1;
+            continue;
+        };
+        specs.push(value.parse::<TrafficSpec>()?);
+        i += 1;
+    }
+    Ok(specs)
 }
 
 /// Extracts the last `--checkpoint-every <n>` / `--checkpoint-every=<n>`

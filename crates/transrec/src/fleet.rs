@@ -583,8 +583,8 @@ struct FleetCheckpoint {
     details: Vec<Vec<DeviceOutcome>>,
 }
 
-/// FNV-1a 64-bit over `bytes`.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit over `bytes` (also fingerprints serving checkpoints).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;

@@ -22,6 +22,11 @@
 //!   ([`FleetPlan`], [`run_fleet`]): multi-year mission sequences with
 //!   wear accumulation, end-of-life fault injection and failure-aware
 //!   reallocation, fanned out over N-device fleets (DESIGN.md §11).
+//! * [`traffic`] — live serving on top of the lifetime engine
+//!   ([`ServePlan`], [`run_serving`]): seeded arrival processes (steady /
+//!   diurnal / heavy-tailed), per-device request queues with
+//!   utilization-aware backpressure, and replacement economics
+//!   (DESIGN.md §13).
 //! * [`scenario`] — the paper's BE/BP/BU design points.
 //!
 //! # Examples
@@ -59,6 +64,7 @@ pub mod scenario;
 pub mod sweep;
 pub mod system;
 pub mod telemetry;
+pub mod traffic;
 
 pub use dse::{
     dse_grid, gpp_reference, run_dse, run_suite, run_suite_with, run_suite_with_baseline,
@@ -76,3 +82,8 @@ pub use system::{
     SystemError, SystemStats,
 };
 pub use telemetry::{Observer, ProbeReport, ProbeSpec, SimEvent};
+pub use traffic::{
+    probe_service_day, run_serving, run_serving_campaign, BackpressureSpec, DayServeReport,
+    LatencyHistogram, ReplacementPolicy, ReplacementSpec, ServeCell, ServePlan, ServeReport,
+    ServeStatus, TrafficSpec,
+};

@@ -179,6 +179,38 @@ pub enum SimEvent {
         /// Start PC of the displaced entry.
         pc: u32,
     },
+    /// A service request entered a device's queue (traffic subsystem,
+    /// DESIGN.md §13).
+    RequestArrived {
+        /// Request index within the serving day.
+        request: u64,
+        /// Index of the requested workload in the device's suite.
+        workload: u32,
+        /// Queue depth after the request was admitted (the request
+        /// itself included).
+        queue_depth: u32,
+    },
+    /// A queued request finished service (on the fabric, or on the GPP
+    /// when backpressure deferred it — DESIGN.md §13).
+    RequestServed {
+        /// Request index within the serving day.
+        request: u64,
+        /// Cycles the request waited in the queue before service began.
+        wait_cycles: u64,
+        /// Cycles the service itself took.
+        service_cycles: u64,
+        /// `true` when utilization-aware backpressure deferred the
+        /// request to the GPP instead of offloading it.
+        deferred: bool,
+    },
+    /// Backpressure dropped a request at arrival: the queue was already
+    /// at its shedding threshold (DESIGN.md §13).
+    RequestShed {
+        /// Request index within the serving day.
+        request: u64,
+        /// Queue depth that triggered the shed.
+        queue_depth: u32,
+    },
 }
 
 /// Context handed to observers with every hook call: where the run is
@@ -285,7 +317,10 @@ impl Observer for StatsObserver {
             SimEvent::ConfigLoaded { .. }
             | SimEvent::Rotated { .. }
             | SimEvent::CacheInserted { .. }
-            | SimEvent::CacheEvicted { .. } => {}
+            | SimEvent::CacheEvicted { .. }
+            | SimEvent::RequestArrived { .. }
+            | SimEvent::RequestServed { .. }
+            | SimEvent::RequestShed { .. } => {}
         }
     }
 
@@ -524,6 +559,12 @@ pub struct EventCounts {
     pub cache_insertions: u64,
     /// [`SimEvent::CacheEvicted`] events.
     pub cache_evictions: u64,
+    /// [`SimEvent::RequestArrived`] events.
+    pub requests_arrived: u64,
+    /// [`SimEvent::RequestServed`] events.
+    pub requests_served: u64,
+    /// [`SimEvent::RequestShed`] events.
+    pub requests_shed: u64,
 }
 
 /// Observer counting events by kind — the cheapest useful probe, and the
@@ -552,11 +593,101 @@ impl Observer for EventCounter {
             SimEvent::Rotated { .. } => c.rotations += 1,
             SimEvent::CacheInserted { .. } => c.cache_insertions += 1,
             SimEvent::CacheEvicted { .. } => c.cache_evictions += 1,
+            SimEvent::RequestArrived { .. } => c.requests_arrived += 1,
+            SimEvent::RequestServed { .. } => c.requests_served += 1,
+            SimEvent::RequestShed { .. } => c.requests_shed += 1,
         }
     }
 
     fn report(&self) -> Option<ProbeReport> {
         Some(ProbeReport::EventCounts(self.counts))
+    }
+}
+
+/// Default sampling interval of the [`ProbeSpec::QueueDepth`] probe: one
+/// minute of serving time at the traffic subsystem's default device clock
+/// (DESIGN.md §13).
+pub const DEFAULT_QUEUE_EPOCH_CYCLES: u64 = 6_000_000;
+
+/// A queue-depth-over-time series (the `queue-depth` probe's report
+/// payload): the device queue sampled every `every` cycles, plus the
+/// observed depth maximum and shed total (DESIGN.md §13).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueDepthSeries {
+    /// Sampling interval in system cycles.
+    pub every: u64,
+    /// `(cycle, queue depth)` samples in strictly increasing cycle order;
+    /// the last sample is the end-of-run state.
+    pub samples: Vec<(u64, u32)>,
+    /// Deepest queue observed at any event.
+    pub max_depth: u32,
+    /// Requests shed by backpressure.
+    pub sheds: u64,
+}
+
+/// Observer tracking device-queue depth from the request events
+/// ([`SimEvent::RequestArrived`] / [`SimEvent::RequestServed`] /
+/// [`SimEvent::RequestShed`]), sampled on the same epoch scheme as
+/// [`EpochSnapshots`].
+#[derive(Clone, Debug)]
+pub struct QueueDepthTrace {
+    next: u64,
+    depth: u32,
+    series: QueueDepthSeries,
+}
+
+impl QueueDepthTrace {
+    /// A queue-depth observer sampling every `every` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(every: u64) -> QueueDepthTrace {
+        assert!(every > 0, "epoch length must be positive");
+        QueueDepthTrace {
+            next: every,
+            depth: 0,
+            series: QueueDepthSeries { every, ..QueueDepthSeries::default() },
+        }
+    }
+
+    /// The series collected so far.
+    pub fn series(&self) -> &QueueDepthSeries {
+        &self.series
+    }
+
+    fn push(&mut self, cycle: u64) {
+        self.series.samples.push((cycle, self.depth));
+    }
+}
+
+impl Observer for QueueDepthTrace {
+    fn on_event(&mut self, ctx: &EventCtx<'_>, event: &SimEvent) {
+        match *event {
+            SimEvent::RequestArrived { queue_depth, .. } => {
+                self.depth = queue_depth;
+                self.series.max_depth = self.series.max_depth.max(queue_depth);
+            }
+            SimEvent::RequestServed { .. } => self.depth = self.depth.saturating_sub(1),
+            SimEvent::RequestShed { .. } => self.series.sheds += 1,
+            _ => return,
+        }
+        if ctx.cycle >= self.next {
+            self.push(ctx.cycle);
+            while self.next <= ctx.cycle {
+                self.next += self.series.every;
+            }
+        }
+    }
+
+    fn on_finish(&mut self, ctx: &EventCtx<'_>) {
+        if self.series.samples.last().map(|(c, _)| *c) != Some(ctx.cycle) {
+            self.push(ctx.cycle);
+        }
+    }
+
+    fn report(&self) -> Option<ProbeReport> {
+        Some(ProbeReport::QueueDepth(self.series.clone()))
     }
 }
 
@@ -572,6 +703,7 @@ impl Observer for EventCounter {
 /// | `util-trace` | [`EpochSnapshots`] at the default 10 000-cycle epoch |
 /// | `util-trace@every-50000` | explicit epoch length |
 /// | `event-counts` | per-kind event totals ([`EventCounter`]) |
+/// | `queue-depth[@every-<n>]` | device-queue depth series ([`QueueDepthTrace`]) |
 ///
 /// # Examples
 ///
@@ -594,6 +726,12 @@ pub enum ProbeSpec {
     },
     /// An [`EventCounter`].
     EventCounts,
+    /// A [`QueueDepthTrace`] observer sampling every `every` cycles
+    /// (DESIGN.md §13).
+    QueueDepth {
+        /// Sampling interval in system cycles.
+        every: u64,
+    },
 }
 
 impl ProbeSpec {
@@ -613,6 +751,7 @@ impl ProbeSpec {
             ProbeSpec::Stats => Box::new(StatsObserver::new()),
             ProbeSpec::UtilTrace { every } => Box::new(EpochSnapshots::new(every)),
             ProbeSpec::EventCounts => Box::new(EventCounter::default()),
+            ProbeSpec::QueueDepth { every } => Box::new(QueueDepthTrace::new(every)),
         }
     }
 }
@@ -623,6 +762,7 @@ impl fmt::Display for ProbeSpec {
             ProbeSpec::Stats => f.write_str("stats"),
             ProbeSpec::UtilTrace { every } => write!(f, "util-trace@every-{every}"),
             ProbeSpec::EventCounts => f.write_str("event-counts"),
+            ProbeSpec::QueueDepth { every } => write!(f, "queue-depth@every-{every}"),
         }
     }
 }
@@ -639,7 +779,10 @@ impl FromStr for ProbeSpec {
             ("stats", None) => Ok(ProbeSpec::Stats),
             ("event-counts", None) => Ok(ProbeSpec::EventCounts),
             ("util-trace", None) => Ok(ProbeSpec::UtilTrace { every: DEFAULT_EPOCH_CYCLES }),
-            ("util-trace", Some(tail)) => {
+            ("queue-depth", None) => {
+                Ok(ProbeSpec::QueueDepth { every: DEFAULT_QUEUE_EPOCH_CYCLES })
+            }
+            ("util-trace" | "queue-depth", Some(tail)) => {
                 let every = tail
                     .strip_prefix("every-")
                     .and_then(|n| n.parse::<u64>().ok())
@@ -649,10 +792,15 @@ impl FromStr for ProbeSpec {
                             "invalid epoch `{tail}` in `{s}` (expected every-<cycles>)"
                         ))
                     })?;
-                Ok(ProbeSpec::UtilTrace { every })
+                if head == "util-trace" {
+                    Ok(ProbeSpec::UtilTrace { every })
+                } else {
+                    Ok(ProbeSpec::QueueDepth { every })
+                }
             }
             _ => Err(ParseSpecError::new(format!(
-                "unknown probe spec `{s}` (expected stats, util-trace[@every-<n>] or event-counts)"
+                "unknown probe spec `{s}` (expected stats, util-trace[@every-<n>], \
+                 queue-depth[@every-<n>] or event-counts)"
             ))),
         }
     }
@@ -668,6 +816,8 @@ pub enum ProbeReport {
     UtilTrace(UtilTrace),
     /// Totals from an [`EventCounter`] probe.
     EventCounts(EventCounts),
+    /// A depth series from a [`QueueDepthTrace`] probe (DESIGN.md §13).
+    QueueDepth(QueueDepthSeries),
 }
 
 impl ProbeReport {
@@ -691,6 +841,7 @@ mod tests {
             ("event-counts", ProbeSpec::EventCounts),
             ("util-trace@every-50000", ProbeSpec::UtilTrace { every: 50_000 }),
             ("util-trace@every-7", ProbeSpec::UtilTrace { every: 7 }),
+            ("queue-depth@every-9000", ProbeSpec::QueueDepth { every: 9_000 }),
         ];
         for (s, spec) in cases {
             assert_eq!(s.parse::<ProbeSpec>().unwrap(), spec, "{s}");
@@ -699,6 +850,10 @@ mod tests {
         assert_eq!(
             "util-trace".parse::<ProbeSpec>().unwrap(),
             ProbeSpec::UtilTrace { every: DEFAULT_EPOCH_CYCLES }
+        );
+        assert_eq!(
+            "queue-depth".parse::<ProbeSpec>().unwrap(),
+            ProbeSpec::QueueDepth { every: DEFAULT_QUEUE_EPOCH_CYCLES }
         );
     }
 
@@ -712,6 +867,8 @@ mod tests {
             "util-trace@every-0",
             "util-trace@every-x",
             "util-trace@sometimes",
+            "queue-depth@every-0",
+            "queue-depth@sometimes",
             "stats@every-5",
             "event-counts@every-5",
         ] {
@@ -721,8 +878,12 @@ mod tests {
 
     #[test]
     fn probe_specs_survive_json() {
-        for spec in [ProbeSpec::Stats, ProbeSpec::EventCounts, ProbeSpec::UtilTrace { every: 123 }]
-        {
+        for spec in [
+            ProbeSpec::Stats,
+            ProbeSpec::EventCounts,
+            ProbeSpec::UtilTrace { every: 123 },
+            ProbeSpec::QueueDepth { every: 77 },
+        ] {
             let json = serde_json::to_string(&spec).unwrap();
             let back: ProbeSpec = serde_json::from_str(&json).unwrap();
             assert_eq!(back, spec, "{json}");
@@ -803,6 +964,59 @@ mod tests {
         let samples = &obs.trace().samples;
         assert_eq!(samples.len(), 2);
         assert!(samples.windows(2).all(|w| w[0].cycle < w[1].cycle));
+    }
+
+    #[test]
+    fn queue_depth_trace_follows_request_events() {
+        let tracker = uaware::UtilizationTracker::new(&cgra::Fabric::be());
+        let mut obs = QueueDepthTrace::new(100);
+        let ctx = |cycle| EventCtx { cycle, tracker: &tracker };
+        obs.on_event(
+            &ctx(10),
+            &SimEvent::RequestArrived { request: 0, workload: 0, queue_depth: 1 },
+        );
+        obs.on_event(
+            &ctx(50),
+            &SimEvent::RequestArrived { request: 1, workload: 1, queue_depth: 2 },
+        );
+        obs.on_event(&ctx(120), &SimEvent::RequestShed { request: 2, queue_depth: 2 });
+        obs.on_event(
+            &ctx(130),
+            &SimEvent::RequestServed {
+                request: 0,
+                wait_cycles: 0,
+                service_cycles: 120,
+                deferred: false,
+            },
+        );
+        obs.on_finish(&ctx(300));
+        let series = obs.series();
+        assert_eq!(series.max_depth, 2);
+        assert_eq!(series.sheds, 1);
+        // First epoch boundary crossed by the shed at cycle 120, plus the
+        // end-of-run sample after the serve brought the depth back to 1.
+        assert_eq!(series.samples, vec![(120, 2), (300, 1)]);
+    }
+
+    #[test]
+    fn event_counter_tallies_request_events() {
+        let tracker = uaware::UtilizationTracker::new(&cgra::Fabric::be());
+        let ctx = EventCtx { cycle: 1, tracker: &tracker };
+        let mut counter = EventCounter::default();
+        counter
+            .on_event(&ctx, &SimEvent::RequestArrived { request: 0, workload: 0, queue_depth: 1 });
+        counter.on_event(
+            &ctx,
+            &SimEvent::RequestServed {
+                request: 0,
+                wait_cycles: 2,
+                service_cycles: 3,
+                deferred: true,
+            },
+        );
+        counter.on_event(&ctx, &SimEvent::RequestShed { request: 1, queue_depth: 9 });
+        let c = counter.counts();
+        assert_eq!((c.requests_arrived, c.requests_served, c.requests_shed), (1, 1, 1));
     }
 
     #[test]

@@ -1,0 +1,1868 @@
+//! Live fleet serving: seeded arrival streams, per-device request queues
+//! with utilization-aware backpressure, and replacement economics
+//! (DESIGN.md §13).
+//!
+//! Where [`fleet`](crate::fleet) drives devices with back-to-back mission
+//! suites, this module models a *serving* fleet: each device receives a
+//! deterministic stream of offload requests drawn from a [`TrafficSpec`]
+//! arrival process (steady Poisson, diurnal via thinning, heavy-tailed via
+//! Pareto inter-arrivals), queues them FIFO, and serves them on the fabric
+//! — unless utilization-aware backpressure sheds the request or defers it
+//! to the slower GPP because the tracker shows hot FUs. Per-FU stress from
+//! served requests folds into [`DeviceLifetime`] wear day by day; a device
+//! whose allocation is exhausted dies mid-day and is replaced at the next
+//! day boundary ([`ReplacementSpec`]), so campaigns model a living fleet
+//! with retirement, replacement and cost accounting rather than a fixed
+//! cohort.
+//!
+//! The engine keeps the fleet-scale guarantees of
+//! [`run_fleet_campaign`](crate::fleet::run_fleet_campaign): phase 1
+//! simulates one serving trajectory per (traffic × policy × lane)
+//! equivalence class, phase 2 streams device shards through a weighted
+//! merge of class outcomes, and a checkpointed campaign resumes
+//! byte-identically after any kill — `results/serving.json` is identical
+//! for every `--jobs` value, shard split, and stop/resume point.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgra::Fabric;
+//! use transrec::sweep::SuiteSpec;
+//! use transrec::traffic::{run_serving, ServePlan, TrafficSpec};
+//! use uaware::PolicySpec;
+//!
+//! let plan = ServePlan::new(0xDAC2020, Fabric::be())
+//!     .policy(PolicySpec::Baseline)
+//!     .suite(SuiteSpec::subset("crc", vec![1]))
+//!     .traffic(TrafficSpec::Steady { per_hour: 60 })
+//!     .devices(2)
+//!     .lanes(1)
+//!     .clock_hz(2_000)
+//!     .horizon_days(1);
+//! let report = run_serving(&plan, 1).unwrap();
+//! let cell = report.cell("steady@rph-60", "baseline").unwrap();
+//! assert_eq!(cell.served_cgra + cell.served_gpp + cell.shed, cell.total_requests);
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::path::Path;
+use std::str::FromStr;
+
+use cgra::{Fabric, FaultMask};
+use lifetime::{DeviceLifetime, FleetAccum, FleetStats};
+use mibench::Workload;
+use nbti::CalibratedAging;
+use rand::distr::{Distribution, Exp, Pareto};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use threadpool::ThreadPool;
+use uaware::{derive_cell_seed, PolicySpec, UtilizationGrid, UtilizationTracker};
+
+use crate::fleet::{fnv1a64, CampaignOptions, DEFAULT_SHARD_DEVICES};
+use crate::sweep::SuiteSpec;
+use crate::system::{run_gpp_only, BuildError, System, SystemConfig, SystemError};
+use crate::telemetry::{EventCtx, Observer, ProbeReport, ProbeSpec, SimEvent};
+
+/// Seconds in one serving day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+
+/// Default device clock in Hz. The serving model measures latency in
+/// device cycles and converts through this clock, so it sets both the
+/// cycles-per-day budget and the absolute load one request exerts.
+pub const DEFAULT_CLOCK_HZ: u64 = 100_000;
+
+/// Default mean request rate (requests per hour).
+pub const DEFAULT_PER_HOUR: u64 = 6_000;
+
+/// Default diurnal swing: the arrival rate peaks at `1 + swing` and dips
+/// to `1 - swing` times the mean over one day (percent of the mean).
+pub const DEFAULT_SWING_PCT: u32 = 80;
+
+/// Default Pareto shape for heavy-tailed traffic, in thousandths
+/// (`1500` = α 1.5: finite mean, infinite variance).
+pub const DEFAULT_ALPHA_MILLI: u32 = 1_500;
+
+/// Default deployment years one serving day models (DESIGN.md §13): the
+/// wear clock runs faster than the request clock so a 30-day campaign
+/// spans 15 deployment years.
+pub const DEFAULT_YEARS_PER_DAY: f64 = 0.5;
+
+/// Default traffic period in days: arrivals repeat after this many days,
+/// which bounds the distinct day simulations per trajectory.
+pub const DEFAULT_PATTERN_DAYS: u64 = 3;
+
+/// Default serving horizon in days.
+pub const DEFAULT_HORIZON_DAYS: u64 = 30;
+
+/// Cycles one [`crate::Session::run_for`] slice advances while a request
+/// is served — requests feed the system incrementally, never in one
+/// opaque run (DESIGN.md §13).
+const SERVICE_SLICE_CYCLES: u64 = 10_000;
+
+/// Salt mixed into the per-lane seed before deriving per-day arrival
+/// streams, so traffic draws never alias the workload-construction
+/// streams built from the same lane seed.
+const TRAFFIC_STREAM_SALT: u64 = 0x5452_4146_4649_4343;
+
+/// An arrival process as data: the shape of one device's request stream
+/// (DESIGN.md §13). The compact grammar mirrors
+/// [`PolicySpec`]/[`ProbeSpec`]: `steady@rph-6000`,
+/// `diurnal@rph-6000+swing-80`, `heavy@rph-6000+alpha-1500`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficSpec {
+    /// Homogeneous Poisson arrivals: exponential inter-arrival times at a
+    /// constant mean rate.
+    Steady {
+        /// Mean request rate in requests per hour.
+        per_hour: u64,
+    },
+    /// Diurnal non-homogeneous Poisson arrivals via thinning: the rate
+    /// follows `1 - swing·cos(2πt/day)` around the mean — a midnight
+    /// trough and a midday peak.
+    Diurnal {
+        /// Mean request rate in requests per hour.
+        per_hour: u64,
+        /// Peak-to-mean swing in percent of the mean rate (`0..=100`).
+        swing_pct: u32,
+    },
+    /// Bursty, heavy-tailed arrivals: Pareto inter-arrival times with
+    /// shape α and the scale chosen so the mean rate matches `per_hour`.
+    Heavy {
+        /// Mean request rate in requests per hour.
+        per_hour: u64,
+        /// Pareto shape α in thousandths (`> 1000` so the mean exists).
+        alpha_milli: u32,
+    },
+}
+
+impl TrafficSpec {
+    /// The default steady profile (`steady@rph-6000`).
+    pub fn steady() -> TrafficSpec {
+        TrafficSpec::Steady { per_hour: DEFAULT_PER_HOUR }
+    }
+
+    /// The default diurnal profile (`diurnal@rph-6000+swing-80`).
+    pub fn diurnal() -> TrafficSpec {
+        TrafficSpec::Diurnal { per_hour: DEFAULT_PER_HOUR, swing_pct: DEFAULT_SWING_PCT }
+    }
+
+    /// The default heavy-tailed profile (`heavy@rph-6000+alpha-1500`).
+    pub fn heavy() -> TrafficSpec {
+        TrafficSpec::Heavy { per_hour: DEFAULT_PER_HOUR, alpha_milli: DEFAULT_ALPHA_MILLI }
+    }
+
+    /// The mean request rate in requests per hour.
+    pub fn per_hour(&self) -> u64 {
+        match *self {
+            TrafficSpec::Steady { per_hour }
+            | TrafficSpec::Diurnal { per_hour, .. }
+            | TrafficSpec::Heavy { per_hour, .. } => per_hour,
+        }
+    }
+
+    /// Checks the spec's parameters: a positive rate, a swing within
+    /// `0..=100`%, a Pareto shape above 1 (finite mean).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.per_hour() == 0 {
+            return Err("request rate must be positive".into());
+        }
+        match *self {
+            TrafficSpec::Steady { .. } => Ok(()),
+            TrafficSpec::Diurnal { swing_pct, .. } if swing_pct > 100 => {
+                Err(format!("swing must be 0..=100 percent, got {swing_pct}"))
+            }
+            TrafficSpec::Diurnal { .. } => Ok(()),
+            TrafficSpec::Heavy { alpha_milli, .. } if alpha_milli <= 1000 => {
+                Err(format!("alpha must exceed 1000 milli (a finite mean), got {alpha_milli}"))
+            }
+            TrafficSpec::Heavy { .. } => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for TrafficSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TrafficSpec::Steady { per_hour } => write!(f, "steady@rph-{per_hour}"),
+            TrafficSpec::Diurnal { per_hour, swing_pct } => {
+                write!(f, "diurnal@rph-{per_hour}+swing-{swing_pct}")
+            }
+            TrafficSpec::Heavy { per_hour, alpha_milli } => {
+                write!(f, "heavy@rph-{per_hour}+alpha-{alpha_milli}")
+            }
+        }
+    }
+}
+
+impl FromStr for TrafficSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TrafficSpec, String> {
+        let (kind, tail) = match s.split_once('@') {
+            Some((kind, tail)) => (kind, Some(tail)),
+            None => (s, None),
+        };
+        let mut per_hour = DEFAULT_PER_HOUR;
+        let mut swing_pct = None;
+        let mut alpha_milli = None;
+        for part in tail.into_iter().flat_map(|t| t.split('+')) {
+            let (key, value) = part
+                .split_once('-')
+                .ok_or_else(|| format!("malformed traffic parameter {part:?} (want key-value)"))?;
+            let value: u64 =
+                value.parse().map_err(|_| format!("malformed traffic value {value:?}"))?;
+            match key {
+                "rph" => per_hour = value,
+                "swing" => swing_pct = Some(value as u32),
+                "alpha" => alpha_milli = Some(value as u32),
+                _ => return Err(format!("unknown traffic parameter {key:?}")),
+            }
+        }
+        let spec = match kind {
+            "steady" if swing_pct.is_none() && alpha_milli.is_none() => {
+                TrafficSpec::Steady { per_hour }
+            }
+            "diurnal" if alpha_milli.is_none() => {
+                TrafficSpec::Diurnal { per_hour, swing_pct: swing_pct.unwrap_or(DEFAULT_SWING_PCT) }
+            }
+            "heavy" if swing_pct.is_none() => TrafficSpec::Heavy {
+                per_hour,
+                alpha_milli: alpha_milli.unwrap_or(DEFAULT_ALPHA_MILLI),
+            },
+            "steady" | "diurnal" | "heavy" => {
+                return Err(format!("traffic spec {s:?} mixes parameters of another profile"));
+            }
+            _ => {
+                return Err(format!(
+                    "unknown traffic spec {s:?} (want steady[@rph-N], \
+                     diurnal[@rph-N+swing-P], or heavy[@rph-N+alpha-M])"
+                ));
+            }
+        };
+        spec.validate().map_err(|e| format!("invalid traffic spec {s:?}: {e}"))?;
+        Ok(spec)
+    }
+}
+
+/// One request in a device's daily arrival stream.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time in device cycles since midnight.
+    pub cycle: u64,
+    /// Index of the requested workload in the device's suite.
+    pub workload: u32,
+}
+
+/// Generates the deterministic arrival stream of one serving day
+/// (DESIGN.md §13): inter-arrival times drawn from `spec`'s process —
+/// exponential for [`TrafficSpec::Steady`], exponential candidates
+/// thinned against the diurnal rate curve for [`TrafficSpec::Diurnal`],
+/// Pareto for [`TrafficSpec::Heavy`] — with each arrival's workload drawn
+/// uniformly from the suite. The stream is a pure function of
+/// `(spec, stream_seed, day)`: the same inputs reproduce it bit for bit.
+///
+/// # Panics
+///
+/// Panics on an invalid `spec` ([`TrafficSpec::validate`]), a zero
+/// `clock_hz`, or a zero `workloads` count — plan-construction bugs.
+pub fn day_traffic(
+    spec: &TrafficSpec,
+    stream_seed: u64,
+    day: u64,
+    clock_hz: u64,
+    workloads: u32,
+) -> Vec<Arrival> {
+    spec.validate().unwrap_or_else(|e| panic!("invalid traffic spec {spec}: {e}"));
+    assert!(clock_hz > 0, "clock_hz must be positive");
+    assert!(workloads > 0, "a serving day needs at least one workload to request");
+    let mut rng = SmallRng::seed_from_u64(derive_cell_seed(stream_seed ^ TRAFFIC_STREAM_SALT, day));
+    let day_cycles = (clock_hz * SECONDS_PER_DAY) as f64;
+    // Mean inter-arrival gap in cycles; per_hour > 0 keeps it finite.
+    let mean_gap = (clock_hz * 3_600) as f64 / spec.per_hour() as f64;
+    let mut arrivals = Vec::new();
+    let mut push = |rng: &mut SmallRng, t: f64| {
+        arrivals.push(Arrival { cycle: t as u64, workload: rng.random_range(0..workloads) });
+    };
+    match *spec {
+        TrafficSpec::Steady { .. } => {
+            let gap = Exp::new(1.0 / mean_gap).expect("positive rate");
+            let mut t = gap.sample(&mut rng);
+            while t < day_cycles {
+                push(&mut rng, t);
+                t += gap.sample(&mut rng);
+            }
+        }
+        TrafficSpec::Diurnal { swing_pct, .. } => {
+            // Thinning (Lewis & Shedler): candidates at the peak rate
+            // `(1+s)/mean_gap`, each kept with probability `λ(t)/λ_max`
+            // where `λ(t) = (1 - s·cos(2πt/day))/mean_gap`.
+            let s = swing_pct as f64 / 100.0;
+            let gap = Exp::new((1.0 + s) / mean_gap).expect("positive rate");
+            let mut t = gap.sample(&mut rng);
+            while t < day_cycles {
+                let rate = 1.0 - s * (std::f64::consts::TAU * t / day_cycles).cos();
+                if rng.random_range(0.0..1.0) * (1.0 + s) <= rate {
+                    push(&mut rng, t);
+                }
+                t += gap.sample(&mut rng);
+            }
+        }
+        TrafficSpec::Heavy { alpha_milli, .. } => {
+            // Pareto gaps with mean `scale·α/(α-1)` pinned to `mean_gap`.
+            let alpha = alpha_milli as f64 / 1000.0;
+            let scale = mean_gap * (alpha - 1.0) / alpha;
+            let gap = Pareto::new(scale, alpha).expect("validated shape");
+            let mut t = gap.sample(&mut rng);
+            while t < day_cycles {
+                push(&mut rng, t);
+                t += gap.sample(&mut rng);
+            }
+        }
+    }
+    arrivals
+}
+
+/// A mergeable latency histogram with logarithmic buckets: exact below 8
+/// cycles, then 8 sub-buckets per power of two (≤ 12.5% relative error).
+/// Counts are integers keyed by bucket index, so merging and scaling are
+/// exact — partial histograms aggregate byte-identically regardless of
+/// the shard split (DESIGN.md §13).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Sorted `(bucket, count)` pairs; buckets with zero count are absent.
+    buckets: Vec<(u32, u64)>,
+    /// Total recorded observations (the sum of all counts).
+    total: u64,
+}
+
+/// The bucket index of a latency observation.
+fn bucket_of(cycles: u64) -> u32 {
+    if cycles < 8 {
+        return cycles as u32;
+    }
+    let e = cycles.ilog2();
+    8 * (e - 2) + ((cycles >> (e - 3)) & 7) as u32
+}
+
+/// The smallest latency that falls in `bucket` — the value percentiles
+/// report (a conservative lower bound).
+fn bucket_floor(bucket: u32) -> u64 {
+    if bucket < 8 {
+        return bucket as u64;
+    }
+    let e = bucket / 8 + 2;
+    let off = bucket % 8;
+    ((8 + off) as u64) << (e - 3)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (the merge identity).
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one end-to-end latency observation (cycles from arrival to
+    /// service completion).
+    pub fn record(&mut self, cycles: u64) {
+        self.add(bucket_of(cycles), 1);
+    }
+
+    /// Adds `count` observations to `bucket`.
+    fn add(&mut self, bucket: u32, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let at = self.buckets.partition_point(|&(b, _)| b < bucket);
+        match self.buckets.get_mut(at) {
+            Some(entry) if entry.0 == bucket => entry.1 += count,
+            _ => self.buckets.insert(at, (bucket, count)),
+        }
+        self.total += count;
+    }
+
+    /// Absorbs `other` scaled by `weight` — the equivalence-class fast
+    /// path: one class histogram stands for `weight` identical devices.
+    pub fn add_scaled(&mut self, other: &LatencyHistogram, weight: u64) {
+        for &(bucket, count) in &other.buckets {
+            self.add(bucket, count * weight);
+        }
+    }
+
+    /// Absorbs `other`: the monoid operation (associative, commutative,
+    /// [`LatencyHistogram::new`] as identity).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.add_scaled(other, 1);
+    }
+
+    /// The latency (in cycles, as the containing bucket's lower bound) at
+    /// quantile `q ∈ [0, 1]`; `0` for an empty histogram.
+    pub fn percentile_cycles(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for &(bucket, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return bucket_floor(bucket);
+            }
+        }
+        bucket_floor(self.buckets.last().expect("total > 0 implies buckets").0)
+    }
+}
+
+/// Utilization-aware backpressure knobs (DESIGN.md §13). The queue sheds
+/// on depth alone; it defers a request to the GPP when the day's tracker
+/// shows a hot FU *and* the queue is already backed up — trading latency
+/// (the GPP is slower) against stress on the worn cell.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackpressureSpec {
+    /// Arrivals finding this many requests in flight are dropped
+    /// (`0` disables shedding).
+    pub shed_depth: u32,
+    /// Minimum in-flight depth before a hot fabric defers to the GPP.
+    pub defer_depth: u32,
+    /// The fabric counts as *hot* when the busiest FU's share of the
+    /// day's executions reaches this percentage.
+    pub hot_share_pct: u32,
+    /// Served requests before the day's share estimate is trusted.
+    pub warmup_requests: u64,
+}
+
+impl Default for BackpressureSpec {
+    fn default() -> BackpressureSpec {
+        BackpressureSpec { shed_depth: 64, defer_depth: 8, hot_share_pct: 60, warmup_requests: 32 }
+    }
+}
+
+/// What replaces a dead device (DESIGN.md §13).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// A factory-fresh device: zero wear.
+    Pristine,
+    /// A refurbished device with uniform pre-aging: every FU starts at
+    /// `age_pct` percent of the calibration anchor (`0..100`).
+    Refurbished {
+        /// Pre-age as a percentage of [`CalibratedAging::anchor_years`].
+        age_pct: u32,
+    },
+}
+
+/// Replacement economics: what a dead device is swapped for, and what the
+/// swap costs (DESIGN.md §13). A death mid-day sheds the rest of that
+/// day's requests; the replacement enters service at the next midnight.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplacementSpec {
+    /// What the dead device is replaced with.
+    pub policy: ReplacementPolicy,
+    /// Cost of one replacement in cents.
+    pub unit_cost_cents: u64,
+}
+
+impl Default for ReplacementSpec {
+    fn default() -> ReplacementSpec {
+        ReplacementSpec { policy: ReplacementPolicy::Pristine, unit_cost_cents: 10_000 }
+    }
+}
+
+/// A serving campaign as data: N devices × M policies × T traffic
+/// profiles, each device queueing and serving its lane's request stream
+/// day after day until the horizon (DESIGN.md §13).
+#[derive(Clone, Debug)]
+pub struct ServePlan {
+    /// Base experiment seed; device `d` draws its workloads *and* its
+    /// arrival streams from [`derive_cell_seed`]`(base_seed, lane_of(d))`.
+    pub base_seed: u64,
+    /// The system configuration every device ships with.
+    pub config: SystemConfig,
+    /// The policy axis (each policy sees the same devices and traffic).
+    pub policies: Vec<PolicySpec>,
+    /// The traffic axis (each profile sees the same devices and policies).
+    pub traffic: Vec<TrafficSpec>,
+    /// Device instances per (traffic × policy) cell.
+    pub devices: usize,
+    /// The workload catalogue requests are drawn from.
+    pub suite: SuiteSpec,
+    /// Serving horizon in days.
+    pub horizon_days: u64,
+    /// Traffic period: arrival streams repeat after this many days.
+    pub pattern_days: u64,
+    /// Device clock in Hz (sets the cycles-per-day budget).
+    pub clock_hz: u64,
+    /// Deployment years one serving day's wear models (DESIGN.md §13).
+    pub years_per_day: f64,
+    /// The aging calibration wear accumulates under.
+    pub aging: CalibratedAging,
+    /// Queue shedding/deferral thresholds.
+    pub backpressure: BackpressureSpec,
+    /// Replacement policy and cost for dead devices.
+    pub replacement: ReplacementSpec,
+    /// First-failure histogram bins over the horizon.
+    pub histogram_bins: usize,
+    /// Distinct workload/traffic lanes; device `d` serves lane
+    /// `d % lanes`. `None` gives every device its own lane.
+    pub lanes: Option<usize>,
+    /// Devices per streaming shard of the weighting phase. Never affects
+    /// results — only memory and scheduling.
+    pub shard_devices: usize,
+}
+
+impl ServePlan {
+    /// A serving fleet of 8 devices on `fabric` with the full mibench
+    /// catalogue, the default diurnal + heavy-tailed traffic mix, and the
+    /// default day/clock/backpressure/replacement model. Add policies
+    /// with the chainable builders.
+    pub fn new(base_seed: u64, fabric: Fabric) -> ServePlan {
+        ServePlan {
+            base_seed,
+            config: SystemConfig::new(fabric),
+            policies: Vec::new(),
+            traffic: vec![TrafficSpec::diurnal(), TrafficSpec::heavy()],
+            devices: 8,
+            suite: SuiteSpec::full(),
+            horizon_days: DEFAULT_HORIZON_DAYS,
+            pattern_days: DEFAULT_PATTERN_DAYS,
+            clock_hz: DEFAULT_CLOCK_HZ,
+            years_per_day: DEFAULT_YEARS_PER_DAY,
+            aging: CalibratedAging::default(),
+            backpressure: BackpressureSpec::default(),
+            replacement: ReplacementSpec::default(),
+            histogram_bins: 20,
+            lanes: None,
+            shard_devices: DEFAULT_SHARD_DEVICES,
+        }
+    }
+
+    /// Replaces the system configuration.
+    pub fn config(mut self, config: SystemConfig) -> ServePlan {
+        self.config = config;
+        self
+    }
+
+    /// Adds a policy to the policy axis.
+    pub fn policy(mut self, spec: PolicySpec) -> ServePlan {
+        self.policies.push(spec);
+        self
+    }
+
+    /// Adds several policies to the policy axis.
+    pub fn policies(mut self, specs: impl IntoIterator<Item = PolicySpec>) -> ServePlan {
+        self.policies.extend(specs);
+        self
+    }
+
+    /// Replaces the traffic axis with a single profile.
+    pub fn traffic(mut self, spec: TrafficSpec) -> ServePlan {
+        self.traffic = vec![spec];
+        self
+    }
+
+    /// Replaces the traffic axis.
+    pub fn traffic_mix(mut self, specs: impl IntoIterator<Item = TrafficSpec>) -> ServePlan {
+        self.traffic = specs.into_iter().collect();
+        self
+    }
+
+    /// Sets the number of device instances per cell.
+    pub fn devices(mut self, devices: usize) -> ServePlan {
+        self.devices = devices;
+        self
+    }
+
+    /// Replaces the workload catalogue.
+    pub fn suite(mut self, suite: SuiteSpec) -> ServePlan {
+        self.suite = suite;
+        self
+    }
+
+    /// Sets the serving horizon in days.
+    pub fn horizon_days(mut self, days: u64) -> ServePlan {
+        self.horizon_days = days;
+        self
+    }
+
+    /// Sets the traffic period in days.
+    pub fn pattern_days(mut self, days: u64) -> ServePlan {
+        self.pattern_days = days;
+        self
+    }
+
+    /// Sets the device clock in Hz.
+    pub fn clock_hz(mut self, hz: u64) -> ServePlan {
+        self.clock_hz = hz;
+        self
+    }
+
+    /// Sets the deployment years one serving day models.
+    pub fn years_per_day(mut self, years: f64) -> ServePlan {
+        self.years_per_day = years;
+        self
+    }
+
+    /// Replaces the aging calibration.
+    pub fn aging(mut self, aging: CalibratedAging) -> ServePlan {
+        self.aging = aging;
+        self
+    }
+
+    /// Replaces the backpressure thresholds.
+    pub fn backpressure(mut self, spec: BackpressureSpec) -> ServePlan {
+        self.backpressure = spec;
+        self
+    }
+
+    /// Replaces the replacement policy and cost.
+    pub fn replacement(mut self, spec: ReplacementSpec) -> ServePlan {
+        self.replacement = spec;
+        self
+    }
+
+    /// Sets the first-failure histogram resolution.
+    pub fn histogram_bins(mut self, bins: usize) -> ServePlan {
+        self.histogram_bins = bins;
+        self
+    }
+
+    /// Sets the number of workload/traffic lanes.
+    pub fn lanes(mut self, lanes: usize) -> ServePlan {
+        self.lanes = Some(lanes);
+        self
+    }
+
+    /// Sets the streaming shard size of the weighting phase.
+    pub fn shard_devices(mut self, shard: usize) -> ServePlan {
+        self.shard_devices = shard;
+        self
+    }
+
+    /// The number of distinct lanes the plan resolves to.
+    pub fn effective_lanes(&self) -> usize {
+        self.lanes.unwrap_or(self.devices).min(self.devices)
+    }
+
+    /// The lane of device `device`.
+    pub fn lane_of(&self, device: usize) -> usize {
+        device % self.effective_lanes().max(1)
+    }
+
+    /// The derived seed of device `device` (its lane's seed).
+    pub fn device_seed(&self, device: usize) -> u64 {
+        derive_cell_seed(self.base_seed, self.lane_of(device) as u64)
+    }
+
+    /// The deployment years the serving horizon models
+    /// (`horizon_days × years_per_day`).
+    pub fn horizon_years(&self) -> f64 {
+        self.horizon_days as f64 * self.years_per_day
+    }
+
+    /// Cycles in one serving day under the plan's clock.
+    pub fn day_cycles(&self) -> u64 {
+        self.clock_hz * SECONDS_PER_DAY
+    }
+}
+
+/// Measured service costs of one workload on the fabric under one fault
+/// mask: the request's cycle count and the per-FU stress it exerts.
+#[derive(Clone, Debug)]
+struct CgraCost {
+    /// End-to-end service cycles (GPP phases + offloads).
+    cycles: u64,
+    /// Execution-weighted per-FU utilization of one service.
+    util: UtilizationGrid,
+    /// The raw tracker of one service, merged into the day tracker the
+    /// backpressure rule reads.
+    tracker: UtilizationTracker,
+}
+
+/// Per-workload service costs under one fault mask.
+struct MaskCosts {
+    /// `None` = no placement avoids the mask's dead FUs: a request for
+    /// this workload kills the device.
+    cgra: Vec<Option<CgraCost>>,
+    /// GPP-only service cycles (the deferral path; mask-independent).
+    gpp: Vec<u64>,
+}
+
+/// Measures one workload's fabric service under `mask`: a fresh system
+/// per request shape, fed incrementally through the session interface in
+/// [`SERVICE_SLICE_CYCLES`] slices (DESIGN.md §13). `Ok(None)` means the
+/// allocation is exhausted — the device is dead.
+fn measure_cgra(
+    config: &SystemConfig,
+    spec: &PolicySpec,
+    mask: &FaultMask,
+    workload: &Workload,
+) -> Result<Option<CgraCost>, SystemError> {
+    let mut system = System::new(config.clone(), spec.build());
+    system.set_fault_mask(Some(mask.clone()));
+    {
+        let mut session = match system.session(workload.program()) {
+            Ok(session) => session,
+            Err(SystemError::AllocationExhausted { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        loop {
+            match session.run_for(SERVICE_SLICE_CYCLES) {
+                Ok(status) if status.is_running() => continue,
+                Ok(_) => break,
+                Err(SystemError::AllocationExhausted { .. }) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    assert!(
+        workload.verify(system.cpu()).is_ok(),
+        "oracle failure under {spec} with {} dead FUs",
+        mask.dead_count()
+    );
+    let cycles = system.stats().total_cycles();
+    Ok(Some(CgraCost {
+        cycles,
+        util: system.tracker().duty_cycles(cycles),
+        tracker: system.tracker().clone(),
+    }))
+}
+
+/// Lazy service-cost cache of one trajectory simulation. The fault mask
+/// is monotone within a generation and replacement generations repeat the
+/// same mask sequence (same duty history from a uniform wear offset), so
+/// the dead-FU count keys each distinct mask exactly (DESIGN.md §13).
+struct ServiceTable<'a> {
+    config: &'a SystemConfig,
+    spec: &'a PolicySpec,
+    workloads: &'a [Workload],
+    gpp: Option<Vec<u64>>,
+    masks: BTreeMap<u32, MaskCosts>,
+    simulated_services: u64,
+}
+
+impl<'a> ServiceTable<'a> {
+    fn new(config: &'a SystemConfig, spec: &'a PolicySpec, workloads: &'a [Workload]) -> Self {
+        ServiceTable {
+            config,
+            spec,
+            workloads,
+            gpp: None,
+            masks: BTreeMap::new(),
+            simulated_services: 0,
+        }
+    }
+
+    /// The per-workload costs under `mask`, measuring them on first use.
+    fn costs(&mut self, mask: &FaultMask) -> Result<&MaskCosts, SystemError> {
+        let key = mask.dead_count();
+        if !self.masks.contains_key(&key) {
+            let gpp = match &self.gpp {
+                Some(g) => g.clone(),
+                None => {
+                    let mut g = Vec::with_capacity(self.workloads.len());
+                    for w in self.workloads {
+                        let cpu = run_gpp_only(
+                            w.program(),
+                            self.config.mem_size,
+                            self.config.timing,
+                            self.config.max_steps,
+                        )
+                        .map_err(SystemError::Cpu)?;
+                        g.push(cpu.cycles());
+                    }
+                    self.gpp = Some(g.clone());
+                    g
+                }
+            };
+            let mut cgra = Vec::with_capacity(self.workloads.len());
+            for w in self.workloads {
+                self.simulated_services += 1;
+                cgra.push(measure_cgra(self.config, self.spec, mask, w)?);
+            }
+            self.masks.insert(key, MaskCosts { cgra, gpp });
+        }
+        Ok(self.masks.get(&key).expect("inserted above"))
+    }
+}
+
+/// One simulated serving day's outcome, cacheable per
+/// `(dead FU count, pattern day)` because backpressure state is day-local
+/// (DESIGN.md §13).
+#[derive(Clone, Debug)]
+struct DayOutcome {
+    served_cgra: u64,
+    served_gpp: u64,
+    shed: u64,
+    latency: LatencyHistogram,
+    /// The day's per-FU stress duty: busy cycles over day cycles.
+    duty: UtilizationGrid,
+    /// A request hit a workload with no placement: the device died.
+    died: bool,
+    /// Fraction of the day elapsed at death (valid when `died`).
+    fatal_fraction: f64,
+}
+
+/// A request in flight: admitted, waiting for (or in) service.
+struct Pending {
+    finish: u64,
+    request: u64,
+    wait: u64,
+    service: u64,
+    deferred: bool,
+}
+
+/// `true` when the day tracker's busiest FU holds at least
+/// `hot_share_pct` percent of all executions (integer math — exact).
+fn fabric_is_hot(tracker: &UtilizationTracker, hot_share_pct: u32) -> bool {
+    let executions = tracker.executions();
+    if executions == 0 {
+        return false;
+    }
+    let worst = tracker.exec_counts().iter().copied().max().unwrap_or(0);
+    worst * 100 >= executions * hot_share_pct as u64
+}
+
+/// Delivers `event` to every observer with the day tracker as context.
+fn emit(
+    observers: &mut [Box<dyn Observer>],
+    tracker: &UtilizationTracker,
+    cycle: u64,
+    event: &SimEvent,
+) {
+    let ctx = EventCtx { cycle, tracker };
+    for observer in observers.iter_mut() {
+        observer.on_event(&ctx, event);
+    }
+}
+
+/// Simulates one device-day: a FIFO single-server queue over `arrivals`
+/// with utilization-aware backpressure (DESIGN.md §13). Pure function of
+/// its inputs — the day cache and the shard replay both rely on that.
+///
+/// Served requests stress the fabric for their service window at the
+/// workload's execution-weighted utilization; deferred (GPP) services and
+/// idle time exert none. Service tails past midnight are charged to the
+/// day that admitted them; the queue drains at the day boundary.
+fn run_service_day(
+    arrivals: &[Arrival],
+    costs: &MaskCosts,
+    bp: &BackpressureSpec,
+    day_cycles: u64,
+    fabric: &Fabric,
+    observers: &mut [Box<dyn Observer>],
+) -> DayOutcome {
+    let fu_count = (fabric.rows * fabric.cols) as usize;
+    let mut day_tracker = UtilizationTracker::new(fabric);
+    let mut busy = vec![0.0f64; fu_count];
+    let mut in_flight: VecDeque<Pending> = VecDeque::new();
+    let mut free_at = 0u64;
+    let mut served_cgra = 0u64;
+    let mut served_gpp = 0u64;
+    let mut shed = 0u64;
+    let mut latency = LatencyHistogram::new();
+    let mut died = false;
+    let mut fatal_fraction = 1.0;
+    let watched = !observers.is_empty();
+    for (i, arrival) in arrivals.iter().enumerate() {
+        while in_flight.front().is_some_and(|p| p.finish <= arrival.cycle) {
+            let done = in_flight.pop_front().expect("front exists");
+            if watched {
+                let event = SimEvent::RequestServed {
+                    request: done.request,
+                    wait_cycles: done.wait,
+                    service_cycles: done.service,
+                    deferred: done.deferred,
+                };
+                emit(observers, &day_tracker, done.finish, &event);
+            }
+        }
+        let depth = in_flight.len() as u32;
+        let Some(cost) = &costs.cgra[arrival.workload as usize] else {
+            // The request needs a workload with no placement left: the
+            // device is dead; the rest of the day's requests go unserved.
+            died = true;
+            fatal_fraction = arrival.cycle as f64 / day_cycles as f64;
+            shed += (arrivals.len() - i) as u64;
+            if watched {
+                let event = SimEvent::RequestShed { request: i as u64, queue_depth: depth };
+                emit(observers, &day_tracker, arrival.cycle, &event);
+            }
+            break;
+        };
+        if bp.shed_depth > 0 && depth >= bp.shed_depth {
+            shed += 1;
+            if watched {
+                let event = SimEvent::RequestShed { request: i as u64, queue_depth: depth };
+                emit(observers, &day_tracker, arrival.cycle, &event);
+            }
+            continue;
+        }
+        let hot = served_cgra + served_gpp >= bp.warmup_requests
+            && fabric_is_hot(&day_tracker, bp.hot_share_pct);
+        let deferred = hot && depth >= bp.defer_depth;
+        let service = if deferred { costs.gpp[arrival.workload as usize] } else { cost.cycles };
+        let start = free_at.max(arrival.cycle);
+        let wait = start - arrival.cycle;
+        let finish = start + service;
+        free_at = finish;
+        latency.record(wait + service);
+        if deferred {
+            served_gpp += 1;
+        } else {
+            served_cgra += 1;
+            for (b, &u) in busy.iter_mut().zip(cost.util.values()) {
+                *b += u * cost.cycles as f64;
+            }
+            day_tracker.merge(&cost.tracker);
+        }
+        if watched {
+            let event = SimEvent::RequestArrived {
+                request: i as u64,
+                workload: arrival.workload,
+                queue_depth: depth + 1,
+            };
+            emit(observers, &day_tracker, arrival.cycle, &event);
+        }
+        in_flight.push_back(Pending { finish, request: i as u64, wait, service, deferred });
+    }
+    let mut end_cycle = day_cycles;
+    while let Some(done) = in_flight.pop_front() {
+        end_cycle = end_cycle.max(done.finish);
+        if watched {
+            let event = SimEvent::RequestServed {
+                request: done.request,
+                wait_cycles: done.wait,
+                service_cycles: done.service,
+                deferred: done.deferred,
+            };
+            emit(observers, &day_tracker, done.finish, &event);
+        }
+    }
+    if watched {
+        let ctx = EventCtx { cycle: end_cycle, tracker: &day_tracker };
+        for observer in observers.iter_mut() {
+            observer.on_finish(&ctx);
+        }
+    }
+    let denom = day_cycles as f64;
+    let values: Vec<f64> = busy.iter().map(|b| (b / denom).min(1.0)).collect();
+    DayOutcome {
+        served_cgra,
+        served_gpp,
+        shed,
+        latency,
+        duty: UtilizationGrid::from_values(fabric.rows, fabric.cols, values),
+        died,
+        fatal_fraction,
+    }
+}
+
+/// One device generation inside a serving trajectory, in service years
+/// relative to its own deployment (pre-aging excluded).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct Generation {
+    /// Service years until death, `None` if alive at the horizon.
+    death_years: Option<f64>,
+    /// Service years until the first FU failure, if any failed.
+    first_failure_years: Option<f64>,
+}
+
+/// One (traffic × policy × lane) equivalence class's full serving
+/// history: every class member reproduces it exactly, so phase 2 only
+/// weights it by the member count (DESIGN.md §13).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ServeTrajectory {
+    /// Device generations in deployment order (the last is censored).
+    generations: Vec<Generation>,
+    /// End-to-end latency of every served request.
+    latency: LatencyHistogram,
+    /// Requests served on the fabric.
+    served_cgra: u64,
+    /// Requests deferred to the GPP by backpressure.
+    served_gpp: u64,
+    /// Requests shed (queue full, or death-day remainder).
+    shed: u64,
+    /// Requests that arrived over the horizon.
+    total_requests: u64,
+    /// Devices replaced after dying.
+    replacements: u64,
+    /// Distinct device-days actually simulated (the rest replayed the
+    /// day cache).
+    simulated_days: u64,
+    /// Fabric service measurements actually run.
+    simulated_services: u64,
+}
+
+/// A replacement device per the plan's [`ReplacementPolicy`], plus its
+/// pre-age offset in years.
+///
+/// # Panics
+///
+/// Panics when refurbished pre-aging alone crosses end of life — a
+/// plan-construction bug ([`ReplacementPolicy::Refurbished`] documents
+/// the `0..100` bound).
+fn replacement_device(plan: &ServePlan) -> (DeviceLifetime, f64) {
+    let mut life = DeviceLifetime::new(&plan.config.fabric, plan.aging, true);
+    match plan.replacement.policy {
+        ReplacementPolicy::Pristine => (life, 0.0),
+        ReplacementPolicy::Refurbished { age_pct } => {
+            let years = plan.aging.anchor_years * age_pct as f64 / 100.0;
+            let fabric = &plan.config.fabric;
+            let uniform = UtilizationGrid::from_values(
+                fabric.rows,
+                fabric.cols,
+                vec![1.0; (fabric.rows * fabric.cols) as usize],
+            );
+            let failures = life.advance_mission(&uniform, years);
+            assert!(
+                failures.is_empty(),
+                "refurbished pre-age of {age_pct}% crosses end of life before deployment"
+            );
+            (life, years)
+        }
+    }
+}
+
+/// Simulates one (traffic × policy × lane) class's serving deployment on
+/// the reference path: generate (or replay) the day's arrivals, run the
+/// queue against the current mask's measured costs, fold the day's duty
+/// into wear, inject failures, replace the device when it dies
+/// (DESIGN.md §13). Day outcomes are cached per
+/// `(dead FU count, pattern day)`, so the cost is bounded by distinct
+/// mask states — not by the horizon.
+fn simulate_serving(
+    plan: &ServePlan,
+    spec: &PolicySpec,
+    traffic: &TrafficSpec,
+    workloads: &[Workload],
+    lane: usize,
+) -> Result<ServeTrajectory, SystemError> {
+    let stream_seed = derive_cell_seed(plan.base_seed, lane as u64);
+    let day_cycles = plan.day_cycles();
+    let mut table = ServiceTable::new(&plan.config, spec, workloads);
+    let mut pattern: Vec<Option<Vec<Arrival>>> = vec![None; plan.pattern_days as usize];
+    let mut day_cache: BTreeMap<(u32, u64), DayOutcome> = BTreeMap::new();
+    let mut life = DeviceLifetime::new(&plan.config.fabric, plan.aging, true);
+    let mut pre_age = 0.0f64;
+    let mut generation_start = 0u64;
+    let mut out = ServeTrajectory {
+        generations: Vec::new(),
+        latency: LatencyHistogram::new(),
+        served_cgra: 0,
+        served_gpp: 0,
+        shed: 0,
+        total_requests: 0,
+        replacements: 0,
+        simulated_days: 0,
+        simulated_services: 0,
+    };
+    for day in 0..plan.horizon_days {
+        let pattern_day = day % plan.pattern_days;
+        let arrivals = pattern[pattern_day as usize].get_or_insert_with(|| {
+            day_traffic(traffic, stream_seed, pattern_day, plan.clock_hz, workloads.len() as u32)
+        });
+        let key = (life.fault_mask().dead_count(), pattern_day);
+        let outcome = match day_cache.get(&key) {
+            Some(outcome) => outcome.clone(),
+            None => {
+                let costs = table.costs(life.fault_mask())?;
+                let outcome = run_service_day(
+                    arrivals,
+                    costs,
+                    &plan.backpressure,
+                    day_cycles,
+                    &plan.config.fabric,
+                    &mut [],
+                );
+                out.simulated_days += 1;
+                day_cache.insert(key, outcome.clone());
+                outcome
+            }
+        };
+        out.total_requests += arrivals.len() as u64;
+        out.served_cgra += outcome.served_cgra;
+        out.served_gpp += outcome.served_gpp;
+        out.shed += outcome.shed;
+        out.latency.merge(&outcome.latency);
+        if outcome.died {
+            let days_alive = (day - generation_start) as f64 + outcome.fatal_fraction;
+            out.generations.push(Generation {
+                death_years: Some(days_alive * plan.years_per_day),
+                first_failure_years: life.first_failure_years().map(|t| (t - pre_age).max(0.0)),
+            });
+            out.replacements += 1;
+            (life, pre_age) = replacement_device(plan);
+            generation_start = day + 1;
+            continue;
+        }
+        life.advance_mission(&outcome.duty, plan.years_per_day);
+    }
+    out.generations.push(Generation {
+        death_years: None,
+        first_failure_years: life.first_failure_years().map(|t| (t - pre_age).max(0.0)),
+    });
+    out.simulated_services = table.simulated_services;
+    Ok(out)
+}
+
+/// One (traffic × policy) cell's streaming aggregate: a merge monoid, so
+/// shard partials fold exactly regardless of the split (DESIGN.md §13).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ServeAccum {
+    fleet: FleetAccum,
+    latency: LatencyHistogram,
+    served_cgra: u64,
+    served_gpp: u64,
+    shed: u64,
+    total_requests: u64,
+    replacements: u64,
+}
+
+impl ServeAccum {
+    fn new() -> ServeAccum {
+        ServeAccum {
+            fleet: FleetAccum::new(),
+            latency: LatencyHistogram::new(),
+            served_cgra: 0,
+            served_gpp: 0,
+            shed: 0,
+            total_requests: 0,
+            replacements: 0,
+        }
+    }
+
+    /// Folds `count` devices sharing `trajectory` into the aggregate.
+    /// Every device generation enters the fleet accumulator as one
+    /// observation, censored at the campaign horizon.
+    fn observe_class(&mut self, trajectory: &ServeTrajectory, count: u64) {
+        for g in &trajectory.generations {
+            self.fleet.observe_weighted(g.death_years, g.first_failure_years, count);
+        }
+        self.latency.add_scaled(&trajectory.latency, count);
+        self.served_cgra += trajectory.served_cgra * count;
+        self.served_gpp += trajectory.served_gpp * count;
+        self.shed += trajectory.shed * count;
+        self.total_requests += trajectory.total_requests * count;
+        self.replacements += trajectory.replacements * count;
+    }
+
+    /// Absorbs `other`: the monoid operation.
+    fn merge(&mut self, other: &ServeAccum) {
+        self.fleet.merge(&other.fleet);
+        self.latency.merge(&other.latency);
+        self.served_cgra += other.served_cgra;
+        self.served_gpp += other.served_gpp;
+        self.shed += other.shed;
+        self.total_requests += other.total_requests;
+        self.replacements += other.replacements;
+    }
+}
+
+/// Weights one shard of devices into one (traffic × policy) cell's
+/// partial aggregate. Class members are byte-identical, so the "replay"
+/// is a weighted fold of the class trajectory (DESIGN.md §13).
+fn run_serve_shard(
+    plan: &ServePlan,
+    trajectories: &[ServeTrajectory],
+    cell: usize,
+    shard: usize,
+) -> ServeAccum {
+    let lanes = plan.effective_lanes().max(1);
+    let start = shard * plan.shard_devices;
+    let end = ((shard + 1) * plan.shard_devices).min(plan.devices);
+    let mut members = vec![0u64; lanes];
+    for device in start..end {
+        members[device % lanes] += 1;
+    }
+    let mut accum = ServeAccum::new();
+    for (lane, &count) in members.iter().enumerate() {
+        if count > 0 {
+            accum.observe_class(&trajectories[cell * lanes + lane], count);
+        }
+    }
+    accum
+}
+
+/// Serving checkpoint format version.
+const SERVE_CHECKPOINT_VERSION: u32 = 1;
+
+/// Serving checkpoint file magic.
+const SERVE_CHECKPOINT_MAGIC: &str = "uaware-serve-checkpoint";
+
+/// A serving campaign's persisted mid-run state, mirroring the fleet
+/// checkpoint (DESIGN.md §12, §13): phase-1 trajectories plus the merged
+/// partials of every *completed* shard — interrupted shards re-run on
+/// resume, which is what keeps resume byte-identical.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ServeCheckpoint {
+    /// File magic: [`SERVE_CHECKPOINT_MAGIC`].
+    magic: String,
+    /// Format version: [`SERVE_CHECKPOINT_VERSION`].
+    version: u32,
+    /// FNV-1a hash of the plan's debug form; a resume under a different
+    /// plan (or shard split) is rejected.
+    fingerprint: u64,
+    /// Phase-1 trajectories, cell-major
+    /// (`(traffic * policies + policy) * lanes + lane`).
+    trajectories: Vec<ServeTrajectory>,
+    /// Completed shard indices, always the prefix `0..k`.
+    completed_shards: Vec<usize>,
+    /// Per-cell streaming aggregates over the completed shards.
+    accums: Vec<ServeAccum>,
+}
+
+/// The plan fingerprint a serving checkpoint is bound to.
+fn serve_fingerprint(plan: &ServePlan) -> u64 {
+    fnv1a64(format!("v{SERVE_CHECKPOINT_VERSION}:{plan:?}").as_bytes())
+}
+
+/// Atomically persists `checkpoint` (write-then-rename).
+///
+/// # Panics
+///
+/// Panics on IO failure — losing a checkpoint silently would defeat it.
+fn save_serve_checkpoint(path: &Path, checkpoint: &ServeCheckpoint) {
+    let json = serde_json::to_string(checkpoint).expect("checkpoint serializes");
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json).unwrap_or_else(|e| panic!("write {}: {e}", tmp.display()));
+    std::fs::rename(&tmp, path).unwrap_or_else(|e| panic!("rename to {}: {e}", path.display()));
+}
+
+/// Loads and validates a serving checkpoint, if one exists at `path`.
+///
+/// # Panics
+///
+/// Panics on unreadable/corrupt files, version mismatches, a fingerprint
+/// of a different plan, or a non-prefix shard set.
+fn load_serve_checkpoint(path: &Path, plan: &ServePlan) -> Option<ServeCheckpoint> {
+    if !path.exists() {
+        return None;
+    }
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read checkpoint {}: {e}", path.display()));
+    let checkpoint: ServeCheckpoint = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("corrupt checkpoint {}: {e:?}", path.display()));
+    assert_eq!(
+        checkpoint.magic,
+        SERVE_CHECKPOINT_MAGIC,
+        "not a serving checkpoint: {}",
+        path.display()
+    );
+    assert_eq!(
+        checkpoint.version,
+        SERVE_CHECKPOINT_VERSION,
+        "checkpoint {} has unsupported version",
+        path.display()
+    );
+    assert_eq!(
+        checkpoint.fingerprint,
+        serve_fingerprint(plan),
+        "checkpoint {} belongs to a different plan",
+        path.display()
+    );
+    assert!(
+        checkpoint.completed_shards.iter().copied().eq(0..checkpoint.completed_shards.len()),
+        "checkpoint {} has a non-prefix shard set",
+        path.display()
+    );
+    Some(checkpoint)
+}
+
+/// One (traffic × policy) cell of a serving report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeCell {
+    /// Traffic spec string.
+    pub traffic: String,
+    /// Policy spec string.
+    pub policy: String,
+    /// Fleet lifetime statistics over device *generations* (replacements
+    /// included), censored at the campaign horizon.
+    pub stats: FleetStats,
+    /// Median end-to-end request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end request latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end request latency in milliseconds.
+    pub p99_ms: f64,
+    /// Requests served on the fabric.
+    pub served_cgra: u64,
+    /// Requests deferred to the GPP by backpressure.
+    pub served_gpp: u64,
+    /// Requests shed (queue full, or death-day remainder).
+    pub shed: u64,
+    /// Requests that arrived over the horizon.
+    pub total_requests: u64,
+    /// `shed / total_requests` (`0` when no requests arrived).
+    pub shed_rate: f64,
+    /// Devices replaced after dying, across the whole cell.
+    pub replacements: u64,
+    /// Replacement spend in cents (`replacements × unit cost`).
+    pub replacement_cost_cents: u64,
+    /// Distinct device-days actually simulated across the cell's lanes.
+    pub simulated_days: u64,
+    /// Fabric service measurements actually run across the cell's lanes.
+    pub simulated_services: u64,
+}
+
+/// The serializable result of [`run_serving`] (`results/serving.json`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Base experiment seed.
+    pub base_seed: u64,
+    /// Fabric rows.
+    pub rows: u32,
+    /// Fabric columns.
+    pub cols: u32,
+    /// Workload-suite label.
+    pub suite: String,
+    /// Devices per cell.
+    pub devices: usize,
+    /// Distinct workload/traffic lanes.
+    pub lanes: usize,
+    /// Serving horizon in days.
+    pub horizon_days: u64,
+    /// Traffic period in days.
+    pub pattern_days: u64,
+    /// Device clock in Hz.
+    pub clock_hz: u64,
+    /// Deployment years one serving day models.
+    pub years_per_day: f64,
+    /// Deployment years the horizon models.
+    pub horizon_years: f64,
+    /// Per-cell aggregates, traffic-major then policy, in plan order.
+    pub cells: Vec<ServeCell>,
+}
+
+impl ServeReport {
+    /// The cell for `traffic` × `policy` (their spec strings).
+    pub fn cell(&self, traffic: &str, policy: &str) -> Option<&ServeCell> {
+        self.cells.iter().find(|c| c.traffic == traffic && c.policy == policy)
+    }
+}
+
+/// What [`run_serving_campaign`] came back with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeStatus {
+    /// The campaign ran to the horizon; here is the full report.
+    Complete(Box<ServeReport>),
+    /// The campaign stopped early at a shard boundary
+    /// ([`CampaignOptions::stop_after_shards`]); re-run with the same
+    /// checkpoint path to continue.
+    Paused {
+        /// Shards completed so far (also the resume point).
+        completed_shards: usize,
+        /// Total shards in the campaign.
+        total_shards: usize,
+    },
+}
+
+/// Runs every (traffic × policy × device) cell of `plan` with
+/// checkpoint/resume and early-stop control, sharded across `jobs`
+/// workers (`0` = all cores, `1` = sequential). Like
+/// [`run_fleet_campaign`](crate::fleet::run_fleet_campaign), the report
+/// is **byte-identical for every worker count, every shard split, and
+/// every kill/resume point**: trajectories are deterministic per class,
+/// shard weighting is a pure function of (plan, trajectories), and the
+/// per-cell aggregates merge through exact integer/multiset monoids in
+/// shard order.
+///
+/// # Errors
+///
+/// A movement policy on a movement-less configuration is rejected before
+/// anything runs; otherwise the error of the lowest-indexed failing cell
+/// is returned. ([`SystemError::AllocationExhausted`] is *not* an error
+/// here — it is a device death, part of the result.)
+///
+/// # Panics
+///
+/// Panics on plan-construction bugs — an empty traffic axis, an invalid
+/// [`TrafficSpec`], a zero `horizon_days`/`pattern_days`/`clock_hz`/
+/// `shard_devices`, a non-positive `years_per_day`, a refurbished
+/// `age_pct` outside `0..100` — and on checkpoint IO failures or a
+/// checkpoint that does not match the plan.
+pub fn run_serving_campaign(
+    plan: &ServePlan,
+    jobs: usize,
+    options: &CampaignOptions,
+) -> Result<ServeStatus, SystemError> {
+    assert!(!plan.traffic.is_empty(), "a serving campaign needs at least one traffic profile");
+    for spec in &plan.traffic {
+        spec.validate().unwrap_or_else(|e| panic!("invalid traffic spec {spec}: {e}"));
+    }
+    assert!(plan.horizon_days > 0, "horizon_days must be positive");
+    assert!(plan.pattern_days > 0, "pattern_days must be positive");
+    assert!(plan.clock_hz > 0, "clock_hz must be positive");
+    assert!(
+        plan.years_per_day > 0.0 && plan.years_per_day.is_finite(),
+        "years_per_day must be positive and finite, got {}",
+        plan.years_per_day
+    );
+    assert!(plan.shard_devices > 0, "shard_devices must be positive");
+    assert!(
+        plan.devices == 0 || plan.effective_lanes() > 0,
+        "a populated fleet needs at least one lane"
+    );
+    if let ReplacementPolicy::Refurbished { age_pct } = plan.replacement.policy {
+        assert!(age_pct < 100, "refurbished age_pct must be below 100, got {age_pct}");
+    }
+    for spec in &plan.policies {
+        if spec.needs_movement() && !plan.config.movement_hardware {
+            return Err(BuildError::MovementHardwareAbsent { policy: spec.to_string() }.into());
+        }
+    }
+    let pool = if jobs == 0 { ThreadPool::with_default_workers() } else { ThreadPool::new(jobs) };
+    let lanes = plan.effective_lanes().max(1);
+    let cell_count = plan.traffic.len() * plan.policies.len();
+    let total_shards = plan.devices.div_ceil(plan.shard_devices);
+
+    // Phase 1 (or resume): one reference serving simulation per
+    // (traffic × policy × lane) class.
+    let resumed = options.checkpoint.as_deref().and_then(|path| load_serve_checkpoint(path, plan));
+    let (trajectories, mut completed, mut accums) = match resumed {
+        Some(ck) => (ck.trajectories, ck.completed_shards.len(), ck.accums),
+        None => {
+            let lane_workloads: Vec<Vec<Workload>> = pool
+                .par_map((0..lanes).collect(), |_, lane| {
+                    plan.suite.workloads(derive_cell_seed(plan.base_seed, lane as u64))
+                });
+            let cells: Vec<(usize, usize, usize)> = (0..plan.traffic.len())
+                .flat_map(|t| {
+                    (0..plan.policies.len()).flat_map(move |p| (0..lanes).map(move |l| (t, p, l)))
+                })
+                .collect();
+            let outcomes: Vec<Result<ServeTrajectory, SystemError>> =
+                pool.par_map(cells, |_, (t, p, l)| {
+                    simulate_serving(
+                        plan,
+                        &plan.policies[p],
+                        &plan.traffic[t],
+                        &lane_workloads[l],
+                        l,
+                    )
+                });
+            let mut trajectories = Vec::with_capacity(outcomes.len());
+            for outcome in outcomes {
+                trajectories.push(outcome?);
+            }
+            let fresh = (trajectories, 0, vec![ServeAccum::new(); cell_count]);
+            if let Some(path) = options.checkpoint.as_deref() {
+                save_serve_checkpoint(
+                    path,
+                    &ServeCheckpoint {
+                        magic: SERVE_CHECKPOINT_MAGIC.to_string(),
+                        version: SERVE_CHECKPOINT_VERSION,
+                        fingerprint: serve_fingerprint(plan),
+                        trajectories: fresh.0.clone(),
+                        completed_shards: Vec::new(),
+                        accums: fresh.2.clone(),
+                    },
+                );
+            }
+            fresh
+        }
+    };
+
+    // Phase 2: stream device shards through the weighted class fold,
+    // merging each wave's partials in (shard, cell) order.
+    let wave_shards = if options.checkpoint.is_some() {
+        options.checkpoint_every_shards.max(1)
+    } else {
+        usize::MAX
+    };
+    while completed < total_shards {
+        if options.stop_after_shards.is_some_and(|stop| completed >= stop) {
+            return Ok(ServeStatus::Paused { completed_shards: completed, total_shards });
+        }
+        let mut wave_end = completed.saturating_add(wave_shards).min(total_shards);
+        if let Some(stop) = options.stop_after_shards {
+            wave_end = wave_end.min(stop.max(completed + 1));
+        }
+        let cells: Vec<(usize, usize)> =
+            (completed..wave_end).flat_map(|s| (0..cell_count).map(move |c| (s, c))).collect();
+        let results: Vec<ServeAccum> =
+            pool.par_map(cells.clone(), |_, (s, c)| run_serve_shard(plan, &trajectories, c, s));
+        for (partial, (_, c)) in results.into_iter().zip(cells) {
+            accums[c].merge(&partial);
+        }
+        completed = wave_end;
+        if let Some(path) = options.checkpoint.as_deref() {
+            save_serve_checkpoint(
+                path,
+                &ServeCheckpoint {
+                    magic: SERVE_CHECKPOINT_MAGIC.to_string(),
+                    version: SERVE_CHECKPOINT_VERSION,
+                    fingerprint: serve_fingerprint(plan),
+                    trajectories: trajectories.clone(),
+                    completed_shards: (0..completed).collect(),
+                    accums: accums.clone(),
+                },
+            );
+        }
+    }
+
+    let to_ms = |cycles: u64| cycles as f64 * 1_000.0 / plan.clock_hz as f64;
+    let mut cells = Vec::with_capacity(cell_count);
+    for (t, traffic) in plan.traffic.iter().enumerate() {
+        for (p, policy) in plan.policies.iter().enumerate() {
+            let cell = t * plan.policies.len() + p;
+            let accum = &accums[cell];
+            let lane_slice = &trajectories[cell * lanes..(cell + 1) * lanes];
+            cells.push(ServeCell {
+                traffic: traffic.to_string(),
+                policy: policy.to_string(),
+                stats: accum.fleet.stats(plan.horizon_years(), plan.histogram_bins),
+                p50_ms: to_ms(accum.latency.percentile_cycles(0.50)),
+                p95_ms: to_ms(accum.latency.percentile_cycles(0.95)),
+                p99_ms: to_ms(accum.latency.percentile_cycles(0.99)),
+                served_cgra: accum.served_cgra,
+                served_gpp: accum.served_gpp,
+                shed: accum.shed,
+                total_requests: accum.total_requests,
+                shed_rate: if accum.total_requests == 0 {
+                    0.0
+                } else {
+                    accum.shed as f64 / accum.total_requests as f64
+                },
+                replacements: accum.replacements,
+                replacement_cost_cents: accum.replacements * plan.replacement.unit_cost_cents,
+                simulated_days: lane_slice.iter().map(|t| t.simulated_days).sum(),
+                simulated_services: lane_slice.iter().map(|t| t.simulated_services).sum(),
+            });
+        }
+    }
+
+    Ok(ServeStatus::Complete(Box::new(ServeReport {
+        base_seed: plan.base_seed,
+        rows: plan.config.fabric.rows,
+        cols: plan.config.fabric.cols,
+        suite: plan.suite.name.clone(),
+        devices: plan.devices,
+        lanes,
+        horizon_days: plan.horizon_days,
+        pattern_days: plan.pattern_days,
+        clock_hz: plan.clock_hz,
+        years_per_day: plan.years_per_day,
+        horizon_years: plan.horizon_years(),
+        cells,
+    })))
+}
+
+/// Runs every (traffic × policy × device) cell of `plan`, sharded across
+/// `jobs` workers (`0` = all cores, `1` = sequential), without
+/// checkpointing. The report is byte-identical for every worker count and
+/// shard split — see [`run_serving_campaign`].
+///
+/// # Errors
+///
+/// See [`run_serving_campaign`].
+///
+/// # Panics
+///
+/// See [`run_serving_campaign`].
+pub fn run_serving(plan: &ServePlan, jobs: usize) -> Result<ServeReport, SystemError> {
+    match run_serving_campaign(plan, jobs, &CampaignOptions::default())? {
+        ServeStatus::Complete(report) => Ok(*report),
+        ServeStatus::Paused { .. } => unreachable!("no stop was requested"),
+    }
+}
+
+/// A one-day serving summary, the scalar half of what
+/// [`probe_service_day`] returns.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DayServeReport {
+    /// Requests that arrived over the day.
+    pub requests: u64,
+    /// Requests served on the fabric.
+    pub served_cgra: u64,
+    /// Requests deferred to the GPP by backpressure.
+    pub served_gpp: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// Median end-to-end latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Runs one pristine device-day of `plan` under observation: `lane`'s
+/// arrival stream for `day` flows through the queue with the requested
+/// [`ProbeSpec`] observers attached — the request-level
+/// [`SimEvent`] stream (`RequestArrived`/`RequestServed`/`RequestShed`)
+/// plus queue-depth probes, exactly as the campaign path simulates it
+/// (DESIGN.md §13).
+///
+/// # Errors
+///
+/// Propagates simulation errors from the service-cost measurements.
+///
+/// # Panics
+///
+/// Panics on the same plan-construction bugs as [`run_serving_campaign`]
+/// and on a `lane` outside the plan's lanes.
+pub fn probe_service_day(
+    plan: &ServePlan,
+    policy: &PolicySpec,
+    traffic: &TrafficSpec,
+    lane: usize,
+    day: u64,
+    probes: &[ProbeSpec],
+) -> Result<(DayServeReport, Vec<ProbeReport>), SystemError> {
+    assert!(lane < plan.effective_lanes().max(1), "lane {lane} outside the plan's lanes");
+    assert!(plan.pattern_days > 0, "pattern_days must be positive");
+    let workloads = plan.suite.workloads(derive_cell_seed(plan.base_seed, lane as u64));
+    let mut table = ServiceTable::new(&plan.config, policy, &workloads);
+    let mask = FaultMask::healthy(&plan.config.fabric);
+    let costs = table.costs(&mask)?;
+    let arrivals = day_traffic(
+        traffic,
+        derive_cell_seed(plan.base_seed, lane as u64),
+        day % plan.pattern_days,
+        plan.clock_hz,
+        workloads.len() as u32,
+    );
+    let mut observers: Vec<Box<dyn Observer>> = probes.iter().map(|p| p.build()).collect();
+    let outcome = run_service_day(
+        &arrivals,
+        costs,
+        &plan.backpressure,
+        plan.day_cycles(),
+        &plan.config.fabric,
+        &mut observers,
+    );
+    let to_ms = |cycles: u64| cycles as f64 * 1_000.0 / plan.clock_hz as f64;
+    let report = DayServeReport {
+        requests: arrivals.len() as u64,
+        served_cgra: outcome.served_cgra,
+        served_gpp: outcome.served_gpp,
+        shed: outcome.shed,
+        p50_ms: to_ms(outcome.latency.percentile_cycles(0.50)),
+        p95_ms: to_ms(outcome.latency.percentile_cycles(0.95)),
+        p99_ms: to_ms(outcome.latency.percentile_cycles(0.99)),
+    };
+    Ok((report, observers.iter().filter_map(|o| o.report()).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_specs_round_trip_and_validate() {
+        for spec in [
+            TrafficSpec::steady(),
+            TrafficSpec::diurnal(),
+            TrafficSpec::heavy(),
+            TrafficSpec::Steady { per_hour: 42 },
+            TrafficSpec::Diurnal { per_hour: 10, swing_pct: 100 },
+            TrafficSpec::Heavy { per_hour: 7, alpha_milli: 1001 },
+        ] {
+            let parsed: TrafficSpec = spec.to_string().parse().expect("round trip");
+            assert_eq!(parsed, spec);
+        }
+        assert_eq!("steady".parse::<TrafficSpec>().unwrap(), TrafficSpec::steady());
+        assert_eq!("diurnal".parse::<TrafficSpec>().unwrap(), TrafficSpec::diurnal());
+        assert_eq!("heavy".parse::<TrafficSpec>().unwrap(), TrafficSpec::heavy());
+        assert_eq!(
+            "diurnal@swing-50".parse::<TrafficSpec>().unwrap(),
+            TrafficSpec::Diurnal { per_hour: DEFAULT_PER_HOUR, swing_pct: 50 }
+        );
+        for bad in [
+            "surge",
+            "steady@rph-0",
+            "steady@swing-10",
+            "diurnal@rph-5+swing-101",
+            "heavy@alpha-1000",
+            "heavy@swing-10",
+            "steady@rph",
+            "steady@rph-x",
+            "diurnal@tide-3",
+        ] {
+            assert!(bad.parse::<TrafficSpec>().is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn arrival_streams_are_deterministic_and_rate_matched() {
+        let spec = TrafficSpec::Steady { per_hour: 3_600 };
+        let a = day_traffic(&spec, 0xDAC2020, 0, 1_000, 4);
+        let b = day_traffic(&spec, 0xDAC2020, 0, 1_000, 4);
+        assert_eq!(a, b, "same (spec, seed, day) must reproduce the stream");
+        let c = day_traffic(&spec, 0xDAC2020, 1, 1_000, 4);
+        assert_ne!(a, c, "different days draw different streams");
+        // 3 600/h over a day is 86 400 expected arrivals.
+        assert!((80_000..93_000).contains(&a.len()), "got {} arrivals", a.len());
+        assert!(a.windows(2).all(|w| w[0].cycle <= w[1].cycle), "arrivals are ordered");
+        assert!(a.iter().all(|r| r.workload < 4));
+        let day_cycles = 1_000 * SECONDS_PER_DAY;
+        assert!(a.iter().all(|r| r.cycle < day_cycles));
+    }
+
+    #[test]
+    fn diurnal_arrivals_peak_at_midday() {
+        let spec = TrafficSpec::Diurnal { per_hour: 1_200, swing_pct: 80 };
+        let arrivals = day_traffic(&spec, 7, 0, 1_000, 1);
+        let day_cycles = 1_000 * SECONDS_PER_DAY;
+        let sixth = day_cycles / 6;
+        let night: usize = arrivals.iter().filter(|r| r.cycle < sixth).count();
+        let midday = arrivals
+            .iter()
+            .filter(|r| r.cycle >= 2 * sixth + sixth / 2 && r.cycle < 3 * sixth + sixth / 2)
+            .count();
+        assert!(
+            midday as f64 > 2.0 * night as f64,
+            "midday sixth ({midday}) must dwarf the midnight sixth ({night})"
+        );
+    }
+
+    #[test]
+    fn heavy_tailed_arrivals_have_giant_gaps() {
+        let spec = TrafficSpec::Heavy { per_hour: 1_200, alpha_milli: 1_200 };
+        let arrivals = day_traffic(&spec, 7, 0, 1_000, 1);
+        let mean_gap = 3_600.0 * 1_000.0 / 1_200.0;
+        let max_gap = arrivals.windows(2).map(|w| w[1].cycle - w[0].cycle).max().unwrap();
+        assert!(
+            max_gap as f64 > 20.0 * mean_gap,
+            "α=1.2 must produce gaps far beyond the mean ({max_gap} vs {mean_gap})"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_exact_then_logarithmic() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_floor(bucket_of(v)), v, "small values are exact");
+        }
+        for v in [8u64, 100, 1_000, 65_535, 1 << 40] {
+            let floor = bucket_floor(bucket_of(v));
+            assert!(floor <= v, "floor {floor} must not exceed {v}");
+            assert!(v - floor <= v / 8, "bucket of {v} is wider than 12.5% ({floor})");
+        }
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 4, 100, 200, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.percentile_cycles(0.0), 1);
+        assert_eq!(h.percentile_cycles(0.5), 4);
+        assert_eq!(h.percentile_cycles(1.0), bucket_floor(bucket_of(100_000)));
+        assert_eq!(LatencyHistogram::new().percentile_cycles(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_scaled_add() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [5u64, 50, 500] {
+            a.record(v);
+            b.record(v * 3);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut tripled = LatencyHistogram::new();
+        tripled.add_scaled(&merged, 3);
+        assert_eq!(tripled.total(), 3 * merged.total());
+        assert_eq!(
+            tripled.percentile_cycles(0.5),
+            merged.percentile_cycles(0.5),
+            "scaling preserves quantiles"
+        );
+    }
+
+    /// A deliberately tiny serving plan that stays fast in debug builds:
+    /// one short workload, a slow clock (few arrivals per day), two days.
+    fn mini_plan() -> ServePlan {
+        ServePlan::new(7, Fabric::be())
+            .policy(PolicySpec::Baseline)
+            .suite(SuiteSpec::subset("crc", vec![1]))
+            .traffic(TrafficSpec::Steady { per_hour: 40 })
+            .devices(3)
+            .lanes(1)
+            .clock_hz(1_000)
+            .horizon_days(2)
+            .pattern_days(1)
+    }
+
+    #[test]
+    fn serving_conserves_requests_and_weights_lanes() {
+        let report = run_serving(&mini_plan(), 1).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.traffic, "steady@rph-40");
+        assert_eq!(cell.policy, "baseline");
+        assert_eq!(cell.served_cgra + cell.served_gpp + cell.shed, cell.total_requests);
+        assert!(cell.total_requests > 0, "two days of traffic must produce requests");
+        // 3 devices share 1 lane: totals are 3× the class trajectory.
+        assert_eq!(cell.total_requests % 3, 0);
+        assert_eq!(cell.stats.devices as u64, 3 * (cell.replacements / 3 + 1));
+        assert!(cell.p50_ms > 0.0);
+        assert!(cell.p99_ms >= cell.p95_ms && cell.p95_ms >= cell.p50_ms);
+    }
+
+    #[test]
+    fn serving_is_invariant_under_jobs_and_shards() {
+        let reference = run_serving(&mini_plan(), 1).unwrap();
+        let sharded = run_serving(&mini_plan().shard_devices(1), 2).unwrap();
+        assert_eq!(
+            serde_json::to_string(&reference).unwrap(),
+            serde_json::to_string(&sharded).unwrap(),
+            "jobs and shard splits must not change a byte"
+        );
+    }
+
+    #[test]
+    fn probe_service_day_reports_queue_depth() {
+        let plan = mini_plan();
+        let probes = vec!["queue-depth@every-1000000".parse::<ProbeSpec>().unwrap()];
+        let (day, reports) = probe_service_day(
+            &plan,
+            &PolicySpec::Baseline,
+            &TrafficSpec::Steady { per_hour: 40 },
+            0,
+            0,
+            &probes,
+        )
+        .unwrap();
+        assert_eq!(day.requests, day.served_cgra + day.served_gpp + day.shed);
+        assert_eq!(reports.len(), 1);
+        match &reports[0] {
+            ProbeReport::QueueDepth(series) => {
+                assert!(!series.samples.is_empty(), "the day must sample the queue");
+            }
+            other => panic!("expected a queue-depth report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refurbished_replacements_predate_wear() {
+        let plan = mini_plan().replacement(ReplacementSpec {
+            policy: ReplacementPolicy::Refurbished { age_pct: 50 },
+            unit_cost_cents: 4_000,
+        });
+        let (life, pre_age) = replacement_device(&plan);
+        assert!(pre_age > 0.0);
+        assert!(!life.is_dead());
+        assert!(life.elapsed_years() > 0.0);
+    }
+
+    #[test]
+    fn serve_fingerprint_tracks_every_plan_knob() {
+        let plan = mini_plan();
+        assert_eq!(serve_fingerprint(&plan), serve_fingerprint(&plan.clone()));
+        assert_ne!(serve_fingerprint(&plan), serve_fingerprint(&plan.clone().devices(4)));
+        assert_ne!(serve_fingerprint(&plan), serve_fingerprint(&plan.clone().clock_hz(999)));
+        assert_ne!(
+            serve_fingerprint(&plan),
+            serve_fingerprint(&plan.clone().traffic(TrafficSpec::heavy()))
+        );
+    }
+}

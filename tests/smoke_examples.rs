@@ -15,6 +15,9 @@ mod aging_forecast;
 #[path = "../examples/fleet_mttf.rs"]
 mod fleet_mttf;
 
+#[path = "../examples/fleet_serve_demo.rs"]
+mod fleet_serve_demo;
+
 // The smoke test enters via run(seed), so the arg-parsing main is unused
 // in this compilation unit.
 #[allow(dead_code)]
@@ -39,6 +42,11 @@ fn aging_forecast_runs() {
 #[test]
 fn fleet_mttf_runs() {
     fleet_mttf::main().expect("fleet_mttf example failed");
+}
+
+#[test]
+fn fleet_serve_demo_runs() {
+    fleet_serve_demo::main().expect("fleet_serve_demo example failed");
 }
 
 #[test]

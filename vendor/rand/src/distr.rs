@@ -1,0 +1,292 @@
+//! Vendored minimal stand-in for the `rand_distr` distribution samplers,
+//! following upstream's `rand::distr` module shape: a [`Distribution`]
+//! trait plus the three continuous/discrete samplers the workspace's
+//! traffic models need — [`Exp`]onential and [`Pareto`] inter-arrival
+//! times and [`Poisson`] counts. Constructors validate their parameters
+//! with upstream-shaped error enums; sampling uses the plain inverse-CDF
+//! (and, for Poisson, Knuth-product) constructions, so streams are
+//! deterministic per seed but not bit-identical with upstream.
+
+use std::fmt;
+
+use crate::{unit_f64, Rng};
+
+/// Types (distributions) that can be used to create a random instance of
+/// `T` — the upstream `Distribution` trait surface the workspace uses.
+pub trait Distribution<T> {
+    /// Generates one sample from the distribution using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The exponential distribution `Exp(lambda)`: inter-arrival times of a
+/// homogeneous Poisson process with rate `lambda` events per unit time.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Exp {
+    /// `1 / lambda`, the mean inter-arrival time.
+    lambda_inverse: f64,
+}
+
+/// Error type returned from [`Exp::new`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExpError {
+    /// `lambda <= 0` or `nan`.
+    LambdaTooSmall,
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("lambda is negative, zero or NaN in exponential distribution")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+impl Exp {
+    /// Constructs `Exp(lambda)` with rate `lambda` (> 0).
+    ///
+    /// # Errors
+    ///
+    /// [`ExpError::LambdaTooSmall`] unless `lambda > 0` and finite.
+    pub fn new(lambda: f64) -> Result<Exp, ExpError> {
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(ExpError::LambdaTooSmall);
+        }
+        Ok(Exp { lambda_inverse: 1.0 / lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: -ln(1-U)/lambda with U in [0,1), so 1-U is in
+        // (0,1] and the log is always finite.
+        -(1.0 - unit_f64(rng)).ln() * self.lambda_inverse
+    }
+}
+
+/// The Pareto distribution `Pareto(scale, shape)`: heavy-tailed samples
+/// `>= scale`, with finite mean `scale * shape / (shape - 1)` only for
+/// `shape > 1`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    inv_neg_shape: f64,
+}
+
+/// Error type returned from [`Pareto::new`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ParetoError {
+    /// `scale <= 0` or `nan`.
+    ScaleTooSmall,
+    /// `shape <= 0` or `nan`.
+    ShapeTooSmall,
+}
+
+impl fmt::Display for ParetoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ParetoError::ScaleTooSmall => "scale is negative, zero or NaN in Pareto distribution",
+            ParetoError::ShapeTooSmall => "shape is negative, zero or NaN in Pareto distribution",
+        })
+    }
+}
+
+impl std::error::Error for ParetoError {}
+
+impl Pareto {
+    /// Constructs `Pareto(scale, shape)` (both > 0).
+    ///
+    /// # Errors
+    ///
+    /// [`ParetoError::ScaleTooSmall`] / [`ParetoError::ShapeTooSmall`]
+    /// unless both parameters are positive and finite.
+    pub fn new(scale: f64, shape: f64) -> Result<Pareto, ParetoError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(ParetoError::ScaleTooSmall);
+        }
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(ParetoError::ShapeTooSmall);
+        }
+        Ok(Pareto { scale, inv_neg_shape: -1.0 / shape })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: scale * (1-U)^(-1/shape); 1-U in (0,1] keeps the
+        // power finite and the sample >= scale.
+        self.scale * (1.0 - unit_f64(rng)).powf(self.inv_neg_shape)
+    }
+}
+
+/// The Poisson distribution `Poisson(lambda)`: event counts of a unit
+/// interval at rate `lambda`. Samples are returned as `f64` (whole
+/// numbers), matching the upstream `rand_distr` API shape.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+/// Error type returned from [`Poisson::new`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PoissonError {
+    /// `lambda <= 0`.
+    ShapeTooSmall,
+    /// `lambda` is infinite or `nan`.
+    NonFinite,
+}
+
+impl fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PoissonError::ShapeTooSmall => {
+                "lambda is negative, zero or NaN in Poisson distribution"
+            }
+            PoissonError::NonFinite => "lambda is infinite in Poisson distribution",
+        })
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// Largest per-round rate of the Knuth product method: `exp(-CHUNK)` must
+/// stay comfortably above `f64` underflow. Larger rates split into rounds
+/// of this size and sum (Poisson counts are additive over disjoint
+/// intervals).
+const POISSON_CHUNK: f64 = 256.0;
+
+impl Poisson {
+    /// Constructs `Poisson(lambda)` with rate `lambda` (> 0, finite).
+    ///
+    /// # Errors
+    ///
+    /// [`PoissonError::ShapeTooSmall`] unless `lambda > 0`;
+    /// [`PoissonError::NonFinite`] for an infinite `lambda`.
+    pub fn new(lambda: f64) -> Result<Poisson, PoissonError> {
+        if lambda.is_infinite() {
+            return Err(PoissonError::NonFinite);
+        }
+        if lambda.is_nan() || lambda <= 0.0 {
+            return Err(PoissonError::ShapeTooSmall);
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut remaining = self.lambda;
+        let mut total = 0u64;
+        while remaining > 0.0 {
+            let lambda = remaining.min(POISSON_CHUNK);
+            remaining -= lambda;
+            // Knuth's product method: multiply uniforms until the product
+            // drops below exp(-lambda); the number of factors that stayed
+            // above is the count.
+            let floor = (-lambda).exp();
+            let mut product = unit_f64(rng);
+            while product > floor {
+                total += 1;
+                product *= unit_f64(rng);
+            }
+        }
+        total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    /// Draws `n` samples from `dist` under the fixed test seed.
+    fn stream<D: Distribution<f64>>(dist: &D, seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn constructors_validate_parameters() {
+        assert_eq!(Exp::new(0.0).unwrap_err(), ExpError::LambdaTooSmall);
+        assert_eq!(Exp::new(-1.0).unwrap_err(), ExpError::LambdaTooSmall);
+        assert_eq!(Exp::new(f64::NAN).unwrap_err(), ExpError::LambdaTooSmall);
+        assert_eq!(Exp::new(f64::INFINITY).unwrap_err(), ExpError::LambdaTooSmall);
+        assert!(Exp::new(2.5).is_ok());
+
+        assert_eq!(Pareto::new(0.0, 1.5).unwrap_err(), ParetoError::ScaleTooSmall);
+        assert_eq!(Pareto::new(1.0, 0.0).unwrap_err(), ParetoError::ShapeTooSmall);
+        assert_eq!(Pareto::new(f64::NAN, 1.5).unwrap_err(), ParetoError::ScaleTooSmall);
+        assert_eq!(Pareto::new(1.0, f64::NAN).unwrap_err(), ParetoError::ShapeTooSmall);
+        assert!(Pareto::new(1.0, 1.5).is_ok());
+
+        assert_eq!(Poisson::new(0.0).unwrap_err(), PoissonError::ShapeTooSmall);
+        assert_eq!(Poisson::new(-3.0).unwrap_err(), PoissonError::ShapeTooSmall);
+        assert_eq!(Poisson::new(f64::NAN).unwrap_err(), PoissonError::ShapeTooSmall);
+        assert_eq!(Poisson::new(f64::INFINITY).unwrap_err(), PoissonError::NonFinite);
+        assert!(Poisson::new(1e6).is_ok());
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let exp = Exp::new(0.25).unwrap();
+        assert_eq!(stream(&exp, 42, 64), stream(&exp, 42, 64));
+        assert_ne!(stream(&exp, 42, 64), stream(&exp, 43, 64));
+        let pareto = Pareto::new(2.0, 1.5).unwrap();
+        assert_eq!(stream(&pareto, 42, 64), stream(&pareto, 42, 64));
+        let poisson = Poisson::new(30.0).unwrap();
+        assert_eq!(stream(&poisson, 42, 64), stream(&poisson, 42, 64));
+    }
+
+    #[test]
+    fn exp_matches_its_mean_and_support() {
+        let exp = Exp::new(0.5).unwrap(); // mean 2
+        let samples = stream(&exp, 7, 20_000);
+        assert!(samples.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.05, "sample mean {mean} far from 2.0");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let pareto = Pareto::new(3.0, 2.0).unwrap(); // mean scale*a/(a-1) = 6
+        let samples = stream(&pareto, 7, 20_000);
+        assert!(samples.iter().all(|&x| x >= 3.0 && x.is_finite()));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 6.0).abs() < 0.5, "sample mean {mean} far from 6.0");
+        // Heavy tail: some samples land far beyond the scale.
+        assert!(samples.iter().any(|&x| x > 15.0));
+    }
+
+    #[test]
+    fn poisson_matches_its_mean_for_small_and_split_rates() {
+        for lambda in [0.5, 12.0, 300.0, 1000.0] {
+            let poisson = Poisson::new(lambda).unwrap();
+            let samples = stream(&poisson, 11, 4000);
+            assert!(samples.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let tol = 3.0 * (lambda / 4000.0).sqrt().max(0.02);
+            assert!((mean - lambda).abs() < tol, "lambda {lambda}: sample mean {mean}");
+        }
+    }
+
+    /// Pins the seeded streams bit-exactly: any change to the samplers'
+    /// arithmetic (or the generator underneath) is a determinism break for
+    /// every recorded traffic artefact and must show up here first.
+    #[test]
+    fn seeded_streams_are_pinned() {
+        let exp = Exp::new(1.0).unwrap();
+        let got = stream(&exp, 0xDAC2020, 4);
+        let want = [0.24141844823431718, 0.43272299166733513, 3.187377855671575, 1.561688429795933];
+        assert_eq!(got, want, "Exp(1) stream drifted");
+
+        let pareto = Pareto::new(1.0, 1.5).unwrap();
+        let got = stream(&pareto, 0xDAC2020, 4);
+        let want = [1.1746211054610585, 1.3344003226880428, 8.372215714592127, 2.8324034302324215];
+        assert_eq!(got, want, "Pareto(1, 1.5) stream drifted");
+
+        let poisson = Poisson::new(20.0).unwrap();
+        let got = stream(&poisson, 0xDAC2020, 8);
+        let want = [31.0, 25.0, 20.0, 22.0, 20.0, 24.0, 25.0, 25.0];
+        assert_eq!(got, want, "Poisson(20) stream drifted");
+    }
+}

@@ -10,6 +10,8 @@
 
 use std::ops::{Range, RangeInclusive};
 
+pub mod distr;
+
 /// The core source of randomness: raw 32/64-bit output.
 pub trait RngCore {
     /// Returns the next 32 random bits.
@@ -94,7 +96,7 @@ impl_sample_range!(
 
 /// Draws a uniform `f64` in `[0, 1)` from the top 53 bits of one draw (the
 /// standard mantissa construction upstream `rand` uses).
-fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
