@@ -5,7 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cgra::Fabric;
+use cgra::op::{MulFunc, OpKind};
+use cgra::{CellClass, ClassMap, Fabric};
 use uaware::{
     AllocRequest, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, RandomPolicy,
     RotationPolicy, Snake, UtilizationTracker,
@@ -27,6 +28,7 @@ fn bench_policies(c: &mut Criterion) {
                     fabric: &fabric,
                     config_switch: false,
                     footprint: black_box(&footprint),
+                    demands: &[],
                     tracker: &tracker,
                     faults: None,
                 };
@@ -41,5 +43,43 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies);
+/// Per-decision cost on a heterogeneous fabric (DESIGN.md §14): the class
+/// checker halves the capable anchors, so every policy pays the
+/// capability filter on top of its scan.
+fn bench_policies_heterogeneous(c: &mut Criterion) {
+    let mut fabric = Fabric::bu();
+    fabric.classes = ClassMap::Checker;
+    assert!(!fabric.is_uniform());
+    assert_eq!(fabric.class_of(0, 0), CellClass::Full);
+    let mut tracker = UtilizationTracker::new(&fabric);
+    let footprint: Vec<(u32, u32)> = (0..16u32).map(|i| (i % 8, i)).collect();
+    let demands = [(0u32, 0u32, OpKind::Mul(MulFunc::Mul))];
+    for i in 0..1000u32 {
+        tracker.record_execution(&[(i % 8, i % 32)], 4);
+    }
+
+    let mut group = c.benchmark_group("policy_decision_het");
+    let mut bench_one = |name: &str, policy: &mut dyn AllocationPolicy| {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let req = AllocRequest {
+                    fabric: &fabric,
+                    config_switch: false,
+                    footprint: black_box(&footprint),
+                    demands: black_box(&demands),
+                    tracker: &tracker,
+                    faults: None,
+                };
+                policy.next_offset(&req)
+            })
+        });
+    };
+    bench_one("baseline_het_checker", &mut BaselinePolicy);
+    bench_one("rotation_snake_het_checker", &mut RotationPolicy::new(Snake));
+    bench_one("random_het_checker", &mut RandomPolicy::seeded(3));
+    bench_one("health_aware_het_checker", &mut HealthAwarePolicy);
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_policies_heterogeneous);
 criterion_main!(benches);

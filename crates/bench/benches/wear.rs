@@ -64,6 +64,7 @@ fn bench_fault_masked_allocation(c: &mut Criterion) {
                     fabric: &fabric,
                     config_switch: false,
                     footprint: black_box(&footprint),
+                    demands: &[],
                     tracker: &tracker,
                     faults: Some(&mask),
                 };

@@ -3,8 +3,9 @@
 //! Pass `--jobs <n>` to shard every figure's sweep across n workers
 //! (default: all cores; `--jobs 1` is the sequential path — CI diffs the
 //! two `results/` trees to enforce byte-identical output), the usual
-//! repeatable `--policy <spec>` to swap the evaluated policy series, and
-//! `--devices <n>` to size the fleet behind `results/survival.json`.
+//! repeatable `--policy <spec>` / `--fabric <spec>` flags to swap the
+//! evaluated policy series and fabric layouts, and `--devices <n>` to
+//! size the fleet behind `results/survival.json`.
 
 use bench::*;
 
@@ -35,6 +36,8 @@ fn main() {
     save_json("convergence", &convergence(&f8));
     eprintln!("[table1]");
     save_json("table1", &table1(&ctx));
+    eprintln!("[layout]");
+    save_json("layout", &layout(&ctx));
     eprintln!("[table2]");
     save_json("table2", &table2(&ctx));
     eprintln!("[survival]");

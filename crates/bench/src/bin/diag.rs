@@ -2,33 +2,46 @@
 //!
 //! Pass `--policy <spec>` to diagnose a different allocation policy
 //! (default: baseline), e.g. `diag -- --policy rotation:snake@per-load`,
-//! and `--jobs <n>` to size the sweep pool (one cell, so the flag only
+//! `--fabric <spec>` to diagnose a different fabric layout (default: BE;
+//! DESIGN.md §14), e.g. `diag -- --fabric 4x8:het-checker`, and
+//! `--jobs <n>` to size the sweep pool (one cell, so the flag only
 //! matters for the GPP-reference phase).
 
-use bench::{parse_jobs_flag, parse_policy_flags};
+use bench::{parse_fabric_flags, parse_jobs_flag, parse_policy_flags};
 use cgra::Fabric;
 use transrec::{run_sweep, SweepPlan};
 use uaware::PolicySpec;
 
-fn flags_from_args() -> (PolicySpec, usize) {
+fn flags_from_args() -> (PolicySpec, Fabric, usize) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let specs = parse_policy_flags(&args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    let fabrics = parse_fabric_flags(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let fabric = fabrics.first().map_or_else(Fabric::be, |s| {
+        s.build().unwrap_or_else(|e| {
+            eprintln!("error: --fabric {s}: {e}");
+            std::process::exit(2);
+        })
+    });
     let jobs = parse_jobs_flag(&args).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
-    (specs.first().copied().unwrap_or(PolicySpec::Baseline), jobs.unwrap_or(0))
+    (specs.first().copied().unwrap_or(PolicySpec::Baseline), fabric, jobs.unwrap_or(0))
 }
 
 fn main() {
-    let (spec, jobs) = flags_from_args();
-    let plan = SweepPlan::new(0xDAC2020).fabric(Fabric::be()).policy(spec);
+    let (spec, fabric, jobs) = flags_from_args();
+    let plan = SweepPlan::new(0xDAC2020).fabric(fabric).policy(spec);
     println!("policy: {spec}");
+    println!("fabric: {}", cgra::FabricSpec::from_fabric(&fabric));
     println!(
-        "{:<16} {:>9} {:>9} {:>7} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "{:<16} {:>9} {:>9} {:>7} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
         "bench",
         "gpp-only",
         "system",
@@ -40,7 +53,8 @@ fn main() {
         "xfer",
         "rot",
         "offl",
-        "skip"
+        "skip",
+        "starv"
     );
     let runs = run_sweep(&plan, jobs).unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -51,7 +65,7 @@ fn main() {
         let s = &b.stats;
         let cover = s.offloaded_instrs as f64 / s.total_instrs() as f64;
         println!(
-            "{:<16} {:>9} {:>9} {:>7.2} {:>5.1}% {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+            "{:<16} {:>9} {:>9} {:>7.2} {:>5.1}% {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8}",
             b.name,
             b.gpp_cycles,
             b.system_cycles,
@@ -64,6 +78,7 @@ fn main() {
             s.rotate_cycles,
             s.offloads,
             s.offloads_skipped,
+            s.offloads_starved,
         );
     }
 }

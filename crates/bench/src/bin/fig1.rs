@@ -13,7 +13,7 @@ fn main() {
         std::process::exit(2);
     }
     let r = fig1(&ctx);
-    println!("== Fig. 1: utilization of a {}x{} fabric, baseline allocation ==", r.rows, r.cols);
+    println!("== Fig. 1: utilization of a {} fabric, baseline allocation ==", r.fabric);
     println!("{}", r.heatmap);
     println!("max FU utilization: {:.1}% (paper: 100%)", 100.0 * r.max);
     println!("min FU utilization: {:.1}% (paper: 1%)", 100.0 * r.min);

@@ -6,7 +6,7 @@
 //! figure means adding a spec to that list (or passing `--policy` to the
 //! binary) — never a new closure or flag.
 
-use cgra::{AreaModel, Fabric};
+use cgra::{AreaModel, Fabric, FabricSpec};
 use mibench::Workload;
 use nbti::CalibratedAging;
 use transrec::fleet::{
@@ -33,6 +33,12 @@ pub struct ExperimentContext {
     /// The non-baseline policy series evaluated by [`fig7`], [`fig8`] and
     /// [`table1`]; the first entry is the headline "proposed" policy.
     pub policies: Vec<PolicySpec>,
+    /// Fabric-layout overrides (the repeatable `--fabric` CLI flag,
+    /// DESIGN.md §14). Empty means every figure keeps its hard-coded
+    /// default fabrics; non-empty replaces them — [`fig1`] and [`fig7`]
+    /// use the first spec, [`fig6`], [`fig8`], [`table1`] and [`layout`]
+    /// iterate them all, keyed by the canonical spec string.
+    pub fabrics: Vec<FabricSpec>,
     /// Sweep worker count (`0` = all cores, `1` = sequential; the
     /// `--jobs` CLI flag). Results are byte-identical for every value.
     pub jobs: usize,
@@ -57,6 +63,7 @@ impl Default for ExperimentContext {
                 PolicySpec::Random { seed: uaware::DEFAULT_RANDOM_SEED },
                 PolicySpec::HealthAware,
             ],
+            fabrics: Vec::new(),
             jobs: 0,
             epoch_cycles: DEFAULT_EPOCH_CYCLES,
         }
@@ -74,6 +81,24 @@ impl ExperimentContext {
     pub fn proposed(&self) -> PolicySpec {
         self.policies.first().copied().unwrap_or_else(PolicySpec::rotation)
     }
+
+    /// The scenario lineup the multi-fabric figures ([`fig8`], [`table1`])
+    /// iterate: the paper's BE/BP/BU design points by default, or the
+    /// `--fabric` overrides labeled by their canonical spec strings
+    /// (DESIGN.md §14).
+    pub fn scenario_fabrics(&self) -> Vec<(String, Fabric)> {
+        if self.fabrics.is_empty() {
+            transrec::SCENARIOS.iter().map(|s| (s.name.to_string(), s.fabric())).collect()
+        } else {
+            self.fabrics.iter().map(|s| (s.to_string(), build_spec(s))).collect()
+        }
+    }
+}
+
+/// Builds a [`FabricSpec`]; contexts only carry specs that were validated
+/// at parse time, so a failure here is a programming error.
+fn build_spec(spec: &FabricSpec) -> Fabric {
+    spec.build().unwrap_or_else(|e| panic!("fabric spec {spec} does not build: {e}"))
 }
 
 /// Runs the fabrics × policies cross product through the parallel sweep
@@ -107,12 +132,15 @@ fn sweep_on(
     runs
 }
 
-/// Fig. 1 — FU utilization of a 4×8 fabric under traditional (baseline)
-/// mapping, aggregated over the ten benchmarks.
+/// Fig. 1 — FU utilization of a 4×8 fabric (or the first `--fabric`
+/// override) under traditional (baseline) mapping, aggregated over the
+/// ten benchmarks.
 pub fn fig1(ctx: &ExperimentContext) -> Fig1Report {
-    let runs = sweep_on(ctx, [Fabric::fig1()], vec![PolicySpec::Baseline], &[]);
+    let fabric = ctx.fabrics.first().map_or_else(Fabric::fig1, build_spec);
+    let runs = sweep_on(ctx, [fabric], vec![PolicySpec::Baseline], &[]);
     let grid = runs[0].tracker.utilization();
     Fig1Report {
+        fabric: runs[0].fabric_spec.clone(),
         rows: grid.rows(),
         cols: grid.cols(),
         utilization: grid.values().to_vec(),
@@ -122,21 +150,21 @@ pub fn fig1(ctx: &ExperimentContext) -> Fig1Report {
     }
 }
 
-/// Fig. 6 — the L×W design-space exploration under the baseline policy.
+/// Fig. 6 — the design-space exploration under the baseline policy: the
+/// paper's L×W grid by default, or the `--fabric` override layouts.
 pub fn fig6(ctx: &ExperimentContext) -> Fig6Report {
-    let grid = transrec::dse_grid();
-    let runs = sweep_on(
-        ctx,
-        grid.iter().map(|&(l, w)| Fabric::new(w, l)),
-        vec![PolicySpec::Baseline],
-        &[],
-    );
-    let points = grid
+    let fabrics: Vec<Fabric> = if ctx.fabrics.is_empty() {
+        transrec::dse_grid().iter().map(|&(l, w)| Fabric::new(w, l)).collect()
+    } else {
+        ctx.fabrics.iter().map(build_spec).collect()
+    };
+    let runs = sweep_on(ctx, fabrics, vec![PolicySpec::Baseline], &[]);
+    let points = runs
         .iter()
-        .zip(&runs)
-        .map(|(&(l, w), run)| Fig6Point {
-            l,
-            w,
+        .map(|run| Fig6Point {
+            fabric: run.fabric_spec.clone(),
+            l: run.cols,
+            w: run.rows,
             rel_time: run.relative_time(),
             rel_energy: run.relative_energy(),
             occupation: run.avg_occupation(),
@@ -147,14 +175,17 @@ pub fn fig6(ctx: &ExperimentContext) -> Fig6Report {
     Fig6Report { points }
 }
 
-/// Fig. 7 — BE (16×2) utilization heatmaps: baseline vs the proposed policy
+/// Fig. 7 — BE (16×2, or the first `--fabric` override) utilization
+/// heatmaps: baseline vs the proposed policy
 /// ([`ExperimentContext::proposed`]).
 pub fn fig7(ctx: &ExperimentContext) -> Fig7Report {
     let proposed = ctx.proposed();
-    let runs = sweep_on(ctx, [Fabric::be()], vec![PolicySpec::Baseline, proposed], &[]);
+    let fabric = ctx.fabrics.first().map_or_else(Fabric::be, build_spec);
+    let runs = sweep_on(ctx, [fabric], vec![PolicySpec::Baseline, proposed], &[]);
     let bg = runs[0].tracker.utilization();
     let pg = runs[1].tracker.utilization();
     Fig7Report {
+        fabric: runs[0].fabric_spec.clone(),
         rows: bg.rows(),
         cols: bg.cols(),
         proposed_policy: proposed.to_string(),
@@ -200,18 +231,18 @@ pub fn fig8(ctx: &ExperimentContext) -> Fig8Report {
     let specs: Vec<PolicySpec> =
         std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()).collect();
     let probes = [ProbeSpec::util_trace(ctx.epoch_cycles)];
-    let runs =
-        sweep_on(ctx, transrec::SCENARIOS.iter().map(|s| s.fabric()), specs.clone(), &probes);
+    let scenarios = ctx.scenario_fabrics();
+    let runs = sweep_on(ctx, scenarios.iter().map(|(_, f)| *f), specs.clone(), &probes);
     let mut series = Vec::new();
     let mut runs = runs.iter();
-    for scenario in transrec::SCENARIOS {
+    for (name, _) in &scenarios {
         for spec in &specs {
             let run = runs.next().expect("one run per scenario x policy");
             let grid = run.tracker.utilization();
             let eval = uaware::evaluate_aging(&ctx.aging, &grid, ctx.horizon_years, 101);
             let trace = run.util_trace().expect("fig8 sweep cells carry a util-trace probe");
             series.push(Fig8Series {
-                scenario: scenario.name.to_string(),
+                scenario: name.clone(),
                 policy: spec.to_string(),
                 pdf: grid.histogram(20).series(),
                 delay_curve: epoch_delay_curve(&ctx.aging, &trace, ctx.horizon_years, 101),
@@ -263,10 +294,11 @@ pub fn convergence(report: &Fig8Report) -> ConvergenceReport {
 pub fn table1(ctx: &ExperimentContext) -> Table1Report {
     let specs: Vec<PolicySpec> =
         std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()).collect();
-    let runs = sweep_on(ctx, transrec::SCENARIOS.iter().map(|s| s.fabric()), specs.clone(), &[]);
+    let scenarios = ctx.scenario_fabrics();
+    let runs = sweep_on(ctx, scenarios.iter().map(|(_, f)| *f), specs.clone(), &[]);
     let per_scenario = specs.len();
     let mut rows = Vec::new();
-    for (ci, scenario) in transrec::SCENARIOS.iter().enumerate() {
+    for (ci, (scenario, _)) in scenarios.iter().enumerate() {
         let base = &runs[ci * per_scenario];
         let bg = base.tracker.utilization();
         let base_eval = uaware::evaluate_aging(&ctx.aging, &bg, ctx.horizon_years, 11);
@@ -275,7 +307,7 @@ pub fn table1(ctx: &ExperimentContext) -> Table1Report {
             let pg = run.tracker.utilization();
             let eval = uaware::evaluate_aging(&ctx.aging, &pg, ctx.horizon_years, 11);
             rows.push(Table1Row {
-                scenario: scenario.name.to_string(),
+                scenario: scenario.clone(),
                 policy: spec.to_string(),
                 avg_util: bg.mean(),
                 baseline_worst: bg.max(),
@@ -287,6 +319,50 @@ pub fn table1(ctx: &ExperimentContext) -> Table1Report {
         }
     }
     Table1Report { rows }
+}
+
+/// The layout mixes [`layout`] explores when `--fabric` is absent: the
+/// uniform Fig. 1 geometry plus its heterogeneous class mixes and
+/// bandwidth-budgeted variants (DESIGN.md §14).
+pub fn default_layouts() -> Vec<FabricSpec> {
+    ["4x8", "4x8:het-checker", "4x8:het-rows", "4x8:het-cols", "4x8+bw-2", "4x8:het-checker+bw-2"]
+        .iter()
+        .map(|s| s.parse().expect("default layout specs parse"))
+        .collect()
+}
+
+/// The layout explorer behind `results/layout.json` (DESIGN.md §14):
+/// every layout mix ([`default_layouts`], or the `--fabric` overrides) ×
+/// (baseline + every context policy), reporting per-layout suite speedup,
+/// worst-FU effective duty (what NBTI sees once column-bandwidth stress is
+/// folded in), projected wear at the horizon, lifetime, and how many
+/// configurations starved back to the GPP. Like every sweep it is
+/// byte-identical for every `--jobs` value.
+pub fn layout(ctx: &ExperimentContext) -> LayoutReport {
+    let layouts = if ctx.fabrics.is_empty() { default_layouts() } else { ctx.fabrics.clone() };
+    let specs: Vec<PolicySpec> =
+        std::iter::once(PolicySpec::Baseline).chain(ctx.policies.iter().copied()).collect();
+    let runs = sweep_on(ctx, layouts.iter().map(build_spec), specs, &[]);
+    let rows = runs
+        .iter()
+        .map(|run| {
+            let cycles: u64 = run.benchmarks.iter().map(|b| b.system_cycles).sum();
+            let duty = run.tracker.duty_cycles(cycles);
+            let eval = uaware::evaluate_aging(&ctx.aging, &duty, ctx.horizon_years, 11);
+            LayoutRow {
+                fabric: run.fabric_spec.clone(),
+                policy: run.policy.clone(),
+                speedup: run.speedup(),
+                worst_utilization: duty.max(),
+                mean_utilization: duty.mean(),
+                worst_wear: ctx.aging.delay_increase(ctx.horizon_years, duty.max()),
+                lifetime_years: eval.lifetime_years,
+                offloads_starved: run.benchmarks.iter().map(|b| b.stats.offloads_starved).sum(),
+                verified: run.all_verified(),
+            }
+        })
+        .collect();
+    LayoutReport { proposed_policy: ctx.proposed().to_string(), rows }
 }
 
 /// The closed-loop fleet lifetime experiment behind
@@ -498,6 +574,36 @@ mod tests {
         assert_eq!((grid.rows(), grid.cols()), (4, 8));
         assert!(grid.value(0, 0) > 0.9, "corner bias");
         assert!(grid.max() <= 1.0 && grid.min() >= 0.0);
+    }
+
+    #[test]
+    fn default_layouts_build_and_start_uniform() {
+        let layouts = default_layouts();
+        assert!(layouts.len() >= 4);
+        let first = layouts[0].build().expect("uniform layout builds");
+        assert!(first.is_uniform(), "the first layout is the uniform reference");
+        for spec in &layouts {
+            let fabric = spec.build().expect("every default layout builds");
+            assert_eq!((fabric.rows, fabric.cols), (4, 8));
+        }
+    }
+
+    #[test]
+    fn a_heterogeneous_layout_shifts_worst_fu_wear() {
+        // bitcount carries `mul` anchors, so a row-striped class mix pins
+        // them to capable rows: the stress distribution — and with it the
+        // worst FU — must move relative to the uniform fabric (the
+        // layout.json acceptance property, DESIGN.md §14).
+        let ctx = ExperimentContext::default();
+        let workloads = vec![mibench::kernels::bitcount::workload(1)];
+        let spec = PolicySpec::rotation();
+        let uniform_fabric = "4x8".parse::<FabricSpec>().unwrap().build().unwrap();
+        let het_fabric = "4x8:het-rows".parse::<FabricSpec>().unwrap().build().unwrap();
+        let uniform = suite_on(uniform_fabric, &ctx, &workloads, &spec);
+        let het = suite_on(het_fabric, &ctx, &workloads, &spec);
+        let ug = uniform.tracker.utilization();
+        let hg = het.tracker.utilization();
+        assert_ne!(ug.values(), hg.values(), "the class mix must reshape the stress distribution");
     }
 
     #[test]

@@ -12,13 +12,14 @@ pub mod experiments;
 pub mod reports;
 
 pub use experiments::{
-    convergence, default_lanes, default_serve_lanes, fig1, fig6, fig7, fig8, fig_lifetime,
-    fig_lifetime_campaign, fleet_serve, fleet_serve_campaign, table1, table2, ExperimentContext,
-    CONVERGENCE_TOLERANCE,
+    convergence, default_lanes, default_layouts, default_serve_lanes, fig1, fig6, fig7, fig8,
+    fig_lifetime, fig_lifetime_campaign, fleet_serve, fleet_serve_campaign, layout, table1, table2,
+    ExperimentContext, CONVERGENCE_TOLERANCE,
 };
 
 use std::path::PathBuf;
 
+use cgra::FabricSpec;
 use transrec::TrafficSpec;
 use uaware::PolicySpec;
 
@@ -30,6 +31,12 @@ use uaware::PolicySpec;
 ///   (the first spec becomes the figure's "proposed" series), parsed with
 ///   [`PolicySpec`]'s [`FromStr`](std::str::FromStr) grammar, e.g.
 ///   `--policy rotation:snake@per-load --policy random:7`;
+/// * repeatable `--fabric <spec>` / `--fabric=<spec>` flags replace
+///   [`ExperimentContext::fabrics`] wholesale when at least one is given,
+///   parsed with [`FabricSpec`]'s [`FromStr`](std::str::FromStr) grammar
+///   (DESIGN.md §14), e.g. `--fabric 4x8:het-checker --fabric be+bw-2` —
+///   the figures then run on those layouts instead of their hard-coded
+///   defaults, keyed by the canonical spec string;
 /// * `--jobs <n>` / `--jobs=<n>` sets [`ExperimentContext::jobs`], the
 ///   sweep worker count (`0` = all cores, `1` = sequential; results are
 ///   byte-identical for every value).
@@ -47,10 +54,52 @@ pub fn apply_cli_flags(ctx: &mut ExperimentContext) -> Result<(), String> {
     if !specs.is_empty() {
         ctx.policies = specs;
     }
+    let fabrics = parse_fabric_flags(&args)?;
+    if !fabrics.is_empty() {
+        ctx.fabrics = fabrics;
+    }
     if let Some(jobs) = parse_jobs_flag(&args)? {
         ctx.jobs = jobs;
     }
     Ok(())
+}
+
+/// Extracts every `--fabric <spec>` / `--fabric=<spec>` occurrence from
+/// `args`, in order, parsed with [`FabricSpec`]'s
+/// [`FromStr`](std::str::FromStr) grammar (e.g. `--fabric 4x8:het-checker
+/// --fabric be+bw-2`) and checked to build a valid fabric. Other arguments
+/// are ignored; an empty vec means the flag was absent.
+///
+/// # Errors
+///
+/// Returns the parse (or build) error of the first malformed spec, or an
+/// error for a trailing `--fabric` with no value.
+pub fn parse_fabric_flags(args: &[String]) -> Result<Vec<FabricSpec>, String> {
+    let mut specs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--fabric" {
+            i += 1;
+            match args.get(i) {
+                Some(v) => v.clone(),
+                None => {
+                    return Err(
+                        "--fabric requires a value (e.g. --fabric 4x8:het-checker)".to_string()
+                    )
+                }
+            }
+        } else if let Some(v) = args[i].strip_prefix("--fabric=") {
+            v.to_string()
+        } else {
+            i += 1;
+            continue;
+        };
+        let spec = value.parse::<FabricSpec>().map_err(|e| e.to_string())?;
+        spec.build().map_err(|e| format!("--fabric {value}: {e}"))?;
+        specs.push(spec);
+        i += 1;
+    }
+    Ok(specs)
 }
 
 /// Extracts the last `--jobs <n>` / `--jobs=<n>` occurrence from `args`

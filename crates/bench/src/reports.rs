@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 /// Fig. 1 — motivational utilization heatmap (4×8, traditional mapping).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Fig1Report {
+    /// Canonical fabric spec string (`FabricSpec` grammar, DESIGN.md §14).
+    pub fabric: String,
     /// Fabric rows.
     pub rows: u32,
     /// Fabric cols.
@@ -22,6 +24,8 @@ pub struct Fig1Report {
 /// One Fig. 6 design point.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Fig6Point {
+    /// Canonical fabric spec string (`FabricSpec` grammar, DESIGN.md §14).
+    pub fabric: String,
     /// Columns (L).
     pub l: u32,
     /// Rows (W).
@@ -48,6 +52,8 @@ pub struct Fig6Report {
 /// Fig. 7 — BE utilization heatmaps, baseline vs proposed.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Fig7Report {
+    /// Canonical fabric spec string (`FabricSpec` grammar, DESIGN.md §14).
+    pub fabric: String,
     /// Fabric rows.
     pub rows: u32,
     /// Fabric cols.
@@ -103,6 +109,45 @@ pub struct Fig8Report {
     pub eol_delay_frac: f64,
     /// Epoch-sampling interval (system cycles) of the in-run series.
     pub epoch_cycles: u64,
+}
+
+/// One layout-explorer row: one fabric layout under one policy
+/// (DESIGN.md §14).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LayoutRow {
+    /// Canonical fabric spec string (`FabricSpec` grammar).
+    pub fabric: String,
+    /// Policy spec string (`baseline`, `rotation:snake@per-exec`, …).
+    pub policy: String,
+    /// Suite speedup over the stand-alone GPP.
+    pub speedup: f64,
+    /// Worst-FU effective duty (bandwidth-stressed utilization — what
+    /// NBTI sees).
+    pub worst_utilization: f64,
+    /// Mean per-FU effective duty.
+    pub mean_utilization: f64,
+    /// Projected worst-FU delay increase at the context horizon.
+    pub worst_wear: f64,
+    /// Projected lifetime in years (worst FU crossing end-of-life).
+    pub lifetime_years: f64,
+    /// Configurations that fell back to the GPP because no capable
+    /// placement existed on this layout.
+    pub offloads_starved: u64,
+    /// All benchmarks verified against their oracles.
+    pub verified: bool,
+}
+
+/// The layout explorer (`results/layout.json`) — [`cgra::FabricSpec`]
+/// layout mixes × policies: per-layout speedup, worst-FU wear and
+/// projected lifetime (DESIGN.md §14).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LayoutReport {
+    /// The proposed policy's spec string (first `--policy`, or the
+    /// paper's snake rotation).
+    pub proposed_policy: String,
+    /// Layout-major rows: for each layout, baseline first, then every
+    /// context policy.
+    pub rows: Vec<LayoutRow>,
 }
 
 /// One utilization-convergence row: how fast a policy's cumulative

@@ -422,6 +422,17 @@ impl Configuration {
         self.ops.iter().flat_map(|o| o.cells())
     }
 
+    /// The anchor-capability demands of this configuration: each virtual
+    /// anchor cell that must land on a mem- or mul-capable FU, with the op
+    /// kind it anchors (DESIGN.md §14). ALU anchors are omitted — every
+    /// cell class executes ALU ops, so they constrain nothing.
+    pub fn demands(&self) -> impl Iterator<Item = (u32, u32, OpKind)> + '_ {
+        self.ops
+            .iter()
+            .filter(|o| !matches!(o.kind, OpKind::Alu(_)))
+            .map(|o| (o.row, o.col, o.kind))
+    }
+
     /// Number of occupied FU cells (`Σ span` over ops).
     pub fn cell_count(&self) -> u32 {
         self.ops.iter().map(|o| o.span).sum()

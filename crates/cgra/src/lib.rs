@@ -7,7 +7,11 @@
 //! context lines (paper Fig. 4):
 //!
 //! * [`fabric`] — geometry + technology parameters ([`Fabric`], with the
-//!   paper's BE/BP/BU design points as presets).
+//!   paper's BE/BP/BU design points as presets), per-cell capability
+//!   classes ([`CellClass`]/[`ClassMap`]) and the per-column interconnect
+//!   bandwidth budget of heterogeneous design points (DESIGN.md §14).
+//! * [`spec`] — fabrics as data: the sweepable [`FabricSpec`] with the
+//!   compact `--fabric` string grammar (`be`, `4x8:het-checker+bw-2`, …).
 //! * [`op`] — the operation set and placed-operation model.
 //! * [`config`] — validated virtual configurations ([`Configuration`]) and
 //!   the pivot [`Offset`] with wrap-around arithmetic.
@@ -64,13 +68,15 @@ pub mod fabric;
 pub mod fault;
 pub mod op;
 pub mod reconfig;
+pub mod spec;
 pub mod sram;
 
 pub use area::{AreaModel, AreaReport, CellLibrary};
 pub use bitstream::{Bitstream, BitstreamError};
 pub use config::{ConfigError, Configuration, Offset};
 pub use exec::{ArrayMem, ExecError, ExecOutcome, Executor, MemBus, MemFault};
-pub use fabric::{Fabric, OpLatencies};
+pub use fabric::{CellClass, ClassMap, Fabric, FabricError, OpLatencies};
 pub use fault::FaultMask;
 pub use reconfig::{LoadedFabric, ReconfigError, ReconfigUnit, RESIDENT_ROTATE_CYCLES};
+pub use spec::{FabricSpec, ParseFabricError};
 pub use sram::{config_cache_macro, SramMacro, SramTech};

@@ -47,6 +47,7 @@
 //!             footprint: &footprint,
 //!             tracker: &tracker,
 //!             faults: None,
+//!             demands: &[],
 //!         };
 //!         let off = policy.next_offset(&req).expect("pristine fabric always allocates");
 //!         let cells: Vec<_> =

@@ -11,6 +11,7 @@
 use std::fmt;
 use std::str::FromStr;
 
+use cgra::op::OpKind;
 use cgra::{Fabric, FaultMask, Offset};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -78,18 +79,38 @@ pub struct AllocRequest<'a> {
     /// (DESIGN.md §11). `None` means a pristine fabric; policies must never
     /// place a footprint cell on a dead FU.
     pub faults: Option<&'a FaultMask>,
+    /// Anchor-capability demands of the configuration (DESIGN.md §14): the
+    /// virtual cells that must land on a mem-/mul-capable FU, with the op
+    /// kind each anchors (`Configuration::demands`). Empty for pure-ALU
+    /// configurations; ignored entirely on uniform fabrics.
+    pub demands: &'a [(u32, u32, OpKind)],
 }
 
 impl AllocRequest<'_> {
     /// `true` if anchoring the request's footprint at `offset` touches only
-    /// live FUs (trivially true on a pristine fabric).
+    /// live FUs (trivially true on a pristine fabric) *and* lands every
+    /// capability-demanding anchor on a capable cell (trivially true on a
+    /// uniform fabric, DESIGN.md §14).
     pub fn placement_ok(&self, offset: Offset) -> bool {
-        match self.faults {
-            Some(mask) if !mask.is_pristine() => {
-                mask.placement_ok(self.fabric, self.footprint, offset)
+        self.capable(offset)
+            && match self.faults {
+                Some(mask) if !mask.is_pristine() => {
+                    mask.placement_ok(self.fabric, self.footprint, offset)
+                }
+                _ => true,
             }
-            _ => true,
+    }
+
+    /// `true` if every capability-demanding anchor lands on a capable cell
+    /// when the footprint is pivoted to `offset` (DESIGN.md §14).
+    fn capable(&self, offset: Offset) -> bool {
+        if self.fabric.is_uniform() || self.demands.is_empty() {
+            return true;
         }
+        self.demands.iter().all(|&(r, c, kind)| {
+            let (pr, pc) = offset.apply(self.fabric, r, c);
+            self.fabric.supports(pr, pc, kind)
+        })
     }
 
     /// `true` if the request carries a mask with at least one dead FU —
@@ -97,6 +118,15 @@ impl AllocRequest<'_> {
     /// decision stream bit-identical to the historical (mask-less) one.
     fn degraded(&self) -> bool {
         self.faults.is_some_and(|mask| !mask.is_pristine())
+    }
+
+    /// `true` if some offsets may be illegal — dead FUs under the mask, or
+    /// capability demands on a heterogeneous fabric. The widened slow-path
+    /// guard (DESIGN.md §14): on uniform pristine fabrics it stays `false`,
+    /// keeping every policy's decision stream bit-identical to the
+    /// historical one no matter what demands the configuration carries.
+    fn constrained(&self) -> bool {
+        self.degraded() || (!self.fabric.is_uniform() && !self.demands.is_empty())
     }
 }
 
@@ -165,6 +195,7 @@ impl AllocationPolicy for BaselinePolicy {
 ///     footprint: &[],
 ///     tracker: &tracker,
 ///     faults: None,
+///     demands: &[],
 /// };
 /// assert_eq!(policy.next_offset(&req), Some(Offset::new(0, 0)));
 /// assert_eq!(policy.next_offset(&req), Some(Offset::new(0, 1)));
@@ -216,9 +247,10 @@ impl<P: MovementPattern> AllocationPolicy for RotationPolicy<P> {
 
         if advance {
             // Walk the pattern past any pivot whose placement straddles a
-            // dead FU (the movement hardware skips failed columns the same
-            // way it wraps edges). One full period with no legal pivot
-            // means the device is out of placements.
+            // dead FU or an incapable anchor cell (the movement hardware
+            // skips failed columns the same way it wraps edges). One full
+            // period with no legal pivot means the policy is out of
+            // placements.
             for _ in 0..self.pattern.period(req.fabric).max(1) {
                 let o = self.pattern.offset_at(req.fabric, self.step);
                 self.step += 1;
@@ -262,15 +294,15 @@ impl RandomPolicy {
 
 impl AllocationPolicy for RandomPolicy {
     fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset> {
-        if !req.degraded() {
-            // Pristine fast path: two draws, bit-identical to the
+        if !req.constrained() {
+            // Unconstrained fast path: two draws, bit-identical to the
             // historical mask-less stream.
             return Some(Offset::new(
                 self.rng.random_range(0..req.fabric.rows),
                 self.rng.random_range(0..req.fabric.cols),
             ));
         }
-        // Degraded fabric: draw uniformly among the legal pivots —
+        // Constrained fabric: draw uniformly among the legal pivots —
         // complete (never misses a surviving placement) and still a pure
         // function of the seed. Like the health-aware scan, this runs once
         // per offload, so it stays allocation-free: count the legal pivots
@@ -310,17 +342,18 @@ impl AllocationPolicy for HealthAwarePolicy {
         // normalized utilization), prune a pivot as soon as it matches the
         // incumbent, and stop outright on a zero-stress pivot — nothing can
         // beat it, and ties break towards the smallest offset anyway.
-        // Pivots whose placement straddles a dead FU are skipped outright
-        // (DESIGN.md §11); with every pivot dead the scan reports `None`.
+        // Pivots whose placement straddles a dead FU or an incapable anchor
+        // cell are skipped outright (DESIGN.md §11, §14); with every pivot
+        // illegal the scan reports `None`.
         let fabric = req.fabric;
         let tracker = req.tracker;
-        let degraded = req.degraded();
+        let constrained = req.constrained();
         let mut best = None;
         let mut best_cost = u64::MAX;
         for row in 0..fabric.rows {
             for col in 0..fabric.cols {
                 let off = Offset::new(row, col);
-                if degraded && !req.placement_ok(off) {
+                if constrained && !req.placement_ok(off) {
                     continue;
                 }
                 let mut cost = 0u64;
@@ -352,6 +385,8 @@ impl AllocationPolicy for HealthAwarePolicy {
 mod tests {
     use super::*;
     use crate::pattern::{Raster, Snake};
+    use cgra::op::MulFunc;
+    use cgra::{CellClass, ClassMap};
 
     fn req<'a>(
         fabric: &'a Fabric,
@@ -359,11 +394,119 @@ mod tests {
         footprint: &'a [(u32, u32)],
         config_switch: bool,
     ) -> AllocRequest<'a> {
-        AllocRequest { fabric, config_switch, footprint, tracker, faults: None }
+        AllocRequest { fabric, config_switch, footprint, tracker, faults: None, demands: &[] }
     }
 
     fn masked<'a>(base: &AllocRequest<'a>, mask: &'a FaultMask) -> AllocRequest<'a> {
         AllocRequest { faults: Some(mask), ..*base }
+    }
+
+    fn demanding<'a>(
+        base: &AllocRequest<'a>,
+        demands: &'a [(u32, u32, OpKind)],
+    ) -> AllocRequest<'a> {
+        AllocRequest { demands, ..*base }
+    }
+
+    const MUL: OpKind = OpKind::Mul(MulFunc::Mul);
+
+    #[test]
+    fn placement_respects_capability_demands() {
+        // Row stripes on fig1 (4x8): even rows full, odd rows bare ALUs.
+        let mut fabric = Fabric::fig1();
+        fabric.classes = ClassMap::RowStripes;
+        let tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32), (0, 1), (0, 2), (0, 3)];
+        let demands = [(0u32, 0u32, MUL)];
+        let base = req(&fabric, &tracker, &footprint, false);
+        let r = demanding(&base, &demands);
+        assert!(r.placement_ok(Offset::new(0, 0)), "anchor lands on a full row");
+        assert!(!r.placement_ok(Offset::new(1, 0)), "anchor lands on a bare-ALU row");
+        assert!(r.placement_ok(Offset::new(2, 3)), "wrapping keeps the anchor capable");
+        // Without demands the same fabric constrains nothing.
+        assert!(base.placement_ok(Offset::new(1, 0)));
+    }
+
+    #[test]
+    fn rotation_and_baseline_skip_incapable_anchors() {
+        let mut fabric = Fabric::fig1();
+        fabric.classes = ClassMap::RowStripes;
+        let tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32)];
+        let demands = [(0u32, 0u32, MUL)];
+        let base = req(&fabric, &tracker, &footprint, false);
+        let r = demanding(&base, &demands);
+        // Column-major rotation visits rows in order; odd rows are skipped.
+        let mut p = RotationPolicy::new(crate::pattern::ColumnMajor);
+        assert_eq!(p.next_offset(&r), Some(Offset::new(0, 0)));
+        assert_eq!(p.next_offset(&r), Some(Offset::new(2, 0)), "skips the bare-ALU row 1");
+        // The baseline's origin stays capable here; shift the stripes so it
+        // is not and the baseline reports no placement.
+        let mut shifted = fabric;
+        shifted.classes = ClassMap::Checker;
+        let odd_anchor = [(0u32, 1u32, MUL)];
+        let stuck = AllocRequest { fabric: &shifted, demands: &odd_anchor, ..base };
+        assert_eq!(BaselinePolicy.next_offset(&stuck), None);
+    }
+
+    #[test]
+    fn random_and_health_aware_only_pick_capable_pivots() {
+        let mut fabric = Fabric::fig1();
+        fabric.classes = ClassMap::ColStripes;
+        let mut tracker = UtilizationTracker::new(&fabric);
+        tracker.record_execution(&[(0, 0)], 1); // make (0,0) non-optimal
+        let footprint = [(0u32, 0u32), (0, 1)];
+        let demands = [(0u32, 0u32, MUL)];
+        let base = req(&fabric, &tracker, &footprint, false);
+        let r = demanding(&base, &demands);
+        let mut rnd = RandomPolicy::seeded(7);
+        for _ in 0..100 {
+            let o = rnd.next_offset(&r).unwrap();
+            assert_eq!(o.col % 2, 0, "random must only draw capable anchors, got {o}");
+        }
+        let o = HealthAwarePolicy.next_offset(&r).unwrap();
+        assert_eq!(o.col % 2, 0, "health-aware must only scan capable anchors, got {o}");
+        assert_ne!(o, Offset::ORIGIN, "still dodges the stressed corner");
+    }
+
+    #[test]
+    fn unsatisfiable_demands_exhaust_every_policy() {
+        // An all-ALU fabric can anchor no multiply anywhere.
+        let mut fabric = Fabric::fig1();
+        fabric.classes = ClassMap::Uniform(CellClass::Alu);
+        let tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32)];
+        let demands = [(0u32, 0u32, MUL)];
+        let base = req(&fabric, &tracker, &footprint, false);
+        let r = demanding(&base, &demands);
+        assert_eq!(BaselinePolicy.next_offset(&r), None);
+        assert_eq!(RotationPolicy::new(Snake).next_offset(&r), None);
+        assert_eq!(RandomPolicy::seeded(7).next_offset(&r), None);
+        assert_eq!(HealthAwarePolicy.next_offset(&r), None);
+    }
+
+    #[test]
+    fn uniform_fabric_ignores_demands_bit_identically() {
+        // On a uniform fabric a request with demands must be completely
+        // indistinguishable from one without — including the random
+        // policy's draw count (the DESIGN.md §14 fast path).
+        let fabric = Fabric::be();
+        let tracker = UtilizationTracker::new(&fabric);
+        let footprint = [(0u32, 0u32), (0, 1)];
+        let demands =
+            [(0u32, 0u32, MUL), (0, 1, OpKind::Load { func: cgra::op::LoadFunc::W, offset: 0 })];
+        let bare = req(&fabric, &tracker, &footprint, false);
+        let with_demands = demanding(&bare, &demands);
+        let mut a = RandomPolicy::seeded(42);
+        let mut b = RandomPolicy::seeded(42);
+        for _ in 0..50 {
+            assert_eq!(a.next_offset(&bare), b.next_offset(&with_demands));
+        }
+        let mut ra = RotationPolicy::new(Snake);
+        let mut rb = RotationPolicy::new(Snake);
+        for _ in 0..50 {
+            assert_eq!(ra.next_offset(&bare), rb.next_offset(&with_demands));
+        }
     }
 
     #[test]

@@ -31,21 +31,27 @@ use serde::{Deserialize, Serialize};
 pub struct UtilizationTracker {
     rows: u32,
     cols: u32,
+    col_bandwidth: u32,
     exec_counts: Vec<u64>,
     busy_slots: Vec<u64>,
+    stress_counts: Vec<u64>,
     executions: u64,
     total_col_slots: u64,
 }
 
 impl UtilizationTracker {
-    /// Creates a tracker matching `fabric`'s geometry.
+    /// Creates a tracker matching `fabric`'s geometry, carrying the
+    /// fabric's per-column interconnect budget for the bandwidth-contention
+    /// stress accounting (DESIGN.md §14).
     pub fn new(fabric: &Fabric) -> UtilizationTracker {
         let n = fabric.fu_count() as usize;
         UtilizationTracker {
             rows: fabric.rows,
             cols: fabric.cols,
+            col_bandwidth: fabric.col_bandwidth,
             exec_counts: vec![0; n],
             busy_slots: vec![0; n],
+            stress_counts: vec![0; n],
             executions: 0,
             total_col_slots: 0,
         }
@@ -53,6 +59,14 @@ impl UtilizationTracker {
 
     /// Records one configuration execution: the physical cells it occupied
     /// and the number of columns it ran for.
+    ///
+    /// With a finite column bandwidth budget `b`, each active cell in a
+    /// column occupied by `o > b` FUs accrues `ceil(o / b)` stress instead
+    /// of 1 — the serialization slots an over-subscribed interconnect costs
+    /// show up as extra effective NBTI duty on the winner FUs (DESIGN.md
+    /// §14). With the default unlimited budget, stress equals the execution
+    /// count and every downstream number is bit-identical to the
+    /// pre-bandwidth model.
     ///
     /// # Panics
     ///
@@ -65,6 +79,15 @@ impl UtilizationTracker {
             let i = (r * self.cols + c) as usize;
             self.exec_counts[i] += 1;
             self.busy_slots[i] += 1;
+            let stress = if self.col_bandwidth == 0 {
+                1
+            } else {
+                // Column occupancy of this execution; the scan stays
+                // allocation-free and only runs on budgeted fabrics.
+                let occupancy = active_cells.iter().filter(|&&(_, cc)| cc == c).count() as u64;
+                occupancy.div_ceil(self.col_bandwidth as u64)
+            };
+            self.stress_counts[i] += stress;
         }
     }
 
@@ -76,10 +99,14 @@ impl UtilizationTracker {
     /// Panics on geometry mismatch.
     pub fn merge(&mut self, other: &UtilizationTracker) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "geometry mismatch");
+        assert_eq!(self.col_bandwidth, other.col_bandwidth, "bandwidth budget mismatch");
         for (a, b) in self.exec_counts.iter_mut().zip(&other.exec_counts) {
             *a += b;
         }
         for (a, b) in self.busy_slots.iter_mut().zip(&other.busy_slots) {
+            *a += b;
+        }
+        for (a, b) in self.stress_counts.iter_mut().zip(&other.stress_counts) {
             *a += b;
         }
         self.executions += other.executions;
@@ -131,6 +158,14 @@ impl UtilizationTracker {
         }
     }
 
+    /// The raw per-FU stress counters in row-major order — the numerators
+    /// of [`duty_cycles`](Self::duty_cycles). On an unlimited-bandwidth
+    /// fabric they equal [`exec_counts`](Self::exec_counts); on a budgeted
+    /// one, cells on over-subscribed columns run ahead (DESIGN.md §14).
+    pub fn stress_counts(&self) -> &[u64] {
+        &self.stress_counts
+    }
+
     /// The per-FU NBTI duty cycles of a run that spanned `elapsed_cycles`
     /// system cycles (DESIGN.md §11): under the paper's model a unit's
     /// stress duty *is* its execution-weighted utilization, but a raw
@@ -139,6 +174,13 @@ impl UtilizationTracker {
     /// (`elapsed_cycles == 0`, e.g. a mission that never got to execute)
     /// exerted no stress at all, so both must yield the all-zero grid
     /// instead of a division callers would have to guard by hand.
+    ///
+    /// On a fabric with a finite column bandwidth budget the numerator is
+    /// the *stress* count — execution count plus the serialization surplus
+    /// of over-subscribed columns — capped at a duty of 1.0, since an FU
+    /// cannot be stressed for more than the full run (DESIGN.md §14). With
+    /// the default unlimited budget this is bit-identical to
+    /// [`utilization`](Self::utilization).
     ///
     /// # Examples
     ///
@@ -160,7 +202,12 @@ impl UtilizationTracker {
                 values: vec![0.0; self.exec_counts.len()],
             };
         }
-        self.utilization()
+        let denom = self.executions.max(1) as f64;
+        UtilizationGrid {
+            rows: self.rows,
+            cols: self.cols,
+            values: self.stress_counts.iter().map(|c| (*c as f64 / denom).min(1.0)).collect(),
+        }
     }
 
     /// Column-time-weighted utilization grid.
@@ -387,6 +434,41 @@ mod tests {
         assert_eq!(duty, t.utilization(), "a non-degenerate run matches the paper metric");
         // A recorded run of zero elapsed cycles is still degenerate.
         assert!(t.duty_cycles(0).values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bandwidth_budget_inflates_duty_on_oversubscribed_columns() {
+        let mut fabric = Fabric::fig1(); // 4 x 8
+        fabric.col_bandwidth = 2;
+        let mut t = UtilizationTracker::new(&fabric);
+        // Column 0 hosts 3 active FUs against a budget of 2 -> each accrues
+        // ceil(3/2) = 2 stress; column 1 hosts 1 FU -> within budget.
+        t.record_execution(&[(0, 0), (1, 0), (2, 0), (0, 1)], 2);
+        t.record_execution(&[(0, 1)], 1);
+        assert_eq!(t.exec_count(0, 0), 1, "execution counts stay the paper metric");
+        assert_eq!(t.stress_counts()[0], 2);
+        let duty = t.duty_cycles(1_000);
+        assert_eq!(duty.value(0, 0), 1.0, "2 stress / 2 executions");
+        assert_eq!(duty.value(0, 1), 1.0, "within budget: stress == executions");
+        assert_eq!(t.utilization().value(0, 0), 0.5, "utilization is unaffected");
+        // Heavier oversubscription saturates at a duty of 1.0.
+        let mut starved = fabric;
+        starved.col_bandwidth = 1;
+        let mut s = UtilizationTracker::new(&starved);
+        s.record_execution(&[(0, 0), (1, 0), (2, 0), (3, 0)], 1);
+        s.record_execution(&[(0, 7)], 1);
+        assert_eq!(s.stress_counts()[0], 4);
+        assert_eq!(s.duty_cycles(10).value(0, 0), 1.0, "duty caps at the full run");
+    }
+
+    #[test]
+    fn unlimited_bandwidth_keeps_duty_equal_to_utilization() {
+        let fabric = Fabric::fig1();
+        let mut t = UtilizationTracker::new(&fabric);
+        t.record_execution(&[(0, 0), (1, 0), (2, 0), (3, 0)], 2);
+        t.record_execution(&[(0, 0)], 1);
+        assert_eq!(t.stress_counts(), t.exec_counts());
+        assert_eq!(t.duty_cycles(100), t.utilization());
     }
 
     #[test]

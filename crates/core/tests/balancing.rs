@@ -37,6 +37,7 @@ fn drive(
                 footprint,
                 tracker: &tracker,
                 faults: None,
+                demands: &[],
             };
             policy.next_offset(&req).expect("pristine fabric always allocates")
         };
@@ -125,6 +126,7 @@ proptest! {
             footprint: &footprint,
             tracker: &tracker,
             faults: None,
+            demands: &[],
         };
         let off = HealthAwarePolicy.next_offset(&req).unwrap();
         prop_assert_ne!(off.apply(&fabric, 0, 0), hot,
@@ -156,6 +158,7 @@ proptest! {
                 footprint: &[],
                 tracker: &tracker,
                 faults: None,
+                demands: &[],
             };
             prop_assert_eq!(p.next_offset(&req), Some(Offset::ORIGIN));
         }

@@ -4,11 +4,46 @@
 
 use proptest::prelude::*;
 
-use cgra::Fabric;
+use cgra::op::{LoadFunc, MulFunc, OpKind};
+use cgra::{CellClass, ClassMap, Fabric, FabricSpec, Offset};
 use uaware::{AllocRequest, MovementGranularity, PatternSpec, PolicySpec, UtilizationTracker};
 
 fn any_fabric() -> impl Strategy<Value = Fabric> {
     ((1u32..=8), (4u32..=32)).prop_map(|(r, c)| Fabric::new(r, c))
+}
+
+fn any_class_map() -> impl Strategy<Value = ClassMap> {
+    prop_oneof![
+        Just(ClassMap::Uniform(CellClass::Full)),
+        Just(ClassMap::Uniform(CellClass::Alu)),
+        Just(ClassMap::Uniform(CellClass::AluMem)),
+        Just(ClassMap::Uniform(CellClass::AluMul)),
+        Just(ClassMap::Checker),
+        Just(ClassMap::RowStripes),
+        Just(ClassMap::ColStripes),
+    ]
+}
+
+fn any_fabric_spec() -> impl Strategy<Value = FabricSpec> {
+    ((1u32..=64), (1u32..=64), any_class_map(), (1u16..=64), (0u32..=8)).prop_map(
+        |(rows, cols, classes, ctx_lines, col_bandwidth)| FabricSpec {
+            rows,
+            cols,
+            classes,
+            ctx_lines,
+            col_bandwidth,
+        },
+    )
+}
+
+/// A buildable heterogeneous fabric (geometry large enough for memory ops).
+fn any_het_fabric() -> impl Strategy<Value = Fabric> {
+    ((1u32..=8), (4u32..=32), any_class_map(), (0u32..=4)).prop_map(|(r, c, classes, bw)| {
+        let mut fabric = Fabric::new(r, c);
+        fabric.classes = classes;
+        fabric.col_bandwidth = bw;
+        fabric
+    })
 }
 
 fn any_granularity() -> impl Strategy<Value = MovementGranularity> {
@@ -63,6 +98,7 @@ proptest! {
                     footprint: &footprint,
                     tracker: &tracker,
                     faults: None,
+                    demands: &[],
                 };
                 policy.next_offset(&req).expect("pristine fabric always allocates")
             };
@@ -97,6 +133,7 @@ proptest! {
                     footprint: &footprint,
                     tracker: &tracker,
                     faults: Some(&mask),
+                    demands: &[],
                 };
                 policy.next_offset(&req)
             };
@@ -120,6 +157,91 @@ proptest! {
                         prop_assert!(!mask.any_placement(&fabric, &footprint),
                             "{}: gave up although a legal placement exists", spec);
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_spec_strings_round_trip(spec in any_fabric_spec()) {
+        // (a) `FabricSpec` ⇄ string round-trips for arbitrary geometries and
+        // mixes (DESIGN.md §14), mirroring the policy-spec guarantee.
+        let s = spec.to_string();
+        let back: FabricSpec = s.parse().unwrap_or_else(|e| panic!("`{s}`: {e}"));
+        prop_assert_eq!(back, spec, "{}", s);
+        // Display is canonical: re-displaying the parsed value is stable.
+        prop_assert_eq!(back.to_string(), s);
+        // JSON survives too.
+        let json = serde_json::to_string(&spec).unwrap();
+        prop_assert_eq!(serde_json::from_str::<FabricSpec>(&json).unwrap(), spec, "{}", json);
+        // And a built fabric reduces back to the very same spec.
+        if let Ok(fabric) = spec.build() {
+            prop_assert_eq!(FabricSpec::from_fabric(&fabric), spec);
+        }
+    }
+
+    #[test]
+    fn spec_built_policies_respect_capabilities_and_faults(
+        (fabric, spec) in (any_het_fabric(), any_spec()),
+        dead in proptest::collection::vec((0u32..8, 0u32..32), 0..=10),
+        switches in proptest::collection::vec(0u8..=1, 8..=24),
+    ) {
+        // (b) On any heterogeneous fabric with faults, every policy-returned
+        // offset satisfies both the capability and the fault `placement_ok`
+        // (DESIGN.md §11 + §14); `None` must mean no offset satisfies both.
+        let mut mask = cgra::FaultMask::healthy(&fabric);
+        for (r, c) in dead {
+            mask.mark_dead(r % fabric.rows, c % fabric.cols);
+        }
+        let footprint = [(0u32, 0u32), (0, 1 % fabric.cols), (1 % fabric.rows, 2 % fabric.cols)];
+        let demands = [
+            (0u32, 0u32, OpKind::Mul(MulFunc::Mul)),
+            (1 % fabric.rows, 2 % fabric.cols, OpKind::Load { func: LoadFunc::W, offset: 0 }),
+        ];
+        let legal = |off: Offset| {
+            demands.iter().all(|&(r, c, kind)| {
+                let (pr, pc) = off.apply(&fabric, r, c);
+                fabric.supports(pr, pc, kind)
+            }) && footprint.iter().all(|&(r, c)| {
+                let (pr, pc) = off.apply(&fabric, r, c);
+                !mask.is_dead(pr, pc)
+            })
+        };
+        let mut policy = spec.build();
+        let mut tracker = UtilizationTracker::new(&fabric);
+        for cs in switches {
+            let off = {
+                let req = AllocRequest {
+                    fabric: &fabric,
+                    config_switch: cs == 1,
+                    footprint: &footprint,
+                    tracker: &tracker,
+                    faults: Some(&mask),
+                    demands: &demands,
+                };
+                policy.next_offset(&req)
+            };
+            match off {
+                Some(off) => {
+                    prop_assert!(off.in_range(&fabric));
+                    prop_assert!(legal(off),
+                        "{}: offset {} violates capability or fault constraints", spec, off);
+                    let cells: Vec<(u32, u32)> =
+                        footprint.iter().map(|&(r, c)| off.apply(&fabric, r, c)).collect();
+                    tracker.record_execution(&cells, 2);
+                }
+                None if spec.needs_movement() => {
+                    // Exhaustion must be real: no pivot anywhere satisfies
+                    // both constraint families.
+                    let any_legal = (0..fabric.rows)
+                        .flat_map(|r| (0..fabric.cols).map(move |c| Offset::new(r, c)))
+                        .any(legal);
+                    prop_assert!(!any_legal,
+                        "{}: gave up although a legal placement exists", spec);
+                }
+                None => {
+                    prop_assert!(!legal(Offset::ORIGIN),
+                        "{}: baseline gave up although its origin is legal", spec);
                 }
             }
         }

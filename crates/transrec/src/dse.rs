@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cgra::Fabric;
+use cgra::{Fabric, FabricSpec};
 use mibench::Workload;
 use uaware::{PolicySpec, UtilizationTracker};
 
@@ -64,6 +64,10 @@ pub struct SuiteRun {
     pub cols: u32,
     /// Fabric rows (W).
     pub rows: u32,
+    /// The fabric as a canonical [`FabricSpec`] string (geometry plus
+    /// class mix, context lines and bandwidth budget — DESIGN.md §14),
+    /// the key heterogeneous sweeps report under.
+    pub fabric_spec: String,
     /// Policy name.
     pub policy: String,
     /// Per-benchmark results.
@@ -125,9 +129,120 @@ fn geo_mean(values: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-/// Runs the full suite on `fabric` with the policy described by `spec`
-/// (one fresh policy instance per benchmark; the utilization trackers are
-/// merged across the suite like the paper's aggregated utilization).
+/// The policy-and-telemetry half of a suite evaluation, as one value —
+/// what varies between cells of a sweep while the [`SystemConfig`] and
+/// workloads stay fixed. [`run_suite_with_options`] is the single suite
+/// entrypoint; the positional `run_suite*` functions are thin wrappers
+/// over it.
+#[derive(Copy, Clone, Debug)]
+pub struct SuiteOptions<'a> {
+    /// The allocation policy (one fresh instance per benchmark).
+    pub policy: PolicySpec,
+    /// Telemetry probes, instantiated fresh for every benchmark
+    /// (DESIGN.md §10); each probe's report lands in the corresponding
+    /// [`BenchmarkRun::probes`] slot, in spec order.
+    pub probes: &'a [ProbeSpec],
+    /// Precomputed [`gpp_reference`] cycles, one per workload — the sweep
+    /// engine's hot path, where the policy-independent GPP baseline must
+    /// not be recomputed per policy. `None` computes it inline.
+    pub gpp_reference: Option<&'a [u64]>,
+}
+
+impl SuiteOptions<'_> {
+    /// Options for a plain policy run: no probes, GPP reference computed
+    /// inline.
+    pub fn new(policy: PolicySpec) -> SuiteOptions<'static> {
+        SuiteOptions { policy, probes: &[], gpp_reference: None }
+    }
+}
+
+/// Runs the full suite on `base_config` under `options` (one fresh policy
+/// instance per benchmark; the utilization trackers are merged across the
+/// suite like the paper's aggregated utilization).
+///
+/// # Errors
+///
+/// Propagates the first [`SystemError`]; rejects a movement spec on a
+/// movement-less configuration before anything runs.
+///
+/// # Panics
+///
+/// Panics if a precomputed `options.gpp_reference` and `workloads` have
+/// different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use cgra::Fabric;
+/// use transrec::{run_suite_with_options, EnergyParams, SuiteOptions, SystemConfig};
+///
+/// let workloads = &mibench::suite(7)[..1];
+/// let options = SuiteOptions::new("rotation:snake@per-load".parse().unwrap());
+/// let config = SystemConfig::new(Fabric::be());
+/// let run = run_suite_with_options(&config, workloads, &EnergyParams::default(), options)
+///     .unwrap();
+/// assert!(run.all_verified());
+/// assert_eq!(run.policy, "rotation:snake@per-load");
+/// assert_eq!(run.fabric_spec, "2x16");
+/// ```
+pub fn run_suite_with_options(
+    base_config: &SystemConfig,
+    workloads: &[Workload],
+    energy: &EnergyParams,
+    options: SuiteOptions<'_>,
+) -> Result<SuiteRun, SystemError> {
+    let spec = options.policy;
+    // Fail fast on an invalid spec/hardware pairing before spending time on
+    // the GPP reference simulations.
+    if spec.needs_movement() && !base_config.movement_hardware {
+        return Err(
+            crate::system::BuildError::MovementHardwareAbsent { policy: spec.to_string() }.into()
+        );
+    }
+    let computed;
+    let gpp_cycles: &[u64] = match options.gpp_reference {
+        Some(cycles) => cycles,
+        None => {
+            computed = gpp_reference(base_config, workloads)?;
+            &computed
+        }
+    };
+    assert_eq!(gpp_cycles.len(), workloads.len(), "one GPP reference per workload");
+    let fabric = base_config.fabric;
+    let mut merged = UtilizationTracker::new(&fabric);
+    let mut benchmarks = Vec::with_capacity(workloads.len());
+    for (w, &gpp_cycles) in workloads.iter().zip(gpp_cycles) {
+        let mut system = System::new(base_config.clone(), spec.build());
+        for probe in options.probes {
+            system.attach_observer(probe.build());
+        }
+        system.run(w.program())?;
+        let verified = w.verify(system.cpu()).is_ok();
+        let stats = *system.stats();
+        benchmarks.push(BenchmarkRun {
+            name: w.name().to_string(),
+            system_cycles: stats.total_cycles(),
+            gpp_cycles,
+            system_energy: system_energy(energy, &fabric, &stats).total(),
+            gpp_energy: gpp_only_energy(energy, gpp_cycles),
+            stats,
+            verified,
+            probes: system.probe_reports(),
+        });
+        merged.merge(system.tracker());
+    }
+    Ok(SuiteRun {
+        cols: fabric.cols,
+        rows: fabric.rows,
+        fabric_spec: FabricSpec::from_fabric(&fabric).to_string(),
+        policy: spec.to_string(),
+        benchmarks,
+        tracker: merged,
+    })
+}
+
+/// Runs the full suite on `fabric` with the policy described by `spec` —
+/// the historical positional wrapper over [`run_suite_with_options`].
 ///
 /// # Errors
 ///
@@ -153,10 +268,11 @@ pub fn run_suite(
     energy: &EnergyParams,
     spec: &PolicySpec,
 ) -> Result<SuiteRun, SystemError> {
-    run_suite_with(SystemConfig::new(fabric), workloads, energy, spec)
+    run_suite_with_options(&SystemConfig::new(fabric), workloads, energy, SuiteOptions::new(*spec))
 }
 
-/// [`run_suite`] with an explicit [`SystemConfig`].
+/// [`run_suite`] with an explicit [`SystemConfig`] — the historical
+/// positional wrapper over [`run_suite_with_options`].
 ///
 /// # Errors
 ///
@@ -167,15 +283,7 @@ pub fn run_suite_with(
     energy: &EnergyParams,
     spec: &PolicySpec,
 ) -> Result<SuiteRun, SystemError> {
-    // Fail fast on an invalid spec/hardware pairing before spending time on
-    // the GPP reference simulations.
-    if spec.needs_movement() && !base_config.movement_hardware {
-        return Err(
-            crate::system::BuildError::MovementHardwareAbsent { policy: spec.to_string() }.into()
-        );
-    }
-    let gpp_cycles = gpp_reference(&base_config, workloads)?;
-    run_suite_with_baseline(&base_config, workloads, energy, spec, &gpp_cycles, &[])
+    run_suite_with_options(&base_config, workloads, energy, SuiteOptions::new(*spec))
 }
 
 /// The stand-alone GPP reference cycles for `workloads` under `config`'s
@@ -200,13 +308,8 @@ pub fn gpp_reference(
         .collect()
 }
 
-/// [`run_suite_with`] against a precomputed [`gpp_reference`] — the hot
-/// path of [`run_sweep`](crate::sweep::run_sweep), where the GPP-only
-/// baseline is policy-independent and must not be recomputed per policy.
-///
-/// `probes` are instantiated fresh for every benchmark (telemetry as
-/// data, DESIGN.md §10); each probe's report lands in the corresponding
-/// [`BenchmarkRun::probes`] slot, in spec order.
+/// [`run_suite_with`] against a precomputed [`gpp_reference`] — the
+/// historical positional wrapper over [`run_suite_with_options`].
 ///
 /// # Errors
 ///
@@ -224,43 +327,8 @@ pub fn run_suite_with_baseline(
     gpp_cycles: &[u64],
     probes: &[ProbeSpec],
 ) -> Result<SuiteRun, SystemError> {
-    assert_eq!(gpp_cycles.len(), workloads.len(), "one GPP reference per workload");
-    if spec.needs_movement() && !base_config.movement_hardware {
-        return Err(
-            crate::system::BuildError::MovementHardwareAbsent { policy: spec.to_string() }.into()
-        );
-    }
-    let fabric = base_config.fabric;
-    let mut merged = UtilizationTracker::new(&fabric);
-    let mut benchmarks = Vec::with_capacity(workloads.len());
-    let policy_name = spec.to_string();
-    for (w, &gpp_cycles) in workloads.iter().zip(gpp_cycles) {
-        let mut system = System::new(base_config.clone(), spec.build());
-        for probe in probes {
-            system.attach_observer(probe.build());
-        }
-        system.run(w.program())?;
-        let verified = w.verify(system.cpu()).is_ok();
-        let stats = *system.stats();
-        benchmarks.push(BenchmarkRun {
-            name: w.name().to_string(),
-            system_cycles: stats.total_cycles(),
-            gpp_cycles,
-            system_energy: system_energy(energy, &fabric, &stats).total(),
-            gpp_energy: gpp_only_energy(energy, gpp_cycles),
-            stats,
-            verified,
-            probes: system.probe_reports(),
-        });
-        merged.merge(system.tracker());
-    }
-    Ok(SuiteRun {
-        cols: fabric.cols,
-        rows: fabric.rows,
-        policy: policy_name,
-        benchmarks,
-        tracker: merged,
-    })
+    let options = SuiteOptions { policy: *spec, probes, gpp_reference: Some(gpp_cycles) };
+    run_suite_with_options(base_config, workloads, energy, options)
 }
 
 /// Runs the paper's full DSE grid (Fig. 6) with one policy spec, sharded

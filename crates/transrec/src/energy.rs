@@ -130,6 +130,7 @@ mod tests {
             offloaded_instrs: 1200,
             gpp_retired: 900,
             offloads_skipped: 0,
+            offloads_starved: 0,
             cgra_loads: 50,
             cgra_stores: 20,
             cgra_active_fu_slots: 1500,

@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use threadpool::ThreadPool;
 use uaware::{derive_cell_seed, PolicySpec};
 
-use crate::dse::{gpp_reference, run_suite_with_baseline, SuiteRun};
+use crate::dse::{gpp_reference, run_suite_with_options, SuiteOptions, SuiteRun};
 use crate::energy::EnergyParams;
 use crate::system::{BuildError, SystemConfig, SystemError};
 use crate::telemetry::ProbeSpec;
@@ -296,13 +296,15 @@ pub fn run_sweep(plan: &SweepPlan, jobs: usize) -> Result<Vec<SuiteRun>, SystemE
 
     // Phase 3: the cells themselves, merged back in index order.
     let runs: Vec<Result<SuiteRun, SystemError>> = pool.par_map(plan.cells(), |_, cell| {
-        run_suite_with_baseline(
+        run_suite_with_options(
             &plan.configs[cell.config],
             &suites[cell.suite],
             &plan.energy,
-            &plan.policies[cell.policy],
-            &gpp[class_of[cell.config] * plan.suites.len() + cell.suite],
-            &plan.probes,
+            SuiteOptions {
+                policy: plan.policies[cell.policy],
+                probes: &plan.probes,
+                gpp_reference: Some(&gpp[class_of[cell.config] * plan.suites.len() + cell.suite]),
+            },
         )
     });
     runs.into_iter().collect()

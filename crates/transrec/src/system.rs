@@ -21,7 +21,10 @@ use std::collections::HashMap;
 use std::fmt;
 
 use cgra::op::OpKind;
-use cgra::{ExecError, Executor, Fabric, FaultMask, Offset, ReconfigUnit, RESIDENT_ROTATE_CYCLES};
+use cgra::{
+    ExecError, Executor, Fabric, FabricError, FaultMask, Offset, ReconfigUnit,
+    RESIDENT_ROTATE_CYCLES,
+};
 use dbt::membus::MemoryBus;
 use dbt::{CachedConfig, ConfigCache, Translator, TranslatorParams};
 use rv32::cpu::{Cpu, CpuError, Exit, TimingModel};
@@ -97,6 +100,9 @@ pub struct SystemStats {
     pub gpp_retired: u64,
     /// Offloads skipped by the profitability heuristic.
     pub offloads_skipped: u64,
+    /// Cached configurations kept on the GPP because no pivot satisfied
+    /// their capability demands on this fabric's class mix (DESIGN.md §14).
+    pub offloads_starved: u64,
     /// Loads/stores performed by the fabric.
     pub cgra_loads: u64,
     /// Stores performed by the fabric.
@@ -135,6 +141,9 @@ pub enum BuildError {
         /// The offending policy spec (canonical string form).
         policy: String,
     },
+    /// The fabric itself is invalid — empty, or too narrow for its memory
+    /// latency (the former [`Fabric::new`] panics, typed; DESIGN.md §14).
+    Fabric(FabricError),
 }
 
 impl fmt::Display for BuildError {
@@ -145,11 +154,18 @@ impl fmt::Display for BuildError {
                 "policy `{policy}` needs the movement hardware extensions, \
                  but movement_hardware is false"
             ),
+            BuildError::Fabric(e) => write!(f, "invalid fabric: {e}"),
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+impl From<FabricError> for BuildError {
+    fn from(e: FabricError) -> BuildError {
+        BuildError::Fabric(e)
+    }
+}
 
 /// Errors from a system run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,7 +182,11 @@ pub enum SystemError {
         offset: Offset,
     },
     /// The allocation policy found no placement avoiding the fault mask's
-    /// dead FUs — the device's end of life (DESIGN.md §11).
+    /// dead FUs — the device's end of life (DESIGN.md §11). Capability
+    /// starvation on a heterogeneous fabric is *not* this error: when a
+    /// fault-free placement still exists but no pivot satisfies the
+    /// configuration's capability demands, the configuration stays on the
+    /// GPP instead (DESIGN.md §14).
     AllocationExhausted {
         /// Start PC of the configuration that could not be placed.
         pc: u32,
@@ -397,8 +417,12 @@ impl SystemBuilder {
     /// # Errors
     ///
     /// [`BuildError::MovementHardwareAbsent`] when the policy needs the
-    /// movement extensions but `movement_hardware(false)` was requested.
+    /// movement extensions but `movement_hardware(false)` was requested;
+    /// [`BuildError::Fabric`] when the fabric value itself is invalid
+    /// (hand-built or deserialized — [`Fabric::new`] rejects these at
+    /// construction, but `Fabric` fields are public).
     pub fn build(self) -> Result<System, BuildError> {
+        self.config.fabric.validate()?;
         if self.spec.needs_movement() && !self.config.movement_hardware {
             return Err(BuildError::MovementHardwareAbsent { policy: self.spec.to_string() });
         }
@@ -608,21 +632,37 @@ impl System {
         (OffloadOverheads { input, out_drain, reconfig_extra, rotate }, transition)
     }
 
-    /// Executes one offload (paper steps 5–7).
-    fn offload(&mut self, cc: &CachedConfig) -> Result<(), SystemError> {
+    /// Executes one offload (paper steps 5–7). Returns `false` — without
+    /// executing anything — when the allocation is *capability-starved*:
+    /// no pivot satisfies the configuration's non-ALU demands on this
+    /// fabric's class mix although a fault-free placement still exists, so
+    /// the configuration must stay on the GPP (DESIGN.md §14).
+    fn offload(&mut self, cc: &CachedConfig) -> Result<bool, SystemError> {
         let fabric = self.config.fabric;
         let footprint: Vec<(u32, u32)> = cc.config.cells().collect();
+        let demands: Vec<(u32, u32, OpKind)> = cc.config.demands().collect();
         let config_switch = !matches!(self.resident, Some((pc, _)) if pc == cc.start_pc);
-        let offset = self
-            .policy
-            .next_offset(&AllocRequest {
-                fabric: &fabric,
-                config_switch,
-                footprint: &footprint,
-                tracker: &self.tracker,
-                faults: self.faults.as_ref(),
-            })
-            .ok_or(SystemError::AllocationExhausted { pc: cc.start_pc })?;
+        let offset = self.policy.next_offset(&AllocRequest {
+            fabric: &fabric,
+            config_switch,
+            footprint: &footprint,
+            tracker: &self.tracker,
+            faults: self.faults.as_ref(),
+            demands: &demands,
+        });
+        let Some(offset) = offset else {
+            // Genuine fault exhaustion — no offset fits the footprint on
+            // the live FUs — is the device's end of life (DESIGN.md §11).
+            // Anything else the policy gave up on is the class mix's fault,
+            // not the silicon's: keep the configuration on the GPP.
+            let fault_placeable =
+                self.faults.as_ref().is_none_or(|m| m.any_placement(&fabric, &footprint));
+            if fault_placeable && !fabric.is_uniform() && !demands.is_empty() {
+                self.emit(SimEvent::AllocationStarved { pc: cc.start_pc });
+                return Ok(false);
+            }
+            return Err(SystemError::AllocationExhausted { pc: cc.start_pc });
+        };
         if offset != Offset::ORIGIN && !self.config.movement_hardware {
             return Err(SystemError::MovementUnsupported { offset });
         }
@@ -682,7 +722,7 @@ impl System {
             cols_used: cc.config.cols_used(),
         });
         self.gpp_dirty = false;
-        Ok(())
+        Ok(true)
     }
 
     /// Loads `program` and returns a resumable [`Session`] over it with a
@@ -844,9 +884,12 @@ impl Session<'_> {
             }
             match skip {
                 None => {
-                    self.steps_left = self.steps_left.saturating_sub(cc.instr_count as u64);
-                    sys.offload(&cc)?;
-                    return Ok(self.status());
+                    if sys.offload(&cc)? {
+                        self.steps_left = self.steps_left.saturating_sub(cc.instr_count as u64);
+                        return Ok(self.status());
+                    }
+                    // Capability-starved (DESIGN.md §14): fall through to
+                    // the GPP path below, like a heuristic skip.
                 }
                 Some((gpp_cycles, cgra_cycles)) => {
                     sys.emit(SimEvent::OffloadSkipped { pc, gpp_cycles, cgra_cycles })
@@ -1009,6 +1052,7 @@ mod tests {
                     assert!(spec.needs_movement(), "{spec} rejected but needs no movement");
                     assert_eq!(policy, spec.to_string());
                 }
+                Err(e) => panic!("{spec}: unexpected build error {e}"),
                 Ok(_) => assert!(!spec.needs_movement(), "{spec} must be rejected"),
             }
         }
@@ -1048,6 +1092,75 @@ mod tests {
         assert_eq!(cfg.max_steps, 1234);
         let sys = builder.build().unwrap();
         assert_eq!(sys.policy_name(), "health-aware");
+    }
+
+    fn mul_program() -> Program {
+        // The hot loop carries a multiply, so its configuration demands an
+        // `alu+mul`-capable anchor (DESIGN.md §14).
+        rv32::asm::assemble(
+            "
+            li   a0, 0
+            li   a1, 1
+        loop:
+            addi t0, a1, 3
+            mul  t1, t0, a1
+            xor  t2, t1, a1
+            add  a0, a0, t2
+            addi a1, a1, 1
+            li   t4, 400
+            blt  a1, t4, loop
+            ebreak
+        ",
+        )
+        .unwrap()
+    }
+
+    fn mul_reference() -> u32 {
+        let mut a0 = 0u32;
+        for a1 in 1..400u32 {
+            let t0 = a1.wrapping_add(3);
+            let t1 = t0.wrapping_mul(a1);
+            let t2 = t1 ^ a1;
+            a0 = a0.wrapping_add(t2);
+        }
+        a0
+    }
+
+    #[test]
+    fn capability_starvation_falls_back_to_the_gpp() {
+        // An ALU-only fabric can never anchor the loop's multiply: the run
+        // must complete correctly on the GPP instead of dying with
+        // AllocationExhausted (DESIGN.md §14).
+        let mut fabric = Fabric::be();
+        fabric.classes = cgra::ClassMap::Uniform(cgra::CellClass::Alu);
+        let mut sys = System::builder(fabric).policy(PolicySpec::rotation()).build().unwrap();
+        sys.run(&mul_program()).unwrap();
+        assert_eq!(sys.cpu().reg(rv32::Reg::A0), mul_reference());
+        assert!(sys.stats().offloads_starved > 0, "the mul config must starve");
+    }
+
+    #[test]
+    fn heterogeneous_fabric_places_demanding_configs_on_capable_cells() {
+        // Row 0 is fully capable, row 1 ALU-only: the mul configuration
+        // still offloads, and its anchors never land on row-1 cells.
+        let mut fabric = Fabric::be();
+        fabric.classes = cgra::ClassMap::RowStripes;
+        let mut sys = System::builder(fabric).policy(PolicySpec::rotation()).build().unwrap();
+        sys.run(&mul_program()).unwrap();
+        assert_eq!(sys.cpu().reg(rv32::Reg::A0), mul_reference());
+        assert!(sys.stats().offloads > 300, "capable rows must keep offloading");
+        assert_eq!(sys.stats().offloads_starved, 0);
+    }
+
+    #[test]
+    fn builder_types_an_invalid_fabric() {
+        // `Fabric` fields are public, so a hand-built (or deserialized)
+        // value can be invalid; the builder rejects it with the typed
+        // error instead of a downstream panic.
+        let mut fabric = Fabric::be();
+        fabric.cols = 0;
+        let err = System::builder(fabric).build().unwrap_err();
+        assert!(matches!(err, BuildError::Fabric(FabricError::EmptyFabric)), "{err}");
     }
 
     #[test]

@@ -167,6 +167,13 @@ pub enum SimEvent {
         /// Estimated steady-state fabric cost it lost to.
         cgra_cycles: u64,
     },
+    /// No pivot satisfied a cached configuration's capability demands on
+    /// this fabric's class mix (although a fault-free placement exists);
+    /// the configuration stays on the GPP (DESIGN.md §14).
+    AllocationStarved {
+        /// Start PC of the starved configuration.
+        pc: u32,
+    },
     /// The DBT installed a configuration into the cache (step 3).
     CacheInserted {
         /// Start PC of the new entry.
@@ -314,6 +321,7 @@ impl Observer for StatsObserver {
                 t.cgra_columns += cols_used as u64;
             }
             SimEvent::OffloadSkipped { .. } => t.offloads_skipped += 1,
+            SimEvent::AllocationStarved { .. } => t.offloads_starved += 1,
             SimEvent::ConfigLoaded { .. }
             | SimEvent::Rotated { .. }
             | SimEvent::CacheInserted { .. }
@@ -551,6 +559,8 @@ pub struct EventCounts {
     pub offloads_completed: u64,
     /// [`SimEvent::OffloadSkipped`] events.
     pub offloads_skipped: u64,
+    /// [`SimEvent::AllocationStarved`] events (DESIGN.md §14).
+    pub allocations_starved: u64,
     /// [`SimEvent::ConfigLoaded`] events.
     pub config_loads: u64,
     /// [`SimEvent::Rotated`] events.
@@ -589,6 +599,7 @@ impl Observer for EventCounter {
             SimEvent::OffloadStarted { .. } => c.offloads_started += 1,
             SimEvent::OffloadCompleted { .. } => c.offloads_completed += 1,
             SimEvent::OffloadSkipped { .. } => c.offloads_skipped += 1,
+            SimEvent::AllocationStarved { .. } => c.allocations_starved += 1,
             SimEvent::ConfigLoaded { .. } => c.config_loads += 1,
             SimEvent::Rotated { .. } => c.rotations += 1,
             SimEvent::CacheInserted { .. } => c.cache_insertions += 1,
