@@ -38,6 +38,8 @@ fn main() {
     save_json("table1", &table1(&ctx));
     eprintln!("[layout]");
     save_json("layout", &layout(&ctx));
+    eprintln!("[gap]");
+    save_json("gap", &gap(&ctx));
     eprintln!("[table2]");
     save_json("table2", &table2(&ctx));
     eprintln!("[survival]");

@@ -6,16 +6,18 @@
 //! figure means adding a spec to that list (or passing `--policy` to the
 //! binary) — never a new closure or flag.
 
-use cgra::{AreaModel, Fabric, FabricSpec};
+use cgra::{AreaModel, Fabric, FabricSpec, FaultMask};
 use mibench::Workload;
 use nbti::CalibratedAging;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use transrec::fleet::{
     run_fleet_campaign, CampaignOptions, CampaignStatus, FleetPlan, FleetReport,
 };
 use transrec::telemetry::{settle_cycle, ProbeSpec, UtilTrace, DEFAULT_EPOCH_CYCLES};
 use transrec::traffic::{run_serving_campaign, ServePlan, ServeReport, ServeStatus, TrafficSpec};
-use transrec::{run_sweep, EnergyParams, SuiteRun, SweepPlan};
-use uaware::{MovementGranularity, PatternSpec, PolicySpec};
+use transrec::{run_sweep, EnergyParams, SuiteRun, SweepPlan, SystemConfig};
+use uaware::{derive_cell_seed, MovementGranularity, PatternSpec, PolicySpec};
 
 use crate::reports::*;
 
@@ -363,6 +365,120 @@ pub fn layout(ctx: &ExperimentContext) -> LayoutReport {
         })
         .collect();
     LayoutReport { proposed_policy: ctx.proposed().to_string(), rows }
+}
+
+/// The layouts [`gap`] sweeps when `--fabric` is absent: two uniform
+/// geometries plus a heterogeneous mix and a bandwidth-budgeted variant,
+/// small enough that the exact oracle's per-allocation solves stay cheap.
+pub fn default_gap_layouts() -> Vec<FabricSpec> {
+    ["2x8", "4x8", "4x8:het-checker", "4x8+bw-2"]
+        .iter()
+        .map(|s| s.parse().expect("default gap layout specs parse"))
+        .collect()
+}
+
+/// The injected permanent-fault densities [`gap`] sweeps (dead FUs /
+/// total FUs; `0.0` is the pristine control).
+pub fn default_gap_densities() -> Vec<f64> {
+    vec![0.0, 0.125, 0.25]
+}
+
+/// A deterministic fault mask killing `round(density × FUs)` distinct
+/// cells, drawn by partial Fisher–Yates from a seed derived per sweep
+/// cell — byte-identical for every worker count because masks are built
+/// on the planning thread (DESIGN.md §15).
+fn seeded_fault_mask(fabric: &Fabric, density: f64, seed: u64, cell: u64) -> (FaultMask, u32) {
+    let total = fabric.fu_count();
+    let dead = ((total as f64) * density).round() as u32;
+    assert!(dead < total, "a gap cell must keep at least one live FU");
+    let mut rng = SmallRng::seed_from_u64(derive_cell_seed(seed, 0xFA01_7000 ^ cell));
+    let mut cells: Vec<u32> = (0..total).collect();
+    let mut mask = FaultMask::healthy(fabric);
+    for i in 0..dead {
+        let j = i + rng.random_range(0..total - i);
+        cells.swap(i as usize, j as usize);
+        mask.mark_dead(cells[i as usize] / fabric.cols, cells[i as usize] % fabric.cols);
+    }
+    (mask, dead)
+}
+
+/// The optimality-gap experiment behind `results/gap.json` (DESIGN.md
+/// §15): every heuristic (baseline + the context policies) and the exact
+/// branch-and-bound oracle run the suite on each layout × fault-density
+/// cell, with the seeded dead FUs injected through
+/// [`transrec::SystemConfig::faults`] and exhaustion degrading to the GPP
+/// (`fault_fallback`) instead of killing the run. Each row reports the
+/// policy's worst-FU effective duty and projected lifetime next to its
+/// gap ratios against the oracle on the same cell. Like every sweep it is
+/// byte-identical for every `--jobs` value.
+pub fn gap(ctx: &ExperimentContext) -> GapReport {
+    let layouts = if ctx.fabrics.is_empty() { default_gap_layouts() } else { ctx.fabrics.clone() };
+    let densities = default_gap_densities();
+    let exact = PolicySpec::Exact { every: 1 };
+    let specs: Vec<PolicySpec> = std::iter::once(PolicySpec::Baseline)
+        .chain(ctx.policies.iter().copied())
+        .filter(|s| !matches!(s, PolicySpec::Exact { .. }))
+        .chain(std::iter::once(exact))
+        .collect();
+    let mut plan = SweepPlan::new(ctx.seed).energy(ctx.energy).policies(specs.iter().copied());
+    let mut cells: Vec<(String, f64, u32)> = Vec::new();
+    for layout in &layouts {
+        let fabric = build_spec(layout);
+        for &density in &densities {
+            let (mask, dead) = seeded_fault_mask(&fabric, density, ctx.seed, cells.len() as u64);
+            let mut config = SystemConfig::new(fabric);
+            config.faults = (dead > 0).then_some(mask);
+            config.fault_fallback = true;
+            plan = plan.config(config);
+            cells.push((layout.to_string(), density, dead));
+        }
+    }
+    let runs = run_sweep(&plan, ctx.jobs).expect("sweep runs");
+    for run in &runs {
+        assert!(run.all_verified(), "an oracle failed on {} under {}", run.fabric_spec, run.policy);
+    }
+    let per = specs.len();
+    let mut rows = Vec::with_capacity(runs.len());
+    for (ci, (fabric, density, dead)) in cells.iter().enumerate() {
+        let duty_of = |run: &SuiteRun| {
+            let cycles: u64 = run.benchmarks.iter().map(|b| b.system_cycles).sum();
+            run.tracker.duty_cycles(cycles)
+        };
+        let exact_run = &runs[ci * per + (per - 1)];
+        let exact_duty = duty_of(exact_run);
+        let exact_life = ctx.aging.lifetime_years(exact_duty.max());
+        for pi in 0..per {
+            let run = &runs[ci * per + pi];
+            let duty = duty_of(run);
+            let life = ctx.aging.lifetime_years(duty.max());
+            rows.push(GapRow {
+                fabric: fabric.clone(),
+                fault_density: *density,
+                dead_fus: *dead,
+                policy: run.policy.clone(),
+                speedup: run.speedup(),
+                worst_utilization: duty.max(),
+                mean_utilization: duty.mean(),
+                lifetime_years: life,
+                duty_gap: if exact_duty.max() > 0.0 {
+                    duty.max() / exact_duty.max()
+                } else if duty.max() > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                },
+                lifetime_gap: if exact_life.is_infinite() && life.is_infinite() {
+                    1.0
+                } else {
+                    exact_life / life
+                },
+                offloads: run.benchmarks.iter().map(|b| b.stats.offloads).sum(),
+                offloads_starved: run.benchmarks.iter().map(|b| b.stats.offloads_starved).sum(),
+                verified: run.all_verified(),
+            });
+        }
+    }
+    GapReport { exact_policy: exact.to_string(), rows }
 }
 
 /// The closed-loop fleet lifetime experiment behind

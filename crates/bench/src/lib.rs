@@ -9,308 +9,21 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod flags;
 pub mod reports;
 
 pub use experiments::{
-    convergence, default_lanes, default_layouts, default_serve_lanes, fig1, fig6, fig7, fig8,
-    fig_lifetime, fig_lifetime_campaign, fleet_serve, fleet_serve_campaign, layout, table1, table2,
-    ExperimentContext, CONVERGENCE_TOLERANCE,
+    convergence, default_gap_densities, default_gap_layouts, default_lanes, default_layouts,
+    default_serve_lanes, fig1, fig6, fig7, fig8, fig_lifetime, fig_lifetime_campaign, fleet_serve,
+    fleet_serve_campaign, gap, layout, table1, table2, ExperimentContext, CONVERGENCE_TOLERANCE,
+};
+pub use flags::{
+    apply_cli_flags, parse_checkpoint_every_flag, parse_checkpoint_flag, parse_devices_flag,
+    parse_fabric_flags, parse_horizon_days_flag, parse_jobs_flag, parse_lanes_flag,
+    parse_policy_flags, parse_shard_flag, parse_stop_after_flag, parse_traffic_flags,
 };
 
 use std::path::PathBuf;
-
-use cgra::FabricSpec;
-use transrec::TrafficSpec;
-use uaware::PolicySpec;
-
-/// Applies the shared experiment CLI flags from the process arguments to
-/// `ctx`:
-///
-/// * repeatable `--policy <spec>` / `--policy=<spec>` flags replace
-///   [`ExperimentContext::policies`] wholesale when at least one is given
-///   (the first spec becomes the figure's "proposed" series), parsed with
-///   [`PolicySpec`]'s [`FromStr`](std::str::FromStr) grammar, e.g.
-///   `--policy rotation:snake@per-load --policy random:7`;
-/// * repeatable `--fabric <spec>` / `--fabric=<spec>` flags replace
-///   [`ExperimentContext::fabrics`] wholesale when at least one is given,
-///   parsed with [`FabricSpec`]'s [`FromStr`](std::str::FromStr) grammar
-///   (DESIGN.md §14), e.g. `--fabric 4x8:het-checker --fabric be+bw-2` —
-///   the figures then run on those layouts instead of their hard-coded
-///   defaults, keyed by the canonical spec string;
-/// * `--jobs <n>` / `--jobs=<n>` sets [`ExperimentContext::jobs`], the
-///   sweep worker count (`0` = all cores, `1` = sequential; results are
-///   byte-identical for every value).
-///
-/// Unknown arguments are ignored so the flags compose with whatever else a
-/// binary accepts.
-///
-/// # Errors
-///
-/// Returns a description of the first malformed flag (the binaries report
-/// it and exit non-zero).
-pub fn apply_cli_flags(ctx: &mut ExperimentContext) -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let specs = parse_policy_flags(&args).map_err(|e| e.to_string())?;
-    if !specs.is_empty() {
-        ctx.policies = specs;
-    }
-    let fabrics = parse_fabric_flags(&args)?;
-    if !fabrics.is_empty() {
-        ctx.fabrics = fabrics;
-    }
-    if let Some(jobs) = parse_jobs_flag(&args)? {
-        ctx.jobs = jobs;
-    }
-    Ok(())
-}
-
-/// Extracts every `--fabric <spec>` / `--fabric=<spec>` occurrence from
-/// `args`, in order, parsed with [`FabricSpec`]'s
-/// [`FromStr`](std::str::FromStr) grammar (e.g. `--fabric 4x8:het-checker
-/// --fabric be+bw-2`) and checked to build a valid fabric. Other arguments
-/// are ignored; an empty vec means the flag was absent.
-///
-/// # Errors
-///
-/// Returns the parse (or build) error of the first malformed spec, or an
-/// error for a trailing `--fabric` with no value.
-pub fn parse_fabric_flags(args: &[String]) -> Result<Vec<FabricSpec>, String> {
-    let mut specs = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        let value = if args[i] == "--fabric" {
-            i += 1;
-            match args.get(i) {
-                Some(v) => v.clone(),
-                None => {
-                    return Err(
-                        "--fabric requires a value (e.g. --fabric 4x8:het-checker)".to_string()
-                    )
-                }
-            }
-        } else if let Some(v) = args[i].strip_prefix("--fabric=") {
-            v.to_string()
-        } else {
-            i += 1;
-            continue;
-        };
-        let spec = value.parse::<FabricSpec>().map_err(|e| e.to_string())?;
-        spec.build().map_err(|e| format!("--fabric {value}: {e}"))?;
-        specs.push(spec);
-        i += 1;
-    }
-    Ok(specs)
-}
-
-/// Extracts the last `--jobs <n>` / `--jobs=<n>` occurrence from `args`
-/// (`None` when the flag is absent). Other arguments are ignored.
-///
-/// # Errors
-///
-/// Returns a description for a malformed count or a trailing `--jobs`
-/// with no value.
-pub fn parse_jobs_flag(args: &[String]) -> Result<Option<usize>, String> {
-    parse_count_flag(args, "--jobs", "0 = all cores")
-}
-
-/// Extracts the last `--devices <n>` / `--devices=<n>` occurrence from
-/// `args` (`None` when the flag is absent) — the fleet-size knob of the
-/// `fig_lifetime` binary.
-///
-/// # Errors
-///
-/// Returns a description for a malformed count or a trailing `--devices`
-/// with no value.
-pub fn parse_devices_flag(args: &[String]) -> Result<Option<usize>, String> {
-    parse_count_flag(args, "--devices", "device instances per policy")
-}
-
-/// Extracts the last `--lanes <n>` / `--lanes=<n>` occurrence from `args`
-/// (`None` when the flag is absent) — how many distinct workload seeds the
-/// `fig_lifetime` fleet is drawn from (DESIGN.md §12).
-///
-/// # Errors
-///
-/// Returns a description for a malformed count or a trailing `--lanes`
-/// with no value.
-pub fn parse_lanes_flag(args: &[String]) -> Result<Option<usize>, String> {
-    parse_count_flag(args, "--lanes", "distinct workload-seed lanes")
-}
-
-/// Extracts the last `--shard <n>` / `--shard=<n>` occurrence from `args`
-/// (`None` when the flag is absent) — the fleet campaign's streaming shard
-/// size. Never changes results, only memory and checkpoint granularity.
-///
-/// # Errors
-///
-/// Returns a description for a malformed count or a trailing `--shard`
-/// with no value.
-pub fn parse_shard_flag(args: &[String]) -> Result<Option<usize>, String> {
-    parse_count_flag(args, "--shard", "devices per streaming shard")
-}
-
-/// Extracts the last `--stop-after <n>` / `--stop-after=<n>` occurrence
-/// from `args` (`None` when the flag is absent) — pause the fleet campaign
-/// after that many shards (the CI resume leg's kill stand-in).
-///
-/// # Errors
-///
-/// Returns a description for a malformed count or a trailing
-/// `--stop-after` with no value.
-pub fn parse_stop_after_flag(args: &[String]) -> Result<Option<usize>, String> {
-    parse_count_flag(args, "--stop-after", "shards to complete before pausing")
-}
-
-/// Extracts the last `--horizon-days <n>` / `--horizon-days=<n>`
-/// occurrence from `args` (`None` when the flag is absent) — the serving
-/// horizon of the `fleet_serve` binary (DESIGN.md §13).
-///
-/// # Errors
-///
-/// Returns a description for a malformed count or a trailing
-/// `--horizon-days` with no value.
-pub fn parse_horizon_days_flag(args: &[String]) -> Result<Option<usize>, String> {
-    parse_count_flag(args, "--horizon-days", "serving days")
-}
-
-/// Extracts every `--traffic <spec>` / `--traffic=<spec>` occurrence from
-/// `args`, in order, parsed with [`TrafficSpec`]'s
-/// [`FromStr`](std::str::FromStr) grammar (e.g. `--traffic
-/// diurnal@rph-6000+swing-80 --traffic heavy`). Other arguments are
-/// ignored; an empty vec means the flag was absent.
-///
-/// # Errors
-///
-/// Returns the parse error of the first malformed spec, or an error for a
-/// trailing `--traffic` with no value.
-pub fn parse_traffic_flags(args: &[String]) -> Result<Vec<TrafficSpec>, String> {
-    let mut specs = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        let value = if args[i] == "--traffic" {
-            i += 1;
-            match args.get(i) {
-                Some(v) => v.clone(),
-                None => {
-                    return Err(
-                        "--traffic requires a value (e.g. --traffic diurnal@rph-6000+swing-80)"
-                            .to_string(),
-                    )
-                }
-            }
-        } else if let Some(v) = args[i].strip_prefix("--traffic=") {
-            v.to_string()
-        } else {
-            i += 1;
-            continue;
-        };
-        specs.push(value.parse::<TrafficSpec>()?);
-        i += 1;
-    }
-    Ok(specs)
-}
-
-/// Extracts the last `--checkpoint-every <n>` / `--checkpoint-every=<n>`
-/// occurrence from `args` (`None` when the flag is absent) — shards per
-/// checkpointed wave.
-///
-/// # Errors
-///
-/// Returns a description for a malformed count or a trailing
-/// `--checkpoint-every` with no value.
-pub fn parse_checkpoint_every_flag(args: &[String]) -> Result<Option<usize>, String> {
-    parse_count_flag(args, "--checkpoint-every", "shards per checkpointed wave")
-}
-
-/// Extracts the last `--checkpoint <path>` / `--checkpoint=<path>`
-/// occurrence from `args` (`None` when the flag is absent) — where the
-/// fleet campaign persists (and resumes) its progress.
-///
-/// # Errors
-///
-/// Returns a description for a trailing `--checkpoint` with no value.
-pub fn parse_checkpoint_flag(args: &[String]) -> Result<Option<PathBuf>, String> {
-    let mut path = None;
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == "--checkpoint" {
-            i += 1;
-            match args.get(i) {
-                Some(v) => path = Some(PathBuf::from(v)),
-                None => return Err("--checkpoint requires a path".to_string()),
-            }
-        } else if let Some(v) = args[i].strip_prefix("--checkpoint=") {
-            path = Some(PathBuf::from(v));
-        }
-        i += 1;
-    }
-    Ok(path)
-}
-
-/// The shared `--<flag> <n>` / `--<flag>=<n>` parser behind
-/// [`parse_jobs_flag`] and [`parse_devices_flag`]: the last occurrence
-/// wins, other arguments are ignored.
-fn parse_count_flag(args: &[String], flag: &str, hint: &str) -> Result<Option<usize>, String> {
-    let prefix = format!("{flag}=");
-    let mut count = None;
-    let mut i = 0;
-    while i < args.len() {
-        let value = if args[i] == flag {
-            i += 1;
-            match args.get(i) {
-                Some(v) => v.clone(),
-                None => return Err(format!("{flag} requires a value ({hint})")),
-            }
-        } else if let Some(v) = args[i].strip_prefix(&prefix) {
-            v.to_string()
-        } else {
-            i += 1;
-            continue;
-        };
-        count = Some(
-            value
-                .parse::<usize>()
-                .map_err(|_| format!("{flag} expects a non-negative integer, got `{value}`"))?,
-        );
-        i += 1;
-    }
-    Ok(count)
-}
-
-/// Extracts every `--policy <spec>` / `--policy=<spec>` occurrence from
-/// `args`, in order. Other arguments are ignored. This is the single parser
-/// behind [`apply_cli_flags`] and the `diag` binary.
-///
-/// # Errors
-///
-/// Returns the parse error of the first malformed spec, or an error for a
-/// trailing `--policy` with no value.
-pub fn parse_policy_flags(args: &[String]) -> Result<Vec<PolicySpec>, uaware::ParseSpecError> {
-    let mut specs = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        let value = if args[i] == "--policy" {
-            i += 1;
-            match args.get(i) {
-                Some(v) => v.clone(),
-                None => {
-                    return Err(uaware::ParseSpecError::new(
-                        "--policy requires a value (e.g. --policy rotation:snake@per-load)"
-                            .to_string(),
-                    ))
-                }
-            }
-        } else if let Some(v) = args[i].strip_prefix("--policy=") {
-            v.to_string()
-        } else {
-            i += 1;
-            continue;
-        };
-        specs.push(value.parse::<PolicySpec>()?);
-        i += 1;
-    }
-    Ok(specs)
-}
 
 /// Directory where experiment JSON lands (`<workspace>/results`).
 pub fn results_dir() -> PathBuf {

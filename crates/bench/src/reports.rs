@@ -150,6 +150,54 @@ pub struct LayoutReport {
     pub rows: Vec<LayoutRow>,
 }
 
+/// One optimality-gap row: one (fabric layout × fault density) cell under
+/// one policy, measured against the exact-mapping oracle (DESIGN.md §15).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GapRow {
+    /// Canonical fabric spec string (`FabricSpec` grammar).
+    pub fabric: String,
+    /// Injected permanent-fault density (dead FUs / total FUs).
+    pub fault_density: f64,
+    /// Dead FUs actually injected at this density.
+    pub dead_fus: u32,
+    /// Policy spec string (`baseline`, …, `exact`).
+    pub policy: String,
+    /// Suite speedup over the stand-alone GPP.
+    pub speedup: f64,
+    /// Worst-FU effective duty (bandwidth-stressed utilization — what
+    /// NBTI sees).
+    pub worst_utilization: f64,
+    /// Mean per-FU effective duty.
+    pub mean_utilization: f64,
+    /// Projected lifetime in years (worst FU crossing end-of-life;
+    /// `null` when the policy never offloaded and nothing wears).
+    pub lifetime_years: f64,
+    /// Worst-FU duty relative to the oracle's on the same cell (`1.0` is
+    /// optimal; `null` when the oracle itself never offloaded).
+    pub duty_gap: f64,
+    /// Oracle lifetime over this policy's (`1.0` is optimal).
+    pub lifetime_gap: f64,
+    /// Configuration executions the policy actually placed on the fabric.
+    pub offloads: u64,
+    /// Configurations that fell back to the GPP (capability starvation or
+    /// the fault-fallback path).
+    pub offloads_starved: u64,
+    /// All benchmarks verified against their oracles.
+    pub verified: bool,
+}
+
+/// The optimality-gap experiment (`results/gap.json`) — every heuristic
+/// policy measured against the exact branch-and-bound oracle over fabric
+/// layouts × injected fault densities (DESIGN.md §15).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GapReport {
+    /// The oracle's spec string (the yardstick policy).
+    pub exact_policy: String,
+    /// Cell-major rows: for each layout × density, baseline first, then
+    /// every context policy, then the oracle.
+    pub rows: Vec<GapRow>,
+}
+
 /// One utilization-convergence row: how fast a policy's cumulative
 /// worst-FU utilization settles to its final value.
 #[derive(Clone, Debug, Serialize, Deserialize)]

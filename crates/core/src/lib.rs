@@ -14,6 +14,10 @@
 //! * [`policy`] — allocation policies: [`BaselinePolicy`],
 //!   [`RotationPolicy`] (the contribution), [`RandomPolicy`] and the
 //!   future-work [`HealthAwarePolicy`].
+//! * [`exact`] — the exact-mapping oracle [`ExactPolicy`]: a per-epoch
+//!   branch-and-bound solve (the vendored [`solve`] crate) of the
+//!   wear-optimal placement, bounding every heuristic's optimality gap
+//!   (DESIGN.md §15).
 //! * [`spec`] — policies as data: [`PolicySpec`]/[`PatternSpec`] are the
 //!   serializable, parseable sweep points experiment harnesses iterate
 //!   (`"rotation:snake@per-load".parse()`, [`PolicySpec::all_specs`]).
@@ -65,6 +69,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exact;
 pub mod lifetime;
 pub mod pattern;
 pub mod policy;
@@ -72,6 +77,7 @@ pub mod seed;
 pub mod spec;
 pub mod stats;
 
+pub use exact::ExactPolicy;
 pub use lifetime::{evaluate_aging, lifetime_improvement, AgingEvaluation};
 pub use pattern::{ColumnMajor, Fixed, MovementPattern, Raster, Snake};
 pub use policy::{

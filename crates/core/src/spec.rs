@@ -18,6 +18,8 @@
 //! | `rotation@every-8` | snake pattern, advance every 8 executions |
 //! | `random:42` | uniform-random pivots from seed 42 |
 //! | `health-aware` | the oracle scan (paper future work) |
+//! | `exact` | branch-and-bound wear optimum, re-solved per allocation |
+//! | `exact@every-8` | the optimum planned jointly over 8-execution epochs |
 
 use std::fmt;
 use std::str::FromStr;
@@ -25,6 +27,7 @@ use std::str::FromStr;
 use cgra::Fabric;
 use serde::{Deserialize, Serialize};
 
+use crate::exact::ExactPolicy;
 use crate::pattern::{ColumnMajor, MovementPattern, Raster, Snake};
 use crate::policy::{
     AllocationPolicy, BaselinePolicy, HealthAwarePolicy, MovementGranularity, RandomPolicy,
@@ -145,6 +148,16 @@ pub enum PolicySpec {
     },
     /// The oracle scan steering allocation with run-time aging information.
     HealthAware,
+    /// The exact-mapping oracle (DESIGN.md §15): per allocation epoch, a
+    /// branch-and-bound solve of the wear-optimal placement — the upper
+    /// bound every heuristic's optimality gap is measured against
+    /// (`results/gap.json`).
+    Exact {
+        /// Epoch length: how many upcoming executions each solve plans
+        /// jointly (`1` = re-solve on every allocation; must be ≥ 1, the
+        /// grammar rejects `every-0`).
+        every: u32,
+    },
 }
 
 impl PolicySpec {
@@ -165,6 +178,7 @@ impl PolicySpec {
             }
             PolicySpec::Random { seed } => Box::new(RandomPolicy::seeded(seed)),
             PolicySpec::HealthAware => Box::new(HealthAwarePolicy),
+            PolicySpec::Exact { every } => Box::new(ExactPolicy::new(every)),
         }
     }
 
@@ -179,7 +193,9 @@ impl PolicySpec {
     /// per-execution rotation for each built-in pattern, the coarser snake
     /// granularities (including a periodic step scaled to half the fabric's
     /// coverage period), the seeded random ablation and the health-aware
-    /// oracle.
+    /// oracle. The [`Exact`](PolicySpec::Exact) oracle is deliberately
+    /// excluded — it is the bound the standard series are measured
+    /// *against* (the `gap` experiment), not a sweep point itself.
     ///
     /// # Examples
     ///
@@ -222,6 +238,8 @@ impl fmt::Display for PolicySpec {
             }
             PolicySpec::Random { seed } => write!(f, "random:{seed}"),
             PolicySpec::HealthAware => f.write_str("health-aware"),
+            PolicySpec::Exact { every: 1 } => f.write_str("exact"),
+            PolicySpec::Exact { every } => write!(f, "exact@every-{every}"),
         }
     }
 }
@@ -244,6 +262,15 @@ impl FromStr for PolicySpec {
                 })?;
                 Ok(PolicySpec::Random { seed })
             }
+            ("exact", None) => Ok(PolicySpec::Exact { every: 1 }),
+            ("exact", Some(('@', gran))) => {
+                match gran.strip_prefix("every-").and_then(|n| n.parse::<u32>().ok()) {
+                    Some(every) if every >= 1 => Ok(PolicySpec::Exact { every }),
+                    _ => Err(ParseSpecError::new(format!(
+                        "invalid exact epoch `{gran}` in `{s}` (expected every-<n>, n ≥ 1)"
+                    ))),
+                }
+            }
             ("rotation", rest) => {
                 let (pattern, granularity) = match rest {
                     None => (None, None),
@@ -262,7 +289,7 @@ impl FromStr for PolicySpec {
             }
             _ => Err(ParseSpecError::new(format!(
                 "unknown policy spec `{s}` (expected baseline, rotation[:pattern][@granularity], \
-                 random[:seed] or health-aware)"
+                 random[:seed], health-aware or exact[@every-<n>])"
             ))),
         }
     }
@@ -315,6 +342,8 @@ mod tests {
                     granularity: MovementGranularity::Periodic(8),
                 },
             ),
+            ("exact", PolicySpec::Exact { every: 1 }),
+            ("exact@every-4", PolicySpec::Exact { every: 4 }),
         ];
         for (s, spec) in cases {
             assert_eq!(s.parse::<PolicySpec>().unwrap(), spec, "{s}");
@@ -357,6 +386,11 @@ mod tests {
             "rotation:snake@sometimes",
             "rotation:snake@every-",
             "rotation:snake@every-x",
+            "exact:snake",
+            "exact@",
+            "exact@every-0",
+            "exact@every-",
+            "exact@per-load",
         ] {
             assert!(s.parse::<PolicySpec>().is_err(), "`{s}` should not parse");
         }
@@ -383,5 +417,21 @@ mod tests {
             let back: PolicySpec = serde_json::from_str(&json).unwrap();
             assert_eq!(back, spec, "{json}");
         }
+    }
+
+    #[test]
+    fn exact_round_trips_and_builds() {
+        for spec in [PolicySpec::Exact { every: 1 }, PolicySpec::Exact { every: 6 }] {
+            assert_eq!(spec.to_string().parse::<PolicySpec>().unwrap(), spec);
+            assert_eq!(spec.build().name(), spec.to_string());
+            assert!(spec.needs_movement() && spec.build().needs_movement());
+            let json = serde_json::to_string(&spec).unwrap();
+            assert_eq!(serde_json::from_str::<PolicySpec>(&json).unwrap(), spec, "{json}");
+        }
+        let excluded = PolicySpec::all_specs(&Fabric::be());
+        assert!(
+            !excluded.iter().any(|s| matches!(s, PolicySpec::Exact { .. })),
+            "the oracle is the yardstick, not a standard sweep point"
+        );
     }
 }

@@ -1,0 +1,197 @@
+//! Differential properties for the exact-mapping oracle (DESIGN.md §15).
+//!
+//! Two guarantees back the optimality-gap experiment: on small fabrics the
+//! branch-and-bound solve equals a brute-force enumeration of every offset
+//! tuple (the oracle really is exact), and no heuristic policy's achieved
+//! worst-FU stress ever undercuts the jointly-planned exact epoch (the gap
+//! table's denominator really is a lower bound).
+
+use proptest::prelude::*;
+
+use cgra::op::{MulFunc, OpKind};
+use cgra::{CellClass, ClassMap, Fabric, FaultMask, Offset};
+use solve::{solve, MinimaxProblem, OffsetProblem};
+use uaware::{AllocRequest, AllocationPolicy, ExactPolicy, PolicySpec, UtilizationTracker};
+
+fn any_small_fabric() -> impl Strategy<Value = Fabric> {
+    // Four columns is the geometry floor (memory ops span four columns).
+    ((2u32..=4), Just(4u32), any_class_map(), (0u32..=2)).prop_map(|(r, c, classes, bw)| {
+        let mut fabric = Fabric::new(r, c);
+        fabric.classes = classes;
+        fabric.col_bandwidth = bw;
+        fabric
+    })
+}
+
+fn any_class_map() -> impl Strategy<Value = ClassMap> {
+    prop_oneof![
+        Just(ClassMap::Uniform(CellClass::Full)),
+        Just(ClassMap::Uniform(CellClass::Alu)),
+        Just(ClassMap::Checker),
+        Just(ClassMap::RowStripes),
+        Just(ClassMap::ColStripes),
+    ]
+}
+
+/// Evaluates every `choices^slots` assignment tuple and returns the true
+/// minimax objective — exponential, which is why it only runs on ≤4×4
+/// fabrics with ≤3 slots.
+fn brute_force_minimax(p: &OffsetProblem) -> Option<u64> {
+    let (n, k) = (p.slots(), p.choices());
+    if k == 0 {
+        return None;
+    }
+    let mut best: Option<u64> = None;
+    let mut tuple = vec![0usize; n];
+    loop {
+        let mut loads: Vec<u64> = (0..p.resources()).map(|r| p.initial_load(r)).collect();
+        for (slot, &c) in tuple.iter().enumerate() {
+            for &(res, d) in p.deltas(slot, c) {
+                loads[res as usize] += d;
+            }
+        }
+        let objective = loads.into_iter().max().unwrap_or(0);
+        best = Some(best.map_or(objective, |b| b.min(objective)));
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            tuple[i] += 1;
+            if tuple[i] < k {
+                break;
+            }
+            tuple[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bnb_equals_brute_force_enumeration(
+        fabric in any_small_fabric(),
+        dead in proptest::collection::vec((0u32..4, 0u32..4), 0..=5),
+        initial in proptest::collection::vec(0u64..20, 16),
+        slots in 1usize..=3,
+        with_demand in 0u8..=1,
+    ) {
+        let mut mask = FaultMask::healthy(&fabric);
+        for (r, c) in dead {
+            mask.mark_dead(r % fabric.rows, c % fabric.cols);
+        }
+        let footprint = [(0u32, 0u32), (0, 1)];
+        let demands = [(0u32, 0u32, OpKind::Mul(MulFunc::Mul))];
+        let demands: &[(u32, u32, OpKind)] = if with_demand == 1 { &demands } else { &[] };
+        let tracker = UtilizationTracker::new(&fabric);
+        let req = AllocRequest {
+            fabric: &fabric,
+            config_switch: true,
+            footprint: &footprint,
+            tracker: &tracker,
+            faults: Some(&mask),
+            demands,
+        };
+        let loads = &initial[..fabric.fu_count() as usize];
+        let p = OffsetProblem::new(&fabric, &footprint, loads, slots, |o| req.placement_ok(o));
+        match solve(&p) {
+            None => prop_assert!(!p.is_feasible(), "solver gave up on a feasible instance"),
+            Some(s) => {
+                // The returned tuple really achieves the claimed objective…
+                let mut achieved: Vec<u64> = loads.to_vec();
+                prop_assert_eq!(s.choices.len(), slots);
+                for (slot, &c) in s.choices.iter().enumerate() {
+                    for &(res, d) in p.deltas(slot, c) {
+                        achieved[res as usize] += d;
+                    }
+                }
+                prop_assert_eq!(achieved.into_iter().max().unwrap(), s.objective);
+                // …and the objective is the exhaustively-verified optimum.
+                prop_assert_eq!(s.objective, brute_force_minimax(&p).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn exact_epoch_dominates_every_heuristic(
+        fabric in any_small_fabric(),
+        dead in proptest::collection::vec((0u32..4, 0u32..4), 0..=4),
+        epoch in 4usize..=8,
+    ) {
+        // Under static legality (a fixed mask, no demand churn), any
+        // heuristic's K-allocation pivot sequence is one feasible solution
+        // of the same K-slot minimax problem the `exact@every-K` oracle
+        // solves — so the oracle's achieved worst-FU stress can never
+        // exceed the heuristic's.
+        let mut mask = FaultMask::healthy(&fabric);
+        for (r, c) in dead {
+            mask.mark_dead(r % fabric.rows, c % fabric.cols);
+        }
+        let footprint = [(0u32, 0u32), (0, 1)];
+        if !mask.any_placement(&fabric, &footprint) {
+            return Ok(()); // nothing to compare: every policy must starve
+        }
+        let run = |policy: &mut dyn AllocationPolicy| -> Option<u64> {
+            let mut tracker = UtilizationTracker::new(&fabric);
+            for _ in 0..epoch {
+                let off = {
+                    let req = AllocRequest {
+                        fabric: &fabric,
+                        config_switch: true,
+                        footprint: &footprint,
+                        tracker: &tracker,
+                        faults: Some(&mask),
+                        demands: &[],
+                    };
+                    policy.next_offset(&req)?
+                };
+                let cells: Vec<(u32, u32)> =
+                    footprint.iter().map(|&(r, c)| off.apply(&fabric, r, c)).collect();
+                for &(r, c) in &cells {
+                    assert!(!mask.is_dead(r, c), "placed on dead FU ({r},{c})");
+                }
+                tracker.record_execution(&cells, 2);
+            }
+            Some(tracker.stress_counts().iter().copied().max().unwrap())
+        };
+        let exact_max = run(&mut ExactPolicy::new(epoch as u32))
+            .expect("a legal placement exists, the oracle must find it");
+        for spec in PolicySpec::all_specs(&fabric) {
+            // A heuristic may legitimately starve where movement is possible
+            // (the origin-pinned baseline on a dead corner) — no sequence to
+            // compare against then.
+            if let Some(heuristic_max) = run(spec.build().as_mut()) {
+                prop_assert!(
+                    exact_max <= heuristic_max,
+                    "{} beat the oracle: {} < {} on {}×{} (bw {})",
+                    spec, heuristic_max, exact_max, fabric.rows, fabric.cols,
+                    fabric.col_bandwidth
+                );
+            }
+        }
+        // The single-step oracle is greedy-optimal per allocation; it has no
+        // joint-plan guarantee, but it must still never starve here.
+        let _ = run(&mut ExactPolicy::new(1)).expect("greedy oracle starved on a live fabric");
+    }
+}
+
+/// The doc-example shape, pinned: a warm corner pushes the oracle off it.
+#[test]
+fn oracle_dodges_warm_cells_deterministically() {
+    let fabric = Fabric::new(3, 4);
+    let mut tracker = UtilizationTracker::new(&fabric);
+    tracker.record_execution(&[(0, 0), (0, 1)], 2);
+    let mut oracle = ExactPolicy::new(1);
+    let req = AllocRequest {
+        fabric: &fabric,
+        config_switch: true,
+        footprint: &[(0, 0), (0, 1)],
+        tracker: &tracker,
+        faults: None,
+        demands: &[],
+    };
+    let off = oracle.next_offset(&req).expect("pristine 3×3 allocates");
+    assert_ne!(off, Offset::ORIGIN);
+}

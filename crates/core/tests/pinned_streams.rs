@@ -8,7 +8,7 @@
 use cgra::op::{LoadFunc, MulFunc, OpKind};
 use cgra::{Fabric, FaultMask};
 use uaware::{
-    AllocRequest, AllocationPolicy, BaselinePolicy, HealthAwarePolicy, RandomPolicy,
+    AllocRequest, AllocationPolicy, BaselinePolicy, ExactPolicy, HealthAwarePolicy, RandomPolicy,
     RotationPolicy, Snake, UtilizationTracker,
 };
 
@@ -92,6 +92,67 @@ fn uniform_pristine_streams_match_the_pre_heterogeneity_capture() {
     let mask = FaultMask::healthy(&fabric);
     assert_pinned(&AllocRequest { faults: Some(&mask), ..bare }, "with healthy mask");
     assert_pinned(
+        &AllocRequest { faults: Some(&mask), demands: &demands, ..bare },
+        "with healthy mask and demands",
+    );
+}
+
+/// The exact oracle's decision stream on the same warmed fixture, captured
+/// when the branch-and-bound core landed (DESIGN.md §15): a jointly-planned
+/// 12-slot epoch spreading the footprint leximin-optimally over the BE
+/// fabric's cold cells.
+const PINNED_EXACT_EPOCH: [(u32, u32); 12] = [
+    (0, 7),
+    (0, 9),
+    (0, 11),
+    (0, 13),
+    (1, 15),
+    (0, 5),
+    (0, 8),
+    (0, 10),
+    (0, 12),
+    (0, 14),
+    (0, 0),
+    (0, 2),
+];
+
+#[test]
+fn exact_streams_match_the_branch_and_bound_capture() {
+    let fabric = Fabric::be();
+    let tracker = warmed_tracker(&fabric);
+    let footprint = [(0u32, 0u32), (0, 1), (1, 0)];
+    let bare = AllocRequest {
+        fabric: &fabric,
+        config_switch: false,
+        footprint: &footprint,
+        tracker: &tracker,
+        faults: None,
+        demands: &[],
+    };
+    let assert_exact = |req: &AllocRequest<'_>, label: &str| {
+        // Re-solving against a static tracker is a fixed point: the greedy
+        // oracle keeps electing the same leximin-optimal pivot.
+        assert_eq!(
+            stream(&mut ExactPolicy::new(1), req, 4),
+            vec![(0, 7); 4],
+            "exact stream changed ({label})"
+        );
+        assert_eq!(
+            stream(&mut ExactPolicy::new(12), req, 12),
+            PINNED_EXACT_EPOCH.to_vec(),
+            "exact@every-12 stream changed ({label})"
+        );
+    };
+    assert_exact(&bare, "bare request");
+    // Like the heuristics, the oracle must not let uniform-fabric demands
+    // or a healthy mask perturb a single decision (DESIGN.md §14).
+    let demands = [
+        (0u32, 0u32, OpKind::Mul(MulFunc::Mul)),
+        (1, 0, OpKind::Load { func: LoadFunc::W, offset: 0 }),
+    ];
+    let mask = FaultMask::healthy(&fabric);
+    assert_exact(&AllocRequest { demands: &demands, ..bare }, "with demands");
+    assert_exact(
         &AllocRequest { faults: Some(&mask), demands: &demands, ..bare },
         "with healthy mask and demands",
     );

@@ -59,6 +59,17 @@ pub struct SystemConfig {
     pub offload_heuristic: bool,
     /// Safety valve for run lengths.
     pub max_steps: u64,
+    /// Permanent fault mask applied at construction (DESIGN.md §15). Putting
+    /// faults in the *config* lets sweep harnesses — which clone one
+    /// [`SystemConfig`] per cell — run every policy against the same damaged
+    /// fabric. [`SystemBuilder::fault_mask`] still overrides per build.
+    pub faults: Option<FaultMask>,
+    /// Treat allocation exhaustion on a faulty fabric as starvation (the
+    /// configuration stays on the GPP, `offloads_starved` counts it) instead
+    /// of a fatal [`SystemError::AllocationExhausted`]. Off by default: the
+    /// closed-loop wear engine relies on exhaustion to detect device death,
+    /// while gap experiments want degraded-but-operational behavior.
+    pub fault_fallback: bool,
 }
 
 impl SystemConfig {
@@ -75,6 +86,8 @@ impl SystemConfig {
             transfer_words_per_cycle: 2,
             offload_heuristic: true,
             max_steps: 50_000_000,
+            faults: None,
+            fault_fallback: false,
         }
     }
 }
@@ -186,7 +199,10 @@ pub enum SystemError {
     /// starvation on a heterogeneous fabric is *not* this error: when a
     /// fault-free placement still exists but no pivot satisfies the
     /// configuration's capability demands, the configuration stays on the
-    /// GPP instead (DESIGN.md §14).
+    /// GPP instead (DESIGN.md §14). With
+    /// [`SystemConfig::fault_fallback`] enabled, fault exhaustion also
+    /// falls back to the GPP rather than raising this error (DESIGN.md
+    /// §15).
     AllocationExhausted {
         /// Start PC of the configuration that could not be placed.
         pc: u32,
@@ -427,7 +443,9 @@ impl SystemBuilder {
             return Err(BuildError::MovementHardwareAbsent { policy: self.spec.to_string() });
         }
         let mut system = System::new(self.config, self.spec.build());
-        system.set_fault_mask(self.faults);
+        if self.faults.is_some() {
+            system.set_fault_mask(self.faults);
+        }
         for probe in &self.probes {
             system.attach_observer(probe.build());
         }
@@ -463,7 +481,7 @@ impl System {
             cache: ConfigCache::new(config.cache_capacity),
             policy,
             tracker: UtilizationTracker::new(&config.fabric),
-            faults: None,
+            faults: config.faults.clone(),
             reconfig_unit,
             resident: None,
             gpp_dirty: true,
@@ -658,6 +676,14 @@ impl System {
             let fault_placeable =
                 self.faults.as_ref().is_none_or(|m| m.any_placement(&fabric, &footprint));
             if fault_placeable && !fabric.is_uniform() && !demands.is_empty() {
+                self.emit(SimEvent::AllocationStarved { pc: cc.start_pc });
+                return Ok(false);
+            }
+            // Degraded-but-operational mode (DESIGN.md §15): gap experiments
+            // inject faults into otherwise-healthy fabrics and want the GPP
+            // to absorb whatever the policy cannot place — including the
+            // immobile baseline's dead origin — not the run to die.
+            if self.config.fault_fallback && self.faults.is_some() {
                 self.emit(SimEvent::AllocationStarved { pc: cc.start_pc });
                 return Ok(false);
             }

@@ -1,7 +1,7 @@
 //! System-level behavioural tests: fabric-resolved exits, warm-context
 //! accounting, energy invariants and DSE plumbing.
 
-use cgra::Fabric;
+use cgra::{Fabric, FaultMask};
 use rv32::asm::assemble;
 use rv32::Reg;
 use transrec::{
@@ -191,6 +191,54 @@ fn unchecked_system_surfaces_movement_unsupported_at_offload_time() {
     // …and the snake's first move away from the origin is what tripped it:
     // at most one (origin-anchored) offload can have completed.
     assert!(sys.stats().offloads <= 1, "faulted on the first non-origin pivot");
+}
+
+#[test]
+fn config_faults_apply_at_construction_and_fallback_degrades_gracefully() {
+    let w = &mibench::suite(4)[1]; // crc32
+    let mut mask = FaultMask::healthy(&Fabric::be());
+    mask.mark_dead(0, 0); // the immobile baseline's only pivot
+    let fatal = SystemConfig { faults: Some(mask), ..SystemConfig::new(Fabric::be()) };
+    // Without the fallback, exhaustion on the config-injected mask is fatal
+    // (the device's end of life, DESIGN.md §11).
+    let mut sys = System::new(fatal.clone(), Box::new(BaselinePolicy));
+    let err = sys.run(w.program()).unwrap_err();
+    assert!(matches!(err, SystemError::AllocationExhausted { .. }), "got {err}");
+    // With it, the GPP absorbs the unplaceable configurations: the run
+    // completes, offloads nothing, and accounts the starvation.
+    let degraded = SystemConfig { fault_fallback: true, ..fatal };
+    let mut sys = System::new(degraded.clone(), Box::new(BaselinePolicy));
+    sys.run(w.program()).unwrap();
+    assert_eq!(sys.stats().offloads, 0, "the dead origin never hosts an execution");
+    assert!(sys.stats().offloads_starved > 0, "give-ups are accounted, not fatal");
+    // A movable policy routes around the same mask and still offloads.
+    let mut sys = System::new(degraded, Box::new(RotationPolicy::new(Snake)));
+    sys.run(w.program()).unwrap();
+    assert!(sys.stats().offloads > 0, "rotation dodges the dead corner");
+    assert_eq!(sys.tracker().exec_count(0, 0), 0, "nothing ran on the dead FU");
+}
+
+#[test]
+fn builder_fault_mask_overrides_config_faults() {
+    let mut origin_dead = FaultMask::healthy(&Fabric::be());
+    origin_dead.mark_dead(0, 0);
+    let config = SystemConfig {
+        faults: Some(origin_dead),
+        fault_fallback: true,
+        ..SystemConfig::new(Fabric::be())
+    };
+    // The builder keeps the config's mask when it has none of its own…
+    let sys = System::builder(config.fabric).policy(uaware::PolicySpec::Baseline).build().unwrap();
+    assert!(sys.fault_mask().is_none(), "builder default injects no mask");
+    // …and a builder-supplied mask wins over the config's.
+    let healthy = FaultMask::healthy(&config.fabric);
+    let mut builder = System::builder(config.fabric).fault_mask(healthy.clone());
+    builder = builder.policy(uaware::PolicySpec::Baseline);
+    let sys = builder.build().unwrap();
+    assert_eq!(sys.fault_mask(), Some(&healthy));
+    // Constructing directly from the config applies its mask.
+    let sys = System::new(config.clone(), Box::new(BaselinePolicy));
+    assert_eq!(sys.fault_mask(), config.faults.as_ref());
 }
 
 #[test]

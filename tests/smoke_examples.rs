@@ -24,6 +24,10 @@ mod fleet_serve_demo;
 #[path = "../examples/dse_explorer.rs"]
 mod dse_explorer;
 
+#[allow(dead_code)]
+#[path = "../examples/optimality_gap.rs"]
+mod optimality_gap;
+
 #[test]
 fn quickstart_runs() {
     quickstart::main().expect("quickstart example failed");
@@ -54,4 +58,10 @@ fn dse_explorer_runs() {
     // Enter through run(seed), not main(): main parses std::env::args(),
     // which inside the libtest harness would pick up test-filter arguments.
     dse_explorer::run(0xDAC2020).expect("dse_explorer example failed");
+}
+
+#[test]
+fn optimality_gap_runs() {
+    // Same run(seed) entry as dse_explorer, for the same reason.
+    optimality_gap::run(0xDAC2020).expect("optimality_gap example failed");
 }
