@@ -6,8 +6,16 @@
 //! repeatable `--policy <spec>` / `--fabric <spec>` flags to swap the
 //! evaluated policy series and fabric layouts, and `--devices <n>` to
 //! size the fleet behind `results/survival.json`.
+//!
+//! The full evaluation always runs with the flight recorder on
+//! (DESIGN.md §16): `results/metrics.json` holds the deterministic
+//! counter registry (byte-identical for every `--jobs` value — CI diffs
+//! it with the rest of the tree) and `results/profile.json` the
+//! wall-clock span tree per experiment phase (nondeterministic by nature,
+//! excluded from the diff).
 
 use bench::*;
+use tracing::{span, Level};
 
 fn main() {
     let mut ctx = ExperimentContext::default();
@@ -15,6 +23,7 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
+    ctx.collect_metrics = true;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let devices = match parse_devices_flag(&args) {
         Ok(d) => d.unwrap_or(8),
@@ -23,28 +32,58 @@ fn main() {
             std::process::exit(2);
         }
     };
-    eprintln!("[fig1]");
-    save_json("fig1", &fig1(&ctx));
-    eprintln!("[fig6]");
-    save_json("fig6", &fig6(&ctx));
-    eprintln!("[fig7]");
-    save_json("fig7", &fig7(&ctx));
-    eprintln!("[fig8]");
-    let f8 = fig8(&ctx);
-    save_json("fig8", &f8);
-    eprintln!("[convergence]");
-    save_json("convergence", &convergence(&f8));
-    eprintln!("[table1]");
-    save_json("table1", &table1(&ctx));
-    eprintln!("[layout]");
-    save_json("layout", &layout(&ctx));
-    eprintln!("[gap]");
-    save_json("gap", &gap(&ctx));
-    eprintln!("[table2]");
-    save_json("table2", &table2(&ctx));
-    eprintln!("[survival]");
-    save_json("survival", &fig_lifetime(&ctx, devices));
-    eprintln!("[serving]");
-    save_json("serving", &fleet_serve(&ctx, devices, 30));
+    obs::global::reset();
+    let profiler = obs::Profiler::new();
+    tracing::with_default(profiler.dispatch(), || {
+        let phase = |name: &'static str| {
+            eprintln!("[{name}]");
+            span!(Level::INFO, name).entered()
+        };
+        {
+            let _p = phase("fig1");
+            save_json("fig1", &fig1(&ctx));
+        }
+        {
+            let _p = phase("fig6");
+            save_json("fig6", &fig6(&ctx));
+        }
+        {
+            let _p = phase("fig7");
+            save_json("fig7", &fig7(&ctx));
+        }
+        {
+            let _p = phase("fig8");
+            let f8 = fig8(&ctx);
+            save_json("fig8", &f8);
+            eprintln!("[convergence]");
+            save_json("convergence", &convergence(&f8));
+        }
+        {
+            let _p = phase("table1");
+            save_json("table1", &table1(&ctx));
+        }
+        {
+            let _p = phase("layout");
+            save_json("layout", &layout(&ctx));
+        }
+        {
+            let _p = phase("gap");
+            save_json("gap", &gap(&ctx));
+        }
+        {
+            let _p = phase("table2");
+            save_json("table2", &table2(&ctx));
+        }
+        {
+            let _p = phase("survival");
+            save_json("survival", &fig_lifetime(&ctx, devices));
+        }
+        {
+            let _p = phase("serving");
+            save_json("serving", &fleet_serve(&ctx, devices, 30));
+        }
+    });
+    save_json("metrics", &obs::global::snapshot());
+    save_json("profile", &profiler.report());
     eprintln!("done: results/*.json");
 }

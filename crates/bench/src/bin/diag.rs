@@ -1,4 +1,6 @@
-//! Diagnostic: per-benchmark cycle breakdown on the BE fabric.
+//! Diagnostic: per-benchmark cycle breakdown on the BE fabric, plus the
+//! flight recorder's metrics registry for the diagnosed run (DBT hit
+//! rate, starvation counts, exact-solver node counts — DESIGN.md §16).
 //!
 //! Pass `--policy <spec>` to diagnose a different allocation policy
 //! (default: baseline), e.g. `diag -- --policy rotation:snake@per-load`,
@@ -9,7 +11,7 @@
 
 use bench::{parse_fabric_flags, parse_jobs_flag, parse_policy_flags};
 use cgra::Fabric;
-use transrec::{run_sweep, SweepPlan};
+use transrec::{run_sweep_observed, SweepPlan};
 use uaware::PolicySpec;
 
 fn flags_from_args() -> (PolicySpec, Fabric, usize) {
@@ -56,7 +58,7 @@ fn main() {
         "skip",
         "starv"
     );
-    let runs = run_sweep(&plan, jobs).unwrap_or_else(|e| {
+    let (runs, metrics) = run_sweep_observed(&plan, jobs).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
@@ -81,4 +83,11 @@ fn main() {
             s.offloads_starved,
         );
     }
+    let hits = metrics.counter("dbt.cache.hit");
+    let lookups = hits + metrics.counter("dbt.cache.miss");
+    println!("\nmetrics registry (flight recorder, DESIGN.md §16):");
+    if lookups > 0 {
+        println!("  dbt cache hit rate: {:.1}%", 100.0 * hits as f64 / lookups as f64);
+    }
+    print!("{}", metrics.render_table());
 }

@@ -11,7 +11,9 @@
 //! <n>` the streaming shard size, and the usual repeatable `--policy
 //! <spec>` / `--jobs <n>` apply. Campaign control: `--checkpoint <path>`
 //! persists (and resumes) progress, `--checkpoint-every <n>` sets the wave
-//! width, `--stop-after <n>` pauses after n shards. The report is
+//! width, `--stop-after <n>` pauses after n shards. `--metrics` turns the
+//! flight recorder on (DESIGN.md §16): a completed campaign also writes
+//! `results/metrics.json`. The report — and the metrics registry — is
 //! byte-identical for every worker count, shard split and kill/resume
 //! point — CI diffs them all.
 
@@ -41,6 +43,7 @@ fn main() {
                 checkpoint: parse_checkpoint_flag(&args)?,
                 checkpoint_every_shards: parse_checkpoint_every_flag(&args)?.unwrap_or(0),
                 stop_after_shards: parse_stop_after_flag(&args)?,
+                collect_metrics: ctx.collect_metrics,
             },
         ))
     });
@@ -52,11 +55,18 @@ fn main() {
         }
     };
     let lanes = lanes.unwrap_or_else(|| default_lanes(devices));
+    obs::global::reset();
 
     match fig_lifetime_campaign(&ctx, devices, lanes, shard, &options) {
         CampaignStatus::Complete(report) => {
             print_report(&report);
             save_json("survival", &*report);
+            // Paused campaigns fold nothing into the global registry, so
+            // metrics.json — like survival.json — only exists once the
+            // campaign completes (the CI resume leg asserts both).
+            if ctx.collect_metrics {
+                save_json("metrics", &obs::global::snapshot());
+            }
         }
         CampaignStatus::Paused { completed_shards, total_shards } => {
             println!(

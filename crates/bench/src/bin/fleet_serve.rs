@@ -15,8 +15,11 @@
 //! size, and the usual repeatable `--policy <spec>` / `--jobs <n>` apply.
 //! Campaign control: `--checkpoint <path>` persists (and resumes)
 //! progress, `--checkpoint-every <n>` sets the wave width, `--stop-after
-//! <n>` pauses after n shards. The report is byte-identical for every
-//! worker count, shard split and kill/resume point — CI diffs them all.
+//! <n>` pauses after n shards. `--metrics` turns the flight recorder on
+//! (DESIGN.md §16): a completed campaign also writes
+//! `results/metrics.json`. The report — and the metrics registry — is
+//! byte-identical for every worker count, shard split and kill/resume
+//! point — CI diffs them all.
 
 use bench::{
     apply_cli_flags, default_serve_lanes, fleet_serve_campaign, parse_checkpoint_every_flag,
@@ -49,6 +52,7 @@ fn main() {
                 checkpoint: parse_checkpoint_flag(&args)?,
                 checkpoint_every_shards: parse_checkpoint_every_flag(&args)?.unwrap_or(0),
                 stop_after_shards: parse_stop_after_flag(&args)?,
+                collect_metrics: ctx.collect_metrics,
             },
         ))
     });
@@ -61,11 +65,18 @@ fn main() {
     };
     let lanes = lanes.unwrap_or_else(|| default_serve_lanes(devices));
     let traffic = if traffic.is_empty() { None } else { Some(traffic) };
+    obs::global::reset();
 
     match fleet_serve_campaign(&ctx, devices, lanes, horizon_days, traffic, shard, &options) {
         ServeStatus::Complete(report) => {
             print_report(&report);
             save_json("serving", &*report);
+            // Paused campaigns fold nothing into the global registry, so
+            // metrics.json — like serving.json — only exists once the
+            // campaign completes (the CI resume leg asserts both).
+            if ctx.collect_metrics {
+                save_json("metrics", &obs::global::snapshot());
+            }
         }
         ServeStatus::Paused { completed_shards, total_shards } => {
             println!(

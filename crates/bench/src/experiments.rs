@@ -16,7 +16,7 @@ use transrec::fleet::{
 };
 use transrec::telemetry::{settle_cycle, ProbeSpec, UtilTrace, DEFAULT_EPOCH_CYCLES};
 use transrec::traffic::{run_serving_campaign, ServePlan, ServeReport, ServeStatus, TrafficSpec};
-use transrec::{run_sweep, EnergyParams, SuiteRun, SweepPlan, SystemConfig};
+use transrec::{run_sweep, run_sweep_observed, EnergyParams, SuiteRun, SweepPlan, SystemConfig};
 use uaware::{derive_cell_seed, MovementGranularity, PatternSpec, PolicySpec};
 
 use crate::reports::*;
@@ -47,6 +47,12 @@ pub struct ExperimentContext {
     /// Epoch length (system cycles) of the utilization-trace probe behind
     /// [`fig8`]'s in-run series (DESIGN.md §10).
     pub epoch_cycles: u64,
+    /// Fold the flight recorder's counter registry into the process-global
+    /// sink while sweeps and campaigns run (the `--metrics` CLI flag;
+    /// DESIGN.md §16). Off by default — the hottest counter fires once per
+    /// retired GPP instruction. Binaries that emit `results/metrics.json`
+    /// snapshot [`obs::global`] after their experiments complete.
+    pub collect_metrics: bool,
 }
 
 impl Default for ExperimentContext {
@@ -68,6 +74,7 @@ impl Default for ExperimentContext {
             fabrics: Vec::new(),
             jobs: 0,
             epoch_cycles: DEFAULT_EPOCH_CYCLES,
+            collect_metrics: false,
         }
     }
 }
@@ -103,6 +110,17 @@ fn build_spec(spec: &FabricSpec) -> Fabric {
     spec.build().unwrap_or_else(|e| panic!("fabric spec {spec} does not build: {e}"))
 }
 
+/// Runs `plan` with the context's worker count, observed (folding the
+/// flight recorder's counters into [`obs::global`]) when the context opts
+/// in — the observed path returns byte-identical runs (DESIGN.md §16).
+fn ctx_sweep(ctx: &ExperimentContext, plan: &SweepPlan) -> Vec<SuiteRun> {
+    if ctx.collect_metrics {
+        run_sweep_observed(plan, ctx.jobs).expect("sweep runs").0
+    } else {
+        run_sweep(plan, ctx.jobs).expect("sweep runs")
+    }
+}
+
 /// Runs the fabrics × policies cross product through the parallel sweep
 /// engine with the context's `--jobs` setting, asserting every cell's
 /// oracle. Cells come back in [`SweepPlan::cells`] order: fabric-major,
@@ -121,7 +139,7 @@ fn sweep_on(
     for fabric in fabrics {
         plan = plan.fabric(fabric);
     }
-    let runs = run_sweep(&plan, ctx.jobs).expect("sweep runs");
+    let runs = ctx_sweep(ctx, &plan);
     for run in &runs {
         assert!(
             run.all_verified(),
@@ -433,7 +451,7 @@ pub fn gap(ctx: &ExperimentContext) -> GapReport {
             cells.push((layout.to_string(), density, dead));
         }
     }
-    let runs = run_sweep(&plan, ctx.jobs).expect("sweep runs");
+    let runs = ctx_sweep(ctx, &plan);
     for run in &runs {
         assert!(run.all_verified(), "an oracle failed on {} under {}", run.fabric_spec, run.policy);
     }
@@ -491,13 +509,9 @@ pub fn gap(ctx: &ExperimentContext) -> GapReport {
 /// histograms; like every sweep it is byte-identical for every `--jobs`
 /// value.
 pub fn fig_lifetime(ctx: &ExperimentContext, devices: usize) -> FleetReport {
-    match fig_lifetime_campaign(
-        ctx,
-        devices,
-        default_lanes(devices),
-        None,
-        &CampaignOptions::default(),
-    ) {
+    let options =
+        CampaignOptions { collect_metrics: ctx.collect_metrics, ..CampaignOptions::default() };
+    match fig_lifetime_campaign(ctx, devices, default_lanes(devices), None, &options) {
         CampaignStatus::Complete(report) => *report,
         CampaignStatus::Paused { .. } => unreachable!("no stop was requested"),
     }
@@ -551,6 +565,8 @@ pub fn default_serve_lanes(devices: usize) -> usize {
 /// default) over `horizon_days` days with utilization-aware backpressure,
 /// death-triggered replacement and cost accounting.
 pub fn fleet_serve(ctx: &ExperimentContext, devices: usize, horizon_days: u64) -> ServeReport {
+    let options =
+        CampaignOptions { collect_metrics: ctx.collect_metrics, ..CampaignOptions::default() };
     match fleet_serve_campaign(
         ctx,
         devices,
@@ -558,7 +574,7 @@ pub fn fleet_serve(ctx: &ExperimentContext, devices: usize, horizon_days: u64) -
         horizon_days,
         None,
         None,
-        &CampaignOptions::default(),
+        &options,
     ) {
         ServeStatus::Complete(report) => *report,
         ServeStatus::Paused { .. } => unreachable!("no stop was requested"),
@@ -651,6 +667,42 @@ mod tests {
             fabric.cols
         );
         run
+    }
+
+    #[test]
+    fn convergence_rides_the_shared_settle_scan() {
+        // Regression guard for the telemetry/bench consolidation: the
+        // convergence report must produce exactly what the shared
+        // `telemetry::settle_cycle` scan says — no ad-hoc reimplementation
+        // may creep back in here.
+        let series = vec![
+            (0, 1.00),
+            (100, 0.80),
+            (200, 0.70),
+            (300, 0.61),
+            (400, 0.60), // settled since cycle 300: 0.70 is outside 5% of 0.60
+        ];
+        let report = Fig8Report {
+            series: vec![Fig8Series {
+                scenario: "BE".into(),
+                policy: "rotation".into(),
+                pdf: Vec::new(),
+                delay_curve: Vec::new(),
+                analytic_delay_curve: Vec::new(),
+                epoch_worst: series.clone(),
+                worst_utilization: 0.6,
+            }],
+            eol_delay_frac: 0.10,
+            epoch_cycles: 100,
+        };
+        let conv = convergence(&report);
+        assert_eq!(conv.rows.len(), 1);
+        let row = &conv.rows[0];
+        assert_eq!(row.settle_cycle, settle_cycle(&series, CONVERGENCE_TOLERANCE));
+        assert_eq!(row.settle_cycle, 300, "0.61 is within 5% of 0.60, 0.70 is not");
+        assert_eq!(row.total_cycles, 400);
+        assert!((row.settle_fraction - 0.75).abs() < 1e-12);
+        assert!((row.final_worst - 0.60).abs() < 1e-12);
     }
 
     #[test]

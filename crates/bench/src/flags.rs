@@ -70,7 +70,11 @@ fn parse_count_flag(args: &[String], flag: &str, hint: &str) -> Result<Option<us
 ///   defaults, keyed by the canonical spec string;
 /// * `--jobs <n>` / `--jobs=<n>` sets [`ExperimentContext::jobs`], the
 ///   sweep worker count (`0` = all cores, `1` = sequential; results are
-///   byte-identical for every value).
+///   byte-identical for every value);
+/// * `--metrics` (no value) sets
+///   [`ExperimentContext::collect_metrics`]: sweeps and campaigns fold
+///   the flight recorder's counter registry into the process-global sink
+///   so a binary can emit `results/metrics.json` (DESIGN.md §16).
 ///
 /// Unknown arguments are ignored so the flags compose with whatever else a
 /// binary accepts.
@@ -92,7 +96,18 @@ pub fn apply_cli_flags(ctx: &mut ExperimentContext) -> Result<(), String> {
     if let Some(jobs) = parse_jobs_flag(&args)? {
         ctx.jobs = jobs;
     }
+    if parse_metrics_flag(&args) {
+        ctx.collect_metrics = true;
+    }
     Ok(())
+}
+
+/// `true` when the valueless `--metrics` flag is present in `args` — the
+/// opt-in for metric collection ([`ExperimentContext::collect_metrics`]).
+/// Collection is off by default because the hottest counter
+/// (`system.gpp_retired`) fires once per retired GPP instruction.
+pub fn parse_metrics_flag(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--metrics")
 }
 
 /// Extracts every `--fabric <spec>` / `--fabric=<spec>` occurrence from
@@ -258,6 +273,15 @@ mod tests {
         assert_eq!(specs, vec![PolicySpec::Baseline, PolicySpec::Exact { every: 1 }]);
         assert_eq!(parse_jobs_flag(&a).unwrap(), Some(3));
         assert!(parse_fabric_flags(&a).unwrap().is_empty(), "absent flag means empty");
+    }
+
+    #[test]
+    fn metrics_flag_is_presence_only() {
+        assert!(parse_metrics_flag(&args(&["--metrics"])));
+        assert!(parse_metrics_flag(&args(&["--jobs", "2", "--metrics", "--policy", "baseline"])));
+        assert!(!parse_metrics_flag(&args(&["--jobs", "2"])));
+        // `--metrics=x` is not the flag's grammar (and stays ignored).
+        assert!(!parse_metrics_flag(&args(&["--metrics=on"])));
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! The perf-regression gate (DESIGN.md §16): compares fresh
+//! `CRITERION_SNAPSHOT` timings against the committed baseline under
+//! `crates/bench/benches/baseline/` and fails on any tracked benchmark
+//! whose fastest sample regressed by more than [`DEFAULT_TOLERANCE`].
+//!
+//! The gate compares `low_ns` (the fastest sample), not the median:
+//! scheduler preemption and cache pollution on a shared runner only ever
+//! *add* time, so the minimum estimates the clean per-iteration cost
+//! while medians of the session-scale benches swing 20–70% run to run —
+//! far past any useful tolerance. A real regression slows every sample,
+//! the minimum included.
+//!
+//! The `bench_gate` binary is the CI entry point; this module holds the
+//! comparison so it stays unit-testable. Baselines are machine-dependent
+//! wall-clock timings, so the gate ships an escape hatch: after an
+//! intentional perf change (or a runner upgrade), re-run the benches with
+//! snapshots on and pass `--rebaseline` to overwrite the committed files
+//! with the fresh ones — the diff then documents the new trajectory.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use criterion::SnapshotEntry;
+
+/// Relative fastest-sample growth beyond which a benchmark counts as
+/// regressed (`fresh > (1 + tolerance) × baseline`).
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// The committed baseline directory (`crates/bench/benches/baseline`).
+pub fn default_baseline_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("benches").join("baseline")
+}
+
+/// How one tracked benchmark fared against its baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within tolerance (or faster).
+    Pass,
+    /// Fastest sample grew beyond the tolerance.
+    Regressed,
+    /// Present in the fresh snapshot only — joins the baseline on the
+    /// next `--rebaseline`, never fails the gate.
+    New,
+    /// Present in the baseline but not measured fresh — a dropped or
+    /// renamed bench; fails the gate so the baseline cannot go stale
+    /// silently.
+    Missing,
+}
+
+impl fmt::Display for GateStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GateStatus::Pass => "ok",
+            GateStatus::Regressed => "REGRESSED",
+            GateStatus::New => "new",
+            GateStatus::Missing => "MISSING",
+        })
+    }
+}
+
+/// One benchmark's comparison row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateRow {
+    /// Benchmark id (`group/function` as recorded in the snapshot).
+    pub id: String,
+    /// Committed fastest sample, ns/iter (0 for [`GateStatus::New`]).
+    pub baseline_ns: u64,
+    /// Fresh fastest sample, ns/iter (0 for [`GateStatus::Missing`]).
+    pub fresh_ns: u64,
+    /// `fresh / baseline` (1.0 when either side is absent).
+    pub ratio: f64,
+    /// The verdict.
+    pub status: GateStatus,
+}
+
+/// The whole gate run: per-benchmark rows in id order plus the verdict.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GateOutcome {
+    /// Per-benchmark rows, id order.
+    pub rows: Vec<GateRow>,
+}
+
+impl GateOutcome {
+    /// Rows with a failing status ([`Regressed`](GateStatus::Regressed)
+    /// or [`Missing`](GateStatus::Missing)).
+    pub fn failures(&self) -> impl Iterator<Item = &GateRow> {
+        self.rows.iter().filter(|r| matches!(r.status, GateStatus::Regressed | GateStatus::Missing))
+    }
+
+    /// `true` when every tracked benchmark passed.
+    pub fn passed(&self) -> bool {
+        self.failures().next().is_none()
+    }
+
+    /// Renders the aligned report table the binary prints.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let width = self.rows.iter().map(|r| r.id.len()).max().unwrap_or(9).max(9);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<width$} {:>14} {:>14} {:>8}  status",
+            "benchmark", "base-min[ns]", "fresh-min[ns]", "ratio"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<width$} {:>14} {:>14} {:>8.3}  {}",
+                r.id, r.baseline_ns, r.fresh_ns, r.ratio, r.status
+            );
+        }
+        out
+    }
+}
+
+/// Loads and merges every snapshot in `paths` (id collisions: last wins,
+/// matching the snapshot files' own merge-write semantics).
+///
+/// # Errors
+///
+/// Returns a description of the first unreadable or unparsable file.
+pub fn load_snapshots(paths: &[PathBuf]) -> Result<BTreeMap<String, SnapshotEntry>, String> {
+    let mut merged = BTreeMap::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let entries: BTreeMap<String, SnapshotEntry> =
+            serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        merged.extend(entries);
+    }
+    Ok(merged)
+}
+
+/// Every `*.json` under `dir`, sorted (the committed baseline set).
+///
+/// # Errors
+///
+/// Returns a description when the directory cannot be read.
+pub fn baseline_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read baseline dir {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Compares fresh fastest samples against the baseline: regressed means
+/// the fresh `low_ns` exceeds `(1 + tolerance) ×` the committed one (the
+/// minimum is the noise-robust estimator — see the module docs).
+pub fn compare(
+    baseline: &BTreeMap<String, SnapshotEntry>,
+    fresh: &BTreeMap<String, SnapshotEntry>,
+    tolerance: f64,
+) -> GateOutcome {
+    let mut rows = Vec::new();
+    for (id, base) in baseline {
+        let row = match fresh.get(id) {
+            Some(new) => {
+                let ratio =
+                    if base.low_ns == 0 { 1.0 } else { new.low_ns as f64 / base.low_ns as f64 };
+                GateRow {
+                    id: id.clone(),
+                    baseline_ns: base.low_ns,
+                    fresh_ns: new.low_ns,
+                    ratio,
+                    status: if ratio > 1.0 + tolerance {
+                        GateStatus::Regressed
+                    } else {
+                        GateStatus::Pass
+                    },
+                }
+            }
+            None => GateRow {
+                id: id.clone(),
+                baseline_ns: base.low_ns,
+                fresh_ns: 0,
+                ratio: 1.0,
+                status: GateStatus::Missing,
+            },
+        };
+        rows.push(row);
+    }
+    for (id, new) in fresh {
+        if !baseline.contains_key(id) {
+            rows.push(GateRow {
+                id: id.clone(),
+                baseline_ns: 0,
+                fresh_ns: new.low_ns,
+                ratio: 1.0,
+                status: GateStatus::New,
+            });
+        }
+    }
+    rows.sort_by(|a, b| a.id.cmp(&b.id));
+    GateOutcome { rows }
+}
+
+/// The `--rebaseline` escape hatch: copies each fresh snapshot file into
+/// `baseline_dir` under its own file name, so the committed baseline
+/// mirrors CI's snapshot grouping and the git diff documents the new
+/// trajectory.
+///
+/// # Errors
+///
+/// Returns a description of the first failing copy.
+pub fn rebaseline(baseline_dir: &Path, fresh_paths: &[PathBuf]) -> Result<(), String> {
+    std::fs::create_dir_all(baseline_dir)
+        .map_err(|e| format!("create {}: {e}", baseline_dir.display()))?;
+    for path in fresh_paths {
+        let name =
+            path.file_name().ok_or_else(|| format!("{} has no file name", path.display()))?;
+        let dest = baseline_dir.join(name);
+        std::fs::copy(path, &dest)
+            .map_err(|e| format!("copy {} -> {}: {e}", path.display(), dest.display()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(median_ns: u64) -> SnapshotEntry {
+        SnapshotEntry {
+            median_ns,
+            low_ns: median_ns,
+            high_ns: median_ns,
+            samples: 20,
+            iters_per_sample: 100,
+        }
+    }
+
+    fn snapshot(pairs: &[(&str, u64)]) -> BTreeMap<String, SnapshotEntry> {
+        pairs.iter().map(|(id, ns)| (id.to_string(), entry(*ns))).collect()
+    }
+
+    #[test]
+    fn a_20_percent_regression_fails_the_gate() {
+        // The acceptance property: a synthetic +20% regression on one
+        // tracked bench must fail a 15% gate.
+        let baseline = snapshot(&[("session/step", 1_000), ("solve/bnb", 4_000)]);
+        let fresh = snapshot(&[("session/step", 1_200), ("solve/bnb", 4_000)]);
+        let outcome = compare(&baseline, &fresh, DEFAULT_TOLERANCE);
+        assert!(!outcome.passed(), "a 20% regression must fail:\n{}", outcome.render_table());
+        let failures: Vec<&GateRow> = outcome.failures().collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].id, "session/step");
+        assert_eq!(failures[0].status, GateStatus::Regressed);
+        assert!((failures[0].ratio - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_tolerance_and_speedups_pass() {
+        let baseline = snapshot(&[("a", 1_000), ("b", 1_000), ("c", 1_000)]);
+        // +14.9% squeaks under a 15% gate; faster always passes.
+        let fresh = snapshot(&[("a", 1_149), ("b", 500), ("c", 1_000)]);
+        let outcome = compare(&baseline, &fresh, DEFAULT_TOLERANCE);
+        assert!(outcome.passed(), "{}", outcome.render_table());
+        assert!(outcome.rows.iter().all(|r| r.status == GateStatus::Pass));
+    }
+
+    #[test]
+    fn new_benches_pass_but_dropped_benches_fail() {
+        let baseline = snapshot(&[("kept", 1_000), ("dropped", 1_000)]);
+        let fresh = snapshot(&[("kept", 1_000), ("added", 9_999)]);
+        let outcome = compare(&baseline, &fresh, DEFAULT_TOLERANCE);
+        assert!(!outcome.passed(), "a silently dropped bench must fail the gate");
+        let by_id = |id: &str| outcome.rows.iter().find(|r| r.id == id).unwrap().status;
+        assert_eq!(by_id("kept"), GateStatus::Pass);
+        assert_eq!(by_id("added"), GateStatus::New);
+        assert_eq!(by_id("dropped"), GateStatus::Missing);
+    }
+
+    #[test]
+    fn snapshots_merge_and_rebaseline_round_trips() {
+        let dir = std::env::temp_dir().join(format!("uaware-gate-{}", std::process::id()));
+        let fresh_dir = dir.join("fresh");
+        let base_dir = dir.join("baseline");
+        std::fs::create_dir_all(&fresh_dir).unwrap();
+        let a = fresh_dir.join("BENCH_a.json");
+        let b = fresh_dir.join("BENCH_b.json");
+        std::fs::write(&a, serde_json::to_string(&snapshot(&[("x", 10)])).unwrap()).unwrap();
+        std::fs::write(&b, serde_json::to_string(&snapshot(&[("y", 20)])).unwrap()).unwrap();
+        let fresh_paths = vec![a, b];
+
+        let fresh = load_snapshots(&fresh_paths).unwrap();
+        assert_eq!(fresh.len(), 2, "snapshot files merge");
+
+        rebaseline(&base_dir, &fresh_paths).unwrap();
+        let files = baseline_files(&base_dir).unwrap();
+        assert_eq!(files.len(), 2, "one baseline file per fresh file");
+        let reloaded = load_snapshots(&files).unwrap();
+        assert_eq!(reloaded, fresh, "rebaseline preserves every entry");
+        assert!(compare(&reloaded, &fresh, DEFAULT_TOLERANCE).passed());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod flags;
+pub mod gate;
 pub mod reports;
 
 pub use experiments::{
@@ -20,8 +21,10 @@ pub use experiments::{
 pub use flags::{
     apply_cli_flags, parse_checkpoint_every_flag, parse_checkpoint_flag, parse_devices_flag,
     parse_fabric_flags, parse_horizon_days_flag, parse_jobs_flag, parse_lanes_flag,
-    parse_policy_flags, parse_shard_flag, parse_stop_after_flag, parse_traffic_flags,
+    parse_metrics_flag, parse_policy_flags, parse_shard_flag, parse_stop_after_flag,
+    parse_traffic_flags,
 };
+pub use gate::{GateOutcome, GateRow, GateStatus, DEFAULT_TOLERANCE};
 
 use std::path::PathBuf;
 

@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 
 use cgra::Offset;
 use solve::OffsetProblem;
+use tracing::{event, span, Level};
 
 use crate::policy::{AllocRequest, AllocationPolicy};
 
@@ -75,9 +76,11 @@ impl ExactPolicy {
 
 impl AllocationPolicy for ExactPolicy {
     fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset> {
+        event!(Level::TRACE, "alloc.exact.decisions", "add" = 1);
         if let Some(&planned) = self.plan.front() {
             if req.placement_ok(planned) {
                 self.plan.pop_front();
+                event!(Level::TRACE, "alloc.exact.replayed", "add" = 1);
                 return Some(planned);
             }
             // A planned pivot became illegal (fresh fault, different
@@ -92,6 +95,7 @@ impl AllocationPolicy for ExactPolicy {
             self.every as usize,
             |o| req.placement_ok(o),
         );
+        let _solve_span = span!(Level::DEBUG, "solve.bnb").entered();
         let solution = solve::solve(&problem)?;
         let mut offsets: VecDeque<Offset> =
             solution.choices.iter().map(|&c| problem.offset(c)).collect();

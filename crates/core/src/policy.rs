@@ -16,6 +16,7 @@ use cgra::{Fabric, FaultMask, Offset};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use tracing::{event, Level};
 
 use crate::pattern::MovementPattern;
 use crate::spec::ParseSpecError;
@@ -165,6 +166,7 @@ pub struct BaselinePolicy;
 
 impl AllocationPolicy for BaselinePolicy {
     fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset> {
+        event!(Level::TRACE, "alloc.baseline.decisions", "add" = 1);
         req.placement_ok(Offset::ORIGIN).then_some(Offset::ORIGIN)
     }
 
@@ -233,6 +235,7 @@ impl<P: MovementPattern> RotationPolicy<P> {
 
 impl<P: MovementPattern> AllocationPolicy for RotationPolicy<P> {
     fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset> {
+        event!(Level::TRACE, "alloc.rotation.decisions", "add" = 1);
         // A dead FU under the resident pivot forces a move even at coarse
         // granularities — staying put would execute on failed silicon.
         let resident_ok = self.current.is_some_and(|o| req.placement_ok(o));
@@ -294,6 +297,7 @@ impl RandomPolicy {
 
 impl AllocationPolicy for RandomPolicy {
     fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset> {
+        event!(Level::TRACE, "alloc.random.decisions", "add" = 1);
         if !req.constrained() {
             // Unconstrained fast path: two draws, bit-identical to the
             // historical mask-less stream.
@@ -337,6 +341,7 @@ pub struct HealthAwarePolicy;
 
 impl AllocationPolicy for HealthAwarePolicy {
     fn next_offset(&mut self, req: &AllocRequest<'_>) -> Option<Offset> {
+        event!(Level::TRACE, "alloc.health-aware.decisions", "add" = 1);
         // The scan runs once per offload, so it must stay allocation-free:
         // compare raw per-FU execution counts (same ordering as the
         // normalized utilization), prune a pivot as soon as it matches the

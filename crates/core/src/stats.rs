@@ -2,6 +2,7 @@
 
 use cgra::Fabric;
 use serde::{Deserialize, Serialize};
+use tracing::{event, Level};
 
 /// Records which physical FU cells each configuration execution touched.
 ///
@@ -72,8 +73,10 @@ impl UtilizationTracker {
     ///
     /// Panics if a cell lies outside the tracked geometry.
     pub fn record_execution(&mut self, active_cells: &[(u32, u32)], cols_used: u32) {
+        event!(Level::TRACE, "tracker.executions", "add" = 1);
         self.executions += 1;
         self.total_col_slots += cols_used as u64;
+        let mut oversub_cells = 0u64;
         for &(r, c) in active_cells {
             assert!(r < self.rows && c < self.cols, "cell ({r},{c}) outside fabric");
             let i = (r * self.cols + c) as usize;
@@ -87,7 +90,13 @@ impl UtilizationTracker {
                 let occupancy = active_cells.iter().filter(|&&(_, cc)| cc == c).count() as u64;
                 occupancy.div_ceil(self.col_bandwidth as u64)
             };
+            if stress > 1 {
+                oversub_cells += 1;
+            }
             self.stress_counts[i] += stress;
+        }
+        if oversub_cells > 0 {
+            event!(Level::TRACE, "cgra.bandwidth.oversub", "add" = oversub_cells);
         }
     }
 

@@ -88,10 +88,12 @@ impl ConfigCache {
             Some(e) => {
                 e.last_used = self.tick;
                 self.stats.hits += 1;
+                tracing::event!(tracing::Level::TRACE, "dbt.cache.hit", "add" = 1);
                 Some(&e.config)
             }
             None => {
                 self.stats.misses += 1;
+                tracing::event!(tracing::Level::TRACE, "dbt.cache.miss", "add" = 1);
                 None
             }
         }
@@ -111,10 +113,12 @@ impl ConfigCache {
             if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
+                tracing::event!(tracing::Level::TRACE, "dbt.cache.evict", "add" = 1);
                 evicted = Some(victim);
             }
         }
         self.stats.insertions += 1;
+        tracing::event!(tracing::Level::TRACE, "dbt.cache.insert", "add" = 1);
         self.entries.insert(pc, Entry { config, last_used: self.tick });
         evicted
     }

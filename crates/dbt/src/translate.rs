@@ -689,7 +689,10 @@ pub fn translate_trace(
     instrs: &[Instr],
     terminator: Option<&Instr>,
 ) -> Result<CachedConfig, TranslateError> {
+    let _span = tracing::span!(tracing::Level::DEBUG, "dbt.translate").entered();
+    tracing::event!(tracing::Level::TRACE, "dbt.translate.calls", "add" = 1);
     if instrs.first().is_none_or(|i| !is_supported(i)) {
+        tracing::event!(tracing::Level::TRACE, "dbt.translate.rejected", "add" = 1);
         return Err(TranslateError::Unsupported { index: 0 });
     }
     let mut placer = Placer::new(fabric);
@@ -712,8 +715,10 @@ pub fn translate_trace(
         }
     }
     if covered < params.min_instrs {
+        tracing::event!(tracing::Level::TRACE, "dbt.translate.rejected", "add" = 1);
         return Err(TranslateError::TooShort { placed: covered, min: params.min_instrs });
     }
+    tracing::event!(tracing::Level::TRACE, "dbt.translate.placed_instrs", "add" = covered as u64);
 
     // Try to resolve the terminator on the fabric.
     let mut exit = TraceExit::Sequential;

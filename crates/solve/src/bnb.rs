@@ -11,6 +11,22 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
+use tracing::{event, Level};
+
+/// Publishes a finished search's counters as `solve.*` metric events
+/// (DESIGN.md §16) — a no-op branch when no subscriber is installed.
+fn emit_stats(stats: &SolveStats) {
+    event!(
+        Level::DEBUG,
+        "solve",
+        "calls" = 1,
+        "expanded" = stats.expanded,
+        "generated" = stats.generated,
+        "bound_cutoffs" = stats.pruned_bound,
+        "nogoods" = stats.pruned_nogood,
+    );
+}
+
 /// A minimax assignment problem: `slots()` decisions, each picking one of
 /// `choices()` options, every option adding integer load to some of the
 /// `resources()`; the objective is the maximum final resource load.
@@ -104,6 +120,7 @@ pub fn solve<P: MinimaxProblem>(p: &P) -> Option<Solution> {
     let initial: Vec<u64> = (0..r).map(|i| p.initial_load(i)).collect();
     if n == 0 {
         let objective = initial.iter().copied().max().unwrap_or(0);
+        emit_stats(&stats);
         return Some(Solution { objective, choices: Vec::new(), stats });
     }
 
@@ -118,6 +135,7 @@ pub fn solve<P: MinimaxProblem>(p: &P) -> Option<Solution> {
             }
         }
         if *m == u64::MAX {
+            event!(Level::DEBUG, "solve.infeasible", "add" = 1);
             return None;
         }
     }
@@ -236,6 +254,7 @@ pub fn solve<P: MinimaxProblem>(p: &P) -> Option<Solution> {
         }
     }
 
+    emit_stats(&stats);
     Some(Solution { objective: ub, choices: best_choices, stats })
 }
 

@@ -65,8 +65,10 @@ use std::path::{Path, PathBuf};
 use lifetime::{DeviceLifetime, FleetAccum, FleetStats, FuFailed, SurvivalCurve, WearBatch};
 use mibench::Workload;
 use nbti::CalibratedAging;
+use obs::Registry;
 use serde::{Deserialize, Serialize};
 use threadpool::ThreadPool;
+use tracing::{span, Level};
 use uaware::{derive_cell_seed, PolicySpec, UtilizationGrid, UtilizationTracker};
 
 use crate::sweep::SuiteSpec;
@@ -491,6 +493,9 @@ struct ShardCell {
     accum: FleetAccum,
     total_missions: u64,
     details: Vec<DeviceOutcome>,
+    /// Weight-scaled metrics of the shard's class replays (empty unless
+    /// [`CampaignOptions::collect_metrics`] is set).
+    metrics: Registry,
 }
 
 /// Replays one shard of devices for one policy on the columnar wear slab
@@ -503,6 +508,7 @@ fn run_shard_cell(
     trajectories: &[ClassTrajectory],
     policy: usize,
     shard: usize,
+    collect_metrics: bool,
 ) -> ShardCell {
     let start = shard * plan.shard_devices;
     let end = ((shard + 1) * plan.shard_devices).min(plan.devices);
@@ -514,12 +520,28 @@ fn run_shard_cell(
     let mut accum = FleetAccum::new();
     let mut total_missions = 0u64;
     let mut details = Vec::new();
+    let mut metrics = Registry::new();
     for (&class, lanes) in &groups {
         let trajectory = &trajectories[policy * classes.count() + class as usize];
         let mut failures: Vec<FuFailed> = Vec::new();
-        for (duty, count) in &trajectory.segments {
-            for _ in 0..*count {
-                failures.extend(batch.advance_class(lanes, duty, plan.mission_years));
+        {
+            // One replay stands for `lanes.len()` devices, so its registry
+            // folds in weight-scaled — the same equivalence-class fast path
+            // as `FleetAccum::observe_weighted`. Class replays emit
+            // member-count-independent events only, which is what makes
+            // the scaled fold shard-split invariant (DESIGN.md §16).
+            let mut replay = || {
+                for (duty, count) in &trajectory.segments {
+                    for _ in 0..*count {
+                        failures.extend(batch.advance_class(lanes, duty, plan.mission_years));
+                    }
+                }
+            };
+            if collect_metrics {
+                let ((), reg) = obs::collect(replay);
+                metrics.add_scaled(&reg, lanes.len() as u64);
+            } else {
+                replay();
             }
         }
         let rep_lane = lanes[0];
@@ -547,12 +569,13 @@ fn run_shard_cell(
         }
     }
     details.sort_by_key(|d| d.device);
-    ShardCell { accum, total_missions, details }
+    ShardCell { accum, total_missions, details, metrics }
 }
 
 /// Checkpoint format version; bumped on any layout change so stale files
-/// are rejected instead of misread (DESIGN.md §12).
-const CHECKPOINT_VERSION: u32 = 1;
+/// are rejected instead of misread (DESIGN.md §12). v2 added the metrics
+/// registry (DESIGN.md §16).
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// Checkpoint file magic.
 const CHECKPOINT_MAGIC: &str = "uaware-fleet-checkpoint";
@@ -581,6 +604,11 @@ struct FleetCheckpoint {
     total_missions: Vec<u64>,
     /// Per-policy detailed outcomes collected so far, in device order.
     details: Vec<Vec<DeviceOutcome>>,
+    /// The metrics registry folded over phase 1 and the completed shards
+    /// (empty unless [`CampaignOptions::collect_metrics`] was set).
+    /// Persisting it is what keeps `results/metrics.json` byte-identical
+    /// across kill/resume points (DESIGN.md §16).
+    metrics: Registry,
 }
 
 /// FNV-1a 64-bit over `bytes` (also fingerprints serving checkpoints).
@@ -664,6 +692,12 @@ pub struct CampaignOptions {
     /// completed, returning [`CampaignStatus::Paused`] — the hook the
     /// kill/resume regression tests and the CI resume leg drive.
     pub stop_after_shards: Option<usize>,
+    /// Collect the deterministic metrics registry while the campaign runs
+    /// and fold it into [`obs::global`] on completion (DESIGN.md §16). Off
+    /// by default: per-event collection has a real cost on the phase-1
+    /// simulation hot paths, and most callers (tests, benches) do not read
+    /// the registry.
+    pub collect_metrics: bool,
 }
 
 /// What [`run_fleet_campaign`] came back with.
@@ -743,55 +777,80 @@ pub fn run_fleet_campaign(
 
     // Phase 1 (or resume): one reference simulation per (policy × class).
     let resumed = options.checkpoint.as_deref().and_then(|path| load_checkpoint(path, plan));
-    let (trajectories, mut completed, mut accums, mut total_missions, mut details) = match resumed {
-        Some(ck) => {
-            (ck.trajectories, ck.completed_shards.len(), ck.accums, ck.total_missions, ck.details)
-        }
-        None => {
-            // Each lane's workload mix is built once and shared across
-            // policies, so every policy faces the identical population.
-            let lanes = plan.effective_lanes();
-            let lane_workloads: Vec<Vec<Workload>> = pool
-                .par_map((0..lanes).collect(), |_, lane| {
-                    plan.suite.workloads(derive_cell_seed(plan.base_seed, lane as u64))
-                });
-            let cells: Vec<(usize, usize)> = (0..plan.policies.len())
-                .flat_map(|p| (0..classes.count()).map(move |c| (p, c)))
-                .collect();
-            let outcomes: Vec<Result<ClassTrajectory, SystemError>> =
-                pool.par_map(cells, |_, (p, c)| {
-                    let (lane, defects) = &classes.keys[c];
-                    simulate_trajectory(plan, &plan.policies[p], &lane_workloads[*lane], defects)
-                });
-            let mut trajectories = Vec::with_capacity(outcomes.len());
-            for outcome in outcomes {
-                trajectories.push(outcome?);
-            }
-            let fresh = (
-                trajectories,
-                0,
-                vec![FleetAccum::new(); plan.policies.len()],
-                vec![0u64; plan.policies.len()],
-                vec![Vec::new(); plan.policies.len()],
-            );
-            if let Some(path) = options.checkpoint.as_deref() {
-                save_checkpoint(
-                    path,
-                    &FleetCheckpoint {
-                        magic: CHECKPOINT_MAGIC.to_string(),
-                        version: CHECKPOINT_VERSION,
-                        fingerprint: plan_fingerprint(plan),
-                        trajectories: fresh.0.clone(),
-                        completed_shards: Vec::new(),
-                        accums: fresh.2.clone(),
-                        total_missions: fresh.3.clone(),
-                        details: fresh.4.clone(),
-                    },
+    let (trajectories, mut completed, mut accums, mut total_missions, mut details, mut metrics) =
+        match resumed {
+            Some(ck) => (
+                ck.trajectories,
+                ck.completed_shards.len(),
+                ck.accums,
+                ck.total_missions,
+                ck.details,
+                ck.metrics,
+            ),
+            None => {
+                let _phase = span!(Level::INFO, "fleet.trajectories").entered();
+                // Each lane's workload mix is built once and shared across
+                // policies, so every policy faces the identical population.
+                let lanes = plan.effective_lanes();
+                let lane_workloads: Vec<Vec<Workload>> = pool
+                    .par_map((0..lanes).collect(), |_, lane| {
+                        plan.suite.workloads(derive_cell_seed(plan.base_seed, lane as u64))
+                    });
+                let cells: Vec<(usize, usize)> = (0..plan.policies.len())
+                    .flat_map(|p| (0..classes.count()).map(move |c| (p, c)))
+                    .collect();
+                let collect_metrics = options.collect_metrics;
+                let outcomes: Vec<(Result<ClassTrajectory, SystemError>, Registry)> =
+                    pool.par_map(cells, |_, (p, c)| {
+                        let (lane, defects) = &classes.keys[c];
+                        let work = || {
+                            simulate_trajectory(
+                                plan,
+                                &plan.policies[p],
+                                &lane_workloads[*lane],
+                                defects,
+                            )
+                        };
+                        if collect_metrics {
+                            obs::collect(work)
+                        } else {
+                            (work(), Registry::new())
+                        }
+                    });
+                let mut trajectories = Vec::with_capacity(outcomes.len());
+                let mut metrics = Registry::new();
+                for (outcome, registry) in outcomes {
+                    trajectories.push(outcome?);
+                    metrics.merge(&registry);
+                }
+                let fresh = (
+                    trajectories,
+                    0,
+                    vec![FleetAccum::new(); plan.policies.len()],
+                    vec![0u64; plan.policies.len()],
+                    vec![Vec::new(); plan.policies.len()],
+                    metrics,
                 );
+                if let Some(path) = options.checkpoint.as_deref() {
+                    let _save = span!(Level::INFO, "fleet.checkpoint").entered();
+                    save_checkpoint(
+                        path,
+                        &FleetCheckpoint {
+                            magic: CHECKPOINT_MAGIC.to_string(),
+                            version: CHECKPOINT_VERSION,
+                            fingerprint: plan_fingerprint(plan),
+                            trajectories: fresh.0.clone(),
+                            completed_shards: Vec::new(),
+                            accums: fresh.2.clone(),
+                            total_missions: fresh.3.clone(),
+                            details: fresh.4.clone(),
+                            metrics: fresh.5.clone(),
+                        },
+                    );
+                }
+                fresh
             }
-            fresh
-        }
-    };
+        };
 
     // Phase 2: stream device shards through the columnar replay, merging
     // each wave's partials in (shard, policy) order.
@@ -808,11 +867,14 @@ pub fn run_fleet_campaign(
         if let Some(stop) = options.stop_after_shards {
             wave_end = wave_end.min(stop.max(completed + 1));
         }
+        let _wave = span!(Level::INFO, "fleet.shards").entered();
         let cells: Vec<(usize, usize)> = (completed..wave_end)
             .flat_map(|s| (0..plan.policies.len()).map(move |p| (s, p)))
             .collect();
-        let results: Vec<ShardCell> =
-            pool.par_map(cells, |_, (s, p)| run_shard_cell(plan, &classes, &trajectories, p, s));
+        let collect_metrics = options.collect_metrics;
+        let results: Vec<ShardCell> = pool.par_map(cells, |_, (s, p)| {
+            run_shard_cell(plan, &classes, &trajectories, p, s, collect_metrics)
+        });
         for (cell, (_, p)) in results
             .into_iter()
             .zip((completed..wave_end).flat_map(|s| (0..plan.policies.len()).map(move |p| (s, p))))
@@ -820,9 +882,11 @@ pub fn run_fleet_campaign(
             accums[p].merge(&cell.accum);
             total_missions[p] += cell.total_missions;
             details[p].extend(cell.details);
+            metrics.merge(&cell.metrics);
         }
         completed = wave_end;
         if let Some(path) = options.checkpoint.as_deref() {
+            let _save = span!(Level::INFO, "fleet.checkpoint").entered();
             save_checkpoint(
                 path,
                 &FleetCheckpoint {
@@ -834,6 +898,7 @@ pub fn run_fleet_campaign(
                     accums: accums.clone(),
                     total_missions: total_missions.clone(),
                     details: details.clone(),
+                    metrics: metrics.clone(),
                 },
             );
         }
@@ -858,6 +923,13 @@ pub fn run_fleet_campaign(
             }
         })
         .collect();
+
+    // The registry reaches the global accumulator only on completion:
+    // a paused campaign must emit no metrics at all, so a stop/resume
+    // pair folds exactly once — like the report itself (DESIGN.md §16).
+    if options.collect_metrics {
+        obs::global::fold(&metrics);
+    }
 
     Ok(CampaignStatus::Complete(Box::new(FleetReport {
         base_seed: plan.base_seed,

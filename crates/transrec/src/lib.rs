@@ -76,7 +76,7 @@ pub use fleet::{
     FleetPlan, FleetReport, PolicyFleet,
 };
 pub use scenario::{Scenario, ALL as SCENARIOS, BE, BP, BU};
-pub use sweep::{run_sweep, SuiteSpec, SweepCell, SweepPlan};
+pub use sweep::{run_sweep, run_sweep_observed, SuiteSpec, SweepCell, SweepPlan};
 pub use system::{
     run_gpp_only, BuildError, Session, SessionStatus, System, SystemBuilder, SystemConfig,
     SystemError, SystemStats,

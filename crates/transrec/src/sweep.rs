@@ -23,6 +23,7 @@
 
 use cgra::Fabric;
 use mibench::Workload;
+use obs::Registry;
 use serde::{Deserialize, Serialize};
 use threadpool::ThreadPool;
 use uaware::{derive_cell_seed, PolicySpec};
@@ -248,6 +249,38 @@ impl SweepPlan {
 /// movement spec on a movement-less configuration is rejected before
 /// anything runs.
 pub fn run_sweep(plan: &SweepPlan, jobs: usize) -> Result<Vec<SuiteRun>, SystemError> {
+    Ok(run_sweep_inner(plan, jobs, false)?.0)
+}
+
+/// [`run_sweep`] with the flight recorder on: every GPP-reference block
+/// and every cell runs under a per-work-item
+/// [`MetricsCollector`](obs::MetricsCollector), and the finished
+/// registries fold in deterministic block/cell order into one
+/// [`Registry`] (returned alongside the runs, and also folded into
+/// [`obs::global`]). Because the fold is a commutative monoid over
+/// integer state, the registry is byte-identical for every worker count
+/// (DESIGN.md §16).
+///
+/// # Errors
+///
+/// See [`run_sweep`].
+pub fn run_sweep_observed(
+    plan: &SweepPlan,
+    jobs: usize,
+) -> Result<(Vec<SuiteRun>, Registry), SystemError> {
+    let out = run_sweep_inner(plan, jobs, true)?;
+    obs::global::fold(&out.1);
+    Ok(out)
+}
+
+/// Shared body of [`run_sweep`]/[`run_sweep_observed`]. `collect_metrics`
+/// is a knob (not always-on) because per-event collection has a real cost
+/// on the GPP retire loop.
+fn run_sweep_inner(
+    plan: &SweepPlan,
+    jobs: usize,
+    collect_metrics: bool,
+) -> Result<(Vec<SuiteRun>, Registry), SystemError> {
     // Validate the whole grid up front: cheap, and it keeps the "rejected
     // before anything runs" contract of the sequential path.
     for spec in &plan.policies {
@@ -256,7 +289,7 @@ pub fn run_sweep(plan: &SweepPlan, jobs: usize) -> Result<Vec<SuiteRun>, SystemE
         }
     }
     if plan.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), Registry::new()));
     }
     let pool = if jobs == 0 { ThreadPool::with_default_workers() } else { ThreadPool::new(jobs) };
 
@@ -285,29 +318,51 @@ pub fn run_sweep(plan: &SweepPlan, jobs: usize) -> Result<Vec<SuiteRun>, SystemE
     let blocks: Vec<(usize, usize)> = (0..classes.len())
         .flat_map(|class| (0..plan.suites.len()).map(move |lane| (class, lane)))
         .collect();
-    let gpp_blocks: Vec<Result<Vec<u64>, SystemError>> = pool
-        .par_map(blocks, |_, (class, lane)| {
-            gpp_reference(&plan.configs[classes[class]], &suites[lane])
+    let gpp_blocks: Vec<(Result<Vec<u64>, SystemError>, Registry)> =
+        pool.par_map(blocks, |_, (class, lane)| {
+            let work = || gpp_reference(&plan.configs[classes[class]], &suites[lane]);
+            if collect_metrics {
+                obs::collect(work)
+            } else {
+                (work(), Registry::new())
+            }
         });
     let mut gpp: Vec<Vec<u64>> = Vec::with_capacity(gpp_blocks.len());
-    for block in gpp_blocks {
+    let mut metrics = Registry::new();
+    for (block, registry) in gpp_blocks {
         gpp.push(block?);
+        metrics.merge(&registry);
     }
 
     // Phase 3: the cells themselves, merged back in index order.
-    let runs: Vec<Result<SuiteRun, SystemError>> = pool.par_map(plan.cells(), |_, cell| {
-        run_suite_with_options(
-            &plan.configs[cell.config],
-            &suites[cell.suite],
-            &plan.energy,
-            SuiteOptions {
-                policy: plan.policies[cell.policy],
-                probes: &plan.probes,
-                gpp_reference: Some(&gpp[class_of[cell.config] * plan.suites.len() + cell.suite]),
-            },
-        )
-    });
-    runs.into_iter().collect()
+    let outcomes: Vec<(Result<SuiteRun, SystemError>, Registry)> =
+        pool.par_map(plan.cells(), |_, cell| {
+            let work = || {
+                run_suite_with_options(
+                    &plan.configs[cell.config],
+                    &suites[cell.suite],
+                    &plan.energy,
+                    SuiteOptions {
+                        policy: plan.policies[cell.policy],
+                        probes: &plan.probes,
+                        gpp_reference: Some(
+                            &gpp[class_of[cell.config] * plan.suites.len() + cell.suite],
+                        ),
+                    },
+                )
+            };
+            if collect_metrics {
+                obs::collect(work)
+            } else {
+                (work(), Registry::new())
+            }
+        });
+    let mut runs = Vec::with_capacity(outcomes.len());
+    for (run, registry) in outcomes {
+        runs.push(run?);
+        metrics.merge(&registry);
+    }
+    Ok((runs, metrics))
 }
 
 #[cfg(test)]

@@ -582,6 +582,7 @@ impl System {
     /// Publishes one event to the built-in stats fold and every attached
     /// probe (identical stream, attachment order).
     fn emit(&mut self, event: SimEvent) {
+        crate::telemetry::emit_metric(&event);
         let ctx = EventCtx { cycle: self.cpu.cycles(), tracker: &self.tracker };
         self.stats.on_event(&ctx, &event);
         for probe in &mut self.probes {
@@ -952,6 +953,7 @@ impl Session<'_> {
     ///
     /// Same as [`step`](Session::step).
     pub fn run_for(&mut self, cycles: u64) -> Result<SessionStatus, SystemError> {
+        let _loop_span = tracing::span!(tracing::Level::INFO, "system.session").entered();
         let target = self.system.cpu.cycles().saturating_add(cycles);
         while self.system.cpu.cycles() < target {
             if let SessionStatus::Exited(exit) = self.step()? {
@@ -969,6 +971,7 @@ impl Session<'_> {
     ///
     /// Same as [`step`](Session::step).
     pub fn finish(&mut self) -> Result<Exit, SystemError> {
+        let _loop_span = tracing::span!(tracing::Level::INFO, "system.session").entered();
         loop {
             if let SessionStatus::Exited(exit) = self.step()? {
                 return Ok(exit);

@@ -220,6 +220,40 @@ pub enum SimEvent {
     },
 }
 
+/// Mirrors one [`SimEvent`] into the active tracing dispatch as a named
+/// counter event, so a [`MetricsCollector`](obs::MetricsCollector) sees
+/// exactly the stream [`StatsObserver`] folds (DESIGN.md §16). Costs one
+/// relaxed atomic load when no subscriber is installed. The traffic
+/// `Request*` events are metered at their decision sites in the serving
+/// queue instead (they are only *constructed* here when probes watch), so
+/// they deliberately fall through.
+pub(crate) fn emit_metric(event: &SimEvent) {
+    if !tracing::dispatch_active() {
+        return;
+    }
+    use tracing::{event, Level};
+    match event {
+        SimEvent::GppRetired { .. } => event!(Level::TRACE, "system.gpp_retired", "add" = 1),
+        SimEvent::OffloadStarted { .. } => event!(Level::TRACE, "system.offloads", "add" = 1),
+        SimEvent::ConfigLoaded { .. } => event!(Level::TRACE, "system.config_loads", "add" = 1),
+        SimEvent::Rotated { .. } => event!(Level::TRACE, "system.rotations", "add" = 1),
+        SimEvent::OffloadCompleted { .. } => {
+            event!(Level::TRACE, "system.offloads_completed", "add" = 1)
+        }
+        SimEvent::OffloadSkipped { .. } => {
+            event!(Level::TRACE, "system.offloads_skipped", "add" = 1)
+        }
+        SimEvent::AllocationStarved { .. } => {
+            event!(Level::TRACE, "system.offloads_starved", "add" = 1)
+        }
+        SimEvent::CacheInserted { .. } => event!(Level::TRACE, "system.cache_inserted", "add" = 1),
+        SimEvent::CacheEvicted { .. } => event!(Level::TRACE, "system.cache_evicted", "add" = 1),
+        SimEvent::RequestArrived { .. }
+        | SimEvent::RequestServed { .. }
+        | SimEvent::RequestShed { .. } => {}
+    }
+}
+
 /// Context handed to observers with every hook call: where the run is
 /// (total system cycles so far) and the live per-FU stress observations.
 pub struct EventCtx<'a> {
@@ -836,6 +870,14 @@ impl ProbeReport {
     pub fn as_util_trace(&self) -> Option<&UtilTrace> {
         match self {
             ProbeReport::UtilTrace(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The event totals, if this report carries them.
+    pub fn as_event_counts(&self) -> Option<&EventCounts> {
+        match self {
+            ProbeReport::EventCounts(c) => Some(c),
             _ => None,
         }
     }

@@ -53,11 +53,13 @@ use cgra::{Fabric, FaultMask};
 use lifetime::{DeviceLifetime, FleetAccum, FleetStats};
 use mibench::Workload;
 use nbti::CalibratedAging;
+use obs::Registry;
 use rand::distr::{Distribution, Exp, Pareto};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use threadpool::ThreadPool;
+use tracing::{span, Level};
 use uaware::{derive_cell_seed, PolicySpec, UtilizationGrid, UtilizationTracker};
 
 use crate::fleet::{fnv1a64, CampaignOptions, DEFAULT_SHARD_DEVICES};
@@ -341,24 +343,16 @@ pub struct LatencyHistogram {
     total: u64,
 }
 
-/// The bucket index of a latency observation.
+/// The bucket index of a latency observation — [`obs::log_bucket`], the
+/// workspace's one logarithmic bucketing scheme (DESIGN.md §16).
 fn bucket_of(cycles: u64) -> u32 {
-    if cycles < 8 {
-        return cycles as u32;
-    }
-    let e = cycles.ilog2();
-    8 * (e - 2) + ((cycles >> (e - 3)) & 7) as u32
+    obs::log_bucket(cycles)
 }
 
 /// The smallest latency that falls in `bucket` — the value percentiles
 /// report (a conservative lower bound).
 fn bucket_floor(bucket: u32) -> u64 {
-    if bucket < 8 {
-        return bucket as u64;
-    }
-    let e = bucket / 8 + 2;
-    let off = bucket % 8;
-    ((8 + off) as u64) << (e - 3)
+    obs::log_bucket_floor(bucket)
 }
 
 impl LatencyHistogram {
@@ -886,12 +880,21 @@ fn run_service_day(
             }
         }
         let depth = in_flight.len() as u32;
+        // Queue decisions are metered unconditionally (not gated on
+        // `watched`): metrics must not depend on probe attachment
+        // (DESIGN.md §16). Disabled, each is one relaxed atomic load.
+        tracing::event!(tracing::Level::TRACE, "traffic.requests.arrived", "add" = 1);
         let Some(cost) = &costs.cgra[arrival.workload as usize] else {
             // The request needs a workload with no placement left: the
             // device is dead; the rest of the day's requests go unserved.
             died = true;
             fatal_fraction = arrival.cycle as f64 / day_cycles as f64;
             shed += (arrivals.len() - i) as u64;
+            tracing::event!(
+                tracing::Level::TRACE,
+                "traffic.requests.shed",
+                "add" = arrivals.len() - i,
+            );
             if watched {
                 let event = SimEvent::RequestShed { request: i as u64, queue_depth: depth };
                 emit(observers, &day_tracker, arrival.cycle, &event);
@@ -900,6 +903,7 @@ fn run_service_day(
         };
         if bp.shed_depth > 0 && depth >= bp.shed_depth {
             shed += 1;
+            tracing::event!(tracing::Level::TRACE, "traffic.requests.shed", "add" = 1);
             if watched {
                 let event = SimEvent::RequestShed { request: i as u64, queue_depth: depth };
                 emit(observers, &day_tracker, arrival.cycle, &event);
@@ -915,10 +919,14 @@ fn run_service_day(
         let finish = start + service;
         free_at = finish;
         latency.record(wait + service);
+        tracing::event!(tracing::Level::TRACE, "traffic.latency.cycles", "record" = wait + service);
+        tracing::event!(tracing::Level::TRACE, "traffic.queue.depth", "set" = depth + 1);
         if deferred {
             served_gpp += 1;
+            tracing::event!(tracing::Level::TRACE, "traffic.requests.served_gpp", "add" = 1);
         } else {
             served_cgra += 1;
+            tracing::event!(tracing::Level::TRACE, "traffic.requests.served_cgra", "add" = 1);
             for (b, &u) in busy.iter_mut().zip(cost.util.values()) {
                 *b += u * cost.cycles as f64;
             }
@@ -1192,8 +1200,9 @@ fn run_serve_shard(
     accum
 }
 
-/// Serving checkpoint format version.
-const SERVE_CHECKPOINT_VERSION: u32 = 1;
+/// Serving checkpoint format version. v2 added the metrics registry
+/// (DESIGN.md §16).
+const SERVE_CHECKPOINT_VERSION: u32 = 2;
 
 /// Serving checkpoint file magic.
 const SERVE_CHECKPOINT_MAGIC: &str = "uaware-serve-checkpoint";
@@ -1218,6 +1227,11 @@ struct ServeCheckpoint {
     completed_shards: Vec<usize>,
     /// Per-cell streaming aggregates over the completed shards.
     accums: Vec<ServeAccum>,
+    /// The metrics registry folded over the phase-1 trajectories (empty
+    /// unless [`CampaignOptions::collect_metrics`] was set). The phase-2
+    /// shard fold is pure arithmetic and emits nothing, so this is the
+    /// campaign's whole registry (DESIGN.md §16).
+    metrics: Registry,
 }
 
 /// The plan fingerprint a serving checkpoint is bound to.
@@ -1427,9 +1441,10 @@ pub fn run_serving_campaign(
     // Phase 1 (or resume): one reference serving simulation per
     // (traffic × policy × lane) class.
     let resumed = options.checkpoint.as_deref().and_then(|path| load_serve_checkpoint(path, plan));
-    let (trajectories, mut completed, mut accums) = match resumed {
-        Some(ck) => (ck.trajectories, ck.completed_shards.len(), ck.accums),
+    let (trajectories, mut completed, mut accums, metrics) = match resumed {
+        Some(ck) => (ck.trajectories, ck.completed_shards.len(), ck.accums, ck.metrics),
         None => {
+            let _phase = span!(Level::INFO, "serve.trajectories").entered();
             let lane_workloads: Vec<Vec<Workload>> = pool
                 .par_map((0..lanes).collect(), |_, lane| {
                     plan.suite.workloads(derive_cell_seed(plan.base_seed, lane as u64))
@@ -1439,22 +1454,33 @@ pub fn run_serving_campaign(
                     (0..plan.policies.len()).flat_map(move |p| (0..lanes).map(move |l| (t, p, l)))
                 })
                 .collect();
-            let outcomes: Vec<Result<ServeTrajectory, SystemError>> =
+            let collect_metrics = options.collect_metrics;
+            let outcomes: Vec<(Result<ServeTrajectory, SystemError>, Registry)> =
                 pool.par_map(cells, |_, (t, p, l)| {
-                    simulate_serving(
-                        plan,
-                        &plan.policies[p],
-                        &plan.traffic[t],
-                        &lane_workloads[l],
-                        l,
-                    )
+                    let work = || {
+                        simulate_serving(
+                            plan,
+                            &plan.policies[p],
+                            &plan.traffic[t],
+                            &lane_workloads[l],
+                            l,
+                        )
+                    };
+                    if collect_metrics {
+                        obs::collect(work)
+                    } else {
+                        (work(), Registry::new())
+                    }
                 });
             let mut trajectories = Vec::with_capacity(outcomes.len());
-            for outcome in outcomes {
+            let mut metrics = Registry::new();
+            for (outcome, registry) in outcomes {
                 trajectories.push(outcome?);
+                metrics.merge(&registry);
             }
-            let fresh = (trajectories, 0, vec![ServeAccum::new(); cell_count]);
+            let fresh = (trajectories, 0, vec![ServeAccum::new(); cell_count], metrics);
             if let Some(path) = options.checkpoint.as_deref() {
+                let _save = span!(Level::INFO, "serve.checkpoint").entered();
                 save_serve_checkpoint(
                     path,
                     &ServeCheckpoint {
@@ -1464,6 +1490,7 @@ pub fn run_serving_campaign(
                         trajectories: fresh.0.clone(),
                         completed_shards: Vec::new(),
                         accums: fresh.2.clone(),
+                        metrics: fresh.3.clone(),
                     },
                 );
             }
@@ -1486,6 +1513,7 @@ pub fn run_serving_campaign(
         if let Some(stop) = options.stop_after_shards {
             wave_end = wave_end.min(stop.max(completed + 1));
         }
+        let _wave = span!(Level::INFO, "serve.shards").entered();
         let cells: Vec<(usize, usize)> =
             (completed..wave_end).flat_map(|s| (0..cell_count).map(move |c| (s, c))).collect();
         let results: Vec<ServeAccum> =
@@ -1495,6 +1523,7 @@ pub fn run_serving_campaign(
         }
         completed = wave_end;
         if let Some(path) = options.checkpoint.as_deref() {
+            let _save = span!(Level::INFO, "serve.checkpoint").entered();
             save_serve_checkpoint(
                 path,
                 &ServeCheckpoint {
@@ -1504,6 +1533,7 @@ pub fn run_serving_campaign(
                     trajectories: trajectories.clone(),
                     completed_shards: (0..completed).collect(),
                     accums: accums.clone(),
+                    metrics: metrics.clone(),
                 },
             );
         }
@@ -1538,6 +1568,13 @@ pub fn run_serving_campaign(
                 simulated_services: lane_slice.iter().map(|t| t.simulated_services).sum(),
             });
         }
+    }
+
+    // Like the fleet campaign, metrics reach the global accumulator only
+    // on completion, so a stop/resume pair folds exactly once
+    // (DESIGN.md §16).
+    if options.collect_metrics {
+        obs::global::fold(&metrics);
     }
 
     Ok(ServeStatus::Complete(Box::new(ServeReport {

@@ -61,6 +61,7 @@ fn resume_from_every_stop_point_is_byte_identical() {
             checkpoint: Some(checkpoint.clone()),
             checkpoint_every_shards: 1,
             stop_after_shards: Some(stop),
+            ..CampaignOptions::default()
         };
         match run_fleet_campaign(&plan, stop_jobs, &options).expect("partial run") {
             CampaignStatus::Paused { completed_shards, total_shards: reported } => {
@@ -98,6 +99,7 @@ fn repeated_kills_across_wave_widths_are_byte_identical() {
             checkpoint: Some(checkpoint.clone()),
             checkpoint_every_shards: 2,
             stop_after_shards: stop,
+            ..CampaignOptions::default()
         };
         let status = run_fleet_campaign(&plan, jobs, &options).expect("partial run");
         assert!(matches!(status, CampaignStatus::Paused { .. }));
@@ -109,6 +111,7 @@ fn repeated_kills_across_wave_widths_are_byte_identical() {
             checkpoint: Some(checkpoint.clone()),
             checkpoint_every_shards: 2,
             stop_after_shards: None,
+            ..CampaignOptions::default()
         },
     )
     .expect("final run");
@@ -144,6 +147,7 @@ fn checkpoints_refuse_to_resume_a_different_plan() {
         checkpoint: Some(checkpoint.clone()),
         checkpoint_every_shards: 1,
         stop_after_shards: Some(1),
+        ..CampaignOptions::default()
     };
     let paused = run_fleet_campaign(&plan(), 1, &options).expect("partial run");
     assert!(matches!(paused, CampaignStatus::Paused { .. }));

@@ -1,0 +1,263 @@
+//! The flight recorder's determinism contract (DESIGN.md §16): with
+//! collection enabled, the folded metrics registry is byte-identical
+//! across worker counts, shard splits and kill/resume points, and its
+//! counters agree exactly with the typed event stream the observers see.
+//! These are the facts CI's `results/metrics.json` byte-identity gate
+//! rides on.
+
+use std::path::{Path, PathBuf};
+
+use cgra::Fabric;
+use transrec::fleet::{run_fleet_campaign, CampaignOptions, CampaignStatus, FleetPlan};
+use transrec::sweep::{run_sweep, run_sweep_observed, SuiteSpec, SweepPlan};
+use transrec::telemetry::{EventCounts, ProbeSpec};
+use transrec::traffic::{run_serving_campaign, ServePlan, ServeStatus, TrafficSpec};
+use uaware::PolicySpec;
+
+/// A 2-policy × 2-workload × 2-fabric plan, mirroring the sweep
+/// determinism tests.
+fn sweep_plan() -> SweepPlan {
+    SweepPlan::new(0xDAC2020)
+        .fabric(Fabric::be())
+        .fabric(Fabric::bp())
+        .policy(PolicySpec::Baseline)
+        .policy(PolicySpec::rotation())
+        .suites(vec![SuiteSpec::subset("mini", vec![0, 1])]) // bitcount, crc32
+}
+
+/// The shared small fleet campaign from the kill/resume tests.
+fn fleet_plan() -> FleetPlan {
+    FleetPlan::new(0xDAC2020, Fabric::be())
+        .policy(PolicySpec::Baseline)
+        .policy(PolicySpec::rotation())
+        .devices(10)
+        .lanes(2)
+        .shard_devices(2)
+        .suite(SuiteSpec::subset("crc", vec![1]))
+        .mission_years(1.0)
+        .horizon_years(12.0)
+}
+
+/// The shared tiny serving campaign from the traffic tests.
+fn serve_plan() -> ServePlan {
+    ServePlan::new(0xDAC2020, Fabric::be())
+        .policy(PolicySpec::Baseline)
+        .policy(PolicySpec::HealthAware)
+        .traffic(TrafficSpec::Diurnal { per_hour: 40, swing_pct: 60 })
+        .suite(SuiteSpec::subset("crc", vec![1]))
+        .devices(5)
+        .lanes(2)
+        .shard_devices(2)
+        .clock_hz(1_000)
+        .horizon_days(2)
+        .pattern_days(2)
+}
+
+/// A fresh per-test checkpoint path (removed up front so reruns of a
+/// failed test never resume stale state).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("uaware-metrics-tests");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join(format!("{name}-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The `metrics` registry a completed campaign left in its final
+/// checkpoint, as canonical JSON. Campaigns fold their registry into
+/// `obs::global` only on completion, but the checkpoint carries the same
+/// registry — reading it here keeps these tests independent of the
+/// process-global sink (which other tests in this binary share).
+fn checkpoint_metrics(path: &Path) -> String {
+    let text = std::fs::read_to_string(path).expect("checkpoint readable");
+    let value: serde::Value = serde_json::from_str(&text).expect("checkpoint parses");
+    let metrics = value.get("metrics").expect("checkpoint v2 carries a metrics registry");
+    serde_json::to_string(metrics).expect("registry serializes")
+}
+
+#[test]
+fn sweep_registry_is_invariant_under_worker_count_and_observation() {
+    let plan = sweep_plan();
+    let (runs1, reg1) = run_sweep_observed(&plan, 1).expect("jobs=1 sweep runs");
+    let (runs4, reg4) = run_sweep_observed(&plan, 4).expect("jobs=4 sweep runs");
+    assert!(!reg1.is_empty(), "an observed sweep must record metrics");
+    assert_eq!(
+        serde_json::to_string(&reg1).unwrap(),
+        serde_json::to_string(&reg4).unwrap(),
+        "jobs=1 and jobs=4 must fold byte-identical registries"
+    );
+    // Observation must not perturb the experiment itself: the observed
+    // runs equal the plain run_sweep output byte for byte.
+    let plain = run_sweep(&plan, 4).expect("plain sweep runs");
+    assert_eq!(
+        serde_json::to_string(&runs1).unwrap(),
+        serde_json::to_string(&plain).unwrap(),
+        "collection must not change what the sweep computes"
+    );
+    assert_eq!(serde_json::to_string(&runs4).unwrap(), serde_json::to_string(&plain).unwrap());
+}
+
+#[test]
+fn registry_counters_match_the_typed_event_stream() {
+    // Every policy family under one observed sweep, with the EventCounts
+    // probe riding along: the registry's bridged counters must agree
+    // *exactly* with what the typed observers saw — two independent
+    // consumers of the same decision sites.
+    let plan = SweepPlan::new(0xDAC2020)
+        .fabric(Fabric::be())
+        .policy(PolicySpec::Baseline)
+        .policy(PolicySpec::rotation())
+        .policy(PolicySpec::Random { seed: 7 })
+        .policy(PolicySpec::HealthAware)
+        .policy(PolicySpec::Exact { every: 1 })
+        .suites(vec![SuiteSpec::full()])
+        .probe(ProbeSpec::EventCounts);
+    let (runs, reg) = run_sweep_observed(&plan, 4).expect("observed sweep runs");
+
+    let mut fold = EventCounts::default();
+    for run in &runs {
+        for bench in &run.benchmarks {
+            let counts = bench
+                .probes
+                .iter()
+                .find_map(|p| p.as_event_counts())
+                .expect("EventCounts probe reports");
+            fold.gpp_retired += counts.gpp_retired;
+            fold.offloads_started += counts.offloads_started;
+            fold.offloads_completed += counts.offloads_completed;
+            fold.offloads_skipped += counts.offloads_skipped;
+            fold.allocations_starved += counts.allocations_starved;
+            fold.config_loads += counts.config_loads;
+            fold.rotations += counts.rotations;
+            fold.cache_insertions += counts.cache_insertions;
+            fold.cache_evictions += counts.cache_evictions;
+        }
+    }
+    assert_eq!(reg.counter("system.gpp_retired"), fold.gpp_retired);
+    assert_eq!(reg.counter("system.offloads"), fold.offloads_started);
+    assert_eq!(reg.counter("system.offloads_completed"), fold.offloads_completed);
+    assert_eq!(reg.counter("system.offloads_skipped"), fold.offloads_skipped);
+    assert_eq!(reg.counter("system.offloads_starved"), fold.allocations_starved);
+    assert_eq!(reg.counter("system.config_loads"), fold.config_loads);
+    assert_eq!(reg.counter("system.rotations"), fold.rotations);
+    assert_eq!(reg.counter("system.cache_inserted"), fold.cache_insertions);
+    assert_eq!(reg.counter("system.cache_evicted"), fold.cache_evictions);
+
+    // Each policy fires exactly one decision event per next_offset call,
+    // and the system calls next_offset once per offload attempt.
+    let decisions: u64 = ["baseline", "rotation", "random", "health-aware", "exact"]
+        .iter()
+        .map(|p| reg.counter(&format!("alloc.{p}.decisions")))
+        .sum();
+    assert_eq!(decisions, fold.offloads_started + fold.allocations_starved);
+    for policy in ["baseline", "rotation", "random", "health-aware", "exact"] {
+        assert!(
+            reg.counter(&format!("alloc.{policy}.decisions")) > 0,
+            "policy {policy} made no decisions"
+        );
+    }
+    // The exact oracle's solver leaves its search statistics behind.
+    assert!(reg.counter("solve.calls") > 0, "exact policy must invoke the solver");
+    assert!(reg.counter("solve.expanded") > 0);
+    // The DBT and tracker hot paths are metered too.
+    assert!(reg.counter("dbt.translate.calls") > 0);
+    assert!(reg.counter("dbt.cache.miss") > 0);
+    assert!(reg.counter("tracker.executions") > 0);
+}
+
+#[test]
+fn fleet_campaign_metrics_survive_jobs_shards_and_resume() {
+    let options = |path: &Path, stop: Option<usize>| CampaignOptions {
+        checkpoint: Some(path.to_path_buf()),
+        checkpoint_every_shards: 1,
+        stop_after_shards: stop,
+        collect_metrics: true,
+    };
+
+    // Straight run, one worker.
+    let straight = scratch("fleet-straight");
+    let status = run_fleet_campaign(&fleet_plan(), 1, &options(&straight, None));
+    assert!(matches!(status, Ok(CampaignStatus::Complete(_))));
+    let reference = checkpoint_metrics(&straight);
+    assert_ne!(reference, "{}", "fleet metrics must not be empty");
+    assert!(reference.contains("wear.class.advances"));
+    assert!(reference.contains("system.gpp_retired"));
+
+    // Different worker count AND a different shard split: the weighted
+    // per-class fold (DESIGN.md §16) keeps the registry byte-identical.
+    let split = scratch("fleet-split");
+    let status = run_fleet_campaign(&fleet_plan().shard_devices(3), 4, &options(&split, None));
+    assert!(matches!(status, Ok(CampaignStatus::Complete(_))));
+    assert_eq!(checkpoint_metrics(&split), reference, "shard split changed the registry");
+
+    // Kill after 2 shards, resume under another worker count.
+    let resumed = scratch("fleet-resume");
+    let status = run_fleet_campaign(&fleet_plan(), 2, &options(&resumed, Some(2)));
+    assert!(matches!(status, Ok(CampaignStatus::Paused { .. })));
+    let status = run_fleet_campaign(&fleet_plan(), 3, &options(&resumed, None));
+    assert!(matches!(status, Ok(CampaignStatus::Complete(_))));
+    assert_eq!(checkpoint_metrics(&resumed), reference, "kill/resume changed the registry");
+
+    for path in [straight, split, resumed] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn serve_campaign_metrics_survive_jobs_shards_and_resume() {
+    let options = |path: &Path, stop: Option<usize>| CampaignOptions {
+        checkpoint: Some(path.to_path_buf()),
+        checkpoint_every_shards: 1,
+        stop_after_shards: stop,
+        collect_metrics: true,
+    };
+
+    let straight = scratch("serve-straight");
+    let status = run_serving_campaign(&serve_plan(), 1, &options(&straight, None));
+    assert!(matches!(status, Ok(ServeStatus::Complete(_))));
+    let reference = checkpoint_metrics(&straight);
+    assert_ne!(reference, "{}", "serving metrics must not be empty");
+    assert!(reference.contains("traffic.requests.arrived"));
+    assert!(reference.contains("traffic.latency.cycles"));
+
+    let split = scratch("serve-split");
+    let status = run_serving_campaign(&serve_plan().shard_devices(3), 4, &options(&split, None));
+    assert!(matches!(status, Ok(ServeStatus::Complete(_))));
+    assert_eq!(checkpoint_metrics(&split), reference, "shard split changed the registry");
+
+    let resumed = scratch("serve-resume");
+    let status = run_serving_campaign(&serve_plan(), 2, &options(&resumed, Some(1)));
+    assert!(matches!(status, Ok(ServeStatus::Paused { .. })));
+    let status = run_serving_campaign(&serve_plan(), 3, &options(&resumed, None));
+    assert!(matches!(status, Ok(ServeStatus::Complete(_))));
+    assert_eq!(checkpoint_metrics(&resumed), reference, "kill/resume changed the registry");
+
+    for path in [straight, split, resumed] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn collection_off_leaves_no_trace() {
+    // The default (collection off) must leave the campaign registry empty
+    // — the disabled path is a single relaxed atomic load, and nothing
+    // downstream should see phantom metrics.
+    let path = scratch("fleet-dark");
+    let status = run_fleet_campaign(
+        &fleet_plan(),
+        2,
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            checkpoint_every_shards: 2,
+            stop_after_shards: None,
+            ..CampaignOptions::default()
+        },
+    );
+    assert!(matches!(status, Ok(CampaignStatus::Complete(_))));
+    let metrics = checkpoint_metrics(&path);
+    std::fs::remove_file(&path).ok();
+    let value: serde::Value = serde_json::from_str(&metrics).unwrap();
+    let empty =
+        value.get("counters").and_then(|c| c.as_object()).is_some_and(|entries| entries.is_empty());
+    assert!(empty, "collection off must record nothing, got {metrics}");
+}

@@ -110,6 +110,7 @@ proptest! {
                 checkpoint: Some(path.clone()),
                 checkpoint_every_shards: 1,
                 stop_after_shards: Some(stop),
+                ..CampaignOptions::default()
             },
         )
         .expect("serving runs");
@@ -126,6 +127,7 @@ proptest! {
                 checkpoint: Some(path.clone()),
                 checkpoint_every_shards: 2,
                 stop_after_shards: None,
+                ..CampaignOptions::default()
             },
         )
         .expect("serving runs");
@@ -151,6 +153,7 @@ fn checkpoint_rejects_a_different_plan() {
         checkpoint: Some(path.clone()),
         checkpoint_every_shards: 1,
         stop_after_shards: Some(1),
+        ..CampaignOptions::default()
     };
     run_serving_campaign(&plan(), 1, &options).expect("serving runs");
     // Same file, different traffic axis: the fingerprint must not match.

@@ -1,0 +1,436 @@
+//! Vendored minimal stand-in for the `tracing` crate.
+//!
+//! The build container has no route to a crates registry, so the workspace
+//! vendors the small tracing surface it actually uses (DESIGN.md §16):
+//! [`span!`]/[`event!`] macros, a [`Subscriber`] trait, and
+//! [`with_default`] to install a subscriber for a closure's duration. The
+//! API shape follows upstream `tracing` — `span!(Level::INFO, "name")`
+//! returns a [`Span`] whose [`entered`](Span::entered) guard exits on
+//! drop, `event!` fires a named event with `key = value` fields — so the
+//! instrumentation sites read like any other tracing user.
+//!
+//! The disabled fast path is the load-bearing design point: every macro
+//! first checks a process-global relaxed [`AtomicUsize`] counting installed
+//! subscribers. With none installed the whole macro compiles to that load
+//! plus a branch (~1 ns) and *no field expressions are evaluated*, so
+//! instrumenting a hot loop costs nothing when nobody is listening.
+//!
+//! Divergences from upstream, chosen for the workspace's needs:
+//!
+//! * Subscribers are installed per-thread only ([`with_default`]); there is
+//!   no process-global `set_global_default`. Sharded runners install one
+//!   collector per work item, which is what keeps the metrics registry
+//!   deterministic across `--jobs` (DESIGN.md §16).
+//! * Field values are `u64` (counters/gauges/histogram samples — all this
+//!   workspace records); there is no `Visit` machinery.
+//! * [`Dispatch`] wraps `Rc<dyn Subscriber>`: subscribers are thread-local
+//!   by construction and may use `RefCell` interior mutability.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Verbosity level of a span or event, ordered `TRACE < … < ERROR`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Level(u8);
+
+impl Level {
+    /// The most verbose level (per-allocation events).
+    pub const TRACE: Level = Level(0);
+    /// Debug-interest events.
+    pub const DEBUG: Level = Level(1);
+    /// Informational spans/events (phase boundaries).
+    pub const INFO: Level = Level(2);
+    /// Warnings.
+    pub const WARN: Level = Level(3);
+    /// Errors.
+    pub const ERROR: Level = Level(4);
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self.0 {
+            0 => "TRACE",
+            1 => "DEBUG",
+            2 => "INFO",
+            3 => "WARN",
+            _ => "ERROR",
+        })
+    }
+}
+
+/// Static description of a span or event callsite.
+#[derive(Copy, Clone, Debug)]
+pub struct Metadata<'a> {
+    /// The span/event name (dotted-path convention, DESIGN.md §16).
+    pub name: &'a str,
+    /// The callsite's level.
+    pub level: Level,
+}
+
+/// A single event: a name plus `key = value` fields.
+///
+/// By workspace convention the event *name* is the metric name and the
+/// field *key* selects the instrument: `add` bumps a counter, `set` raises
+/// a high-watermark gauge, `record` samples a histogram (DESIGN.md §16).
+#[derive(Copy, Clone, Debug)]
+pub struct Event<'a> {
+    /// Callsite metadata (the event name doubles as the metric name).
+    pub metadata: Metadata<'a>,
+    /// `key = value` fields, in callsite order.
+    pub fields: &'a [(&'a str, u64)],
+}
+
+/// Opaque identifier a [`Subscriber`] assigns to a span it accepted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// A collector of spans and events, installed with [`with_default`].
+pub trait Subscriber {
+    /// `true` if the subscriber wants this callsite (default: everything).
+    fn enabled(&self, metadata: &Metadata<'_>) -> bool {
+        let _ = metadata;
+        true
+    }
+
+    /// Registers a new span; the returned id is passed to
+    /// [`enter`](Subscriber::enter)/[`exit`](Subscriber::exit).
+    fn new_span(&self, metadata: &Metadata<'_>) -> SpanId;
+
+    /// The span became the current one on this thread.
+    fn enter(&self, id: SpanId);
+
+    /// The span stopped being current.
+    fn exit(&self, id: SpanId);
+
+    /// An event fired inside the current span context.
+    fn event(&self, event: &Event<'_>);
+}
+
+/// A cheaply clonable handle to a [`Subscriber`].
+#[derive(Clone)]
+pub struct Dispatch {
+    inner: Rc<dyn Subscriber>,
+}
+
+impl Dispatch {
+    /// Wraps a subscriber for installation via [`with_default`].
+    pub fn new<S: Subscriber + 'static>(subscriber: S) -> Dispatch {
+        Dispatch { inner: Rc::new(subscriber) }
+    }
+
+    /// Wraps an already shared subscriber.
+    pub fn from_rc(subscriber: Rc<dyn Subscriber>) -> Dispatch {
+        Dispatch { inner: subscriber }
+    }
+
+    /// The wrapped subscriber.
+    pub fn subscriber(&self) -> &dyn Subscriber {
+        &*self.inner
+    }
+}
+
+impl fmt::Debug for Dispatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Dispatch(..)")
+    }
+}
+
+/// Process-global count of installed dispatches: the relaxed-load fast
+/// path every macro checks before doing anything else.
+static ACTIVE_DISPATCHES: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Stack of dispatches installed on this thread (innermost last).
+    static CURRENT: RefCell<Vec<Dispatch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `true` if *any* thread has a subscriber installed. This is the ~1 ns
+/// disabled check: a relaxed atomic load plus a branch. A `true` here only
+/// means the slow path (a thread-local lookup) is worth taking; the
+/// current thread may still have no subscriber.
+#[inline(always)]
+pub fn dispatch_active() -> bool {
+    ACTIVE_DISPATCHES.load(Ordering::Relaxed) != 0
+}
+
+/// Runs `f` against the current thread's innermost dispatch, if any.
+/// Returns `None` without calling `f` when this thread has no subscriber.
+#[inline]
+pub fn with_current<T>(f: impl FnOnce(&Dispatch) -> T) -> Option<T> {
+    if !dispatch_active() {
+        return None;
+    }
+    CURRENT.with(|stack| stack.borrow().last().cloned()).map(|d| f(&d))
+}
+
+struct DefaultGuard;
+
+impl Drop for DefaultGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| stack.borrow_mut().pop());
+        ACTIVE_DISPATCHES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Installs `dispatch` as this thread's default subscriber for the
+/// duration of `f` (unwind-safe; nesting shadows the outer subscriber,
+/// matching upstream `tracing::subscriber::with_default`).
+///
+/// # Examples
+///
+/// ```
+/// use tracing::{event, Dispatch, Event, Level, Metadata, SpanId, Subscriber};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// #[derive(Default)]
+/// struct Count(Cell<u64>);
+/// impl Subscriber for Count {
+///     fn new_span(&self, _: &Metadata<'_>) -> SpanId {
+///         SpanId(0)
+///     }
+///     fn enter(&self, _: SpanId) {}
+///     fn exit(&self, _: SpanId) {}
+///     fn event(&self, _: &Event<'_>) {
+///         self.0.set(self.0.get() + 1);
+///     }
+/// }
+///
+/// let counter = Rc::new(Count::default());
+/// tracing::with_default(Dispatch::from_rc(counter.clone()), || {
+///     event!(Level::INFO, "demo.fired", "add" = 1);
+/// });
+/// assert_eq!(counter.0.get(), 1);
+/// ```
+pub fn with_default<T>(dispatch: Dispatch, f: impl FnOnce() -> T) -> T {
+    CURRENT.with(|stack| stack.borrow_mut().push(dispatch));
+    ACTIVE_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    let _guard = DefaultGuard;
+    f()
+}
+
+/// Dispatches an event to the current thread's subscriber (macro
+/// plumbing; prefer [`event!`]).
+#[inline]
+pub fn dispatch_event(event: &Event<'_>) {
+    with_current(|d| {
+        if d.subscriber().enabled(&event.metadata) {
+            d.subscriber().event(event);
+        }
+    });
+}
+
+/// A handle to a span accepted by the current subscriber. Created by
+/// [`span!`]; disabled spans (no subscriber, or `enabled` said no) carry
+/// nothing and cost nothing further.
+#[derive(Clone, Debug)]
+#[must_use = "a span does nothing unless entered"]
+pub struct Span {
+    inner: Option<(Dispatch, SpanId)>,
+}
+
+impl Span {
+    /// Creates a span against the current subscriber (macro plumbing;
+    /// prefer [`span!`]).
+    pub fn new(metadata: &Metadata<'_>) -> Span {
+        let inner = with_current(|d| {
+            d.subscriber().enabled(metadata).then(|| (d.clone(), d.subscriber().new_span(metadata)))
+        })
+        .flatten();
+        Span { inner }
+    }
+
+    /// A span that no subscriber accepted.
+    pub fn none() -> Span {
+        Span { inner: None }
+    }
+
+    /// `true` if a subscriber accepted this span.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Enters the span, returning a guard that exits it on drop.
+    pub fn entered(self) -> EnteredSpan {
+        if let Some((dispatch, id)) = &self.inner {
+            dispatch.subscriber().enter(*id);
+        }
+        EnteredSpan { span: self }
+    }
+}
+
+/// Guard returned by [`Span::entered`]; exits the span when dropped.
+#[derive(Debug)]
+pub struct EnteredSpan {
+    span: Span,
+}
+
+impl EnteredSpan {
+    /// The underlying span.
+    pub fn span(&self) -> &Span {
+        &self.span
+    }
+}
+
+impl Drop for EnteredSpan {
+    fn drop(&mut self) {
+        if let Some((dispatch, id)) = &self.span.inner {
+            dispatch.subscriber().exit(*id);
+        }
+    }
+}
+
+/// Constructs a [`Span`]: `span!(Level::INFO, "name")`. With no subscriber
+/// installed this is a relaxed atomic load and a branch.
+#[macro_export]
+macro_rules! span {
+    ($lvl:expr, $name:expr) => {
+        if $crate::dispatch_active() {
+            $crate::Span::new(&$crate::Metadata { name: $name, level: $lvl })
+        } else {
+            $crate::Span::none()
+        }
+    };
+}
+
+/// Fires an [`Event`]: `event!(Level::TRACE, "metric.name", "add" = 1)`.
+/// Field keys select the instrument (`add`/`set`/`record`, DESIGN.md §16).
+/// With no subscriber installed the field expressions are not evaluated —
+/// the whole macro is a relaxed atomic load and a branch.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $name:expr $(, $key:literal = $value:expr)* $(,)?) => {
+        if $crate::dispatch_active() {
+            $crate::dispatch_event(&$crate::Event {
+                metadata: $crate::Metadata { name: $name, level: $lvl },
+                fields: &[$(($key, ($value) as u64)),*],
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    struct Recorder {
+        log: RefCell<Vec<String>>,
+        next_id: RefCell<u64>,
+        min_level: Level,
+    }
+
+    impl Default for Recorder {
+        fn default() -> Recorder {
+            Recorder {
+                log: RefCell::new(Vec::new()),
+                next_id: RefCell::new(0),
+                min_level: Level::TRACE,
+            }
+        }
+    }
+
+    impl Subscriber for Recorder {
+        fn enabled(&self, metadata: &Metadata<'_>) -> bool {
+            metadata.level >= self.min_level
+        }
+
+        fn new_span(&self, metadata: &Metadata<'_>) -> SpanId {
+            let mut id = self.next_id.borrow_mut();
+            *id += 1;
+            self.log.borrow_mut().push(format!("new {} #{}", metadata.name, *id));
+            SpanId(*id)
+        }
+
+        fn enter(&self, id: SpanId) {
+            self.log.borrow_mut().push(format!("enter #{}", id.0));
+        }
+
+        fn exit(&self, id: SpanId) {
+            self.log.borrow_mut().push(format!("exit #{}", id.0));
+        }
+
+        fn event(&self, event: &Event<'_>) {
+            let fields: Vec<String> =
+                event.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            self.log.borrow_mut().push(format!(
+                "event {} [{}]",
+                event.metadata.name,
+                fields.join(", ")
+            ));
+        }
+    }
+
+    #[test]
+    fn spans_and_events_reach_the_installed_subscriber() {
+        let rec = Rc::new(Recorder::default());
+        with_default(Dispatch::from_rc(rec.clone()), || {
+            let _guard = span!(Level::INFO, "outer").entered();
+            event!(Level::TRACE, "hits", "add" = 2);
+        });
+        assert_eq!(
+            *rec.log.borrow(),
+            vec!["new outer #1", "enter #1", "event hits [add=2]", "exit #1"]
+        );
+    }
+
+    #[test]
+    fn no_subscriber_means_no_work_and_no_field_evaluation() {
+        assert!(!span!(Level::INFO, "ghost").is_enabled());
+        let mut evaluated = false;
+        event!(
+            Level::INFO,
+            "ghost.metric",
+            "add" = {
+                evaluated = true;
+                1u64
+            }
+        );
+        // No subscriber is installed on this thread, so even if another
+        // test thread has one, this thread's dispatch stack is empty and
+        // nothing may observe the event; the field must still only be
+        // evaluated when the fast-path branch is taken.
+        if !dispatch_active() {
+            assert!(!evaluated, "disabled events must not evaluate fields");
+        }
+    }
+
+    #[test]
+    fn nesting_shadows_and_restores_the_outer_subscriber() {
+        let outer = Rc::new(Recorder::default());
+        let inner = Rc::new(Recorder::default());
+        with_default(Dispatch::from_rc(outer.clone()), || {
+            event!(Level::INFO, "to.outer", "add" = 1);
+            with_default(Dispatch::from_rc(inner.clone()), || {
+                event!(Level::INFO, "to.inner", "add" = 1);
+            });
+            event!(Level::INFO, "to.outer.again", "add" = 1);
+        });
+        assert_eq!(
+            *outer.log.borrow(),
+            vec!["event to.outer [add=1]", "event to.outer.again [add=1]"]
+        );
+        assert_eq!(*inner.log.borrow(), vec!["event to.inner [add=1]"]);
+    }
+
+    #[test]
+    fn subscriber_level_filter_drops_callsites() {
+        let rec = Rc::new(Recorder { min_level: Level::INFO, ..Recorder::default() });
+        with_default(Dispatch::from_rc(rec.clone()), || {
+            event!(Level::TRACE, "too.verbose", "add" = 1);
+            event!(Level::WARN, "kept", "add" = 1);
+            assert!(!span!(Level::TRACE, "verbose.span").is_enabled());
+        });
+        assert_eq!(*rec.log.borrow(), vec!["event kept [add=1]"]);
+    }
+
+    #[test]
+    fn levels_order_and_render() {
+        assert!(Level::TRACE < Level::DEBUG && Level::DEBUG < Level::ERROR);
+        assert_eq!(Level::INFO.to_string(), "INFO");
+    }
+}
